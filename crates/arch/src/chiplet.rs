@@ -1,0 +1,105 @@
+//! Chiplet-level architecture: cores, shared buffers, bus and PHYs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::core::CoreConfig;
+
+/// Configuration of one chiplet (Section III-A.2).
+///
+/// A chiplet hosts `cores` identical [`CoreConfig`]s interconnected by a
+/// central bus that can *multicast* data from the shared activation buffer
+/// (A-L2) to several cores at once. The global output buffer (O-L2) collects
+/// the re-quantized results of all cores before the DRAM write-back. The
+/// per-core W-L1 buffers form a pool: cores that need the same weights have
+/// their W-L1s merged into a shared group, cores with distinct weights keep
+/// private W-L1 space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipletConfig {
+    /// Number of cores per chiplet (N_C).
+    pub cores: u32,
+    /// Per-core configuration (cores are homogeneous).
+    pub core: CoreConfig,
+    /// Shared activation buffer (A-L2) capacity in bytes.
+    pub a_l2_bytes: u64,
+    /// Global output buffer (O-L2) capacity in bytes. The paper sizes it "to
+    /// match the volume of the final elements of a single chiplet workload"
+    /// (Section V-C); [`ChipletConfig::with_matched_o_l2`] applies that rule.
+    pub o_l2_bytes: u64,
+}
+
+impl ChipletConfig {
+    /// Creates a chiplet from a core array and shared buffer capacities.
+    pub fn new(cores: u32, core: CoreConfig, a_l2_bytes: u64, o_l2_bytes: u64) -> Self {
+        Self {
+            cores,
+            core,
+            a_l2_bytes,
+            o_l2_bytes,
+        }
+    }
+
+    /// Sets the O-L2 capacity to `chiplet_tile_bytes`, the Section V-C rule.
+    pub fn with_matched_o_l2(mut self, chiplet_tile_bytes: u64) -> Self {
+        self.o_l2_bytes = chiplet_tile_bytes;
+        self
+    }
+
+    /// MAC units in the chiplet.
+    pub fn macs(&self) -> u64 {
+        u64::from(self.cores) * self.core.macs()
+    }
+
+    /// Total W-L1 pool capacity (all cores' W-L1 merged, the upper bound of
+    /// the shared-weight mode).
+    pub fn w_l1_pool_bytes(&self) -> u64 {
+        u64::from(self.cores) * self.core.w_l1_bytes
+    }
+
+    /// Total on-chiplet SRAM in bytes (A-L1 + W-L1 of every core, doubled for
+    /// the double buffering, plus A-L2 and O-L2).
+    pub fn sram_bytes(&self) -> u64 {
+        let per_core = 2 * (self.core.a_l1_bytes + self.core.w_l1_bytes);
+        u64::from(self.cores) * per_core + self.a_l2_bytes + self.o_l2_bytes
+    }
+
+    /// Total register-file bytes (the O-L1s).
+    pub fn rf_bytes(&self) -> u64 {
+        u64::from(self.cores) * self.core.o_l1_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_study_core() -> CoreConfig {
+        CoreConfig::new(8, 8, 1536, 800, 18 * 1024)
+    }
+
+    #[test]
+    fn macs_aggregate_cores() {
+        let ch = ChipletConfig::new(8, case_study_core(), 64 * 1024, 16 * 1024);
+        assert_eq!(ch.macs(), 8 * 64);
+    }
+
+    #[test]
+    fn w_l1_pool_is_cores_times_private() {
+        let ch = ChipletConfig::new(8, case_study_core(), 64 * 1024, 16 * 1024);
+        assert_eq!(ch.w_l1_pool_bytes(), 8 * 18 * 1024);
+    }
+
+    #[test]
+    fn sram_accounts_for_double_buffering() {
+        let ch = ChipletConfig::new(2, case_study_core(), 64 * 1024, 16 * 1024);
+        let expected = 2 * 2 * (800 + 18 * 1024) + 64 * 1024 + 16 * 1024;
+        assert_eq!(ch.sram_bytes(), expected);
+        assert_eq!(ch.rf_bytes(), 2 * 1536);
+    }
+
+    #[test]
+    fn matched_o_l2_rule() {
+        let ch = ChipletConfig::new(8, case_study_core(), 64 * 1024, 0)
+            .with_matched_o_l2(4096);
+        assert_eq!(ch.o_l2_bytes, 4096);
+    }
+}

@@ -1,0 +1,95 @@
+//! Core-level architecture: the weight-stationary vector-MAC PE array.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one accelerator core (Section III-A.1).
+///
+/// A core is a PE array of `lanes` (L) parallel lanes, each a `vector`-wide
+/// (P) vector MAC, so a core performs `L x P` MACs per cycle. The output
+/// channel and input channel dimensions are mapped along L and P. Local
+/// buffers: A-L1 and W-L1 are double-buffered SRAMs (loading overlaps
+/// computation), O-L1 is a register file able to read-modify-write a 24-bit
+/// partial sum per lane per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Number of lanes (L); the output-channel parallelism.
+    pub lanes: u32,
+    /// Vector width of each lane's MAC (P); the input-channel parallelism.
+    pub vector: u32,
+    /// O-L1 partial-sum register file capacity in bytes.
+    pub o_l1_bytes: u64,
+    /// A-L1 activation buffer capacity in bytes (single bank; the double
+    /// buffer doubles the area but not the usable capacity per tile).
+    pub a_l1_bytes: u64,
+    /// W-L1 weight buffer capacity in bytes (single bank).
+    pub w_l1_bytes: u64,
+}
+
+impl CoreConfig {
+    /// Creates a core with the given PE geometry and buffer capacities.
+    pub fn new(lanes: u32, vector: u32, o_l1_bytes: u64, a_l1_bytes: u64, w_l1_bytes: u64) -> Self {
+        Self {
+            lanes,
+            vector,
+            o_l1_bytes,
+            a_l1_bytes,
+            w_l1_bytes,
+        }
+    }
+
+    /// MAC units in the core (`L x P`).
+    pub fn macs(&self) -> u64 {
+        u64::from(self.lanes) * u64::from(self.vector)
+    }
+
+    /// Peak MAC throughput per cycle (all units busy).
+    pub fn macs_per_cycle(&self) -> u64 {
+        self.macs()
+    }
+
+    /// O-L1 capacity in partial-sum slots (24-bit entries).
+    pub fn o_l1_psum_slots(&self) -> u64 {
+        self.o_l1_bytes * 8 / baton_psum_bits()
+    }
+
+    /// Maximum planar output-tile elements per lane the O-L1 can hold:
+    /// `HO_c x WO_c <= slots / L`. This bounds the core tile choice in the
+    /// mapping engine.
+    pub fn max_core_tile_elems(&self) -> u64 {
+        self.o_l1_psum_slots() / u64::from(self.lanes).max(1)
+    }
+}
+
+/// Partial-sum width; kept here as a function to avoid a dependency cycle
+/// (the canonical constant lives in `baton-model`).
+const fn baton_psum_bits() -> u64 {
+    24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_is_lanes_times_vector() {
+        let c = CoreConfig::new(8, 8, 1536, 800, 18 * 1024);
+        assert_eq!(c.macs(), 64);
+    }
+
+    #[test]
+    fn o_l1_slots_use_24_bit_entries() {
+        // The Section VI-A core: 1.5 KB O-L1 holds 512 x 24-bit psums, i.e.
+        // a 64-element planar tile per lane at L = 8.
+        let c = CoreConfig::new(8, 8, 1536, 800, 18 * 1024);
+        assert_eq!(c.o_l1_psum_slots(), 512);
+        assert_eq!(c.max_core_tile_elems(), 64);
+    }
+
+    #[test]
+    fn zero_lane_guard_in_tile_bound() {
+        let c = CoreConfig::new(0, 8, 1536, 800, 1024);
+        // Invalid configs are caught by `validate`; the accessor must still
+        // not panic.
+        let _ = c.max_core_tile_elems();
+    }
+}

@@ -1,0 +1,192 @@
+//! Manufacturing cost and yield: the "area wall" quantified.
+//!
+//! The paper's motivation (Sections I-II) is economic: "we fail to obtain
+//! high integration via a large chip cost-efficiently due to the decline of
+//! fabrication yield and the increase of cost per transistor", so several
+//! small chiplets beat one reticle-scale die. This module implements the
+//! standard cost machinery behind that argument — dies-per-wafer geometry,
+//! the negative-binomial (clustered-defect) yield model, known-good-die
+//! testing and multi-chip-module assembly — so the granularity exploration
+//! can report manufacturing cost next to energy and EDP.
+//!
+//! ```
+//! use baton_arch::cost::CostModel;
+//!
+//! let cost = CostModel::n16_default();
+//! // Splitting a large silicon budget into chiplets undercuts the
+//! // monolithic die once assembly overheads are amortized:
+//! let mono = cost.system_cost_usd(400.0, 1);
+//! let mcm = cost.system_cost_usd(400.0, 4);
+//! assert!(mcm < mono);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Wafer, defect and assembly parameters for one process node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Wafer diameter in mm (300 for the modern fabs this models).
+    pub wafer_diameter_mm: f64,
+    /// Processed wafer cost in USD.
+    pub wafer_cost_usd: f64,
+    /// Defect density in defects per cm^2.
+    pub defect_density_per_cm2: f64,
+    /// Defect clustering parameter `alpha` of the negative-binomial model
+    /// (3 is the classic choice for modern processes).
+    pub clustering_alpha: f64,
+    /// Per-die wafer-sort/known-good-die test cost in USD.
+    pub test_cost_usd: f64,
+    /// Fixed package substrate cost in USD.
+    pub package_base_usd: f64,
+    /// Incremental assembly cost per mounted die in USD.
+    pub per_die_assembly_usd: f64,
+    /// Probability that mounting one die succeeds (assembly yield per die).
+    pub assembly_yield_per_die: f64,
+}
+
+impl CostModel {
+    /// A representative advanced-node point: 300 mm wafers at ~$6k,
+    /// 0.5 defects/cm^2 (a leading node mid-ramp -- the regime the paper's
+    /// "area wall" argument targets), $1 KGD test, $5 substrate + $2/die
+    /// assembly at 99.5 % per-die assembly yield. Absolute dollars are
+    /// illustrative; the *shape* (where the chiplet crossover falls) is what
+    /// the exploration uses.
+    pub fn n16_default() -> Self {
+        Self {
+            wafer_diameter_mm: 300.0,
+            wafer_cost_usd: 6000.0,
+            defect_density_per_cm2: 0.50,
+            clustering_alpha: 3.0,
+            test_cost_usd: 1.0,
+            package_base_usd: 5.0,
+            per_die_assembly_usd: 2.0,
+            assembly_yield_per_die: 0.995,
+        }
+    }
+
+    /// Gross dies per wafer for a square die of `die_mm2`, using the
+    /// standard edge-loss correction
+    /// `DPW = pi (d/2)^2 / A - pi d / sqrt(2 A)`.
+    pub fn dies_per_wafer(&self, die_mm2: f64) -> f64 {
+        assert!(die_mm2 > 0.0, "die area must be positive");
+        let d = self.wafer_diameter_mm;
+        let a = die_mm2;
+        (std::f64::consts::PI * (d / 2.0) * (d / 2.0) / a
+            - std::f64::consts::PI * d / (2.0 * a).sqrt())
+        .max(0.0)
+    }
+
+    /// Fabrication yield of a die of `die_mm2` under the negative-binomial
+    /// model: `Y = (1 + A * D0 / alpha)^(-alpha)`.
+    pub fn die_yield(&self, die_mm2: f64) -> f64 {
+        let a_cm2 = die_mm2 / 100.0;
+        (1.0 + a_cm2 * self.defect_density_per_cm2 / self.clustering_alpha)
+            .powf(-self.clustering_alpha)
+    }
+
+    /// Cost of one *good, tested* die of `die_mm2` in USD
+    /// (wafer amortization / yield + test).
+    pub fn known_good_die_usd(&self, die_mm2: f64) -> f64 {
+        let dpw = self.dies_per_wafer(die_mm2);
+        assert!(dpw >= 1.0, "die larger than the wafer");
+        self.wafer_cost_usd / (dpw * self.die_yield(die_mm2)) + self.test_cost_usd
+    }
+
+    /// Cost of an assembled `n_dies`-chiplet package whose *total* silicon
+    /// area is `total_silicon_mm2` (each die `total/n` mm^2), including the
+    /// assembly-yield loss of mounting known-good dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dies` is zero or a die exceeds the wafer.
+    pub fn system_cost_usd(&self, total_silicon_mm2: f64, n_dies: u32) -> f64 {
+        assert!(n_dies > 0, "a package needs at least one die");
+        let die = total_silicon_mm2 / f64::from(n_dies);
+        let dies = self.known_good_die_usd(die) * f64::from(n_dies);
+        let assembly = self.package_base_usd + self.per_die_assembly_usd * f64::from(n_dies);
+        let assembly_yield = self.assembly_yield_per_die.powi(n_dies as i32);
+        (dies + assembly) / assembly_yield
+    }
+
+    /// The chiplet count minimizing system cost for a silicon budget,
+    /// searched over `1..=max_dies`.
+    pub fn best_die_count(&self, total_silicon_mm2: f64, max_dies: u32) -> u32 {
+        (1..=max_dies.max(1))
+            .min_by(|&a, &b| {
+                self.system_cost_usd(total_silicon_mm2, a)
+                    .total_cmp(&self.system_cost_usd(total_silicon_mm2, b))
+            })
+            .expect("non-empty range")
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::n16_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dies_per_wafer_matches_geometry() {
+        let c = CostModel::n16_default();
+        // A 100 mm^2 die on a 300 mm wafer: ~630 gross dies.
+        let dpw = c.dies_per_wafer(100.0);
+        assert!((560.0..660.0).contains(&dpw), "{dpw}");
+        // Smaller dies pack superlinearly better at the edge.
+        assert!(c.dies_per_wafer(25.0) > 4.0 * 0.95 * dpw);
+    }
+
+    #[test]
+    fn yield_decreases_with_area() {
+        let c = CostModel::n16_default();
+        assert!(c.die_yield(2.0) > c.die_yield(8.0));
+        assert!(c.die_yield(8.0) > c.die_yield(700.0));
+        // The paper's datacenter example: a 709 mm^2 die yields poorly.
+        assert!(c.die_yield(709.0) < 0.15);
+        // Tiny dies approach perfect yield.
+        assert!(c.die_yield(1.0) > 0.99);
+    }
+
+    #[test]
+    fn good_die_cost_grows_superlinearly_with_area() {
+        // The "area wall": cost per mm^2 rises with die size because yield
+        // falls while edge losses grow.
+        let c = CostModel::n16_default();
+        let per_mm2 = |a: f64| c.known_good_die_usd(a) / a;
+        assert!(per_mm2(400.0) > per_mm2(100.0));
+        assert!(per_mm2(100.0) > per_mm2(25.0));
+    }
+
+    #[test]
+    fn chiplets_win_at_large_silicon_budgets() {
+        let c = CostModel::n16_default();
+        // At a Simba-scale budget (6 mm^2 x 36 = 216 mm^2 total silicon),
+        // splitting beats monolithic despite assembly overheads.
+        assert!(c.system_cost_usd(216.0, 6) < c.system_cost_usd(216.0, 1));
+        // At tiny budgets the assembly overhead dominates: monolithic wins.
+        assert!(c.system_cost_usd(4.0, 1) < c.system_cost_usd(4.0, 4));
+        // And the optimizer finds a crossover in between.
+        assert_eq!(c.best_die_count(4.0, 8), 1);
+        assert!(c.best_die_count(400.0, 8) > 1);
+    }
+
+    #[test]
+    fn assembly_yield_penalizes_many_dies() {
+        let mut c = CostModel::n16_default();
+        c.assembly_yield_per_die = 0.90; // sloppy assembly
+        // With poor assembly yield, fewer dies become preferable.
+        let few = c.system_cost_usd(100.0, 2);
+        let many = c.system_cost_usd(100.0, 8);
+        assert!(few < many);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_rejected() {
+        let _ = CostModel::n16_default().system_cost_usd(10.0, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! The universal multichip accelerator hardware model of NN-Baton.
+//!
+//! Section III of the paper defines a three-level hierarchy that this crate
+//! reproduces verbatim:
+//!
+//! * **Core** ([`CoreConfig`]): `L` lanes of `P`-wide vector MAC units in a
+//!   weight-stationary PE array, fed by double-buffered A-L1/W-L1 SRAMs and
+//!   accumulating 24-bit partial sums in an O-L1 register file.
+//! * **Chiplet** ([`ChipletConfig`]): `N_C` cores behind a multicast central
+//!   bus, a shared activation buffer (A-L2), a global output buffer (O-L2),
+//!   a DRAM interface and a GRS die-to-die PHY. W-L1 buffers form a pool
+//!   that can be merged/shared across cores depending on the mapping.
+//! * **Package** ([`PackageConfig`]): `N_P` chiplets on a directional ring
+//!   NoP, attached to `N_P` DRAM channels through a crossbar.
+//!
+//! The [`tech`] module holds the 16 nm technology model: the Table I energy
+//! constants, the Figure 10 linear memory regressions and the area
+//! accounting used by the pre-design flow.
+//!
+//! ```
+//! use baton_arch::presets;
+//!
+//! // The Section VI-A case-study machine: 4 chiplets x 8 cores x 8 lanes of
+//! // 8-wide vector MACs.
+//! let acc = presets::case_study_accelerator();
+//! assert_eq!(acc.total_macs(), 4 * 8 * 8 * 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chiplet;
+pub mod cost;
+pub mod noc;
+pub mod core;
+pub mod package;
+pub mod presets;
+pub mod tech;
+pub mod validate;
+
+pub use chiplet::ChipletConfig;
+pub use cost::CostModel;
+pub use noc::NopTopology;
+pub use core::CoreConfig;
+pub use package::PackageConfig;
+pub use tech::{AreaModel, EnergyModel, LinearFit, PowerModel, Technology};
+pub use validate::{validate, ConfigError};

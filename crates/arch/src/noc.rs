@@ -1,0 +1,158 @@
+//! Network-on-package topologies.
+//!
+//! The paper picks "the directional ring network on package interconnecting
+//! 1-to-8 chiplets rather than an intricate network for tens of chiplets"
+//! (Section I). This module makes that choice analyzable: hop counts, link
+//! budgets and all-gather traversal costs for the ring, the 2-D mesh Simba
+//! uses, and an idealized crossbar, so the rotating transfer can be priced
+//! on each.
+
+use serde::{Deserialize, Serialize};
+
+/// A package-level interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NopTopology {
+    /// Directional ring: N unidirectional links, the paper's choice.
+    Ring,
+    /// 2-D mesh with XY routing (`rows * cols` nodes), Simba's choice.
+    Mesh2D {
+        /// Mesh rows.
+        rows: u32,
+        /// Mesh columns.
+        cols: u32,
+    },
+    /// Idealized non-blocking crossbar (every pair one hop).
+    Crossbar,
+}
+
+impl NopTopology {
+    /// Number of nodes the instance connects.
+    pub fn nodes(&self, n: u32) -> u32 {
+        match self {
+            NopTopology::Mesh2D { rows, cols } => rows * cols,
+            _ => n,
+        }
+    }
+
+    /// Physical link count for `n` nodes (directional links counted once).
+    pub fn link_count(&self, n: u32) -> u32 {
+        match self {
+            NopTopology::Ring => n,
+            NopTopology::Mesh2D { rows, cols } => {
+                // Bidirectional mesh channels, counted per direction.
+                2 * (rows * (cols - 1) + cols * (rows - 1))
+            }
+            NopTopology::Crossbar => n * n.saturating_sub(1),
+        }
+    }
+
+    /// Hop distance from `src` to `dst`.
+    pub fn hops(&self, n: u32, src: u32, dst: u32) -> u32 {
+        match self {
+            NopTopology::Ring => (dst + n - src) % n,
+            NopTopology::Mesh2D { cols, .. } => {
+                let (sr, sc) = (src / cols, src % cols);
+                let (dr, dc) = (dst / cols, dst % cols);
+                sr.abs_diff(dr) + sc.abs_diff(dc)
+            }
+            NopTopology::Crossbar => u32::from(src != dst),
+        }
+    }
+
+    /// Mean hop distance over all ordered pairs (uniform traffic).
+    pub fn mean_hops(&self, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    total += u64::from(self.hops(n, s, d));
+                }
+            }
+        }
+        total as f64 / f64::from(n * (n - 1))
+    }
+
+    /// Total link traversals of an *all-gather*: every node's slice must
+    /// reach every other node — the communication pattern of the rotating
+    /// transfer (Figure 3). On the ring this is the rotation's write-through
+    /// (each slice crosses N-1 links); on the mesh and crossbar each slice
+    /// is unicast along shortest paths.
+    pub fn all_gather_traversals(&self, n: u32) -> u64 {
+        let mut total = 0u64;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    total += u64::from(self.hops(n, s, d)).max(1);
+                }
+            }
+        }
+        total
+    }
+
+    /// D2D energy in pJ for all-gathering `slice_bits` per node at
+    /// `pj_per_bit_hop` per link traversal.
+    pub fn all_gather_pj(&self, n: u32, slice_bits: u64, pj_per_bit_hop: f64) -> f64 {
+        self.all_gather_traversals(n) as f64 * slice_bits as f64 * pj_per_bit_hop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_hops_are_directional() {
+        let r = NopTopology::Ring;
+        assert_eq!(r.hops(4, 0, 1), 1);
+        assert_eq!(r.hops(4, 1, 0), 3);
+        assert_eq!(r.mean_hops(4), (1 + 2 + 3) as f64 * 4.0 / 12.0);
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        let m = NopTopology::Mesh2D { rows: 2, cols: 2 };
+        assert_eq!(m.hops(4, 0, 3), 2); // corner to corner
+        assert_eq!(m.hops(4, 0, 1), 1);
+        assert_eq!(m.link_count(4), 8);
+    }
+
+    #[test]
+    fn crossbar_is_single_hop_everywhere() {
+        let x = NopTopology::Crossbar;
+        assert_eq!(x.hops(8, 3, 7), 1);
+        assert_eq!(x.mean_hops(8), 1.0);
+        assert_eq!(x.link_count(8), 56);
+    }
+
+    #[test]
+    fn ring_all_gather_matches_the_rotation() {
+        // Each of N slices crosses N-1 links: N(N-1) traversals.
+        let r = NopTopology::Ring;
+        assert_eq!(r.all_gather_traversals(4), 4 * (1 + 2 + 3));
+        // The rotating write-through achieves N(N-1) too: every element
+        // forwarded N-1 times. The ring's ordered unicast sum equals it.
+        assert_eq!(r.all_gather_traversals(2), 2);
+    }
+
+    #[test]
+    fn topology_energy_ordering_at_small_scale() {
+        // For 4 nodes the crossbar needs the fewest traversals but 56%
+        // more links at 8 nodes; the ring is the wiring-cheapest.
+        let n = 4;
+        let bits = 1 << 20;
+        let ring = NopTopology::Ring.all_gather_pj(n, bits, 1.17);
+        let mesh = NopTopology::Mesh2D { rows: 2, cols: 2 }.all_gather_pj(n, bits, 1.17);
+        let xbar = NopTopology::Crossbar.all_gather_pj(n, bits, 1.17);
+        assert!(xbar <= mesh && mesh <= ring);
+        assert!(NopTopology::Ring.link_count(8) < NopTopology::Crossbar.link_count(8));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(NopTopology::Ring.all_gather_traversals(1), 0);
+        assert_eq!(NopTopology::Ring.mean_hops(1), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Package-level architecture: chiplets on a directional ring NoP.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chiplet::ChipletConfig;
+
+/// Configuration of the whole multichip package (Section III-A.3).
+///
+/// `chiplets` (N_P, 1 to 8 in the paper) homogeneous [`ChipletConfig`]s are
+/// integrated via a simple *directional ring* network-on-package and attached
+/// to `dram_channels` DRAMs through a crossbar, so every chiplet can reach
+/// the whole off-chip memory space. Data sharing between chiplets uses the
+/// rotating transfer of Figure 3: each chiplet write-throughs its buffered
+/// slice to the adjacent chiplet, repeated `N_P` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackageConfig {
+    /// Number of chiplets on the package (N_P).
+    pub chiplets: u32,
+    /// Per-chiplet configuration (chiplets are homogeneous).
+    pub chiplet: ChipletConfig,
+    /// Number of DRAM channels (the paper integrates one per chiplet).
+    pub dram_channels: u32,
+}
+
+impl PackageConfig {
+    /// Creates a package with the paper's quad-DRAM memory system: "to
+    /// provide enough bandwidth for four chiplets, four DRAMs are integrated
+    /// into the system" (Section IV-C), reachable from every chiplet through
+    /// the crossbar. The DRAM system is held constant across designs so the
+    /// pre-design comparison isolates the chiplet granularity, matching the
+    /// paper's runtime model ("decided by the total number of MAC units and
+    /// the utilization", Section IV-D).
+    pub fn new(chiplets: u32, chiplet: ChipletConfig) -> Self {
+        Self {
+            chiplets,
+            chiplet,
+            dram_channels: 4,
+        }
+    }
+
+    /// Overrides the DRAM channel count.
+    pub fn with_dram_channels(mut self, channels: u32) -> Self {
+        self.dram_channels = channels;
+        self
+    }
+
+    /// Total MAC units in the package.
+    pub fn total_macs(&self) -> u64 {
+        u64::from(self.chiplets) * self.chiplet.macs()
+    }
+
+    /// Total number of cores in the package.
+    pub fn total_cores(&self) -> u32 {
+        self.chiplets * self.chiplet.cores
+    }
+
+    /// Peak throughput in MAC operations per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.total_macs()
+    }
+
+    /// The `(N_P, N_C, L, P)` geometry tuple used as the x-axis labels of
+    /// Figure 14.
+    pub fn geometry(&self) -> (u32, u32, u32, u32) {
+        (
+            self.chiplets,
+            self.chiplet.cores,
+            self.chiplet.core.lanes,
+            self.chiplet.core.vector,
+        )
+    }
+
+    /// Number of ring hops from chiplet `src` to `dst` on the directional
+    /// ring (always forwards).
+    pub fn ring_hops(&self, src: u32, dst: u32) -> u32 {
+        debug_assert!(src < self.chiplets && dst < self.chiplets);
+        (dst + self.chiplets - src) % self.chiplets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreConfig;
+
+    fn pkg(chiplets: u32) -> PackageConfig {
+        let core = CoreConfig::new(8, 8, 1536, 800, 18 * 1024);
+        let chiplet = ChipletConfig::new(8, core, 64 * 1024, 16 * 1024);
+        PackageConfig::new(chiplets, chiplet)
+    }
+
+    #[test]
+    fn totals() {
+        let p = pkg(4);
+        assert_eq!(p.total_macs(), 4 * 8 * 64);
+        assert_eq!(p.total_cores(), 32);
+        assert_eq!(p.geometry(), (4, 8, 8, 8));
+        assert_eq!(p.dram_channels, 4);
+    }
+
+    #[test]
+    fn directional_ring_hops() {
+        let p = pkg(4);
+        assert_eq!(p.ring_hops(0, 1), 1);
+        assert_eq!(p.ring_hops(3, 0), 1);
+        assert_eq!(p.ring_hops(1, 0), 3);
+        assert_eq!(p.ring_hops(2, 2), 0);
+    }
+
+    #[test]
+    fn dram_channel_override() {
+        let p = pkg(4).with_dram_channels(2);
+        assert_eq!(p.dram_channels, 2);
+    }
+}

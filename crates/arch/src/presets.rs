@@ -1,0 +1,138 @@
+//! Named hardware configurations used throughout the paper's case studies.
+
+use crate::chiplet::ChipletConfig;
+use crate::core::CoreConfig;
+use crate::package::PackageConfig;
+
+/// The Section VI-A case-study core: 8 lanes of 8-wide vector MACs with
+/// 1.5 KB O-L1, 800 B A-L1 and 18 KB W-L1.
+pub fn case_study_core() -> CoreConfig {
+    CoreConfig::new(8, 8, 1536, 800, 18 * 1024)
+}
+
+/// The Section VI-A case-study chiplet: 8 cores sharing a 64 KB A-L2.
+///
+/// The paper sizes O-L2 to the single-chiplet output tile (Section V-C); the
+/// preset uses 32 KB, which covers the tiles the case-study mapping search
+/// selects.
+pub fn case_study_chiplet() -> ChipletConfig {
+    ChipletConfig::new(8, case_study_core(), 64 * 1024, 32 * 1024)
+}
+
+/// The full Section VI-A machine: 4 chiplets x 8 cores x 8 lanes x 8-wide
+/// vector MACs = 2048 MAC units.
+pub fn case_study_accelerator() -> PackageConfig {
+    PackageConfig::new(4, case_study_chiplet())
+}
+
+/// A 4-chiplet Simba-prototype stand-in with the same memory and computation
+/// resources as [`case_study_accelerator`], used for the Figures 12-13
+/// comparison ("the multichip accelerator model for NN-Baton is configured
+/// with the same memory and computation resources as Simba").
+pub fn simba_4chiplet() -> PackageConfig {
+    case_study_accelerator()
+}
+
+/// Buffer-per-MAC proportionality constants derived from the case-study
+/// machine, used to "assemble the memory hierarchy with buffer sizes
+/// proportional to the computation resources" in the Figure 14 granularity
+/// sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionalBuffers {
+    /// W-L1 bytes per core MAC (18 KB / 64 = 288).
+    pub w_l1_per_mac: f64,
+    /// A-L1 bytes per core MAC (800 / 64 = 12.5).
+    pub a_l1_per_mac: f64,
+    /// O-L1 bytes per core MAC (1536 / 64 = 24).
+    pub o_l1_per_mac: f64,
+    /// A-L2 bytes per chiplet MAC (64 KB / 512 = 128).
+    pub a_l2_per_mac: f64,
+    /// O-L2 bytes per chiplet MAC (32 KB / 512 = 64).
+    pub o_l2_per_mac: f64,
+}
+
+impl Default for ProportionalBuffers {
+    fn default() -> Self {
+        Self {
+            w_l1_per_mac: 288.0,
+            a_l1_per_mac: 12.5,
+            o_l1_per_mac: 24.0,
+            a_l2_per_mac: 128.0,
+            o_l2_per_mac: 64.0,
+        }
+    }
+}
+
+impl ProportionalBuffers {
+    /// Builds a `(chiplets, cores, lanes, vector)` machine with buffers
+    /// scaled to the computation resources, rounding each buffer up to the
+    /// next power of two (memory compilers quantize capacities).
+    pub fn package(&self, chiplets: u32, cores: u32, lanes: u32, vector: u32) -> PackageConfig {
+        let core_macs = f64::from(lanes) * f64::from(vector);
+        let chiplet_macs = core_macs * f64::from(cores);
+        let core = CoreConfig::new(
+            lanes,
+            vector,
+            pow2_at_least((self.o_l1_per_mac * core_macs) as u64),
+            pow2_at_least((self.a_l1_per_mac * core_macs) as u64),
+            pow2_at_least((self.w_l1_per_mac * core_macs) as u64),
+        );
+        let chiplet = ChipletConfig::new(
+            cores,
+            core,
+            pow2_at_least((self.a_l2_per_mac * chiplet_macs) as u64),
+            pow2_at_least((self.o_l2_per_mac * chiplet_macs) as u64),
+        );
+        PackageConfig::new(chiplets, chiplet)
+    }
+}
+
+/// Smallest power of two >= `n` (and >= 16, the smallest sensible macro).
+fn pow2_at_least(n: u64) -> u64 {
+    n.max(16).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn case_study_machine_matches_paper() {
+        let p = case_study_accelerator();
+        assert_eq!(p.geometry(), (4, 8, 8, 8));
+        assert_eq!(p.total_macs(), 2048);
+        assert_eq!(p.chiplet.core.w_l1_bytes, 18 * 1024);
+        assert_eq!(p.chiplet.core.a_l1_bytes, 800);
+        assert_eq!(p.chiplet.a_l2_bytes, 64 * 1024);
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn proportional_scaling_preserves_total_mac_budget() {
+        let pb = ProportionalBuffers::default();
+        for (np, nc, l, v) in [(1, 4, 16, 32), (2, 8, 8, 16), (4, 4, 16, 8), (8, 4, 8, 8)] {
+            let p = pb.package(np, nc, l, v);
+            assert_eq!(p.total_macs(), 2048, "{:?}", p.geometry());
+            assert_eq!(validate(&p), Ok(()));
+        }
+    }
+
+    #[test]
+    fn proportional_buffers_track_compute() {
+        let pb = ProportionalBuffers::default();
+        let small = pb.package(4, 4, 16, 8);
+        let large = pb.package(1, 4, 16, 32);
+        // 4x the chiplet MACs -> at least 2x each buffer (power-of-two
+        // rounding can halve the ratio).
+        assert!(large.chiplet.core.w_l1_bytes >= 2 * small.chiplet.core.w_l1_bytes);
+        assert!(large.chiplet.a_l2_bytes >= 2 * small.chiplet.a_l2_bytes);
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(pow2_at_least(18 * 1024), 32 * 1024);
+        assert_eq!(pow2_at_least(1024), 1024);
+        assert_eq!(pow2_at_least(3), 16);
+    }
+}

@@ -1,0 +1,106 @@
+//! Linear size-to-overhead memory regressions (Figure 10).
+//!
+//! The paper observes that SRAM/RF area and energy "approximately satisfy a
+//! linear relationship with the SRAM size", which lets the exploration extend
+//! beyond the characterized macro library via linear regression. We encode
+//! every such relationship as a [`LinearFit`].
+
+use serde::{Deserialize, Serialize};
+
+/// A linear regression `y = intercept + slope * x`.
+///
+/// ```
+/// use baton_arch::LinearFit;
+///
+/// let f = LinearFit::new(0.3, 0.01);
+/// assert!((f.eval(10.0) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Value at `x = 0`.
+    pub intercept: f64,
+    /// Increment per unit of `x`.
+    pub slope: f64,
+}
+
+impl LinearFit {
+    /// Creates a fit from its coefficients.
+    pub fn new(intercept: f64, slope: f64) -> Self {
+        Self { intercept, slope }
+    }
+
+    /// Constructs the unique line through two anchor points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two x-coordinates coincide.
+    pub fn through(p0: (f64, f64), p1: (f64, f64)) -> Self {
+        assert!(
+            (p1.0 - p0.0).abs() > f64::EPSILON,
+            "anchor points must differ in x"
+        );
+        let slope = (p1.1 - p0.1) / (p1.0 - p0.0);
+        Self {
+            intercept: p0.1 - slope * p0.0,
+            slope,
+        }
+    }
+
+    /// Least-squares fit through a point set (used in tests to verify the
+    /// Figure 10 claim on synthetic macro libraries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given.
+    pub fn least_squares(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        let slope = if denom.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (n * sxy - sx * sy) / denom
+        };
+        Self {
+            intercept: (sy - slope * sx) / n,
+            slope,
+        }
+    }
+
+    /// Evaluates the line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_reproduces_anchors() {
+        let f = LinearFit::through((1.0, 0.3), (32.0, 0.81));
+        assert!((f.eval(1.0) - 0.3).abs() < 1e-12);
+        assert!((f.eval(32.0) - 0.81).abs() < 1e-12);
+        // Interpolation is monotone increasing.
+        assert!(f.eval(8.0) > f.eval(2.0));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|k| (k as f64, 2.0 + 0.5 * k as f64)).collect();
+        let f = LinearFit::least_squares(&pts);
+        assert!((f.intercept - 2.0).abs() < 1e-9);
+        assert!((f.slope - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn through_rejects_degenerate_anchors() {
+        let _ = LinearFit::through((1.0, 0.3), (1.0, 0.8));
+    }
+}

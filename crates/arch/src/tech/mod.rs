@@ -1,0 +1,105 @@
+//! The 16 nm technology model: energy per operation (Table I), linear
+//! memory regressions (Figure 10), area accounting and bandwidth/clock
+//! parameters used by the runtime simulator.
+
+mod area;
+mod energy;
+mod memory;
+mod power;
+
+pub use area::AreaModel;
+pub use energy::EnergyModel;
+pub use memory::LinearFit;
+pub use power::PowerModel;
+
+use serde::{Deserialize, Serialize};
+
+/// Link and port bandwidths in bits per clock cycle, used by the runtime
+/// model and the discrete-event simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    /// DRAM bits per cycle per channel (one channel per chiplet).
+    pub dram_bits_per_cycle: u64,
+    /// Die-to-die ring-link bits per cycle per direction (GRS PHY).
+    pub d2d_bits_per_cycle: u64,
+    /// Central-bus bits per cycle inside a chiplet (A-L2 -> cores multicast).
+    pub bus_bits_per_cycle: u64,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        // At the 500 MHz paper clock: 64 b/cy ~ 4 GB/s DRAM channel,
+        // 256 b/cy ~ 16 GB/s GRS link, 512 b/cy ~ 32 GB/s on-chip bus -- the
+        // on-chip > D2D > DRAM ordering the paper's Table I motivates.
+        Self {
+            dram_bits_per_cycle: 64,
+            d2d_bits_per_cycle: 256,
+            bus_bits_per_cycle: 512,
+        }
+    }
+}
+
+/// The complete technology model bundle.
+///
+/// [`Technology::paper_16nm`] reproduces the paper's configuration: UMC 28 nm
+/// synthesis scaled to 16 nm to match the GRS macro, 500 MHz clock, Table I
+/// energies and the Figure 10 memory regressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Energy-per-operation model (Table I + Figure 10).
+    pub energy: EnergyModel,
+    /// Area model (Section V-A + Figure 10).
+    pub area: AreaModel,
+    /// Bandwidths for the runtime model.
+    pub bandwidth: BandwidthModel,
+    /// Core clock in Hz (500 MHz in the paper).
+    pub clock_hz: f64,
+}
+
+impl Technology {
+    /// The paper's 16 nm technology point.
+    pub fn paper_16nm() -> Self {
+        Self {
+            energy: EnergyModel::paper_16nm(),
+            area: AreaModel::paper_16nm(),
+            bandwidth: BandwidthModel::default(),
+            clock_hz: 500e6,
+        }
+    }
+
+    /// Seconds for a cycle count at the modelled clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::paper_16nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_point() {
+        let t = Technology::default();
+        assert_eq!(t.clock_hz, 500e6);
+        assert_eq!(t.energy.dram_pj_per_bit, 8.75);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let t = Technology::paper_16nm();
+        assert!((t.cycles_to_seconds(500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_hierarchy() {
+        let b = BandwidthModel::default();
+        assert!(b.bus_bits_per_cycle > b.d2d_bits_per_cycle);
+        assert!(b.d2d_bits_per_cycle > b.dram_bits_per_cycle);
+    }
+}

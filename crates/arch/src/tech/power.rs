@@ -1,0 +1,119 @@
+//! Static (leakage) power and average-power reporting.
+//!
+//! The paper evaluates energy and runtime; turning those into an average
+//! power number — and adding the leakage floor that large SRAM allocations
+//! carry — lets the pre-design flow also answer the thermal question
+//! ("does this design fit an edge power envelope?"). Leakage densities are
+//! representative 16 nm HVT values and, like the area slopes, are exposed as
+//! plain fields for sensitivity studies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chiplet::ChipletConfig;
+use crate::package::PackageConfig;
+
+/// Leakage-power densities for one process point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// SRAM leakage in microwatts per KB.
+    pub sram_uw_per_kb: f64,
+    /// Register-file leakage in microwatts per KB (flip-flops leak more).
+    pub rf_uw_per_kb: f64,
+    /// Logic leakage per MAC unit in microwatts.
+    pub mac_leak_uw: f64,
+    /// Static power of the always-on PHYs per chiplet, in milliwatts.
+    pub phy_static_mw: f64,
+}
+
+impl PowerModel {
+    /// A representative 16 nm HVT point.
+    pub fn n16_default() -> Self {
+        Self {
+            sram_uw_per_kb: 2.0,
+            rf_uw_per_kb: 6.0,
+            mac_leak_uw: 0.5,
+            phy_static_mw: 15.0,
+        }
+    }
+
+    /// Leakage power of one chiplet in watts.
+    pub fn chiplet_leakage_w(&self, chiplet: &ChipletConfig) -> f64 {
+        let sram_kb = chiplet.sram_bytes() as f64 / 1024.0;
+        let rf_kb = chiplet.rf_bytes() as f64 / 1024.0;
+        (sram_kb * self.sram_uw_per_kb
+            + rf_kb * self.rf_uw_per_kb
+            + chiplet.macs() as f64 * self.mac_leak_uw)
+            / 1e6
+            + self.phy_static_mw / 1e3
+    }
+
+    /// Leakage power of the whole package in watts.
+    pub fn package_leakage_w(&self, pkg: &PackageConfig) -> f64 {
+        f64::from(pkg.chiplets) * self.chiplet_leakage_w(&pkg.chiplet)
+    }
+
+    /// Average power in watts of executing a workload of `energy_pj` over
+    /// `seconds`: dynamic (energy / time) plus the package leakage floor.
+    pub fn average_power_w(&self, pkg: &PackageConfig, energy_pj: f64, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "runtime must be positive");
+        energy_pj * 1e-12 / seconds + self.package_leakage_w(pkg)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::n16_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn leakage_scales_with_memory_and_compute() {
+        let p = PowerModel::n16_default();
+        let base = presets::case_study_chiplet();
+        let mut bigger = base;
+        bigger.a_l2_bytes *= 4;
+        assert!(p.chiplet_leakage_w(&bigger) > p.chiplet_leakage_w(&base));
+        let pkg4 = presets::case_study_accelerator();
+        let mut pkg8 = pkg4;
+        pkg8.chiplets = 8;
+        assert!(
+            (p.package_leakage_w(&pkg8) - 2.0 * p.package_leakage_w(&pkg4)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn case_study_leakage_is_tens_of_milliwatts() {
+        // ~370 KB SRAM + 12 KB RF + 512 MACs + PHYs per chiplet: the PHY
+        // floor dominates at this scale.
+        let p = PowerModel::n16_default();
+        let w = p.chiplet_leakage_w(&presets::case_study_chiplet());
+        assert!((0.01..0.05).contains(&w), "{w} W");
+    }
+
+    #[test]
+    fn average_power_combines_dynamic_and_static() {
+        let p = PowerModel::n16_default();
+        let pkg = presets::case_study_accelerator();
+        // 10 mJ in 10 ms -> 1 W dynamic + leakage.
+        let w = p.average_power_w(&pkg, 1e10, 0.01);
+        let leak = p.package_leakage_w(&pkg);
+        assert!((w - (1.0 + leak)).abs() < 1e-9);
+        // Slower execution at equal energy lowers average power toward the
+        // leakage floor.
+        let slow = p.average_power_w(&pkg, 1e10, 0.1);
+        assert!(slow < w);
+        assert!(slow > leak);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runtime_is_rejected() {
+        let p = PowerModel::n16_default();
+        let _ = p.average_power_w(&presets::case_study_accelerator(), 1.0, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Configuration validation: the legality rules the pre-design flow uses to
+//! "skip some invalid cases to speed up the space sweeping" (Section VI-B.2).
+
+use std::fmt;
+
+use crate::package::PackageConfig;
+
+/// Largest chiplet count the directional-ring NoP supports (the paper
+/// interconnects "1-to-8 chiplets rather than an intricate network for tens
+/// of chiplets", Section I).
+pub const MAX_RING_CHIPLETS: u32 = 8;
+
+/// Reasons a hardware configuration is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural count or buffer capacity is zero.
+    ZeroField(&'static str),
+    /// More chiplets than the ring NoP supports.
+    TooManyChiplets {
+        /// Requested chiplet count.
+        requested: u32,
+    },
+    /// An A-L1 at least as large as the shared A-L2 is a wasted hierarchy
+    /// level (one of the paper's named skip rules).
+    AL1NotBelowAL2 {
+        /// Per-core A-L1 bytes.
+        a_l1: u64,
+        /// Shared A-L2 bytes.
+        a_l2: u64,
+    },
+    /// The O-L1 register file cannot hold one partial sum per lane, so the
+    /// core could not retire even a 1x1 output tile.
+    OL1TooSmall {
+        /// O-L1 capacity in 24-bit slots.
+        slots: u64,
+        /// Lane count.
+        lanes: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField(name) => write!(f, "field `{name}` must be positive"),
+            ConfigError::TooManyChiplets { requested } => write!(
+                f,
+                "ring NoP supports at most {MAX_RING_CHIPLETS} chiplets, got {requested}"
+            ),
+            ConfigError::AL1NotBelowAL2 { a_l1, a_l2 } => write!(
+                f,
+                "A-L1 ({a_l1} B) must be smaller than the shared A-L2 ({a_l2} B)"
+            ),
+            ConfigError::OL1TooSmall { slots, lanes } => write!(
+                f,
+                "O-L1 holds {slots} psum slots but the core has {lanes} lanes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates a package configuration, returning the first violation.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when a structural field is zero, the chiplet count
+/// exceeds the ring NoP, the A-L1 is not smaller than the A-L2, or the O-L1
+/// cannot hold a partial sum per lane.
+pub fn validate(pkg: &PackageConfig) -> Result<(), ConfigError> {
+    let ch = &pkg.chiplet;
+    let core = &ch.core;
+    for (v, name) in [
+        (u64::from(pkg.chiplets), "chiplets"),
+        (u64::from(pkg.dram_channels), "dram_channels"),
+        (u64::from(ch.cores), "cores"),
+        (u64::from(core.lanes), "lanes"),
+        (u64::from(core.vector), "vector"),
+        (core.o_l1_bytes, "o_l1_bytes"),
+        (core.a_l1_bytes, "a_l1_bytes"),
+        (core.w_l1_bytes, "w_l1_bytes"),
+        (ch.a_l2_bytes, "a_l2_bytes"),
+        (ch.o_l2_bytes, "o_l2_bytes"),
+    ] {
+        if v == 0 {
+            return Err(ConfigError::ZeroField(name));
+        }
+    }
+    if pkg.chiplets > MAX_RING_CHIPLETS {
+        return Err(ConfigError::TooManyChiplets {
+            requested: pkg.chiplets,
+        });
+    }
+    if core.a_l1_bytes >= ch.a_l2_bytes {
+        return Err(ConfigError::AL1NotBelowAL2 {
+            a_l1: core.a_l1_bytes,
+            a_l2: ch.a_l2_bytes,
+        });
+    }
+    let slots = core.o_l1_psum_slots();
+    if slots < u64::from(core.lanes) {
+        return Err(ConfigError::OL1TooSmall {
+            slots,
+            lanes: core.lanes,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chiplet::ChipletConfig;
+    use crate::core::CoreConfig;
+
+    fn ok_pkg() -> PackageConfig {
+        let core = CoreConfig::new(8, 8, 1536, 800, 18 * 1024);
+        PackageConfig::new(4, ChipletConfig::new(8, core, 64 * 1024, 16 * 1024))
+    }
+
+    #[test]
+    fn case_study_config_is_valid() {
+        assert_eq!(validate(&ok_pkg()), Ok(()));
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        let mut p = ok_pkg();
+        p.chiplet.core.lanes = 0;
+        assert_eq!(validate(&p), Err(ConfigError::ZeroField("lanes")));
+    }
+
+    #[test]
+    fn ring_limit_is_eight() {
+        let mut p = ok_pkg();
+        p.chiplets = 9;
+        assert!(matches!(
+            validate(&p),
+            Err(ConfigError::TooManyChiplets { requested: 9 })
+        ));
+        p.chiplets = 8;
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn a_l1_must_stay_below_a_l2() {
+        let mut p = ok_pkg();
+        p.chiplet.core.a_l1_bytes = 64 * 1024;
+        assert!(matches!(
+            validate(&p),
+            Err(ConfigError::AL1NotBelowAL2 { .. })
+        ));
+    }
+
+    #[test]
+    fn o_l1_must_hold_one_psum_per_lane() {
+        let mut p = ok_pkg();
+        p.chiplet.core.o_l1_bytes = 12; // 4 slots < 8 lanes
+        assert!(matches!(validate(&p), Err(ConfigError::OL1TooSmall { .. })));
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let mut p = ok_pkg();
+        p.chiplets = 12;
+        let msg = validate(&p).unwrap_err().to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains('8'));
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation: the rotating-transfer primitive (ring sharing) vs loading every
+//! shared tensor from DRAM directly.
+//!
+//! DESIGN.md calls out the rotation as a core design choice; this ablation
+//! quantifies its value per layer type. Expected: large savings on layers
+//! whose shared tensor is big (activation-intensive layers under C-type
+//! package partitions), shrinking for weight-heavy layers whose shared
+//! weights are loaded once anyway.
+
+use baton_bench::{header, pct};
+use nn_baton::c3p;
+use nn_baton::mapping::enumerate::{candidates_with, EnumOptions};
+use nn_baton::prelude::*;
+
+fn best_with(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    rotations: &'static [RotationMode],
+) -> f64 {
+    let opts = EnumOptions {
+        rotations,
+        ..EnumOptions::default()
+    };
+    let mut best = f64::MAX;
+    for m in candidates_with(layer, arch, opts) {
+        if let Ok(ev) = c3p::evaluate(layer, arch, tech, &m) {
+            best = best.min(ev.energy.total_pj());
+        }
+    }
+    best
+}
+
+fn main() {
+    header("Ablation", "rotating ring transfer vs DRAM-only sharing");
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "layer", "with ring", "dram-only", "benefit"
+    );
+    for res in [224u32, 512] {
+        for (bucket, layer) in zoo::representative_layers(res) {
+            let ring = best_with(
+                &layer,
+                &arch,
+                &tech,
+                &[RotationMode::Ring, RotationMode::DramOnly],
+            );
+            let dram = best_with(&layer, &arch, &tech, &[RotationMode::DramOnly]);
+            println!(
+                "{:<22} {:>12.1} {:>12.1} {:>10}",
+                format!("{bucket}@{res}"),
+                ring / 1e6,
+                dram / 1e6,
+                pct(1.0 - ring / dram)
+            );
+        }
+    }
+}

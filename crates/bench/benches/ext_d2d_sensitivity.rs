@@ -1,0 +1,59 @@
+//! Extension study: sensitivity of the granularity decision to the
+//! die-to-die link energy.
+//!
+//! The paper's Table I uses the 1.17 pJ/bit GRS link; newer interposer
+//! links reach ~0.3 pJ/bit while organic-substrate SerDes can cost several
+//! pJ/bit. This sweep shows how the multi-chiplet energy penalty — and
+//! hence the optimal chiplet count — moves with that single technology
+//! parameter.
+
+use baton_bench::header;
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::prelude::*;
+
+fn main() {
+    header(
+        "Extension",
+        "optimal chiplet count vs die-to-die energy (2048 MACs, no area limit)",
+    );
+    let model = zoo::darknet19(224);
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}   best N_P",
+        "d2d pJ/bit", "1-chip uJ", "2-chip uJ", "4-chip uJ", "8-chip uJ"
+    );
+    for d2d in [0.3, 0.6, 1.17, 2.0, 3.34] {
+        let mut tech = Technology::paper_16nm();
+        tech.energy.d2d_pj_per_bit = d2d;
+        let results = granularity_sweep(
+            &model,
+            &tech,
+            2048,
+            &ProportionalBuffers::default(),
+            None,
+        );
+        let best = |np: u32| {
+            results
+                .iter()
+                .filter(|r| r.geometry.0 == np)
+                .map(|r| r.energy_pj)
+                .fold(f64::MAX, f64::min)
+        };
+        let winner = [1u32, 2, 4, 8]
+            .into_iter()
+            .min_by(|&a, &b| best(a).total_cmp(&best(b)))
+            .unwrap();
+        println!(
+            "{:>12.2} {:>14.1} {:>14.1} {:>14.1} {:>14.1}   {winner}",
+            d2d,
+            best(1) / 1e6,
+            best(2) / 1e6,
+            best(4) / 1e6,
+            best(8) / 1e6,
+        );
+    }
+    println!(
+        "\nexpected shape: cheaper links narrow the multi-chiplet energy \
+         penalty; the paper's Table I notes a 3.34 pJ/bit case where each \
+         transfer crosses a pair of D2D PHYs, which widens it."
+    );
+}

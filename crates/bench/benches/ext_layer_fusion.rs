@@ -1,0 +1,45 @@
+//! Extension study: inter-layer activation forwarding.
+//!
+//! The paper maps layer-wise (every intermediate tensor round-trips DRAM)
+//! and cites Tangram's cascaded processing as the alternative. This study
+//! quantifies how much the NN-Baton machine could save by keeping
+//! shape-exact intermediate tensors in the package's aggregate A-L2.
+
+use baton_bench::{header, pct};
+use nn_baton::dse::fusion_analysis;
+use nn_baton::prelude::*;
+
+fn main() {
+    header("Extension", "inter-layer activation forwarding vs layer-wise mapping");
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    println!(
+        "{:>12} {:>6} {:>8} {:>14} {:>14} {:>8}",
+        "model", "input", "links", "layer-wise uJ", "forwarded uJ", "saving"
+    );
+    for res in [224u32, 512] {
+        for model in [
+            zoo::vgg16(res),
+            zoo::resnet50(res),
+            zoo::darknet19(res),
+        ] {
+            let report = map_model(&model, &arch, &tech).expect("model maps");
+            let f = fusion_analysis(&model, &arch, &tech, &report);
+            println!(
+                "{:>12} {:>6} {:>8} {:>14.1} {:>14.1} {:>8}",
+                model.name(),
+                res,
+                f.links.len(),
+                f.baseline.total_uj(),
+                f.fused.total_uj(),
+                pct(f.saving())
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: late, small feature maps chain on-package while \
+         early large maps and pool boundaries stay layer-wise; savings are a \
+         single-digit to low-double-digit percentage of model energy -- a \
+         meaningful but secondary lever next to the mapping itself."
+    );
+}

@@ -1,0 +1,48 @@
+//! Extension study: the NoP topology choice.
+//!
+//! The paper adopts a directional ring "rather than an intricate network for
+//! tens of chiplets". This study prices the rotating transfer's all-gather
+//! pattern on the ring, Simba's 2-D mesh and an idealized crossbar, along
+//! with the wiring budget each needs.
+
+use baton_bench::header;
+use nn_baton::arch::NopTopology;
+use nn_baton::prelude::*;
+
+fn main() {
+    header("Extension", "NoP topology: all-gather energy and wiring budget");
+    let tech = Technology::paper_16nm();
+    let pj = tech.energy.d2d_pj_per_bit;
+    // A representative rotation: a 64 KB activation slice per chiplet.
+    let slice_bits: u64 = 64 * 1024 * 8;
+    println!(
+        "{:>6} {:>12} {:>16} {:>16} {:>16}",
+        "chips", "topology", "links", "traversals", "all-gather uJ"
+    );
+    for n in [2u32, 4, 8] {
+        let mesh = match n {
+            2 => NopTopology::Mesh2D { rows: 1, cols: 2 },
+            4 => NopTopology::Mesh2D { rows: 2, cols: 2 },
+            _ => NopTopology::Mesh2D { rows: 2, cols: 4 },
+        };
+        for (name, t) in [
+            ("ring", NopTopology::Ring),
+            ("mesh", mesh),
+            ("crossbar", NopTopology::Crossbar),
+        ] {
+            println!(
+                "{n:>6} {:>12} {:>16} {:>16} {:>16.1}",
+                name,
+                t.link_count(n),
+                t.all_gather_traversals(n),
+                t.all_gather_pj(n, slice_bits, pj) / 1e6
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: the crossbar minimizes traversal energy but its \
+         link count grows quadratically (each link is a 0.38 mm^2 GRS PHY \
+         pair); at <= 8 chiplets the ring's N links with N(N-1) traversals \
+         is the area-efficient compromise the paper selects."
+    );
+}

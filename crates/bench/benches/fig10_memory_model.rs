@@ -1,0 +1,48 @@
+//! Figure 10: the linear relationship between memory size and overhead
+//! (area and access energy), which licenses extending the memory search by
+//! linear regression.
+
+use baton_bench::header;
+use nn_baton::arch::{AreaModel, EnergyModel, LinearFit};
+
+fn main() {
+    header("Figure 10", "memory size vs area and energy (16 nm, linear fits)");
+    let e = EnergyModel::paper_16nm();
+    let a = AreaModel::paper_16nm();
+
+    println!(
+        "{:>10} {:>16} {:>16} {:>14}",
+        "size KB", "SRAM pJ/bit", "SRAM area um^2", "RF area um^2"
+    );
+    let mut pts_energy = Vec::new();
+    let mut pts_area = Vec::new();
+    for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let bytes = kb * 1024;
+        let pj = e.sram_access_pj_per_bit(bytes);
+        let um2 = a.sram_mm2(bytes) * 1e6;
+        pts_energy.push((kb as f64, pj));
+        pts_area.push((kb as f64, um2));
+        println!(
+            "{:>10} {:>16.3} {:>16.0} {:>14.0}",
+            kb,
+            pj,
+            um2,
+            a.rf_mm2(bytes) * 1e6
+        );
+    }
+
+    // Verify the "approximately linear" claim by regressing the sampled
+    // points back and reporting the residuals.
+    let fe = LinearFit::least_squares(&pts_energy);
+    let fa = LinearFit::least_squares(&pts_area);
+    println!(
+        "\nenergy fit: {:.4} + {:.5} * KB (Table I anchors: 1KB -> 0.3, 32KB -> 0.81)",
+        fe.intercept, fe.slope
+    );
+    println!("area fit:   {:.0} + {:.0} * KB um^2", fa.intercept, fa.slope);
+    let max_resid = pts_energy
+        .iter()
+        .map(|&(x, y)| (y - fe.eval(x)).abs())
+        .fold(0.0f64, f64::max);
+    println!("max energy residual: {max_resid:.2e} pJ/bit (exactly linear by construction)");
+}

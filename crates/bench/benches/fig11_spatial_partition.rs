@@ -1,0 +1,91 @@
+//! Figure 11: energy breakdown of the six spatial partition combinations on
+//! the five representative layers, at 224x224 and 512x512 inputs, with the
+//! best temporal strategy chosen per bar.
+//!
+//! Paper shape: hybrid chiplet partitions ((C,H)/(P,H)) are the overall
+//! winners; P-type package partitions win the activation-intensive and
+//! large-kernel layers, C-type wins the weight-intensive/point-wise/common
+//! layers; (C,C) is removed for layers whose output channels are too few.
+
+use baton_bench::header;
+use nn_baton::c3p;
+use nn_baton::mapping::enumerate::{candidates_with, EnumOptions};
+use nn_baton::prelude::*;
+
+/// Best evaluation among candidates with a given spatial tag, if any.
+/// Candidates are restricted to the ring rotating transfer — the paper's
+/// mechanism for this study (the DRAM-only fallback is our ablation).
+fn best_for_tag(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    tag: &str,
+) -> Option<Evaluation> {
+    let opts = EnumOptions {
+        rotations: &[RotationMode::Ring],
+        ..EnumOptions::default()
+    };
+    let mut best: Option<Evaluation> = None;
+    for m in candidates_with(layer, arch, opts) {
+        if m.spatial_tag() != tag {
+            continue;
+        }
+        let Ok(ev) = c3p::evaluate(layer, arch, tech, &m) else {
+            continue;
+        };
+        if best
+            .as_ref()
+            .map(|b| ev.energy.total_pj() < b.energy.total_pj())
+            .unwrap_or(true)
+        {
+            best = Some(ev);
+        }
+    }
+    best
+}
+
+fn main() {
+    header(
+        "Figure 11",
+        "energy breakdown per spatial partition combination (best temporal per bar)",
+    );
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let tags = ["(C, C)", "(C, P)", "(C, H)", "(P, C)", "(P, P)", "(P, H)"];
+
+    for res in [224u32, 512] {
+        println!("\n--- input resolution {res}x{res}");
+        for (bucket, layer) in zoo::representative_layers(res) {
+            println!("{bucket} ({}):", layer.name());
+            let mut winner: Option<(String, f64)> = None;
+            for tag in tags {
+                match best_for_tag(&layer, &arch, &tech, tag) {
+                    Some(ev) => {
+                        let e = ev.energy;
+                        println!(
+                            "  {tag:7} {:>9.1} uJ  [dram {:6.1} d2d {:6.1} l2 {:6.1} l1 {:6.1} rf {:6.1} mac {:5.1}]",
+                            e.total_uj(),
+                            e.dram_pj / 1e6,
+                            e.d2d_pj / 1e6,
+                            e.l2_pj / 1e6,
+                            e.l1_pj / 1e6,
+                            e.rf_pj / 1e6,
+                            e.mac_pj / 1e6,
+                        );
+                        if winner
+                            .as_ref()
+                            .map(|(_, w)| e.total_pj() < *w)
+                            .unwrap_or(true)
+                        {
+                            winner = Some((tag.to_string(), e.total_pj()));
+                        }
+                    }
+                    None => println!("  {tag:7} removed (infeasible partition for this layer)"),
+                }
+            }
+            if let Some((tag, _)) = winner {
+                println!("  -> best spatial combination: {tag}");
+            }
+        }
+    }
+}

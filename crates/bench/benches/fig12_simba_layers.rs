@@ -1,0 +1,47 @@
+//! Figure 12: normalized energy breakdown of the Simba baseline dataflow vs
+//! the NN-Baton mapping on the five representative layers.
+//!
+//! Paper shape: significant NN-Baton advantages on the activation-intensive
+//! and large-kernel layers (especially at 512x512), near-parity on the
+//! weight-intensive and point-wise layers, and Simba's die-to-die share
+//! always slightly higher from partial-sum transfers.
+
+use baton_bench::{header, pct};
+use nn_baton::prelude::*;
+
+fn main() {
+    header("Figure 12", "normalized energy: Simba baseline vs NN-Baton");
+    let arch = presets::simba_4chiplet();
+    let tech = Technology::paper_16nm();
+
+    for res in [224u32, 512] {
+        println!("\n--- input resolution {res}x{res}");
+        println!(
+            "{:<22} {:>12} {:>12} {:>9}   breakdown (normalized to Simba)",
+            "layer", "NN-Baton", "Simba", "saving"
+        );
+        for (bucket, layer) in zoo::representative_layers(res) {
+            let ours = search_layer(&layer, &arch, &tech, Objective::Energy)
+                .expect("representative layers map");
+            let simba = evaluate_simba(&layer, &arch, &tech);
+            let norm = simba.energy.total_pj();
+            let n = ours.energy.scaled(1.0 / norm);
+            let s = simba.energy.scaled(1.0 / norm);
+            println!(
+                "{:<22} {:>10.1}uJ {:>10.1}uJ {:>9}",
+                bucket,
+                ours.energy.total_uj(),
+                simba.energy.total_uj(),
+                pct(1.0 - ours.energy.total_pj() / norm),
+            );
+            println!(
+                "    ours : dram {:.2} d2d {:.2} l2 {:.2} l1 {:.2} rf {:.2} mac {:.2}",
+                n.dram_pj, n.d2d_pj, n.l2_pj, n.l1_pj, n.rf_pj, n.mac_pj
+            );
+            println!(
+                "    simba: dram {:.2} d2d {:.2} l2 {:.2} l1 {:.2} rf {:.2} mac {:.2}",
+                s.dram_pj, s.d2d_pj, s.l2_pj, s.l1_pj, s.rf_pj, s.mac_pj
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 13: model-level comparison with Simba on VGG-16, ResNet-50 and
+//! DarkNet-19 at 224x224 and 512x512 inputs (CONV + reorganized FC layers).
+//!
+//! Paper headline: 22.5 % - 44 % lower energy across the six benchmarks,
+//! with the 512x512 results always saving at least as much as 224x224.
+
+use baton_bench::{header, pct};
+use nn_baton::prelude::*;
+
+fn main() {
+    header("Figure 13", "NN-Baton vs Simba, model level (4-chiplet system)");
+    let arch = presets::simba_4chiplet();
+    let tech = Technology::paper_16nm();
+    println!(
+        "{:>12} {:>6} {:>14} {:>14} {:>8}",
+        "model", "input", "NN-Baton uJ", "Simba uJ", "saving"
+    );
+    let mut savings = Vec::new();
+    for res in [224u32, 512] {
+        for model in zoo::figure13_models(res) {
+            let c = compare_model(&model, &arch, &tech);
+            println!(
+                "{:>12} {:>6} {:>14.1} {:>14.1} {:>8}",
+                c.model,
+                format!("{res}"),
+                c.baton.total_uj(),
+                c.simba.total_uj(),
+                pct(c.saving())
+            );
+            savings.push(c.saving());
+        }
+    }
+    let lo = savings.iter().copied().fold(f64::MAX, f64::min);
+    let hi = savings.iter().copied().fold(f64::MIN, f64::max);
+    println!(
+        "\nmeasured saving band: {} - {} (paper: 22.5% - 44%)",
+        pct(lo),
+        pct(hi)
+    );
+}

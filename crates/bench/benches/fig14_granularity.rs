@@ -1,0 +1,86 @@
+//! Figure 14: chiplet granularity exploration with 2048 MAC units.
+//!
+//! Every Table II computation geometry with an exact 2048-MAC product is
+//! assembled with buffers proportional to compute and mapped on four typical
+//! models. Paper shape: energy generally grows with the chiplet count when
+//! no area constraint applies; under a 2 mm^2 chiplet budget no 1-chiplet
+//! implementation fits and the 4-4-16-8 scheme is the top EDP pick.
+
+use baton_bench::header;
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::prelude::*;
+
+const AREA_LIMIT: f64 = 2.0;
+
+fn main() {
+    header("Figure 14", "2048-MAC implementations, 2 mm^2 chiplet budget");
+    let tech = Technology::paper_16nm();
+    let models = [
+        zoo::alexnet(224),
+        zoo::vgg16(224),
+        zoo::resnet50(224),
+        zoo::darknet19(224),
+    ];
+    for model in &models {
+        println!("\n--- {model}");
+        let results = granularity_sweep(
+            model,
+            &tech,
+            2048,
+            &ProportionalBuffers::default(),
+            Some(AREA_LIMIT),
+        );
+        // Best per chiplet count, with and without the area constraint.
+        println!(
+            "{:>4} {:>18} {:>12} {:>18} {:>12} {:>12}",
+            "N_P", "best w/o area", "energy uJ", "best w/ 2mm^2", "energy uJ", "EDP J*s"
+        );
+        for np in [1u32, 2, 4, 8] {
+            let unconstrained = results
+                .iter()
+                .filter(|r| r.geometry.0 == np)
+                .min_by(|a, b| a.energy_pj.total_cmp(&b.energy_pj));
+            let constrained = results
+                .iter()
+                .filter(|r| r.geometry.0 == np && r.meets_area)
+                .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)));
+            let fmt_geo = |g: (u32, u32, u32, u32)| format!("{}-{}-{}-{}", g.0, g.1, g.2, g.3);
+            match (unconstrained, constrained) {
+                (Some(u), Some(c)) => println!(
+                    "{np:>4} {:>18} {:>12.1} {:>18} {:>12.1} {:>12.3e}",
+                    fmt_geo(u.geometry),
+                    u.energy_pj / 1e6,
+                    fmt_geo(c.geometry),
+                    c.energy_pj / 1e6,
+                    c.edp(&tech)
+                ),
+                (Some(u), None) => println!(
+                    "{np:>4} {:>18} {:>12.1} {:>18} {:>12} {:>12}",
+                    fmt_geo(u.geometry),
+                    u.energy_pj / 1e6,
+                    "none fits",
+                    "-",
+                    "-"
+                ),
+                _ => println!("{np:>4} no feasible implementation"),
+            }
+        }
+        if let Some(best) = results
+            .iter()
+            .filter(|r| r.meets_area)
+            .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)))
+        {
+            println!(
+                "==> lowest-EDP implementation under {AREA_LIMIT} mm^2: \
+                 {}-{}-{}-{} ({:.2} mm^2, {:.1} uJ, {} cycles)",
+                best.geometry.0,
+                best.geometry.1,
+                best.geometry.2,
+                best.geometry.3,
+                best.chiplet_area_mm2,
+                best.energy_pj / 1e6,
+                best.cycles
+            );
+        }
+    }
+}

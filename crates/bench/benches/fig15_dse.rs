@@ -1,0 +1,90 @@
+//! Figure 15: full design-space exploration for 4096-MAC multichip
+//! accelerators under a 3 mm^2 chiplet-area constraint.
+//!
+//! Paper shape: the valid points layer by chiplet count in the (area, EDP)
+//! plane (1-chiplet designs lower-right, more chiplets toward upper-left);
+//! under the area constraint the optimum computation allocation is the
+//! 2-chiplet / 8-core / 16-lane / 16-wide configuration for all three
+//! benchmarks, while the recommended memory allocation differs per model.
+
+use baton_bench::header;
+use nn_baton::prelude::*;
+
+fn main() {
+    header("Figure 15", "4096-MAC DSE, 3 mm^2 chiplet constraint");
+    let tech = Technology::paper_16nm();
+    let opts = SweepOptions::default();
+    let benchmarks = [
+        zoo::darknet19(224),
+        zoo::vgg16(512),
+        zoo::resnet50(512),
+    ];
+
+    println!(
+        "sweep: {} geometries x {} memory configs = {} candidate designs per model",
+        opts.space.compute.geometries_for(opts.total_macs).len(),
+        opts.space.memory.len(),
+        opts.space.sweep_size(opts.total_macs),
+    );
+
+    for model in &benchmarks {
+        let t0 = std::time::Instant::now();
+        let points = full_sweep(model, &tech, &opts);
+        println!(
+            "\n--- {model}: {} valid points ({:.1} s)",
+            points.len(),
+            t0.elapsed().as_secs_f64()
+        );
+
+        // Layering by chiplet count: area range and best EDP per N_P.
+        println!(
+            "{:>4} {:>8} {:>22} {:>14} {:>14}",
+            "N_P", "points", "chiplet area mm^2", "best EDP J*s", "best energy uJ"
+        );
+        for np in [1u32, 2, 4, 8] {
+            let sel: Vec<&DesignPoint> =
+                points.iter().filter(|p| p.geometry.0 == np).collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let amin = sel.iter().map(|p| p.chiplet_area_mm2).fold(f64::MAX, f64::min);
+            let amax = sel.iter().map(|p| p.chiplet_area_mm2).fold(f64::MIN, f64::max);
+            let best_edp = sel.iter().map(|p| p.edp(&tech)).fold(f64::MAX, f64::min);
+            let best_e = sel.iter().map(|p| p.energy_pj).fold(f64::MAX, f64::min);
+            println!(
+                "{np:>4} {:>8} {:>10.2} - {:>8.2} {:>14.3e} {:>14.1}",
+                sel.len(),
+                amin,
+                amax,
+                best_edp,
+                best_e / 1e6
+            );
+        }
+
+        // The optimum under the area constraint.
+        let limit = opts.area_limit_mm2.unwrap_or(f64::MAX);
+        if let Some(best) = points
+            .iter()
+            .filter(|p| p.chiplet_area_mm2 <= limit)
+            .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)))
+        {
+            let (np, nc, l, p) = best.geometry;
+            let (o1, a1, w1, a2) = best.memory;
+            println!(
+                "==> optimum under {limit} mm^2: {np}-chiplet {nc}-core {l}-lane \
+                 {p}-vector ({:.2} mm^2)",
+                best.chiplet_area_mm2
+            );
+            println!(
+                "    memory: O-L1 {o1} B, A-L1 {} KB, W-L1 {} KB, A-L2 {} KB",
+                a1 / 1024,
+                w1 / 1024,
+                a2 / 1024
+            );
+        }
+
+        // The Pareto front of the (area, EDP) scatter.
+        let front = pareto_front(&points, |p| (p.chiplet_area_mm2, p.edp(&tech)));
+        println!("    Pareto front: {} of {} points", front.len(), points.len());
+    }
+}

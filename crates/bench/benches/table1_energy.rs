@@ -1,0 +1,36 @@
+//! Table I: energy overhead and characters of typical operations in the
+//! 16 nm multichip system.
+
+use baton_bench::header;
+use nn_baton::arch::EnergyModel;
+
+fn main() {
+    header("Table I", "energy per operation (16 nm)");
+    let e = EnergyModel::paper_16nm();
+    let rows: [(&str, f64, &str); 6] = [
+        ("DRAM access", e.dram_pj_per_bit, "pJ/bit"),
+        ("Die-to-die (GRS)", e.d2d_pj_per_bit, "pJ/bit"),
+        ("L2 access (32KB SRAM)", e.sram_access_pj_per_bit(32 * 1024), "pJ/bit"),
+        ("L1 access (1KB SRAM)", e.sram_access_pj_per_bit(1024), "pJ/bit"),
+        ("Register RMW", e.rf_rmw_pj_per_bit, "pJ/bit"),
+        ("8-bit MAC", e.mac_pj_per_op, "pJ/op"),
+    ];
+    println!("{:<24} {:>10} {:>8} {:>12}", "operation", "energy", "unit", "rel. cost");
+    for (name, energy, unit) in rows {
+        println!(
+            "{:<24} {:>10.3} {:>8} {:>11.2}x",
+            name,
+            energy,
+            unit,
+            e.relative_cost(energy)
+        );
+    }
+    println!(
+        "\npaper values: 8.75 / 1.17 / 0.81 / 0.3 / 0.104 / 0.024 with relative \
+         costs 364.58x / 53.75x / 33.75x / 12.5x / 4.3x / 1x"
+    );
+    println!(
+        "note: 1.17 / 0.024 = 48.75x; the paper's printed 53.75x appears to be a \
+         typographical slip (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every table and figure of the paper has a bench target in `benches/`
+//! (run `cargo bench -p baton-bench --bench <name>`); this library holds the
+//! row-formatting helpers they share. The benches print the regenerated
+//! series to stdout so the numbers can be compared against the paper (see
+//! EXPERIMENTS.md at the workspace root for the recorded comparison).
+
+/// Prints a section header in the style used by every experiment bench.
+pub fn header(experiment: &str, caption: &str) {
+    println!();
+    println!("=== {experiment}: {caption} ===");
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats picojoules as microjoules with one decimal.
+pub fn uj(pj: f64) -> String {
+    format!("{:.1} uJ", pj / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.225), "22.5%");
+        assert_eq!(uj(1_500_000.0), "1.5 uJ");
+    }
+}

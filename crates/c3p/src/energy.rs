@@ -1,0 +1,142 @@
+//! Energy breakdown buckets matching the paper's figure legends.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-bucket energy in pJ, matching the breakdown of Figures 11-12:
+/// DRAM, die-to-die, L2 (A-L2 + O-L2), L1 (A-L1 + W-L1), register file
+/// (O-L1) and MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM access energy.
+    pub dram_pj: f64,
+    /// Die-to-die (GRS ring) transfer energy.
+    pub d2d_pj: f64,
+    /// Level-2 SRAM energy (A-L2 and O-L2).
+    pub l2_pj: f64,
+    /// Level-1 SRAM energy (A-L1 and W-L1).
+    pub l1_pj: f64,
+    /// O-L1 register-file read-modify-write energy.
+    pub rf_pj: f64,
+    /// MAC operation energy.
+    pub mac_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.d2d_pj + self.l2_pj + self.l1_pj + self.rf_pj + self.mac_pj
+    }
+
+    /// Total energy in microjoules (the unit of the paper's model-level
+    /// plots).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// The bucket values in figure-legend order with their labels.
+    pub fn buckets(&self) -> [(&'static str, f64); 6] {
+        [
+            ("DRAM", self.dram_pj),
+            ("D2D", self.d2d_pj),
+            ("L2", self.l2_pj),
+            ("L1", self.l1_pj),
+            ("RF", self.rf_pj),
+            ("MAC", self.mac_pj),
+        ]
+    }
+
+    /// Scales every bucket (used for normalized plots).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            dram_pj: self.dram_pj * factor,
+            d2d_pj: self.d2d_pj * factor,
+            l2_pj: self.l2_pj * factor,
+            l1_pj: self.l1_pj * factor,
+            rf_pj: self.rf_pj * factor,
+            mac_pj: self.mac_pj * factor,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.dram_pj += rhs.dram_pj;
+        self.d2d_pj += rhs.d2d_pj;
+        self.l2_pj += rhs.l2_pj;
+        self.l1_pj += rhs.l1_pj;
+        self.rf_pj += rhs.rf_pj;
+        self.mac_pj += rhs.mac_pj;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} uJ (DRAM {:.1}%, D2D {:.1}%, L2 {:.1}%, L1 {:.1}%, RF {:.1}%, MAC {:.1}%)",
+            self.total_uj(),
+            100.0 * self.dram_pj / self.total_pj().max(f64::MIN_POSITIVE),
+            100.0 * self.d2d_pj / self.total_pj().max(f64::MIN_POSITIVE),
+            100.0 * self.l2_pj / self.total_pj().max(f64::MIN_POSITIVE),
+            100.0 * self.l1_pj / self.total_pj().max(f64::MIN_POSITIVE),
+            100.0 * self.rf_pj / self.total_pj().max(f64::MIN_POSITIVE),
+            100.0 * self.mac_pj / self.total_pj().max(f64::MIN_POSITIVE),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram_pj: 5.0,
+            d2d_pj: 4.0,
+            l2_pj: 3.0,
+            l1_pj: 2.0,
+            rf_pj: 1.0,
+            mac_pj: 0.5,
+        }
+    }
+
+    #[test]
+    fn total_sums_buckets() {
+        assert!((sample().total_pj() - 15.5).abs() < 1e-12);
+        let s: f64 = sample().buckets().iter().map(|(_, v)| v).sum();
+        assert!((s - 15.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_bucketwise() {
+        let d = sample() + sample();
+        assert!((d.total_pj() - 31.0).abs() < 1e-12);
+        assert!((d.dram_pj - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_proportions() {
+        let s = sample().scaled(2.0);
+        assert!((s.total_pj() - 31.0).abs() < 1e-12);
+        assert!((s.rf_pj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let out = sample().to_string();
+        assert!(out.contains("DRAM"));
+        assert!(out.contains("uJ"));
+    }
+}

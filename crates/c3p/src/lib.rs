@@ -1,0 +1,48 @@
+//! The C3P (Critical-Capacity Critical-Position) analytical engine of
+//! NN-Baton (Section IV-B of the paper).
+//!
+//! Given a workload [`baton_mapping::Decomposition`], this crate determines
+//! how often each buffer level must reload data (the *penalty multipliers*),
+//! resolves the per-path access counts, prices them with the Table I energy
+//! model, and estimates the runtime as the maximum of the compute critical
+//! path and the bandwidth bounds.
+//!
+//! The core abstraction is the [`AccessProfile`]: the base access count of a
+//! data path together with its capacity breakpoints. Evaluating a profile at
+//! a concrete buffer size is O(#breakpoints), which lets the pre-design flow
+//! sweep thousands of memory configurations per mapping without re-running
+//! the geometry analysis.
+//!
+//! ```
+//! use baton_arch::{presets, Technology};
+//! use baton_model::zoo;
+//! use baton_c3p::{evaluate, Objective};
+//!
+//! let arch = presets::case_study_accelerator();
+//! let tech = Technology::paper_16nm();
+//! let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+//! let best = baton_c3p::search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+//! assert!(best.energy.total_pj() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod energy;
+pub mod evaluate;
+pub mod profile;
+pub mod search;
+pub mod sensitivity;
+pub mod walk;
+
+pub use bounds::TrafficBounds;
+pub use energy::EnergyBreakdown;
+pub use evaluate::{
+    evaluate, evaluate_decomposition, price, resolve, resolve_at_capacities, runtime_bound,
+    AccessCounts, Evaluation, LayerProfiles,
+};
+pub use profile::{AccessProfile, Breakpoint};
+pub use search::{search_layer, search_layer_k_best, search_layer_with, Objective, SearchError};
+pub use sensitivity::{knob_effects, Knob, KnobEffect};
+pub use walk::c3p_breakpoints;

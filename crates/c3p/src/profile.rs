@@ -1,0 +1,180 @@
+//! Access profiles: base traffic plus capacity breakpoints.
+
+use serde::{Deserialize, Serialize};
+
+/// One critical capacity of a buffer (Equation (2) of the paper): if the
+/// buffer is smaller than `min_capacity_bits`, the enclosing reuse region
+/// reloads the working set `multiplier` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakpoint {
+    /// Critical capacity `Cc_k` in bits.
+    pub min_capacity_bits: u64,
+    /// Reuse-region loop-count product `P_k`.
+    pub multiplier: u64,
+}
+
+/// The total access of one data path as a function of the buffer capacity:
+/// `A_tot = A0 * prod_k P_k` over the breakpoints whose critical capacity
+/// exceeds the buffer size (Equation (1); see DESIGN.md for the `1 +`
+/// reading).
+///
+/// ```
+/// use baton_c3p::{AccessProfile, Breakpoint};
+///
+/// let p = AccessProfile::new(100, vec![
+///     Breakpoint { min_capacity_bits: 1024, multiplier: 4 },
+///     Breakpoint { min_capacity_bits: 8192, multiplier: 3 },
+/// ]);
+/// assert_eq!(p.access_bits(16 * 1024), 100);      // everything fits
+/// assert_eq!(p.access_bits(2048), 300);            // outer region reloads
+/// assert_eq!(p.access_bits(512), 1200);            // both regions reload
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessProfile {
+    base_bits: u64,
+    breakpoints: Vec<Breakpoint>,
+}
+
+impl AccessProfile {
+    /// Creates a profile; breakpoints are sorted by capacity and merged when
+    /// they share a critical capacity.
+    pub fn new(base_bits: u64, mut breakpoints: Vec<Breakpoint>) -> Self {
+        breakpoints.retain(|b| b.multiplier > 1);
+        breakpoints.sort_by_key(|b| b.min_capacity_bits);
+        let mut merged: Vec<Breakpoint> = Vec::with_capacity(breakpoints.len());
+        for b in breakpoints {
+            match merged.last_mut() {
+                Some(last) if last.min_capacity_bits == b.min_capacity_bits => {
+                    last.multiplier *= b.multiplier;
+                }
+                _ => merged.push(b),
+            }
+        }
+        Self {
+            base_bits,
+            breakpoints: merged,
+        }
+    }
+
+    /// A profile with no capacity dependence.
+    pub fn flat(base_bits: u64) -> Self {
+        Self {
+            base_bits,
+            breakpoints: Vec::new(),
+        }
+    }
+
+    /// The intrinsic access `A0` in bits.
+    pub fn base_bits(&self) -> u64 {
+        self.base_bits
+    }
+
+    /// The capacity breakpoints, sorted ascending.
+    pub fn breakpoints(&self) -> &[Breakpoint] {
+        &self.breakpoints
+    }
+
+    /// Penalty multiplier at a given buffer capacity.
+    pub fn multiplier(&self, capacity_bits: u64) -> u64 {
+        self.breakpoints
+            .iter()
+            .filter(|b| capacity_bits < b.min_capacity_bits)
+            .map(|b| b.multiplier)
+            .product()
+    }
+
+    /// Total access in bits at a given buffer capacity.
+    pub fn access_bits(&self, capacity_bits: u64) -> u64 {
+        self.base_bits.saturating_mul(self.multiplier(capacity_bits))
+    }
+
+    /// The smallest capacity with no penalty at all (the outermost critical
+    /// capacity), or 0 if the profile is flat.
+    pub fn penalty_free_capacity_bits(&self) -> u64 {
+        self.breakpoints
+            .last()
+            .map(|b| b.min_capacity_bits)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> AccessProfile {
+        AccessProfile::new(
+            10,
+            vec![
+                Breakpoint {
+                    min_capacity_bits: 100,
+                    multiplier: 2,
+                },
+                Breakpoint {
+                    min_capacity_bits: 1000,
+                    multiplier: 5,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn multiplier_is_monotone_nonincreasing_in_capacity() {
+        let p = profile();
+        let mut last = u64::MAX;
+        for cap in [0u64, 50, 100, 500, 1000, 5000] {
+            let m = p.multiplier(cap);
+            assert!(m <= last, "capacity {cap}");
+            last = m;
+        }
+        assert_eq!(p.multiplier(0), 10);
+        assert_eq!(p.multiplier(100), 5);
+        assert_eq!(p.multiplier(1000), 1);
+    }
+
+    #[test]
+    fn unit_multipliers_are_dropped() {
+        let p = AccessProfile::new(
+            7,
+            vec![Breakpoint {
+                min_capacity_bits: 10,
+                multiplier: 1,
+            }],
+        );
+        assert!(p.breakpoints().is_empty());
+        assert_eq!(p.access_bits(0), 7);
+    }
+
+    #[test]
+    fn equal_capacities_merge_multiplicatively() {
+        let p = AccessProfile::new(
+            1,
+            vec![
+                Breakpoint {
+                    min_capacity_bits: 64,
+                    multiplier: 3,
+                },
+                Breakpoint {
+                    min_capacity_bits: 64,
+                    multiplier: 4,
+                },
+            ],
+        );
+        assert_eq!(p.breakpoints().len(), 1);
+        assert_eq!(p.multiplier(0), 12);
+    }
+
+    #[test]
+    fn penalty_free_capacity_is_outermost_cc() {
+        assert_eq!(profile().penalty_free_capacity_bits(), 1000);
+        assert_eq!(AccessProfile::flat(5).penalty_free_capacity_bits(), 0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // A buffer exactly at Cc_k incurs no penalty (`buf >= Cc` in Eq. 2).
+        let p = profile();
+        assert_eq!(p.access_bits(99), 100);
+        assert_eq!(p.access_bits(100), 50);
+    }
+}

@@ -1,0 +1,212 @@
+//! Exhaustive per-layer mapping search (the post-design flow's inner loop).
+
+use std::fmt;
+
+use baton_arch::{PackageConfig, Technology};
+use baton_mapping::enumerate::{candidates_with, EnumOptions};
+use baton_mapping::{decompose, Mapping};
+use baton_model::ConvSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::{evaluate_decomposition, Evaluation};
+
+/// Optimization objective for the mapping search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize total energy (the paper's per-layer objective).
+    Energy,
+    /// Minimize energy-delay product.
+    Edp,
+    /// Minimize runtime cycles.
+    Runtime,
+}
+
+impl Objective {
+    /// Scalar score (lower is better).
+    pub fn score(&self, ev: &Evaluation, tech: &Technology) -> f64 {
+        match self {
+            Objective::Energy => ev.energy.total_pj(),
+            Objective::Edp => ev.edp(tech),
+            Objective::Runtime => ev.cycles as f64,
+        }
+    }
+}
+
+/// The search found no feasible mapping for a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchError {
+    /// The layer that could not be mapped.
+    pub layer: String,
+    /// Candidates generated before feasibility filtering.
+    pub candidates: usize,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no feasible mapping for layer `{}` ({} candidates tried)",
+            self.layer, self.candidates
+        )
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Searches the default candidate set for the best mapping of `layer`.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if every candidate is infeasible on this machine.
+pub fn search_layer(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+) -> Result<Evaluation, SearchError> {
+    search_layer_with(layer, arch, tech, objective, EnumOptions::default())
+}
+
+/// Searches with explicit enumeration options.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if every candidate is infeasible on this machine.
+pub fn search_layer_with(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+    opts: EnumOptions,
+) -> Result<Evaluation, SearchError> {
+    let cands = candidates_with(layer, arch, opts);
+    let n = cands.len();
+    let mut best: Option<(f64, Evaluation)> = None;
+    for m in cands {
+        let Some(ev) = try_evaluate(layer, arch, tech, &m) else {
+            continue;
+        };
+        let score = objective.score(&ev, tech);
+        if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+            best = Some((score, ev));
+        }
+    }
+    best.map(|(_, ev)| ev).ok_or_else(|| SearchError {
+        layer: layer.name().to_string(),
+        candidates: n,
+    })
+}
+
+/// Returns the `k` best evaluations by the objective, best first — useful
+/// for robustness studies (how much worse is the runner-up?) and for
+/// handing a compiler several near-optimal schedules to choose from.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if every candidate is infeasible.
+pub fn search_layer_k_best(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+    k: usize,
+) -> Result<Vec<Evaluation>, SearchError> {
+    let cands = candidates_with(layer, arch, EnumOptions::default());
+    let n = cands.len();
+    let mut scored: Vec<(f64, Evaluation)> = cands
+        .into_iter()
+        .filter_map(|m| {
+            let ev = try_evaluate(layer, arch, tech, &m)?;
+            Some((objective.score(&ev, tech), ev))
+        })
+        .collect();
+    if scored.is_empty() {
+        return Err(SearchError {
+            layer: layer.name().to_string(),
+            candidates: n,
+        });
+    }
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+    scored.truncate(k.max(1));
+    Ok(scored.into_iter().map(|(_, ev)| ev).collect())
+}
+
+fn try_evaluate(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mapping: &Mapping,
+) -> Option<Evaluation> {
+    let d = decompose(layer, arch, mapping).ok()?;
+    Some(evaluate_decomposition(&d, arch, tech, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    fn setup() -> (PackageConfig, Technology) {
+        (presets::case_study_accelerator(), Technology::paper_16nm())
+    }
+
+    #[test]
+    fn finds_a_mapping_for_every_representative_layer() {
+        let (arch, tech) = setup();
+        for (bucket, layer) in zoo::representative_layers(224) {
+            let ev = search_layer(&layer, &arch, &tech, Objective::Energy)
+                .unwrap_or_else(|e| panic!("{bucket}: {e}"));
+            assert!(ev.energy.total_pj() > 0.0, "{bucket}");
+        }
+    }
+
+    #[test]
+    fn best_energy_is_no_worse_than_any_probe() {
+        let (arch, tech) = setup();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        // Probe a handful of candidates directly.
+        for m in baton_mapping::enumerate::candidates(&layer, &arch)
+            .into_iter()
+            .take(32)
+        {
+            if let Some(ev) = try_evaluate(&layer, &arch, &tech, &m) {
+                assert!(best.energy.total_pj() <= ev.energy.total_pj() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn objectives_disagree_in_general() {
+        let (arch, tech) = setup();
+        let layer = zoo::vgg16(224).layer("conv1_1").cloned().unwrap();
+        let e = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        let r = search_layer(&layer, &arch, &tech, Objective::Runtime).unwrap();
+        assert!(r.cycles <= e.cycles);
+        assert!(e.energy.total_pj() <= r.energy.total_pj() + 1e-6);
+    }
+
+    #[test]
+    fn k_best_is_sorted_and_consistent_with_the_winner() {
+        let (arch, tech) = setup();
+        let layer = zoo::darknet19(224).layer("conv9").cloned().unwrap();
+        let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        let top = search_layer_k_best(&layer, &arch, &tech, Objective::Energy, 5).unwrap();
+        assert!(top.len() <= 5 && !top.is_empty());
+        assert!((top[0].energy.total_pj() - best.energy.total_pj()).abs() < 1e-6);
+        for w in top.windows(2) {
+            assert!(w[0].energy.total_pj() <= w[1].energy.total_pj() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn search_error_for_impossible_machine() {
+        let (mut arch, tech) = setup();
+        // An O-L2 too small for even a 1x1xCO_t tile of any candidate.
+        arch.chiplet.o_l2_bytes = 1;
+        let layer = zoo::vgg16(224).layer("conv5_2").cloned().unwrap();
+        let err = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap_err();
+        assert!(err.to_string().contains("conv5_2"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The C3P flow-diagram walk (Figure 6(b) of the paper).
+//!
+//! Walking a temporal nest from the innermost loop outward, loops that index
+//! the tensor under analysis are *critical positions*; maximal runs of
+//! non-indexing loops between them are *reuse regions*. A reuse region whose
+//! enclosed working set exceeds the buffer reloads that working set once per
+//! iteration, so it contributes a breakpoint `(Cc, P)` where `Cc` is the
+//! footprint at the region's entry and `P` the product of the region's trip
+//! counts.
+
+use baton_mapping::{Dim, LoopNest};
+
+use crate::profile::Breakpoint;
+
+/// Computes the C3P breakpoints of a tensor over `nest`.
+///
+/// `footprints[i]` must give the tensor working set (bits) covering
+/// everything strictly inside nest position `i` (`footprints.len() ==
+/// nest.len() + 1`), and `relevant` classifies loop dimensions as critical
+/// (indexing the tensor) or reusable.
+///
+/// # Panics
+///
+/// Panics if `footprints` is not exactly one longer than the nest.
+pub fn c3p_breakpoints(
+    nest: &LoopNest,
+    footprints: &[u64],
+    relevant: impl Fn(Dim) -> bool,
+) -> Vec<Breakpoint> {
+    assert_eq!(
+        footprints.len(),
+        nest.len() + 1,
+        "footprint table must align with nest positions"
+    );
+    let mut out = Vec::new();
+    let mut region_mult: u64 = 1;
+    let mut region_cc: u64 = 0;
+    for (i, l) in nest.loops().iter().enumerate() {
+        if relevant(l.dim) {
+            // A critical position closes any open reuse region.
+            if region_mult > 1 {
+                out.push(Breakpoint {
+                    min_capacity_bits: region_cc,
+                    multiplier: region_mult,
+                });
+            }
+            region_mult = 1;
+        } else {
+            if region_mult == 1 {
+                // Region entry: the working set that must persist is the one
+                // covering everything inside this position.
+                region_cc = footprints[i];
+            }
+            region_mult = region_mult.saturating_mul(l.count);
+        }
+    }
+    if region_mult > 1 {
+        out.push(Breakpoint {
+            min_capacity_bits: region_cc,
+            multiplier: region_mult,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_mapping::{Loop, LoopLevel};
+
+    fn l(dim: Dim, count: u64) -> Loop {
+        Loop {
+            dim,
+            count,
+            level: LoopLevel::Core,
+        }
+    }
+
+    /// Paper Figure 6(c), example 1 for W-L1: nest (inner->outer)
+    /// `C1, W1, H1, C2` with weight-relevant dims {Co}.
+    /// `Cc_1 = C1 x filters` guards the `W1 x H1` region.
+    #[test]
+    fn w_l1_example_1() {
+        let nest = LoopNest::new([
+            l(Dim::Co, 4),  // C1
+            l(Dim::Wo, 3),  // W1
+            l(Dim::Ho, 5),  // H1
+            l(Dim::Co, 2),  // C2
+        ]);
+        // Footprints: base 100; after C1 -> 400; W1/H1 don't grow weights;
+        // after C2 -> 800.
+        let fp = [100, 400, 400, 400, 800];
+        let bps = c3p_breakpoints(&nest, &fp, Dim::weight_relevant);
+        assert_eq!(
+            bps,
+            vec![Breakpoint {
+                min_capacity_bits: 400,
+                multiplier: 15
+            }]
+        );
+        // The paper: a W-L1 below Cc_1 reloads H1*W1 - 1 extra times, i.e.
+        // total = base * 15.
+    }
+
+    /// Paper Figure 6(d), example 2: `C1, C2, W1, H1` — the second critical
+    /// position is at the nest boundary, so only `Cc_1` matters and the
+    /// outer region `W1 x H1` is guarded by the full weight set.
+    #[test]
+    fn w_l1_example_2() {
+        let nest = LoopNest::new([
+            l(Dim::Co, 4),
+            l(Dim::Co, 2),
+            l(Dim::Wo, 3),
+            l(Dim::Ho, 5),
+        ]);
+        let fp = [100, 400, 800, 800, 800];
+        let bps = c3p_breakpoints(&nest, &fp, Dim::weight_relevant);
+        assert_eq!(
+            bps,
+            vec![Breakpoint {
+                min_capacity_bits: 800,
+                multiplier: 15
+            }]
+        );
+    }
+
+    /// Paper Figure 6(e), example 3: the first loop is already a reuse
+    /// region (the supplementary `Cp_0`/`Cc_0` case): `C1, H1, C2` with
+    /// input-relevant dims {Ho, Wo, Ci}.
+    #[test]
+    fn a_l1_example_3_cc0() {
+        let nest = LoopNest::new([l(Dim::Co, 6), l(Dim::Ho, 4), l(Dim::Co, 3)]);
+        // Input footprints: constant 200 through Co, grows at Ho.
+        let fp = [200, 200, 900, 900];
+        let bps = c3p_breakpoints(&nest, &fp, Dim::input_relevant);
+        assert_eq!(
+            bps,
+            vec![
+                Breakpoint {
+                    min_capacity_bits: 200,
+                    multiplier: 6
+                },
+                Breakpoint {
+                    min_capacity_bits: 900,
+                    multiplier: 3
+                },
+            ]
+        );
+    }
+
+    /// Paper Figure 6(f), example 4: a "bad case" where `Cc_1` contributes
+    /// no reuse because two relevant loops are adjacent — locality only
+    /// materializes above `Cc_2`.
+    #[test]
+    fn a_l1_example_4_adjacent_critical_positions() {
+        let nest = LoopNest::new([
+            l(Dim::Ho, 4), // relevant: no region below
+            l(Dim::Wo, 4), // relevant, adjacent
+            l(Dim::Co, 5), // reuse region guarded by the full window
+        ]);
+        let fp = [100, 350, 1200, 1200];
+        let bps = c3p_breakpoints(&nest, &fp, Dim::input_relevant);
+        assert_eq!(
+            bps,
+            vec![Breakpoint {
+                min_capacity_bits: 1200,
+                multiplier: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn all_relevant_nest_has_no_breakpoints() {
+        let nest = LoopNest::new([l(Dim::Ho, 2), l(Dim::Wo, 2)]);
+        let fp = [10, 20, 40];
+        assert!(c3p_breakpoints(&nest, &fp, Dim::input_relevant).is_empty());
+    }
+
+    #[test]
+    fn empty_nest_is_fine() {
+        let nest = LoopNest::new([]);
+        assert!(c3p_breakpoints(&nest, &[42], Dim::weight_relevant).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_footprints_panic() {
+        let nest = LoopNest::new([l(Dim::Ho, 2)]);
+        let _ = c3p_breakpoints(&nest, &[1], Dim::input_relevant);
+    }
+}

@@ -1,0 +1,135 @@
+//! CSV emitters: plot-ready artifacts for every figure series.
+//!
+//! The benches print human-readable tables; these emitters produce the same
+//! series as machine-readable CSV so the paper's figures can be regenerated
+//! with any plotting tool.
+
+use baton_arch::Technology;
+
+use crate::comparison::ModelComparison;
+use crate::postdesign::ModelReport;
+use crate::predesign::{DesignPoint, GranularityResult};
+
+/// CSV of Figure 14-style granularity results.
+pub fn granularity_csv(results: &[GranularityResult], tech: &Technology) -> String {
+    let mut out = String::from(
+        "chiplets,cores,lanes,vector,chiplet_area_mm2,energy_uj,cycles,edp_js,meets_area\n",
+    );
+    for r in results {
+        let (np, nc, l, p) = r.geometry;
+        out.push_str(&format!(
+            "{np},{nc},{l},{p},{:.4},{:.3},{},{:.6e},{}\n",
+            r.chiplet_area_mm2,
+            r.energy_pj / 1e6,
+            r.cycles,
+            r.edp(tech),
+            r.meets_area
+        ));
+    }
+    out
+}
+
+/// CSV of Figure 15-style design points (the area/EDP scatter).
+pub fn design_points_csv(points: &[DesignPoint], tech: &Technology) -> String {
+    let mut out = String::from(
+        "chiplets,cores,lanes,vector,o_l1_b,a_l1_b,w_l1_b,a_l2_b,\
+         chiplet_area_mm2,energy_uj,cycles,edp_js\n",
+    );
+    for p in points {
+        let (np, nc, l, v) = p.geometry;
+        let (o1, a1, w1, a2) = p.memory;
+        out.push_str(&format!(
+            "{np},{nc},{l},{v},{o1},{a1},{w1},{a2},{:.4},{:.3},{},{:.6e}\n",
+            p.chiplet_area_mm2,
+            p.energy_pj / 1e6,
+            p.cycles,
+            p.edp(tech)
+        ));
+    }
+    out
+}
+
+/// CSV of a post-design per-layer report.
+pub fn model_report_csv(report: &ModelReport) -> String {
+    let mut out = String::from(
+        "layer,spatial,package_order,chiplet_order,tile,energy_uj,cycles,utilization,\
+         dram_bits,d2d_bits\n",
+    );
+    for l in &report.layers {
+        let m = &l.evaluation.mapping;
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.3},{},{:.4},{},{}\n",
+            l.layer,
+            m.spatial_tag().replace(", ", "/"),
+            m.package_order,
+            m.chiplet_order,
+            m.chiplet_tile,
+            l.evaluation.energy.total_uj(),
+            l.evaluation.cycles,
+            l.evaluation.utilization,
+            l.evaluation.access.dram_total_bits(),
+            l.evaluation.access.d2d_bits,
+        ));
+    }
+    out
+}
+
+/// CSV of the Simba comparisons (Figure 13 series).
+pub fn comparison_csv(comparisons: &[ModelComparison]) -> String {
+    let mut out =
+        String::from("model,resolution,baton_uj,simba_uj,saving_frac\n");
+    for c in comparisons {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.4}\n",
+            c.model,
+            c.resolution,
+            c.baton.total_uj(),
+            c.simba.total_uj(),
+            c.saving()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postdesign::map_model;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    #[test]
+    fn report_csv_has_one_row_per_layer() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let model = zoo::darknet19(224);
+        let report = map_model(&model, &arch, &tech).unwrap();
+        let csv = model_report_csv(&report);
+        // Header + one line per layer.
+        assert_eq!(csv.lines().count(), 1 + model.layers().len());
+        assert!(csv.lines().nth(1).unwrap().starts_with("conv1,"));
+        // Every row has the full column count.
+        let cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn design_point_csv_is_parseable() {
+        let tech = Technology::paper_16nm();
+        let p = DesignPoint {
+            geometry: (4, 4, 16, 8),
+            memory: (144, 1024, 18 * 1024, 64 * 1024),
+            chiplet_area_mm2: 1.84,
+            energy_pj: 1e9,
+            cycles: 1_000_000,
+        };
+        let csv = design_points_csv(&[p], &tech);
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[0], "4");
+        assert_eq!(fields[4], "144"); // O-L1 bytes
+        assert_eq!(fields[8].parse::<f64>().unwrap(), 1.84); // chiplet area
+    }
+}

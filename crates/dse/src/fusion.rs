@@ -1,0 +1,173 @@
+//! Inter-layer activation forwarding ("layer fusion light").
+//!
+//! The paper maps layer-wise: every intermediate activation tensor makes a
+//! round trip through DRAM (8.75 pJ/bit each way). Its related-work section
+//! points at Tangram's cascaded layer processing as the alternative. This
+//! module quantifies the opportunity on our machine model: when a layer's
+//! output tensor fits in the package's aggregate A-L2 capacity *and* the
+//! next layer consumes exactly that tensor, the round trip can stay
+//! on-package (A-L2 writes/reads plus a ring redistribution) instead of
+//! going off-chip.
+//!
+//! The analysis is conservative: it only fuses shape-exact producer/consumer
+//! pairs (pooling or reshapes between layers break the chain) and charges
+//! the full ring redistribution cost, since the consumer's partition rarely
+//! matches the producer's.
+
+use baton_arch::{PackageConfig, Technology};
+use baton_c3p::EnergyBreakdown;
+use baton_model::{Model, ACT_BITS};
+use serde::{Deserialize, Serialize};
+
+use crate::postdesign::ModelReport;
+
+/// One fused producer/consumer pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedLink {
+    /// Producer layer name.
+    pub from: String,
+    /// Consumer layer name.
+    pub to: String,
+    /// Intermediate tensor size in bytes.
+    pub tensor_bytes: u64,
+    /// Energy saved on this link in pJ.
+    pub saved_pj: f64,
+}
+
+/// Outcome of the fusion analysis over a mapped model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionReport {
+    /// Model name.
+    pub model: String,
+    /// Layer-wise baseline energy (every tensor through DRAM).
+    pub baseline: EnergyBreakdown,
+    /// Energy with eligible links kept on-package.
+    pub fused: EnergyBreakdown,
+    /// The fused links.
+    pub links: Vec<FusedLink>,
+}
+
+impl FusionReport {
+    /// Fractional energy saving of forwarding over the layer-wise baseline.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.fused.total_pj() / self.baseline.total_pj().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Analyzes which adjacent layer pairs of `report` could keep their
+/// intermediate tensor on-package, and re-prices the model energy.
+pub fn fusion_analysis(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    report: &ModelReport,
+) -> FusionReport {
+    let aggregate_a_l2 = u64::from(arch.chiplets) * arch.chiplet.a_l2_bytes;
+    let e = &tech.energy;
+    let mut fused = report.energy;
+    let mut links = Vec::new();
+
+    for window in model.layers().windows(2) {
+        let (prod, cons) = (&window[0], &window[1]);
+        // Shape-exact chaining only: the consumer must read precisely the
+        // producer's output tensor.
+        if (cons.hi(), cons.wi(), cons.ci()) != (prod.ho(), prod.wo(), prod.co()) {
+            continue;
+        }
+        let tensor_bytes = prod.output_elems() * ACT_BITS / 8;
+        if tensor_bytes > aggregate_a_l2 {
+            continue;
+        }
+        let bits = tensor_bytes * 8;
+        // Avoided: one DRAM write (producer) and one DRAM read (consumer's
+        // first pass; capacity-induced re-reads were already priced against
+        // A-L2 and stay).
+        let avoided = e.dram_pj(bits) * 2.0;
+        // Added: an extra A-L2 round trip on both sides plus a full ring
+        // redistribution (the consumer's partition differs in general).
+        let added = 2.0 * e.sram_pj(bits, arch.chiplet.a_l2_bytes)
+            + if arch.chiplets > 1 {
+                e.d2d_pj(bits * u64::from(arch.chiplets - 1) / u64::from(arch.chiplets))
+            } else {
+                0.0
+            };
+        if added >= avoided {
+            continue;
+        }
+        let saved = avoided - added;
+        fused.dram_pj -= avoided;
+        fused.l2_pj += 2.0 * e.sram_pj(bits, arch.chiplet.a_l2_bytes);
+        fused.d2d_pj += added - 2.0 * e.sram_pj(bits, arch.chiplet.a_l2_bytes);
+        links.push(FusedLink {
+            from: prod.name().to_string(),
+            to: cons.name().to_string(),
+            tensor_bytes,
+            saved_pj: saved,
+        });
+    }
+
+    FusionReport {
+        model: model.name().to_string(),
+        baseline: report.energy,
+        fused,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postdesign::map_model;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    fn setup() -> (PackageConfig, Technology) {
+        (presets::case_study_accelerator(), Technology::paper_16nm())
+    }
+
+    #[test]
+    fn fusion_finds_links_and_saves_energy_on_darknet() {
+        let (arch, tech) = setup();
+        let model = zoo::darknet19(224);
+        let report = map_model(&model, &arch, &tech).unwrap();
+        let f = fusion_analysis(&model, &arch, &tech, &report);
+        // DarkNet's 1x1/3x3 alternations chain shape-exactly between pools.
+        assert!(!f.links.is_empty());
+        assert!(f.saving() > 0.0);
+        assert!(f.fused.total_pj() < f.baseline.total_pj());
+        // Bookkeeping: total saving equals the sum over links.
+        let link_sum: f64 = f.links.iter().map(|l| l.saved_pj).sum();
+        let delta = f.baseline.total_pj() - f.fused.total_pj();
+        assert!((link_sum - delta).abs() / delta < 1e-9);
+    }
+
+    #[test]
+    fn pooling_boundaries_break_the_chain() {
+        let (arch, tech) = setup();
+        let model = zoo::vgg16(224);
+        let report = map_model(&model, &arch, &tech).unwrap();
+        let f = fusion_analysis(&model, &arch, &tech, &report);
+        // conv1_2 -> conv2_1 crosses a 2x pool: never fused.
+        assert!(!f
+            .links
+            .iter()
+            .any(|l| l.from == "conv1_2" && l.to == "conv2_1"));
+        // conv3_1 -> conv3_2 is shape-exact but 56x56x256 = 784 KB exceeds
+        // the 256 KB aggregate A-L2: not fused either.
+        assert!(!f.links.iter().any(|l| l.from == "conv3_1"));
+        // Late 14x14x512 (98 KB) tensors do fit.
+        assert!(f.links.iter().any(|l| l.from == "conv5_1"));
+    }
+
+    #[test]
+    fn oversized_tensors_are_never_fused() {
+        let (arch, tech) = setup();
+        let model = zoo::vgg16(512);
+        let report = map_model(&model, &arch, &tech).unwrap();
+        let f = fusion_analysis(&model, &arch, &tech, &report);
+        let cap = u64::from(arch.chiplets) * arch.chiplet.a_l2_bytes;
+        for l in &f.links {
+            assert!(l.tensor_bytes <= cap, "{} -> {}", l.from, l.to);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The NN-Baton automatic tool: pre-design and post-design flows
+//! (Section IV-D of the paper).
+//!
+//! * The **post-design flow** ([`postdesign`]) takes a fixed machine and a
+//!   model and produces the per-layer optimal mapping strategy with loop
+//!   nests and energy/runtime totals — the deployment report a hardware
+//!   compiler would consume.
+//! * The **pre-design flow** ([`predesign`]) sweeps the Table II hardware
+//!   space under MAC-count and chiplet-area budgets: the chiplet granularity
+//!   study of Figure 14 and the full design-space exploration of Figure 15.
+//! * [`comparison`] pits the NN-Baton mapping against the Simba baseline
+//!   with identical resources (Figures 12-13).
+//!
+//! ```
+//! use baton_arch::{presets, Technology};
+//! use baton_model::zoo;
+//! use baton_dse::postdesign;
+//!
+//! let arch = presets::case_study_accelerator();
+//! let tech = Technology::paper_16nm();
+//! let model = zoo::darknet19(224);
+//! let report = postdesign::map_model(&model, &arch, &tech).unwrap();
+//! assert_eq!(report.layers.len(), model.layers().len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comparison;
+pub mod csv;
+pub mod fusion;
+pub mod pareto;
+pub mod postdesign;
+pub mod recommend;
+pub mod predesign;
+pub mod space;
+
+pub use comparison::{compare_model, ModelComparison};
+pub use fusion::{fusion_analysis, FusedLink, FusionReport};
+pub use pareto::pareto_front;
+pub use postdesign::{map_model, LayerReport, ModelReport};
+pub use recommend::{recommend, Recommendation};
+pub use predesign::{
+    full_sweep, full_sweep_suite, granularity_sweep, DesignPoint, GranularityResult,
+    SweepOptions,
+};
+pub use space::{ComputeSpace, DesignSpace, MemorySpace};

@@ -1,0 +1,57 @@
+//! Pareto-front extraction for two-objective design plots.
+
+/// Returns the indices of the Pareto-optimal points for two minimized
+/// objectives `(x, y)` (no other point is <= in both and < in one).
+///
+/// ```
+/// let pts = [(1.0, 5.0), (2.0, 2.0), (3.0, 4.0), (4.0, 1.0)];
+/// let front = baton_dse::pareto_front(&pts, |p| *p);
+/// assert_eq!(front, vec![0, 1, 3]);
+/// ```
+pub fn pareto_front<T>(points: &[T], key: impl Fn(&T) -> (f64, f64)) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (xa, ya) = key(&points[a]);
+        let (xb, yb) = key(&points[b]);
+        xa.partial_cmp(&xb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ya.partial_cmp(&yb).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut front = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for i in idx {
+        let (_, y) = key(&points[i]);
+        if y < best_y {
+            front.push(i);
+            best_y = y;
+        }
+    }
+    front.sort_unstable();
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)];
+        let front = pareto_front(&pts, |p| *p);
+        assert_eq!(front, vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicate_x_keeps_lowest_y() {
+        let pts = [(1.0, 5.0), (1.0, 2.0)];
+        let front = pareto_front(&pts, |p| *p);
+        assert_eq!(front, vec![1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: [(f64, f64); 0] = [];
+        assert!(pareto_front(&empty, |p| *p).is_empty());
+        assert_eq!(pareto_front(&[(3.0, 3.0)], |p| *p), vec![0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The post-design flow: per-layer optimal mapping on a fixed machine.
+//!
+//! "This flow produces a detailed mapping strategy for deploying the model on
+//! hardware with spatial and temporal primitives. The spatial primitives
+//! contain the partition dimension and the partition pattern, while temporal
+//! primitives contain the loop order and loop counts. The reported
+//! information can be potentially used for the optimization of the hardware
+//! compiler." (Section IV-D)
+
+use std::fmt;
+
+use baton_arch::{PackageConfig, Technology};
+use baton_c3p::{
+    search_layer_with, EnergyBreakdown, Evaluation, Objective, SearchError, TrafficBounds,
+};
+use baton_mapping::decompose;
+use baton_mapping::enumerate::EnumOptions;
+use baton_model::Model;
+use serde::{Deserialize, Serialize};
+
+/// The per-layer result of the post-design flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub layer: String,
+    /// The winning evaluation (mapping, access, energy, runtime).
+    pub evaluation: Evaluation,
+    /// Rendered loop nest (outermost first), for the compiler hand-off.
+    pub nest: String,
+}
+
+/// The whole-model result of the post-design flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// Model name.
+    pub model: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Model-level energy breakdown (sum of layers).
+    pub energy: EnergyBreakdown,
+    /// Model-level runtime in cycles (sum of layers).
+    pub cycles: u64,
+}
+
+impl ModelReport {
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self, tech: &Technology) -> f64 {
+        self.energy.total_pj() * 1e-12 * tech.cycles_to_seconds(self.cycles)
+    }
+
+    /// Average MAC utilization weighted by layer cycles.
+    pub fn utilization(&self, arch: &PackageConfig) -> f64 {
+        let macs: u64 = self.layers.iter().map(|l| l.evaluation.access.mac_ops).sum();
+        macs as f64 / (self.cycles as f64 * arch.total_macs() as f64)
+    }
+
+    /// Per-layer optimality gaps against the compulsory-traffic and
+    /// peak-throughput floors: `(layer, dram_gap, runtime_gap)`, both >= 1.0.
+    /// Large DRAM gaps flag layers where the machine's buffers force
+    /// reloads; large runtime gaps flag utilization losses.
+    pub fn optimality_gaps(
+        &self,
+        model: &Model,
+        arch: &PackageConfig,
+    ) -> Vec<(String, f64, f64)> {
+        self.layers
+            .iter()
+            .filter_map(|l| {
+                let layer = model.layer(&l.layer)?;
+                let b = TrafficBounds::of(layer, arch);
+                Some((
+                    l.layer.clone(),
+                    b.dram_gap(&l.evaluation),
+                    b.runtime_gap(&l.evaluation),
+                ))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} layers, {:.1} uJ, {} cycles",
+            self.model,
+            self.layers.len(),
+            self.energy.total_uj(),
+            self.cycles
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:24} {:8} {:10.1} uJ {:>12} cyc  util {:4.1}%",
+                l.layer,
+                l.evaluation.mapping.spatial_tag(),
+                l.evaluation.energy.total_uj(),
+                l.evaluation.cycles,
+                100.0 * l.evaluation.utilization,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps every layer of `model` on `arch`, minimizing per-layer energy (the
+/// paper's objective: "NN-Baton provides a distinct mapping strategy
+/// layer-wise to minimize the overall energy cost").
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for the first layer with no feasible mapping.
+pub fn map_model(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+) -> Result<ModelReport, SearchError> {
+    map_model_with(model, arch, tech, Objective::Energy)
+}
+
+/// Maps every layer with an explicit objective.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for the first layer with no feasible mapping.
+pub fn map_model_with(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+) -> Result<ModelReport, SearchError> {
+    map_model_opts(model, arch, tech, objective, EnumOptions::default())
+}
+
+/// Maps every layer with explicit enumeration options. Hardware sweeps use a
+/// coarser candidate ladder here so the per-geometry search stays tractable.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for the first layer with no feasible mapping.
+pub fn map_model_opts(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+    opts: EnumOptions,
+) -> Result<ModelReport, SearchError> {
+    let mut layers = Vec::with_capacity(model.layers().len());
+    let mut energy = EnergyBreakdown::default();
+    let mut cycles = 0u64;
+    for layer in model.layers() {
+        let ev = search_layer_with(layer, arch, tech, objective, opts)?;
+        let nest = decompose(layer, arch, &ev.mapping)
+            .map(|d| d.nest.render())
+            .unwrap_or_default();
+        energy += ev.energy;
+        cycles += ev.cycles;
+        layers.push(LayerReport {
+            layer: layer.name().to_string(),
+            evaluation: ev,
+            nest,
+        });
+    }
+    Ok(ModelReport {
+        model: model.name().to_string(),
+        layers,
+        energy,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    fn setup() -> (PackageConfig, Technology) {
+        (presets::case_study_accelerator(), Technology::paper_16nm())
+    }
+
+    #[test]
+    fn maps_darknet_end_to_end() {
+        let (arch, tech) = setup();
+        let model = zoo::darknet19(224);
+        let r = map_model(&model, &arch, &tech).unwrap();
+        assert_eq!(r.layers.len(), 19);
+        // Totals are sums of the layers.
+        let sum: f64 = r.layers.iter().map(|l| l.evaluation.energy.total_pj()).sum();
+        assert!((sum - r.energy.total_pj()).abs() / sum < 1e-9);
+        let cyc: u64 = r.layers.iter().map(|l| l.evaluation.cycles).sum();
+        assert_eq!(cyc, r.cycles);
+        assert!(r.edp(&tech) > 0.0);
+        let u = r.utilization(&arch);
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn layerwise_strategies_differ_across_layer_types() {
+        // "According to each layer's parameter characteristics, NN-Baton
+        // provides a distinct mapping strategy layer-wise."
+        let (arch, tech) = setup();
+        let model = zoo::vgg16(224);
+        let r = map_model(&model, &arch, &tech).unwrap();
+        let tags: std::collections::BTreeSet<String> = r
+            .layers
+            .iter()
+            .map(|l| l.evaluation.mapping.spatial_tag())
+            .collect();
+        assert!(tags.len() >= 2, "only one strategy used: {tags:?}");
+    }
+
+    #[test]
+    fn optimality_gaps_are_bounded_and_finite() {
+        let (arch, tech) = setup();
+        let model = zoo::darknet19(224);
+        let r = map_model(&model, &arch, &tech).unwrap();
+        let gaps = r.optimality_gaps(&model, &arch);
+        assert_eq!(gaps.len(), model.layers().len());
+        for (name, dram, runtime) in gaps {
+            assert!(dram >= 1.0, "{name}: dram gap {dram}");
+            assert!(runtime >= 1.0, "{name}: runtime gap {runtime}");
+            assert!(dram < 20.0 && runtime < 50.0, "{name}: absurd gap");
+        }
+    }
+
+    #[test]
+    fn report_renders_nests_and_table() {
+        let (arch, tech) = setup();
+        let model = zoo::resnet50(224);
+        let r = map_model(&model, &arch, &tech).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("res2a_branch2b"));
+        let nest = &r.layers[0].nest;
+        assert!(nest.contains("for"), "{nest}");
+    }
+}

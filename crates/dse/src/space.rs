@@ -1,0 +1,186 @@
+//! The Table II design space: computation resources and memory footprints.
+
+use serde::{Deserialize, Serialize};
+
+/// Computation-resource options (left half of Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeSpace {
+    /// Vector-MAC width options (P).
+    pub vector: Vec<u32>,
+    /// Lane count options (L).
+    pub lanes: Vec<u32>,
+    /// Cores-per-chiplet options (N_C).
+    pub cores: Vec<u32>,
+    /// Chiplets-per-package options (N_P).
+    pub chiplets: Vec<u32>,
+}
+
+impl Default for ComputeSpace {
+    fn default() -> Self {
+        // Table II verbatim.
+        Self {
+            vector: vec![2, 4, 8, 16],
+            lanes: vec![2, 4, 8, 16],
+            cores: vec![1, 2, 4, 8, 16],
+            chiplets: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+impl ComputeSpace {
+    /// All `(chiplets, cores, lanes, vector)` tuples whose product equals
+    /// `total_macs` — the Figure 14 candidate set ("there are up to 63
+    /// possibilities" for 2048 MACs).
+    pub fn geometries_for(&self, total_macs: u64) -> Vec<(u32, u32, u32, u32)> {
+        let mut out = Vec::new();
+        for &np in &self.chiplets {
+            for &nc in &self.cores {
+                for &l in &self.lanes {
+                    for &p in &self.vector {
+                        if u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p)
+                            == total_macs
+                        {
+                            out.push((np, nc, l, p));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Total tuple count of the raw space.
+    pub fn len(&self) -> usize {
+        self.vector.len() * self.lanes.len() * self.cores.len() * self.chiplets.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Memory-footprint options (right half of Table II), as geometric ladders.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemorySpace {
+    /// O-L1 sizes in bytes (48 - 144 B in Table II).
+    pub o_l1: Vec<u64>,
+    /// A-L1 sizes in bytes (1 - 128 KB).
+    pub a_l1: Vec<u64>,
+    /// W-L1 sizes in bytes (2 - 256 KB).
+    pub w_l1: Vec<u64>,
+    /// A-L2 sizes in bytes (32 - 256 KB).
+    pub a_l2: Vec<u64>,
+}
+
+impl Default for MemorySpace {
+    fn default() -> Self {
+        let kb = |k: u64| k * 1024;
+        Self {
+            o_l1: vec![48, 96, 144],
+            a_l1: vec![
+                kb(1),
+                kb(2),
+                kb(4),
+                kb(8),
+                kb(16),
+                kb(32),
+                kb(64),
+                kb(128),
+            ],
+            w_l1: vec![
+                kb(2),
+                kb(4),
+                kb(9),
+                kb(18),
+                kb(36),
+                kb(72),
+                kb(144),
+                kb(256),
+            ],
+            a_l2: vec![kb(32), kb(64), kb(128), kb(256)],
+        }
+    }
+}
+
+impl MemorySpace {
+    /// Total combination count.
+    pub fn len(&self) -> usize {
+        self.o_l1.len() * self.a_l1.len() * self.w_l1.len() * self.a_l2.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(o_l1, a_l1, w_l1, a_l2)` combinations.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64, u64)> + '_ {
+        self.o_l1.iter().flat_map(move |&o| {
+            self.a_l1.iter().flat_map(move |&a1| {
+                self.w_l1
+                    .iter()
+                    .flat_map(move |&w| self.a_l2.iter().map(move |&a2| (o, a1, w, a2)))
+            })
+        })
+    }
+}
+
+/// The complete Table II space.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Computation options.
+    pub compute: ComputeSpace,
+    /// Memory options.
+    pub memory: MemorySpace,
+}
+
+impl DesignSpace {
+    /// Total raw sweep size (`compute x memory`), the "over 100,000
+    /// sweeping" denominator of Figure 15.
+    pub fn sweep_size(&self, total_macs: u64) -> usize {
+        self.compute.geometries_for(total_macs).len() * self.memory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_dimensions() {
+        let s = DesignSpace::default();
+        assert_eq!(s.compute.vector, vec![2, 4, 8, 16]);
+        assert_eq!(s.compute.chiplets, vec![1, 2, 4, 8]);
+        assert_eq!(s.memory.a_l2.len(), 4);
+        assert_eq!(s.memory.len(), 3 * 8 * 8 * 4);
+    }
+
+    #[test]
+    fn figure14_geometries_for_2048_macs() {
+        // The paper reports "up to 63 possibilities"; enumerating the Table
+        // II option lists with an exact 2048-MAC product yields 32 tuples
+        // (the discrepancy is recorded in EXPERIMENTS.md).
+        let g = ComputeSpace::default().geometries_for(2048);
+        assert_eq!(g.len(), 32);
+        assert!(g.contains(&(4, 4, 16, 8)));
+        // Every tuple multiplies out to the budget.
+        for (np, nc, l, p) in g {
+            assert_eq!(u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p), 2048);
+        }
+    }
+
+    #[test]
+    fn figure15_uses_4096_macs() {
+        let g = ComputeSpace::default().geometries_for(4096);
+        assert!(g.contains(&(2, 8, 16, 16)));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn memory_iter_covers_every_combination() {
+        let m = MemorySpace::default();
+        assert_eq!(m.iter().count(), m.len());
+    }
+}

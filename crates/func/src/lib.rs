@@ -1,0 +1,39 @@
+//! Functional simulation of the NN-Baton dataflow.
+//!
+//! The analytical stack (`baton-c3p`) counts accesses; this crate checks
+//! *semantics*: it executes a [`baton_mapping::Mapping`] on concrete 8-bit
+//! tensors — package partition, chiplet tiles, core splits, the rotating
+//! transfer's input-channel slicing, output-stationary accumulation and the
+//! final re-quantization — and verifies the result is bit-exact against a
+//! plain reference convolution. If the orchestration ever dropped, double-
+//! counted or mis-aligned a tile, the mismatch shows up here as wrong
+//! numbers, not as a miscounted statistic.
+//!
+//! ```
+//! use baton_arch::presets;
+//! use baton_func::{reference_conv, run_mapping, Tensor3};
+//! use baton_model::ConvSpec;
+//! use baton_mapping::enumerate;
+//!
+//! let layer = ConvSpec::new("t", 12, 12, 4, 3, 1, 1, 8).unwrap();
+//! let arch = presets::case_study_accelerator();
+//! let input = Tensor3::counting(12, 12, 4);
+//! let weights = baton_func::Tensor4::counting(3, 3, 4, 8);
+//! let golden = reference_conv(&layer, &input, &weights, 7);
+//! for m in enumerate::candidates(&layer, &arch).into_iter().take(4) {
+//!     if let Ok(out) = run_mapping(&layer, &arch, &m, &input, &weights, 7) {
+//!         assert_eq!(out, golden, "{m}");
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod execute;
+pub mod reference;
+pub mod tensor;
+
+pub use execute::{run_mapping, ExecError};
+pub use reference::reference_conv;
+pub use tensor::{Tensor3, Tensor4};

@@ -1,0 +1,158 @@
+//! The golden reference: a direct 7-loop convolution.
+
+use baton_model::ConvSpec;
+
+use crate::tensor::{requantize, Tensor3, Tensor4};
+
+/// Computes `layer` directly (the textbook seven-loop nest of Figure 1),
+/// accumulating in `i32` and re-quantizing each output by `shift`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with the layer description.
+pub fn reference_conv(
+    layer: &ConvSpec,
+    input: &Tensor3,
+    weights: &Tensor4,
+    shift: u32,
+) -> Tensor3 {
+    assert_eq!(
+        input.shape(),
+        (layer.hi(), layer.wi(), layer.ci()),
+        "input shape mismatch"
+    );
+    assert_eq!(
+        weights.shape(),
+        (layer.kh(), layer.kw(), layer.ci_per_group(), layer.co()),
+        "weight shape mismatch"
+    );
+    let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+    let ci_g = layer.ci_per_group();
+    let co_per_group = co / layer.groups();
+    let mut out = Tensor3::zeros(ho, wo, co);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            for oc in 0..co {
+                let group = oc / co_per_group.max(1);
+                let mut acc: i32 = 0;
+                for ky in 0..layer.kh() {
+                    for kx in 0..layer.kw() {
+                        let iy = i64::from(oy) * i64::from(layer.stride_h())
+                            + i64::from(ky)
+                            - i64::from(layer.pad_h());
+                        let ix = i64::from(ox) * i64::from(layer.stride_w())
+                            + i64::from(kx)
+                            - i64::from(layer.pad_w());
+                        for ic in 0..ci_g {
+                            let real_ic = group * ci_g + ic;
+                            acc += i32::from(input.get(iy, ix, real_ic))
+                                * i32::from(weights.get(ky, kx, ic, oc));
+                        }
+                    }
+                }
+                out.set(oy, ox, oc, requantize(acc, shift));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_pointwise_passes_values_through() {
+        // 1x1 conv with an identity-ish weight (only channel 0 -> 0 at
+        // weight 16, shift 4) reproduces the input channel.
+        let layer = ConvSpec::pointwise("id", 4, 4, 1, 1).unwrap();
+        let input = Tensor3::counting(4, 4, 1);
+        let w = Tensor4::counting(1, 1, 1, 1);
+        let wval = w.get(0, 0, 0, 0);
+        let out = reference_conv(&layer, &input, &w, 0);
+        for h in 0..4 {
+            for x in 0..4 {
+                let expect = (i32::from(input.get(h.into(), x.into(), 0))
+                    * i32::from(wval))
+                .clamp(-128, 127) as i8;
+                assert_eq!(out.get(h.into(), x.into(), 0), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        // With an all-ones input, each output equals the sum of the kernel
+        // weights whose window positions land inside the plane -- corners
+        // and edges lose exactly the padded rows/columns.
+        let layer = ConvSpec::new("p", 5, 5, 1, 3, 1, 1, 1).unwrap();
+        let mut input = Tensor3::zeros(5, 5, 1);
+        for h in 0..5 {
+            for w in 0..5 {
+                input.set(h, w, 0, 1);
+            }
+        }
+        let w = Tensor4::counting(3, 3, 1, 1);
+        let out = reference_conv(&layer, &input, &w, 0);
+        let wsum = |kys: std::ops::Range<u32>, kxs: std::ops::Range<u32>| -> i32 {
+            let mut s = 0;
+            for ky in kys {
+                for kx in kxs.clone() {
+                    s += i32::from(w.get(ky, kx, 0, 0));
+                }
+            }
+            s
+        };
+        // Interior output sees the full kernel.
+        assert_eq!(i32::from(out.get(2, 2, 0)), wsum(0..3, 0..3).clamp(-128, 127));
+        // Top-left corner loses the ky=0 row and kx=0 column to padding.
+        assert_eq!(i32::from(out.get(0, 0, 0)), wsum(1..3, 1..3).clamp(-128, 127));
+        // Top edge loses only the ky=0 row.
+        assert_eq!(i32::from(out.get(0, 2, 0)), wsum(1..3, 0..3).clamp(-128, 127));
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let layer = ConvSpec::pointwise("s", 6, 6, 2, 3).unwrap();
+        let input = Tensor3::counting(6, 6, 2);
+        let w = Tensor4::counting(1, 1, 2, 3);
+        let out = reference_conv(&layer, &input, &w, 2);
+        assert_eq!(out.shape(), (6, 6, 3));
+        // Strided variant picks every other pixel of the dense result.
+        let strided = ConvSpec::new("s2", 6, 6, 2, 1, 2, 0, 3).unwrap();
+        let out2 = reference_conv(&strided, &input, &w, 2);
+        assert_eq!(out2.shape(), (3, 3, 3));
+        for h in 0..3u32 {
+            for x in 0..3u32 {
+                for c in 0..3u32 {
+                    assert_eq!(
+                        out2.get(h.into(), x.into(), c),
+                        out.get((2 * h).into(), (2 * x).into(), c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_uses_one_channel_per_output() {
+        let layer = ConvSpec::depthwise("dw", 6, 6, 4, 3, 1, 1).unwrap();
+        let input = Tensor3::counting(6, 6, 4);
+        let w = Tensor4::counting(3, 3, 1, 4);
+        let out = reference_conv(&layer, &input, &w, 4);
+        assert_eq!(out.shape(), (6, 6, 4));
+        // Zeroing an unrelated input channel must not change channel 0.
+        let mut masked = input.clone();
+        for h in 0..6 {
+            for x in 0..6 {
+                masked.set(h, x, 3, 0);
+            }
+        }
+        let out2 = reference_conv(&layer, &masked, &w, 4);
+        for h in 0..6u32 {
+            for x in 0..6u32 {
+                assert_eq!(out.get(h.into(), x.into(), 0), out2.get(h.into(), x.into(), 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal dense tensors for the functional simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `H x W x C` activation tensor of `i8` elements (HWC layout).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    h: u32,
+    w: u32,
+    c: u32,
+    data: Vec<i8>,
+}
+
+impl Tensor3 {
+    /// Creates a zero tensor.
+    pub fn zeros(h: u32, w: u32, c: u32) -> Self {
+        Self {
+            h,
+            w,
+            c,
+            data: vec![0; (h as usize) * (w as usize) * (c as usize)],
+        }
+    }
+
+    /// Creates a deterministic non-uniform test pattern (small primes keep
+    /// accumulations well inside `i32`).
+    pub fn counting(h: u32, w: u32, c: u32) -> Self {
+        let mut t = Self::zeros(h, w, c);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = (((i * 31 + 7) % 23) as i16 - 11) as i8;
+        }
+        t
+    }
+
+    /// Tensor extents `(h, w, c)`.
+    pub fn shape(&self) -> (u32, u32, u32) {
+        (self.h, self.w, self.c)
+    }
+
+    /// Element accessor; out-of-bounds coordinates read as zero padding.
+    pub fn get(&self, h: i64, w: i64, c: u32) -> i8 {
+        if h < 0 || w < 0 || h >= i64::from(self.h) || w >= i64::from(self.w) {
+            return 0;
+        }
+        self.data[self.index(h as u32, w as u32, c)]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, h: u32, w: u32, c: u32, v: i8) {
+        let i = self.index(h, w, c);
+        self.data[i] = v;
+    }
+
+    fn index(&self, h: u32, w: u32, c: u32) -> usize {
+        debug_assert!(h < self.h && w < self.w && c < self.c);
+        ((h as usize) * self.w as usize + w as usize) * self.c as usize + c as usize
+    }
+}
+
+/// A dense `KH x KW x CI x CO` weight tensor of `i8` elements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    kh: u32,
+    kw: u32,
+    ci: u32,
+    co: u32,
+    data: Vec<i8>,
+}
+
+impl Tensor4 {
+    /// Creates a zero tensor.
+    pub fn zeros(kh: u32, kw: u32, ci: u32, co: u32) -> Self {
+        Self {
+            kh,
+            kw,
+            ci,
+            co,
+            data: vec![0; (kh as usize) * (kw as usize) * (ci as usize) * (co as usize)],
+        }
+    }
+
+    /// Deterministic non-uniform test pattern.
+    pub fn counting(kh: u32, kw: u32, ci: u32, co: u32) -> Self {
+        let mut t = Self::zeros(kh, kw, ci, co);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = (((i * 17 + 3) % 19) as i16 - 9) as i8;
+        }
+        t
+    }
+
+    /// Tensor extents `(kh, kw, ci, co)`.
+    pub fn shape(&self) -> (u32, u32, u32, u32) {
+        (self.kh, self.kw, self.ci, self.co)
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, kh: u32, kw: u32, ci: u32, co: u32) -> i8 {
+        debug_assert!(kh < self.kh && kw < self.kw && ci < self.ci && co < self.co);
+        self.data[(((kh as usize) * self.kw as usize + kw as usize) * self.ci as usize
+            + ci as usize)
+            * self.co as usize
+            + co as usize]
+    }
+}
+
+/// Re-quantizes a 32-bit accumulator to 8 bits by an arithmetic right shift
+/// with saturation — the "re-quantized to 8-bit data for the next layer"
+/// step of the output-centric dataflow.
+pub fn requantize(acc: i32, shift: u32) -> i8 {
+    (acc >> shift).clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_padding_reads_as_zero() {
+        let t = Tensor3::counting(4, 4, 2);
+        assert_eq!(t.get(-1, 0, 0), 0);
+        assert_eq!(t.get(0, 4, 1), 0);
+        assert_ne!(t.get(1, 1, 1), 0);
+    }
+
+    #[test]
+    fn counting_patterns_are_deterministic_and_nonuniform() {
+        let a = Tensor3::counting(6, 6, 3);
+        let b = Tensor3::counting(6, 6, 3);
+        assert_eq!(a, b);
+        let mut distinct = std::collections::BTreeSet::new();
+        for h in 0..6i64 {
+            for c in 0..3u32 {
+                distinct.insert(a.get(h, h, c));
+            }
+        }
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    fn requantize_shifts_and_saturates() {
+        assert_eq!(requantize(256, 4), 16);
+        assert_eq!(requantize(-256, 4), -16);
+        assert_eq!(requantize(1 << 20, 4), 127);
+        assert_eq!(requantize(-(1 << 20), 4), -128);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor3::zeros(3, 5, 7);
+        t.set(2, 4, 6, 42);
+        assert_eq!(t.get(2, 4, 6), 42);
+        let w = Tensor4::counting(3, 3, 4, 8);
+        assert_eq!(w.shape(), (3, 3, 4, 8));
+    }
+}

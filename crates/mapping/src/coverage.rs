@@ -1,0 +1,294 @@
+//! Functional verification of a mapping: does the induced tiling compute
+//! every output element exactly once?
+//!
+//! The analytical engine works with counts and footprints; this module is
+//! the ground-truth checker behind it. It *executes* the spatial partition
+//! and tiling of a mapping over a concrete output cube, marking every
+//! assignment, and reports holes (elements never computed) or overlaps
+//! (elements computed by more than one unit). The property tests use it to
+//! pin the tiling arithmetic of [`crate::decompose()`](crate::decompose::decompose) to reality.
+
+use baton_arch::PackageConfig;
+use baton_model::ConvSpec;
+
+use crate::mapping::Mapping;
+use crate::primitives::{ChipletPartition, PackagePartition};
+use crate::tile::ceil_div;
+
+/// Outcome of replaying a mapping's spatial partition over the output cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Output elements in the cube.
+    pub total: u64,
+    /// Elements assigned to no unit.
+    pub holes: u64,
+    /// Elements assigned to more than one unit.
+    pub overlaps: u64,
+    /// Work assigned to the busiest core (elements).
+    pub max_core_load: u64,
+    /// Work assigned to the least busy core (elements; 0 if a core idles).
+    pub min_core_load: u64,
+    /// Mean elements per core across the whole machine.
+    pub mean_core_load: f64,
+}
+
+impl Coverage {
+    /// Whether the partition is a true partition: no holes, no overlaps.
+    pub fn is_exact(&self) -> bool {
+        self.holes == 0 && self.overlaps == 0
+    }
+
+    /// Load imbalance: `max / mean` core load (1.0 is perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.max_core_load == 0 {
+            return 1.0;
+        }
+        self.max_core_load as f64 / self.mean_core_load.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Replays the spatial partition of `mapping` over the whole output cube of
+/// `layer` and checks it is exact.
+///
+/// Every output element `(h, w, c)` is attributed to the chiplet owning it
+/// under the package partition and then to the core owning it under the
+/// chiplet partition (within its chiplet tile). The check is exhaustive, so
+/// keep layers small in tests (cost is `O(HO * WO * CO)`).
+pub fn verify_coverage(layer: &ConvSpec, arch: &PackageConfig, mapping: &Mapping) -> Coverage {
+    let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+    let n_p = arch.chiplets;
+    let n_c = arch.chiplet.cores;
+    let mut marks = vec![0u8; (ho as usize) * (wo as usize) * (co as usize)];
+    let mut core_load = vec![0u64; (n_p as usize) * (n_c as usize)];
+
+    // Enumerate chiplet parts.
+    let parts = package_parts(layer, n_p, mapping);
+    for (chiplet_idx, part) in parts.iter().enumerate() {
+        // Tile the part.
+        let t = mapping.chiplet_tile;
+        for ty in steps(part.h0, part.h1, t.ho) {
+            for tx in steps(part.w0, part.w1, t.wo) {
+                for tc in steps(part.c0, part.c1, t.co) {
+                    // Split the tile among cores.
+                    assign_tile(
+                        layer,
+                        mapping,
+                        n_c,
+                        (ty, tx, tc),
+                        chiplet_idx,
+                        &mut marks,
+                        &mut core_load,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut holes = 0u64;
+    let mut overlaps = 0u64;
+    for &m in &marks {
+        if m == 0 {
+            holes += 1;
+        } else if m > 1 {
+            overlaps += 1;
+        }
+    }
+    let max_core_load = core_load.iter().copied().max().unwrap_or(0);
+    let min_core_load = core_load.iter().copied().min().unwrap_or(0);
+    let total = marks.len() as u64;
+    Coverage {
+        total,
+        holes,
+        overlaps,
+        max_core_load,
+        min_core_load,
+        mean_core_load: total as f64 / core_load.len().max(1) as f64,
+    }
+}
+
+/// One chiplet's output sub-cube as half-open ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Part {
+    h0: u32,
+    h1: u32,
+    w0: u32,
+    w1: u32,
+    c0: u32,
+    c1: u32,
+}
+
+fn package_parts(layer: &ConvSpec, n_p: u32, mapping: &Mapping) -> Vec<Part> {
+    let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+    match &mapping.package {
+        PackagePartition::Channel => balanced(co, n_p)
+            .into_iter()
+            .map(|(c0, len)| Part {
+                h0: 0,
+                h1: ho,
+                w0: 0,
+                w1: wo,
+                c0,
+                c1: c0 + len,
+            })
+            .collect(),
+        PackagePartition::Planar(g) => {
+            let rows = balanced(ho, g.rows());
+            let cols = balanced(wo, g.cols());
+            let mut out = Vec::new();
+            for &(h0, hl) in &rows {
+                for &(w0, wl) in &cols {
+                    out.push(Part {
+                        h0,
+                        h1: h0 + hl,
+                        w0,
+                        w1: w0 + wl,
+                        c0: 0,
+                        c1: co,
+                    });
+                }
+            }
+            out
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_tile(
+    layer: &ConvSpec,
+    mapping: &Mapping,
+    n_c: u32,
+    tile: ((u32, u32), (u32, u32), (u32, u32)),
+    chiplet_idx: usize,
+    marks: &mut [u8],
+    core_load: &mut [u64],
+) {
+    let ((h0, h1), (w0, w1), (c0, c1)) = tile;
+    let (grid_r, grid_c, ways) = match &mapping.chiplet {
+        ChipletPartition::Channel => (1, 1, n_c),
+        ChipletPartition::Planar(g) => (g.rows(), g.cols(), 1),
+        ChipletPartition::Hybrid { channel_ways, grid } => {
+            (grid.rows(), grid.cols(), *channel_ways)
+        }
+    };
+    let rows = balanced_within(h0, h1, grid_r);
+    let cols = balanced_within(w0, w1, grid_c);
+    let chans = balanced_within(c0, c1, ways);
+    let (wo, co) = (layer.wo(), layer.co());
+    for (ri, &(rh0, rh1)) in rows.iter().enumerate() {
+        for (ci_, &(cw0, cw1)) in cols.iter().enumerate() {
+            for (ki, &(kc0, kc1)) in chans.iter().enumerate() {
+                let core = ki * (grid_r as usize * grid_c as usize)
+                    + ri * grid_c as usize
+                    + ci_;
+                let core = core % n_c as usize;
+                let load_idx = chiplet_idx * n_c as usize + core;
+                for h in rh0..rh1 {
+                    for w in cw0..cw1 {
+                        for c in kc0..kc1 {
+                            let idx = ((h as usize) * wo as usize + w as usize) * co as usize
+                                + c as usize;
+                            marks[idx] = marks[idx].saturating_add(1);
+                            core_load[load_idx] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `(start, len)` balanced split of `extent` into `parts`.
+fn balanced(extent: u32, parts: u32) -> Vec<(u32, u32)> {
+    let parts = parts.clamp(1, extent.max(1));
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + u32::from(i < rem);
+        if len == 0 {
+            break;
+        }
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Balanced split of the half-open range `[a, b)`.
+fn balanced_within(a: u32, b: u32, parts: u32) -> Vec<(u32, u32)> {
+    balanced(b - a, parts)
+        .into_iter()
+        .map(|(s, l)| (a + s, a + s + l))
+        .collect()
+}
+
+/// Iterator over `(start, end)` tile steps covering `[a, b)` with size `t`.
+fn steps(a: u32, b: u32, t: u32) -> Vec<(u32, u32)> {
+    let t = t.max(1);
+    let mut out = Vec::with_capacity(ceil_div(b - a, t) as usize);
+    let mut s = a;
+    while s < b {
+        out.push((s, (s + t).min(b)));
+        s += t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    #[test]
+    fn every_candidate_is_an_exact_partition() {
+        let arch = presets::case_study_accelerator();
+        let layer = ConvSpec::new("t", 20, 20, 8, 3, 1, 1, 24).unwrap();
+        let mut checked = 0;
+        for m in enumerate::candidates(&layer, &arch) {
+            if crate::decompose(&layer, &arch, &m).is_err() {
+                continue;
+            }
+            let cov = verify_coverage(&layer, &arch, &m);
+            assert!(
+                cov.is_exact(),
+                "{m}: {} holes, {} overlaps",
+                cov.holes,
+                cov.overlaps
+            );
+            checked += 1;
+        }
+        assert!(checked > 20, "only {checked} mappings checked");
+    }
+
+    #[test]
+    fn real_layer_partitions_are_exact() {
+        let arch = presets::case_study_accelerator();
+        let layer = zoo::resnet50(224).layer("res2a_branch2a").cloned().unwrap();
+        for m in enumerate::candidates(&layer, &arch).into_iter().take(40) {
+            if crate::decompose(&layer, &arch, &m).is_err() {
+                continue;
+            }
+            let cov = verify_coverage(&layer, &arch, &m);
+            assert!(cov.is_exact(), "{m}");
+            assert_eq!(cov.total, layer.output_elems());
+        }
+    }
+
+    #[test]
+    fn load_balance_within_one_tile_row() {
+        // Balanced splits keep per-core loads within the tile-quantization
+        // slack of each other for divisible shapes.
+        let arch = presets::case_study_accelerator();
+        let layer = ConvSpec::new("t", 32, 32, 8, 3, 1, 1, 64).unwrap();
+        let m = enumerate::candidates(&layer, &arch)
+            .into_iter()
+            .find(|m| crate::decompose(&layer, &arch, m).is_ok())
+            .expect("a feasible mapping");
+        let cov = verify_coverage(&layer, &arch, &m);
+        assert!(cov.is_exact());
+        assert!(cov.max_core_load > 0);
+    }
+}

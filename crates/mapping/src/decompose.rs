@@ -1,0 +1,1040 @@
+//! Workload decomposition: turning `(layer, machine, mapping)` into exact
+//! loop counts, data volumes and working-set footprints.
+//!
+//! This is the geometry half of the analytical framework; the C3P engine
+//! (crate `baton-c3p`) combines the [`Decomposition`] with buffer capacities
+//! to produce access counts and energy. All volumes are *base* quantities:
+//! they count one pass over each unique working set, and the C3P penalty
+//! multipliers account for capacity-induced reloads.
+//!
+//! Window extents use the un-clipped sliding-window formula
+//! `(t-1)*stride + k`; border clipping would reduce volumes by at most one
+//! halo strip per feature-map edge, which is negligible at the tile counts
+//! the mapping engine selects (the exact clipped geometry is available in
+//! `baton_model::halo` and is used for the Figure 7 study).
+
+use std::fmt;
+
+use baton_arch::PackageConfig;
+use baton_model::{ConvSpec, ACT_BITS, PSUM_BITS, WGT_BITS};
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::Mapping;
+use crate::nest::{Loop, LoopLevel, LoopNest};
+use crate::primitives::{ChipletPartition, Dim, PackagePartition, RotationMode};
+use crate::primitives::TemporalOrder;
+use crate::tile::ceil_div;
+
+/// Reasons a mapping is illegal for a given layer/machine pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A planar partition grid does not match the unit count of its level.
+    GridMismatch {
+        /// `"package"` or `"chiplet"`.
+        level: &'static str,
+        /// Tiles in the grid.
+        grid_tiles: u32,
+        /// Parallel units at that level.
+        units: u32,
+    },
+    /// A channel partition has more ways than output channels (idle units).
+    ChannelsTooFew {
+        /// `"package"` or `"chiplet"`.
+        level: &'static str,
+        /// Output channels available at that level.
+        co: u32,
+        /// Partition ways requested.
+        ways: u32,
+    },
+    /// A planar grid has more rows/columns than output rows/columns.
+    PlaneTooFine {
+        /// `"package"` or `"chiplet"`.
+        level: &'static str,
+    },
+    /// The O-L1 register file cannot hold the `HO_c x WO_c x L` psum tile.
+    OL1Overflow {
+        /// Required 24-bit slots.
+        required: u64,
+        /// Available slots.
+        available: u64,
+    },
+    /// The O-L2 cannot hold the single-chiplet output tile.
+    OL2Overflow {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// The A-L1 cannot hold one `P`-channel chunk of the core-tile window.
+    AL1Overflow {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// The effective W-L1 (pool share) cannot hold one `L x P` weight block.
+    WL1Overflow {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::GridMismatch {
+                level,
+                grid_tiles,
+                units,
+            } => write!(
+                f,
+                "{level} grid has {grid_tiles} tiles but the level has {units} units"
+            ),
+            MappingError::ChannelsTooFew { level, co, ways } => {
+                write!(f, "{level} splits {co} output channels {ways} ways")
+            }
+            MappingError::PlaneTooFine { level } => {
+                write!(f, "{level} planar grid finer than the output plane")
+            }
+            MappingError::OL1Overflow {
+                required,
+                available,
+            } => write!(f, "O-L1 needs {required} psum slots, has {available}"),
+            MappingError::OL2Overflow {
+                required,
+                available,
+            } => write!(f, "O-L2 needs {required} B, has {available} B"),
+            MappingError::AL1Overflow {
+                required,
+                available,
+            } => write!(f, "A-L1 needs {required} B, has {available} B"),
+            MappingError::WL1Overflow {
+                required,
+                available,
+            } => write!(f, "W-L1 needs {required} B, has {available} B"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Package-wide base data volumes in bits (one pass per unique working set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Volumes {
+    /// DRAM input reads.
+    pub dram_input_base: u64,
+    /// Die-to-die bits moved by activation rotation.
+    pub d2d_input_base: u64,
+    /// A-L2 writes (DRAM-sourced plus ring-sourced input arrivals).
+    pub a_l2_fill_base: u64,
+    /// A-L2 reads toward the central bus (multicast counted once).
+    pub a_l2_read_base: u64,
+    /// A-L1 writes (each receiving core counts).
+    pub a_l1_fill_base: u64,
+    /// A-L1 reads by the PE arrays (capacity-independent).
+    pub a_l1_read: u64,
+    /// DRAM weight reads.
+    pub dram_weight_base: u64,
+    /// Die-to-die bits moved by weight rotation.
+    pub d2d_weight_base: u64,
+    /// W-L1 pool writes.
+    pub w_l1_fill_base: u64,
+    /// W-L1 reads by the PE arrays (broadcast counted once per stream).
+    pub w_l1_read: u64,
+    /// O-L1 register-file read-modify-write traffic (24-bit psums).
+    pub o_l1_rmw: u64,
+    /// O-L2 writes (re-quantized 8-bit outputs).
+    pub o_l2_write: u64,
+    /// O-L2 reads for the DRAM write-back.
+    pub o_l2_read: u64,
+    /// DRAM output writes.
+    pub dram_output: u64,
+    /// Total MAC operations.
+    pub mac_ops: u64,
+}
+
+/// Working-set footprints in bits, indexed by nest position: entry `i` is the
+/// footprint of everything strictly inside position `i` (0 = the core
+/// compute block). Length is `nest.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Footprints {
+    /// Input working set of one core (A-L1 granularity).
+    pub core_input: Vec<u64>,
+    /// Input working set of one chiplet (A-L2 granularity).
+    pub chiplet_input: Vec<u64>,
+    /// Weight working set of one weight stream (W-L1 pool-share granularity).
+    pub stream_weight: Vec<u64>,
+}
+
+/// The full decomposition of one layer under one mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// The temporal loop nest, innermost first (unit loops dropped).
+    pub nest: LoopNest,
+    /// Base data volumes.
+    pub volumes: Volumes,
+    /// Working-set footprints aligned with `nest`.
+    pub footprints: Footprints,
+    /// Distinct weight streams per chiplet.
+    pub weight_streams: u32,
+    /// Cores sharing one weight stream (plane ways).
+    pub plane_ways: u32,
+    /// Whether activations rotate over the ring.
+    pub rotate_inputs: bool,
+    /// Whether weights rotate over the ring.
+    pub rotate_weights: bool,
+    /// Chiplet count.
+    pub n_p: u32,
+    /// Cores per chiplet.
+    pub n_c: u32,
+    /// Lanes per core.
+    pub lanes: u32,
+    /// Vector width per lane.
+    pub vector: u32,
+    /// Effective W-L1 capacity per stream in bits (pool share).
+    pub effective_w_l1_bits: u64,
+    /// Ideal compute cycles (no memory stalls), critical path over chiplets.
+    pub compute_cycles: u64,
+    /// MAC utilization = `mac_ops / (compute_cycles * total MACs)`.
+    pub utilization: f64,
+}
+
+/// One axis of extents with multiplicities; all tiling arithmetic is
+/// separable per axis, so sums over tile grids become products of per-axis
+/// sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Axis {
+    /// `(extent, multiplicity)` pairs; extents are distinct and positive.
+    pairs: Vec<(u32, u64)>,
+}
+
+impl Axis {
+    fn single(extent: u32) -> Self {
+        Self {
+            pairs: vec![(extent.max(1), 1)],
+        }
+    }
+
+    /// Balanced split into `parts` (sizes differ by at most one).
+    fn balanced(extent: u32, parts: u32) -> Self {
+        let parts = parts.clamp(1, extent.max(1));
+        let base = extent / parts;
+        let rem = extent % parts;
+        let mut pairs = Vec::with_capacity(2);
+        if rem > 0 {
+            pairs.push((base + 1, u64::from(rem)));
+        }
+        if base > 0 && parts > rem {
+            pairs.push((base, u64::from(parts - rem)));
+        }
+        Self { pairs }
+    }
+
+    /// Fixed-size tiling with a remainder tail.
+    fn tiled(extent: u32, tile: u32) -> Self {
+        let tile = tile.clamp(1, extent.max(1));
+        let full = extent / tile;
+        let rem = extent % tile;
+        let mut pairs = Vec::with_capacity(2);
+        if full > 0 {
+            pairs.push((tile, u64::from(full)));
+        }
+        if rem > 0 {
+            pairs.push((rem, 1));
+        }
+        Self { pairs }
+    }
+
+    /// Applies `f` to each extent, weighted by multiplicity, and sums.
+    fn sum_by(&self, mut f: impl FnMut(u32) -> u64) -> u64 {
+        self.pairs.iter().map(|&(e, n)| n * f(e)).sum()
+    }
+
+    fn count(&self) -> u64 {
+        self.pairs.iter().map(|&(_, n)| n).sum()
+    }
+
+    fn sum(&self) -> u64 {
+        self.sum_by(u64::from)
+    }
+
+    fn max(&self) -> u32 {
+        self.pairs.iter().map(|&(e, _)| e).max().unwrap_or(1)
+    }
+
+    /// Sliding-window extent sum: `sum count * ((e-1)*stride + k)`.
+    fn window_sum(&self, stride: u32, k: u32) -> u64 {
+        self.sum_by(|e| u64::from((e - 1) * stride + k))
+    }
+
+    /// Two-level refinement: split every extent with `split`, then apply `f`
+    /// to the refined axis.
+    fn refine(&self, split: impl Fn(u32) -> Axis) -> Axis {
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for &(e, n) in &self.pairs {
+            for &(se, sn) in &split(e).pairs {
+                match pairs.iter_mut().find(|(pe, _)| *pe == se) {
+                    Some((_, pn)) => *pn += n * sn,
+                    None => pairs.push((se, n * sn)),
+                }
+            }
+        }
+        Axis { pairs }
+    }
+}
+
+fn window(extent: u32, stride: u32, k: u32) -> u64 {
+    u64::from((extent.max(1) - 1) * stride + k)
+}
+
+/// Decomposes `layer` mapped on `arch` with `mapping`.
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if the mapping is structurally illegal (grid/unit
+/// mismatch, idle channel ways) or violates a buffer feasibility floor.
+pub fn decompose(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    mapping: &Mapping,
+) -> Result<Decomposition, MappingError> {
+    let n_p = arch.chiplets;
+    let n_c = arch.chiplet.cores;
+    let lanes = arch.chiplet.core.lanes;
+    let vector = arch.chiplet.core.vector;
+    let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+    let ci_g = layer.ci_per_group();
+    let (kh, kw) = (layer.kh(), layer.kw());
+    let (sh, sw) = (layer.stride_h(), layer.stride_w());
+    let depthwise = layer.groups() > 1;
+
+    // --- Structural validation -------------------------------------------
+    match &mapping.package {
+        PackagePartition::Channel => {
+            // `co < n_p` leaves chiplets idle; the balanced split handles it
+            // (the enumerator prefers full-utilization partitions but falls
+            // back to this for thin layers).
+        }
+        PackagePartition::Planar(g) => {
+            if g.tiles() != n_p {
+                return Err(MappingError::GridMismatch {
+                    level: "package",
+                    grid_tiles: g.tiles(),
+                    units: n_p,
+                });
+            }
+            if g.rows() > ho || g.cols() > wo {
+                return Err(MappingError::PlaneTooFine { level: "package" });
+            }
+        }
+    }
+    let tile = mapping.chiplet_tile;
+    // Channel splits wider than the tile depth leave cores idle: clamp the
+    // stream count instead of rejecting, so thin layers always map.
+    let streams = mapping.chiplet.weight_streams(n_c).min(tile.co.max(1));
+    let plane_ways = mapping.chiplet.plane_ways(n_c);
+    match &mapping.chiplet {
+        ChipletPartition::Channel => {}
+        ChipletPartition::Planar(g) => {
+            if g.tiles() != n_c {
+                return Err(MappingError::GridMismatch {
+                    level: "chiplet",
+                    grid_tiles: g.tiles(),
+                    units: n_c,
+                });
+            }
+            if g.rows() > tile.ho || g.cols() > tile.wo {
+                return Err(MappingError::PlaneTooFine { level: "chiplet" });
+            }
+        }
+        ChipletPartition::Hybrid { channel_ways, grid } => {
+            if channel_ways * grid.tiles() != n_c {
+                return Err(MappingError::GridMismatch {
+                    level: "chiplet",
+                    grid_tiles: channel_ways * grid.tiles(),
+                    units: n_c,
+                });
+            }
+            if tile.co < *channel_ways {
+                return Err(MappingError::ChannelsTooFew {
+                    level: "chiplet",
+                    co: tile.co,
+                    ways: *channel_ways,
+                });
+            }
+            if grid.rows() > tile.ho || grid.cols() > tile.wo {
+                return Err(MappingError::PlaneTooFine { level: "chiplet" });
+            }
+        }
+    }
+
+    // --- Buffer feasibility floors ----------------------------------------
+    let (ho_c, wo_c) = mapping.core_plane;
+    let core_psums = u64::from(ho_c) * u64::from(wo_c) * u64::from(lanes);
+    let o_l1_slots = arch.chiplet.core.o_l1_bytes * 8 / PSUM_BITS;
+    if core_psums > o_l1_slots {
+        return Err(MappingError::OL1Overflow {
+            required: core_psums,
+            available: o_l1_slots,
+        });
+    }
+    let tile_bytes = tile.elems() * ACT_BITS / 8;
+    if tile_bytes > arch.chiplet.o_l2_bytes {
+        return Err(MappingError::OL2Overflow {
+            required: tile_bytes,
+            available: arch.chiplet.o_l2_bytes,
+        });
+    }
+    let chunk = u64::from(vector.min(ci_g.max(1)));
+    let a_l1_need = window(ho_c, sh, kh) * window(wo_c, sw, kw) * chunk * ACT_BITS / 8;
+    if a_l1_need > arch.chiplet.core.a_l1_bytes {
+        return Err(MappingError::AL1Overflow {
+            required: a_l1_need,
+            available: arch.chiplet.core.a_l1_bytes,
+        });
+    }
+    let effective_w_l1_bits = u64::from(plane_ways) * arch.chiplet.core.w_l1_bytes * 8;
+    let w_min = u64::from(lanes) * u64::from(vector) * WGT_BITS;
+    if w_min > effective_w_l1_bits {
+        return Err(MappingError::WL1Overflow {
+            required: w_min / 8,
+            available: effective_w_l1_bits / 8,
+        });
+    }
+
+    // --- Rotation roles -----------------------------------------------------
+    let ring = mapping.rotation == RotationMode::Ring && n_p > 1;
+    // Depthwise layers pair each output channel with exactly one input
+    // channel, so a C-type package split also splits the inputs: nothing is
+    // shared and rotation degenerates.
+    let rotate_inputs =
+        ring && matches!(mapping.package, PackagePartition::Channel) && !depthwise;
+    let rotate_weights = ring && matches!(mapping.package, PackagePartition::Planar(_));
+
+    // --- Package partition: per-chiplet part axes ---------------------------
+    // Plane parts (rows/cols with multiplicity across chiplets) and channel
+    // parts.
+    let (part_h, part_w, part_co): (Axis, Axis, Axis) = match &mapping.package {
+        // C-type: every chiplet tiles the same full plane; CO splits.
+        PackagePartition::Channel => (
+            Axis::single(ho),
+            Axis::single(wo),
+            Axis::balanced(co, n_p),
+        ),
+        // P-type: the plane splits across chiplets; CO stays whole.
+        PackagePartition::Planar(g) => (
+            Axis::balanced(ho, g.rows()),
+            Axis::balanced(wo, g.cols()),
+            Axis::single(co),
+        ),
+    };
+
+    // Chiplet-tile tilings per axis (two-level refinement keeps exact
+    // multiplicities of every distinct tile extent).
+    let tiles_h = part_h.refine(|e| Axis::tiled(e, tile.ho));
+    let tiles_w = part_w.refine(|e| Axis::tiled(e, tile.wo));
+    let tiles_co = part_co.refine(|e| Axis::tiled(e, tile.co));
+
+    // Core sub-tiling inside a chiplet tile.
+    let (grid_rows, grid_cols) = match &mapping.chiplet {
+        ChipletPartition::Channel => (1, 1),
+        ChipletPartition::Planar(g) => (g.rows(), g.cols()),
+        ChipletPartition::Hybrid { grid, .. } => (grid.rows(), grid.cols()),
+    };
+    let core_tiles_h = tiles_h.refine(|e| Axis::balanced(e, grid_rows).refine(|s| Axis::tiled(s, ho_c)));
+    let core_tiles_w = tiles_w.refine(|e| Axis::balanced(e, grid_cols).refine(|s| Axis::tiled(s, wo_c)));
+    // Channel steps: each chiplet tile's CO extent splits into `streams`
+    // groups, each group iterates lanes-sized steps.
+    let group_co = tiles_co.refine(|e| Axis::balanced(e, streams));
+    let co_steps_total: u64 = group_co.sum_by(|g| u64::from(ceil_div(g, lanes)));
+    let ci_chunks = u64::from(ceil_div(ci_g, vector));
+
+    // --- Input volumes ------------------------------------------------------
+    let act = ACT_BITS;
+    // Window sums over chiplet tiles, per plane pass (no CO revisits).
+    let tile_winsum = tiles_h.window_sum(sh, kh) * tiles_w.window_sum(sw, kw);
+    // Input channels consumed by one chiplet for one plane tile pass.
+    let ci_consumed_per_chiplet: u64 = if depthwise {
+        // Each chiplet touches only the input channels of its CO part.
+        match &mapping.package {
+            PackagePartition::Channel => u64::from(co) / u64::from(n_p).max(1),
+            PackagePartition::Planar(_) => u64::from(layer.ci()),
+        }
+    } else {
+        u64::from(layer.ci())
+    };
+    // Chiplet-count factor for C-type (all chiplets share one plane tiling).
+    let chiplet_plane_factor: u64 = match &mapping.package {
+        PackagePartition::Channel => u64::from(n_p),
+        PackagePartition::Planar(_) => 1, // parts already enumerate chiplets
+    };
+    let consumed_input = tile_winsum * ci_consumed_per_chiplet * act * chiplet_plane_factor;
+    // With rotation each element is DRAM-loaded once by its home chiplet and
+    // then crosses `N_P - 1` ring links; without it every chiplet loads its
+    // full consumption from DRAM directly.
+    let (dram_input_base, d2d_input_base) = if rotate_inputs {
+        (
+            consumed_input / u64::from(n_p),
+            consumed_input / u64::from(n_p) * u64::from(n_p - 1),
+        )
+    } else {
+        (consumed_input, 0)
+    };
+    let a_l2_fill_base = consumed_input;
+
+    // A-L2 -> bus reads: once per core-tile plane position per chiplet tile
+    // pass, multicast across channel groups.
+    let core_winsum = core_tiles_h.window_sum(sh, kh) * core_tiles_w.window_sum(sw, kw);
+    let a_l2_read_base = core_winsum * ci_consumed_per_chiplet * act * chiplet_plane_factor;
+    let a_l1_fill_base = a_l2_read_base * u64::from(streams);
+
+    // PE-side A-L1 reads: one P-vector per (pixel, kh, kw, ci-chunk) per
+    // channel step, broadcast to all lanes. `co_steps_total` already
+    // aggregates over all chiplet CO parts, and the plane-axis sums
+    // aggregate over all plane parts, so no chiplet factor appears here.
+    let pixels: u64 = part_h.sum() * part_w.sum();
+    let kernel_pts = u64::from(kh) * u64::from(kw);
+    let a_l1_read = pixels * co_steps_total * kernel_pts * ci_chunks * u64::from(vector) * act;
+
+    // --- Weight volumes -----------------------------------------------------
+    let wbits = layer.weight_elems() * WGT_BITS;
+    let (dram_weight_base, d2d_weight_base, w_l1_fill_base) = if rotate_weights {
+        (wbits, wbits * u64::from(n_p - 1), wbits * u64::from(n_p))
+    } else if matches!(mapping.package, PackagePartition::Planar(_)) && n_p > 1 {
+        // Weights shared but fetched by every chiplet from DRAM.
+        (wbits * u64::from(n_p), 0, wbits * u64::from(n_p))
+    } else {
+        (wbits, 0, wbits)
+    };
+
+    // W-L1 -> PE reads: one L x P block per (core-tile plane position,
+    // channel step, kh, kw, ci chunk), broadcast across a stream's cores.
+    // As with `a_l1_read`, plane-axis counts and `co_steps_total` aggregate
+    // over parts in complementary directions, so their product is the
+    // package-wide total.
+    let core_plane_positions = core_tiles_h.count() * core_tiles_w.count();
+    let w_l1_read = core_plane_positions
+        * co_steps_total
+        * kernel_pts
+        * ci_chunks
+        * u64::from(vector)
+        * u64::from(lanes)
+        * WGT_BITS;
+
+    // --- Output volumes -----------------------------------------------------
+    let out_bits = layer.output_elems() * act;
+    let o_l1_rmw = layer.output_elems() * kernel_pts * ci_chunks * PSUM_BITS;
+
+    // --- Compute time -------------------------------------------------------
+    // Critical path: the worst chiplet part, each tile paced by its slowest
+    // core (largest balanced sub-extent, ceil-divided lane steps). All three
+    // axes are separable.
+    let mac_ops = layer.macs();
+    let worst_h = Axis::tiled(part_h.max(), tile.ho);
+    let worst_w = Axis::tiled(part_w.max(), tile.wo);
+    let worst_co = Axis::tiled(part_co.max(), tile.co);
+    let cyc_h = worst_h.sum_by(|e| u64::from(ceil_div(e, grid_rows)));
+    let cyc_w = worst_w.sum_by(|e| u64::from(ceil_div(e, grid_cols)));
+    let cyc_co = worst_co.sum_by(|e| u64::from(ceil_div(ceil_div(e, streams), lanes)));
+    let compute_cycles = (cyc_h * cyc_w * cyc_co * kernel_pts * ci_chunks).max(1);
+    let total_units = u64::from(n_p) * u64::from(n_c) * u64::from(lanes) * u64::from(vector);
+    let utilization = mac_ops as f64 / (compute_cycles as f64 * total_units as f64);
+
+    // --- Loop nest + footprints --------------------------------------------
+    let (nest, footprints) = build_nest(
+        layer,
+        mapping,
+        NestInputs {
+            t_co: tiles_co_steps(&part_co, tile.co),
+            t_h: axis_tile_count(&part_h, tile.ho),
+            t_w: axis_tile_count(&part_w, tile.wo),
+            c_co: u64::from(ceil_div(ceil_div(tile.co.min(part_co.max()), streams), lanes)),
+            c_h: core_loop_count(part_h.max().min(tile.ho), grid_rows, ho_c),
+            c_w: core_loop_count(part_w.max().min(tile.wo), grid_cols, wo_c),
+            rotate_inputs,
+            rotate_weights,
+            n_p,
+            streams,
+            grid_rows,
+            grid_cols,
+            ci_needed: ci_consumed_per_chiplet,
+            lanes,
+        },
+    );
+
+    let volumes = Volumes {
+        dram_input_base,
+        d2d_input_base,
+        a_l2_fill_base,
+        a_l2_read_base,
+        a_l1_fill_base,
+        a_l1_read,
+        dram_weight_base,
+        d2d_weight_base,
+        w_l1_fill_base,
+        w_l1_read,
+        o_l1_rmw,
+        o_l2_write: out_bits,
+        o_l2_read: out_bits,
+        dram_output: out_bits,
+        mac_ops,
+    };
+
+    Ok(Decomposition {
+        nest,
+        volumes,
+        footprints,
+        weight_streams: streams,
+        plane_ways,
+        rotate_inputs,
+        rotate_weights,
+        n_p,
+        n_c,
+        lanes,
+        vector,
+        effective_w_l1_bits,
+        compute_cycles,
+        utilization,
+    })
+}
+
+/// Number of chiplet-tile steps along the CO axis (max over parts).
+fn tiles_co_steps(part_co: &Axis, tile_co: u32) -> u64 {
+    part_co
+        .pairs
+        .iter()
+        .map(|&(e, _)| Axis::tiled(e, tile_co).count())
+        .max()
+        .unwrap_or(1)
+}
+
+/// Number of chiplet-tile steps along a plane axis (max over parts).
+fn axis_tile_count(part: &Axis, tile: u32) -> u64 {
+    part.pairs
+        .iter()
+        .map(|&(e, _)| Axis::tiled(e, tile).count())
+        .max()
+        .unwrap_or(1)
+}
+
+/// Core-tile steps along one plane axis inside a chiplet tile.
+fn core_loop_count(tile_extent: u32, grid: u32, core_tile: u32) -> u64 {
+    let sub = Axis::balanced(tile_extent, grid).max();
+    Axis::tiled(sub, core_tile).count()
+}
+
+struct NestInputs {
+    t_co: u64,
+    t_h: u64,
+    t_w: u64,
+    c_co: u64,
+    c_h: u64,
+    c_w: u64,
+    rotate_inputs: bool,
+    rotate_weights: bool,
+    n_p: u32,
+    streams: u32,
+    grid_rows: u32,
+    grid_cols: u32,
+    ci_needed: u64,
+    lanes: u32,
+}
+
+/// Builds the temporal nest (innermost first) and the aligned footprint
+/// tables.
+fn build_nest(
+    layer: &ConvSpec,
+    mapping: &Mapping,
+    inp: NestInputs,
+) -> (LoopNest, Footprints) {
+    let (kh, kw) = (layer.kh(), layer.kw());
+    let (sh, sw) = (layer.stride_h(), layer.stride_w());
+    let ci_g = u64::from(layer.ci_per_group());
+    let kernel_pts = u64::from(kh) * u64::from(kw);
+    let (ho_c, wo_c) = mapping.core_plane;
+    let tile = mapping.chiplet_tile;
+
+    // Raw loop list, innermost first. The rotating primitive sits inside
+    // the core-level block (Section III-B): activation rotation slices the
+    // reduction (CI) dimension, weight rotation slices output channels.
+    let mut raw: Vec<Loop> = Vec::new();
+    if inp.rotate_inputs {
+        raw.push(Loop {
+            dim: Dim::Ci,
+            count: u64::from(inp.n_p),
+            level: LoopLevel::Rotation,
+        });
+    } else if inp.rotate_weights {
+        raw.push(Loop {
+            dim: Dim::Co,
+            count: u64::from(inp.n_p),
+            level: LoopLevel::Rotation,
+        });
+    }
+    let core_loops: [Loop; 3] = {
+        let co = Loop {
+            dim: Dim::Co,
+            count: inp.c_co,
+            level: LoopLevel::Core,
+        };
+        let h = Loop {
+            dim: Dim::Ho,
+            count: inp.c_h,
+            level: LoopLevel::Core,
+        };
+        let w = Loop {
+            dim: Dim::Wo,
+            count: inp.c_w,
+            level: LoopLevel::Core,
+        };
+        match mapping.chiplet_order {
+            TemporalOrder::ChannelPriority => [co, h, w],
+            TemporalOrder::PlanePriority => [h, w, co],
+        }
+    };
+    raw.extend(core_loops);
+    let chip_loops: [Loop; 3] = {
+        let co = Loop {
+            dim: Dim::Co,
+            count: inp.t_co,
+            level: LoopLevel::Chiplet,
+        };
+        let h = Loop {
+            dim: Dim::Ho,
+            count: inp.t_h,
+            level: LoopLevel::Chiplet,
+        };
+        let w = Loop {
+            dim: Dim::Wo,
+            count: inp.t_w,
+            level: LoopLevel::Chiplet,
+        };
+        match mapping.package_order {
+            TemporalOrder::ChannelPriority => [co, h, w],
+            TemporalOrder::PlanePriority => [h, w, co],
+        }
+    };
+    raw.extend(chip_loops);
+
+    // Walk the raw nest tracking coverage, emitting non-unit loops plus
+    // aligned footprints.
+    let mut loops = Vec::new();
+    let mut core_input = Vec::new();
+    let mut chiplet_input = Vec::new();
+    let mut stream_weight = Vec::new();
+
+    // Coverage state (output extents).
+    let mut core_h = u64::from(ho_c.min(tile.ho));
+    let mut core_w = u64::from(wo_c.min(tile.wo));
+    let mut chip_h = u64::from(tile.ho);
+    let mut chip_w = u64::from(tile.wo);
+    let mut stream_co = u64::from(mapping.chiplet_tile.co)
+        .div_ceil(u64::from(inp.streams))
+        .min(u64::from(layer.co()));
+    // Input channels resident below the rotation loop.
+    let mut ci_cov = if inp.rotate_inputs {
+        (inp.ci_needed / u64::from(inp.n_p)).max(1)
+    } else {
+        inp.ci_needed
+    };
+    // At the core compute base, only the lane group's CO slice of weights is
+    // live; it grows to the stream share across the c_co loop.
+    let mut weight_co = u64::from(inp.lanes).min(stream_co);
+
+    let win = |h: u64, w: u64| -> u64 {
+        ((h.max(1) - 1) * u64::from(sh) + u64::from(kh))
+            * ((w.max(1) - 1) * u64::from(sw) + u64::from(kw))
+    };
+    let fp_core_in = |h: u64, w: u64, ci: u64| win(h, w) * ci * ACT_BITS;
+    let fp_chip_in = |h: u64, w: u64, ci: u64| win(h, w) * ci * ACT_BITS;
+    let fp_weight = |co: u64, ci: u64| co * ci * kernel_pts * WGT_BITS;
+
+    // Position 0: inside the innermost loop (core compute block).
+    core_input.push(fp_core_in(core_h, core_w, ci_cov));
+    chiplet_input.push(fp_chip_in(chip_h, chip_w, ci_cov));
+    stream_weight.push(fp_weight(weight_co, ci_cov.min(ci_g)));
+
+    for l in raw {
+        // Update coverage as this loop completes.
+        match (l.level, l.dim) {
+            (LoopLevel::Rotation, Dim::Ci) => ci_cov = inp.ci_needed,
+            (LoopLevel::Rotation, Dim::Co) => {
+                weight_co = (weight_co * l.count).min(stream_co);
+            }
+            (LoopLevel::Rotation, _) => {}
+            (LoopLevel::Core, Dim::Co) => {
+                weight_co = (weight_co * l.count).min(stream_co);
+            }
+            (LoopLevel::Core, Dim::Ho) => {
+                core_h = (core_h * l.count).min(chip_h.div_ceil(u64::from(inp.grid_rows)));
+            }
+            (LoopLevel::Core, Dim::Wo) => {
+                core_w = (core_w * l.count).min(chip_w.div_ceil(u64::from(inp.grid_cols)));
+            }
+            (LoopLevel::Chiplet, Dim::Co) => {
+                stream_co = (stream_co * l.count).min(u64::from(layer.co()));
+                weight_co = stream_co.min(weight_co * l.count);
+            }
+            (LoopLevel::Chiplet, Dim::Ho) => {
+                chip_h = (chip_h * l.count).min(u64::from(layer.ho()));
+                core_h = chip_h.div_ceil(u64::from(inp.grid_rows));
+            }
+            (LoopLevel::Chiplet, Dim::Wo) => {
+                chip_w = (chip_w * l.count).min(u64::from(layer.wo()));
+                core_w = chip_w.div_ceil(u64::from(inp.grid_cols));
+            }
+            _ => {}
+        }
+        if l.count > 1 {
+            loops.push(l);
+            core_input.push(fp_core_in(core_h, core_w, ci_cov));
+            chiplet_input.push(fp_chip_in(chip_h, chip_w, ci_cov));
+            stream_weight.push(fp_weight(weight_co, ci_cov.min(ci_g)));
+        }
+    }
+
+    (
+        LoopNest::new(loops),
+        Footprints {
+            core_input,
+            chiplet_input,
+            stream_weight,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_model::zoo;
+    use baton_model::PlanarGrid;
+    use crate::tile::Tile;
+
+    fn arch() -> PackageConfig {
+        presets::case_study_accelerator()
+    }
+
+    fn common_layer() -> ConvSpec {
+        zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap()
+    }
+
+    fn simple_mapping() -> Mapping {
+        Mapping {
+            package: PackagePartition::Channel,
+            chiplet: ChipletPartition::Channel,
+            package_order: TemporalOrder::ChannelPriority,
+            chiplet_order: TemporalOrder::ChannelPriority,
+            chiplet_tile: Tile::new(28, 28, 16),
+            core_plane: (8, 8),
+            rotation: RotationMode::Ring,
+        }
+    }
+
+    #[test]
+    fn axis_balanced_and_tiled_cover_exactly() {
+        for extent in [1u32, 7, 56, 57, 224] {
+            for parts in [1u32, 2, 3, 4, 8] {
+                let a = Axis::balanced(extent, parts);
+                assert_eq!(a.sum(), u64::from(extent));
+                assert!(a.count() <= u64::from(parts));
+            }
+            for t in [1u32, 3, 8, 300] {
+                let a = Axis::tiled(extent, t);
+                assert_eq!(a.sum(), u64::from(extent));
+            }
+        }
+    }
+
+    #[test]
+    fn axis_refine_multiplies_multiplicities() {
+        let a = Axis::balanced(56, 4); // 4 x 14
+        let r = a.refine(|e| Axis::tiled(e, 8)); // each 14 -> 8 + 6
+        assert_eq!(r.sum(), 56);
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn decompose_smoke_on_common_layer() {
+        let d = decompose(&common_layer(), &arch(), &simple_mapping()).unwrap();
+        assert_eq!(d.volumes.mac_ops, common_layer().macs());
+        assert!(d.utilization > 0.0 && d.utilization <= 1.0);
+        assert!(d.compute_cycles > 0);
+        assert!(!d.nest.is_empty());
+        // Footprint tables align with nest positions.
+        assert_eq!(d.footprints.core_input.len(), d.nest.len() + 1);
+        assert_eq!(d.footprints.chiplet_input.len(), d.nest.len() + 1);
+        assert_eq!(d.footprints.stream_weight.len(), d.nest.len() + 1);
+        // Footprints are monotone non-decreasing outward.
+        for w in d.footprints.chiplet_input.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for w in d.footprints.stream_weight.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn channel_package_rotation_shares_dram_reads() {
+        let layer = common_layer();
+        let mut m = simple_mapping();
+        let ring = decompose(&layer, &arch(), &m).unwrap();
+        m.rotation = RotationMode::DramOnly;
+        let noring = decompose(&layer, &arch(), &m).unwrap();
+        // Ring: DRAM input reads shrink by N_P, D2D appears.
+        assert_eq!(noring.volumes.d2d_input_base, 0);
+        assert_eq!(
+            ring.volumes.dram_input_base * 4,
+            noring.volumes.dram_input_base
+        );
+        assert_eq!(
+            ring.volumes.d2d_input_base,
+            ring.volumes.dram_input_base * 3
+        );
+        // Both deliver the same bits into the A-L2s.
+        assert_eq!(ring.volumes.a_l2_fill_base, noring.volumes.a_l2_fill_base);
+        assert_eq!(
+            ring.volumes.a_l2_fill_base,
+            ring.volumes.dram_input_base + ring.volumes.d2d_input_base
+        );
+    }
+
+    #[test]
+    fn planar_package_rotates_weights_not_inputs() {
+        let layer = common_layer();
+        let m = Mapping {
+            package: PackagePartition::Planar(PlanarGrid::new(2, 2)),
+            ..simple_mapping()
+        };
+        let d = decompose(&layer, &arch(), &m).unwrap();
+        assert!(d.rotate_weights);
+        assert!(!d.rotate_inputs);
+        assert_eq!(d.volumes.d2d_input_base, 0);
+        assert_eq!(
+            d.volumes.d2d_weight_base,
+            layer.weight_elems() * 8 * 3
+        );
+        assert_eq!(d.volumes.dram_weight_base, layer.weight_elems() * 8);
+    }
+
+    #[test]
+    fn c_type_weights_are_private_no_rotation() {
+        let d = decompose(&common_layer(), &arch(), &simple_mapping()).unwrap();
+        assert!(d.rotate_inputs);
+        assert!(!d.rotate_weights);
+        assert_eq!(d.volumes.d2d_weight_base, 0);
+        assert_eq!(d.volumes.dram_weight_base, common_layer().weight_elems() * 8);
+    }
+
+    #[test]
+    fn output_volumes_are_exact_and_capacity_independent() {
+        let layer = common_layer();
+        let d = decompose(&layer, &arch(), &simple_mapping()).unwrap();
+        assert_eq!(d.volumes.dram_output, layer.output_elems() * 8);
+        assert_eq!(d.volumes.o_l2_write, layer.output_elems() * 8);
+        // Every output accumulates kh*kw*ceil(ci/P) times at 24 bit.
+        let acc = layer.output_elems()
+            * u64::from(layer.kh())
+            * u64::from(layer.kw())
+            * u64::from(layer.ci_per_group().div_ceil(8))
+            * 24;
+        assert_eq!(d.volumes.o_l1_rmw, acc);
+    }
+
+    #[test]
+    fn a_l1_reads_scale_inverse_with_lanes() {
+        // Each A-L1 vector read is broadcast to L lanes, so with fully
+        // utilized lanes the total read traffic is ~ MACs * 8 / L.
+        let layer = common_layer();
+        let m = Mapping {
+            // P-type chiplet partition: one weight stream, all 8 lanes busy.
+            chiplet: ChipletPartition::Planar(PlanarGrid::new(2, 4)),
+            ..simple_mapping()
+        };
+        let d = decompose(&layer, &arch(), &m).unwrap();
+        let approx = layer.macs() * 8 / 8; // L = 8
+        let ratio = d.volumes.a_l1_read as f64 / approx as f64;
+        assert!((0.9..1.5).contains(&ratio), "ratio {ratio}");
+        // Under-utilized lanes (C-type split leaving 2 channels per stream)
+        // read proportionally more per useful MAC.
+        let under = decompose(&layer, &arch(), &simple_mapping()).unwrap();
+        assert!(under.volumes.a_l1_read > d.volumes.a_l1_read);
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let layer = common_layer();
+        // Grid that does not match N_P.
+        let m = Mapping {
+            package: PackagePartition::Planar(PlanarGrid::new(3, 1)),
+            ..simple_mapping()
+        };
+        assert!(matches!(
+            decompose(&layer, &arch(), &m),
+            Err(MappingError::GridMismatch { .. })
+        ));
+        // Chiplet channel split wider than the tile CO clamps (idle cores)
+        // rather than erroring.
+        let m = Mapping {
+            chiplet_tile: Tile::new(28, 28, 4),
+            ..simple_mapping()
+        };
+        let d = decompose(&layer, &arch(), &m).unwrap();
+        assert_eq!(d.weight_streams, 4);
+        // Core tile overflowing the O-L1 register file.
+        let m = Mapping {
+            core_plane: (32, 32),
+            ..simple_mapping()
+        };
+        assert!(matches!(
+            decompose(&layer, &arch(), &m),
+            Err(MappingError::OL1Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn pointwise_layer_decomposes() {
+        let layer = zoo::resnet50(224).layer("res2a_branch2a").cloned().unwrap();
+        let m = simple_mapping();
+        let d = decompose(&layer, &arch(), &m).unwrap();
+        assert_eq!(d.volumes.mac_ops, layer.macs());
+        // 1x1 kernels: window sums equal pixel sums, so the A-L2 fill equals
+        // the consumed activation volume exactly (x N_P chiplets sharing).
+        assert_eq!(
+            d.volumes.a_l2_fill_base,
+            layer.input_bits() * 4
+        );
+    }
+
+    #[test]
+    fn depthwise_disables_input_rotation() {
+        let layer = zoo::mobilenet_v2(224).layer("block2_dwise").cloned().unwrap();
+        let m = Mapping {
+            chiplet_tile: Tile::new(16, 16, 24),
+            ..simple_mapping()
+        };
+        let d = decompose(&layer, &arch(), &m).unwrap();
+        assert!(!d.rotate_inputs);
+        assert_eq!(d.volumes.d2d_input_base, 0);
+    }
+
+    #[test]
+    fn utilization_drops_for_thin_layers_with_wide_lanes() {
+        // "The hardware with too high channel-wise parallelism is improper
+        // for the thin layer" (Section IV-D).
+        let thin = ConvSpec::new("thin", 56, 56, 64, 3, 1, 1, 8).unwrap();
+        let wide = ConvSpec::new("wide", 56, 56, 64, 3, 1, 1, 512).unwrap();
+        let m = |co: u32| Mapping {
+            chiplet_tile: Tile::new(14, 14, co),
+            ..simple_mapping()
+        };
+        // Use a single-chiplet machine so the thin layer is legal.
+        let mut a = arch();
+        a.chiplets = 1;
+        let d_thin = decompose(&thin, &a, &m(8)).unwrap();
+        let d_wide = decompose(&wide, &a, &m(64)).unwrap();
+        assert!(d_thin.utilization < d_wide.utilization);
+    }
+}

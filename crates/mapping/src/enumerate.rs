@@ -1,0 +1,364 @@
+//! Candidate mapping generation for the exhaustive post-design search.
+//!
+//! The paper's mapping analysis engine "adopts exhaustive search to evaluate
+//! hundreds of cases, including partition patterns with different
+//! height-width ratios and loop transformation of various spatial-temporal
+//! combinations" (Section V-C). This module generates exactly that candidate
+//! set: every legal spatial pair, both temporal orders per level, a ladder of
+//! chiplet-tile shapes and the partition-pattern grids.
+
+use baton_arch::PackageConfig;
+use baton_model::{ConvSpec, PlanarGrid, PSUM_BITS};
+use crate::mapping::Mapping;
+use crate::primitives::{ChipletPartition, PackagePartition, RotationMode, TemporalOrder};
+use crate::tile::{ceil_div, Tile};
+
+/// Knobs bounding the candidate set size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumOptions {
+    /// Plane-axis tile-count ladder: a fraction `f` yields tiles of
+    /// `ceil(extent / f)`.
+    pub plane_fractions: &'static [u32],
+    /// Channel-axis tile-count ladder.
+    pub co_fractions: &'static [u32],
+    /// Inter-chiplet sharing modes to enumerate. Rotation is a per-mapping
+    /// decision: it usually wins (ring bits cost 1.17 pJ vs 8.75 pJ DRAM)
+    /// but loses when small buffers force re-rotation, so the search sees
+    /// both.
+    pub rotations: &'static [RotationMode],
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        Self {
+            plane_fractions: &[1, 2, 4, 8, 16, 32],
+            co_fractions: &[1, 2, 4],
+            rotations: &[RotationMode::Ring, RotationMode::DramOnly],
+        }
+    }
+}
+
+/// Generates the candidate mappings for `layer` on `arch` with default
+/// options. Structurally illegal combinations are filtered; buffer
+/// feasibility is left to [`crate::decompose()`](crate::decompose::decompose), which performs the exact
+/// checks.
+pub fn candidates(layer: &ConvSpec, arch: &PackageConfig) -> Vec<Mapping> {
+    candidates_with(layer, arch, EnumOptions::default())
+}
+
+/// Generates candidates with explicit options.
+pub fn candidates_with(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    opts: EnumOptions,
+) -> Vec<Mapping> {
+    let n_p = arch.chiplets;
+    let n_c = arch.chiplet.cores;
+    let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+
+    let mut out = Vec::new();
+    for pkg in package_options(layer, n_p) {
+        // The plane extents a single chiplet owns under this partition.
+        let (part_h, part_w, part_co) = match &pkg {
+            PackagePartition::Channel => (ho, wo, ceil_div(co, n_p)),
+            PackagePartition::Planar(g) => {
+                (ceil_div(ho, g.rows()), ceil_div(wo, g.cols()), co)
+            }
+        };
+        for chip in chiplet_options(n_c) {
+            for &fh in opts.plane_fractions {
+                for &fw in opts.plane_fractions {
+                    for &fc in opts.co_fractions {
+                        let tile = Tile::new(
+                            ceil_div(part_h, fh).max(1),
+                            ceil_div(part_w, fw).max(1),
+                            ceil_div(part_co, fc).max(1),
+                        );
+                        if !tile_fits_partition(&chip, tile, n_c) {
+                            continue;
+                        }
+                        let core_plane = core_plane_for(layer, arch, &chip, tile, n_c);
+                        for pkg_order in TemporalOrder::ALL {
+                            for chip_order in TemporalOrder::ALL {
+                                for &rotation in opts.rotations {
+                                    // A 1-chiplet ring is inert: the twin
+                                    // would be an exact duplicate.
+                                    if n_p == 1 && rotation == RotationMode::DramOnly {
+                                        continue;
+                                    }
+                                    out.push(Mapping {
+                                        package: pkg,
+                                        chiplet: chip,
+                                        package_order: pkg_order,
+                                        chiplet_order: chip_order,
+                                        chiplet_tile: tile,
+                                        core_plane,
+                                        rotation,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        // Fallback for thin layers (e.g. a 10-class FC head): accept idle
+        // units rather than failing to map at all.
+        let tile = Tile::new(ho, wo, co.max(1));
+        let core_plane = core_plane_for(layer, arch, &ChipletPartition::Channel, tile, n_c);
+        for pkg_order in TemporalOrder::ALL {
+            for chip_order in TemporalOrder::ALL {
+                for &rotation in opts.rotations {
+                    out.push(Mapping {
+                        package: PackagePartition::Channel,
+                        chiplet: ChipletPartition::Channel,
+                        package_order: pkg_order,
+                        chiplet_order: chip_order,
+                        chiplet_tile: tile,
+                        core_plane,
+                        rotation,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(mapping_key);
+    out.dedup_by_key(|m| mapping_key(m));
+    out
+}
+
+/// Sort/dedup key: a fixed-width numeric encoding of every mapping field
+/// (cheaper than formatting, exercised millions of times in sweeps).
+fn mapping_key(m: &Mapping) -> [u32; 13] {
+    let (pkg_tag, pkg_r, pkg_c) = match m.package {
+        PackagePartition::Channel => (0, 0, 0),
+        PackagePartition::Planar(g) => (1, g.rows(), g.cols()),
+    };
+    let (chip_tag, chip_w, chip_r, chip_c) = match m.chiplet {
+        ChipletPartition::Channel => (0, 0, 0, 0),
+        ChipletPartition::Planar(g) => (1, 0, g.rows(), g.cols()),
+        ChipletPartition::Hybrid { channel_ways, grid } => {
+            (2, channel_ways, grid.rows(), grid.cols())
+        }
+    };
+    [
+        pkg_tag,
+        pkg_r,
+        pkg_c,
+        chip_tag,
+        chip_w,
+        chip_r,
+        chip_c,
+        (m.package_order == TemporalOrder::PlanePriority) as u32 * 2
+            + (m.chiplet_order == TemporalOrder::PlanePriority) as u32,
+        m.chiplet_tile.ho,
+        m.chiplet_tile.wo,
+        m.chiplet_tile.co,
+        m.core_plane.0 << 16 | m.core_plane.1,
+        (m.rotation == RotationMode::DramOnly) as u32,
+    ]
+}
+
+/// Legal package-level spatial partitions for this layer.
+pub fn package_options(layer: &ConvSpec, n_p: u32) -> Vec<PackagePartition> {
+    let mut out = Vec::new();
+    if layer.co() >= n_p {
+        out.push(PackagePartition::Channel);
+    }
+    if n_p == 1 {
+        // A single chiplet needs no partition; Channel is the identity and
+        // always legal.
+        if out.is_empty() {
+            out.push(PackagePartition::Channel);
+        }
+        return out;
+    }
+    for g in PlanarGrid::factor_grids(n_p) {
+        if g.rows() <= layer.ho() && g.cols() <= layer.wo() {
+            out.push(PackagePartition::Planar(g));
+        }
+    }
+    out
+}
+
+/// Legal chiplet-level spatial partitions for `n_c` cores.
+pub fn chiplet_options(n_c: u32) -> Vec<ChipletPartition> {
+    let mut out = vec![ChipletPartition::Channel];
+    if n_c == 1 {
+        return out;
+    }
+    for g in PlanarGrid::factor_grids(n_c) {
+        out.push(ChipletPartition::Planar(g));
+    }
+    // Hybrid: channel_ways strictly between 1 and n_c.
+    let mut cw = 2;
+    while cw < n_c {
+        if n_c.is_multiple_of(cw) {
+            for g in PlanarGrid::factor_grids(n_c / cw) {
+                out.push(ChipletPartition::Hybrid {
+                    channel_ways: cw,
+                    grid: g,
+                });
+            }
+        }
+        cw *= 2;
+    }
+    out
+}
+
+/// Quick structural filter mirroring the decompose-time checks, so the
+/// candidate list stays clean.
+fn tile_fits_partition(chip: &ChipletPartition, tile: Tile, n_c: u32) -> bool {
+    match chip {
+        ChipletPartition::Channel => tile.co >= n_c,
+        ChipletPartition::Planar(g) => g.rows() <= tile.ho && g.cols() <= tile.wo,
+        ChipletPartition::Hybrid { channel_ways, grid } => {
+            tile.co >= *channel_ways && grid.rows() <= tile.ho && grid.cols() <= tile.wo
+        }
+    }
+}
+
+/// Picks the core tile: the largest square-ish `HO_c x WO_c` that fits both
+/// the O-L1 psum register file and the A-L1 chunk floor (Section IV-C
+/// recommends the square pattern for the fine temporal tiles).
+pub fn core_plane_for(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    chip: &ChipletPartition,
+    tile: Tile,
+    n_c: u32,
+) -> (u32, u32) {
+    let core = &arch.chiplet.core;
+    let slots = core.o_l1_bytes * 8 / PSUM_BITS;
+    let cap = (slots / u64::from(core.lanes).max(1)).max(1);
+    let (grid_r, grid_c) = match chip {
+        ChipletPartition::Channel => (1, 1),
+        ChipletPartition::Planar(g) => (g.rows(), g.cols()),
+        ChipletPartition::Hybrid { grid, .. } => (grid.rows(), grid.cols()),
+    };
+    let _ = n_c;
+    let sub_h = ceil_div(tile.ho, grid_r).max(1);
+    let sub_w = ceil_div(tile.wo, grid_c).max(1);
+    let chunk = u64::from(core.vector.min(layer.ci_per_group().max(1)));
+
+    // Start from the square bound and shrink until both floors pass.
+    let mut h = (cap as f64).sqrt().floor() as u32;
+    let mut w = h.max(1);
+    h = h.clamp(1, sub_h);
+    w = w.clamp(1, sub_w);
+    loop {
+        let fits_o_l1 = u64::from(h) * u64::from(w) <= cap;
+        let win = |t: u32, s: u32, k: u32| u64::from((t - 1) * s + k);
+        let need = win(h, layer.stride_h(), layer.kh())
+            * win(w, layer.stride_w(), layer.kw())
+            * chunk;
+        let fits_a_l1 = need <= core.a_l1_bytes;
+        if fits_o_l1 && fits_a_l1 {
+            return (h, w);
+        }
+        if h >= w && h > 1 {
+            h -= 1;
+        } else if w > 1 {
+            w -= 1;
+        } else {
+            return (1, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_model::zoo;
+
+    fn arch() -> PackageConfig {
+        presets::case_study_accelerator()
+    }
+
+    #[test]
+    fn generates_hundreds_of_candidates_for_a_common_layer() {
+        let layer = zoo::resnet50(224)
+            .layer("res2a_branch2b")
+            .cloned()
+            .unwrap();
+        let maps = candidates(&layer, &arch());
+        assert!(
+            maps.len() >= 100,
+            "expected hundreds of cases, got {}",
+            maps.len()
+        );
+    }
+
+    #[test]
+    fn channel_package_partition_removed_for_small_co() {
+        // Paper Figure 11 removes the (C, C) option for layers whose output
+        // channels cannot split across chiplets.
+        let thin = ConvSpec::new("thin", 64, 64, 16, 3, 1, 1, 2).unwrap();
+        let opts = package_options(&thin, 4);
+        assert!(opts
+            .iter()
+            .all(|p| !matches!(p, PackagePartition::Channel)));
+        // But planar options survive.
+        assert!(!opts.is_empty());
+    }
+
+    #[test]
+    fn single_chiplet_has_identity_partition() {
+        let layer = zoo::vgg16(224).layer("conv1_1").cloned().unwrap();
+        let opts = package_options(&layer, 1);
+        assert_eq!(opts, vec![PackagePartition::Channel]);
+    }
+
+    #[test]
+    fn chiplet_options_cover_c_p_h() {
+        let opts = chiplet_options(8);
+        let tags: std::collections::BTreeSet<char> = opts.iter().map(|c| c.tag()).collect();
+        assert!(tags.contains(&'C'));
+        assert!(tags.contains(&'P'));
+        assert!(tags.contains(&'H'));
+    }
+
+    #[test]
+    fn core_plane_respects_o_l1() {
+        let layer = zoo::vgg16(224).layer("conv1_1").cloned().unwrap();
+        let a = arch();
+        let (h, w) = core_plane_for(
+            &layer,
+            &a,
+            &ChipletPartition::Channel,
+            Tile::new(56, 56, 64),
+            8,
+        );
+        let cap = a.chiplet.core.o_l1_bytes * 8 / 24 / u64::from(a.chiplet.core.lanes);
+        assert!(u64::from(h) * u64::from(w) <= cap);
+        assert!(h >= 1 && w >= 1);
+    }
+
+    #[test]
+    fn all_candidates_have_positive_tiles() {
+        let layer = zoo::resnet50(224).layer("conv1").cloned().unwrap();
+        for m in candidates(&layer, &arch()) {
+            assert!(m.chiplet_tile.ho >= 1 && m.chiplet_tile.wo >= 1 && m.chiplet_tile.co >= 1);
+            assert!(m.core_plane.0 >= 1 && m.core_plane.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let layer = zoo::resnet50(224)
+            .layer("res2a_branch2a")
+            .cloned()
+            .unwrap();
+        let maps = candidates(&layer, &arch());
+        let mut keys: Vec<String> = maps.iter().map(|m| m.to_string()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    use baton_model::ConvSpec;
+}

@@ -1,0 +1,88 @@
+//! The complete mapping description for one layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::primitives::{ChipletPartition, PackagePartition, RotationMode, TemporalOrder};
+use crate::tile::Tile;
+
+/// A full workload-orchestration decision for one layer on one machine: the
+/// output of the post-design flow (Section IV-D).
+///
+/// The pair of spatial primitives picks one of the paper's six loop-tiling
+/// combinations, the pair of temporal orders one of four unrolling choices
+/// (together the 24 loop-transformation families of Section IV-A), and the
+/// tile fields fix the concrete loop counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Spatial partition across chiplets.
+    pub package: PackagePartition,
+    /// Spatial partition across the cores of a chiplet.
+    pub chiplet: ChipletPartition,
+    /// Temporal order of the chiplet-tile loops (package-level temporal
+    /// primitive).
+    pub package_order: TemporalOrder,
+    /// Temporal order of the core-tile loops (chiplet-level temporal
+    /// primitive).
+    pub chiplet_order: TemporalOrder,
+    /// Single chiplet workload per assignment: `HO_t x WO_t x CO_t`.
+    pub chiplet_tile: Tile,
+    /// Planar core tile `HO_c x WO_c`; the channel depth per core assignment
+    /// is the lane count `L`.
+    pub core_plane: (u32, u32),
+    /// Inter-chiplet sharing mechanism.
+    pub rotation: RotationMode,
+}
+
+impl Mapping {
+    /// The spatial combination tag used on the paper's figure axes, e.g.
+    /// `"(C, H)"`.
+    pub fn spatial_tag(&self) -> String {
+        format!("({}, {})", self.package.tag(), self.chiplet.tag())
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkg[{} {}] chip[{} {}] tile {} core {}x{} ({})",
+            self.spatial_tag(),
+            self.package,
+            self.package_order,
+            self.chiplet,
+            self.chiplet_order,
+            self.chiplet_tile,
+            self.core_plane.0,
+            self.core_plane.1,
+            self.rotation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_model::PlanarGrid;
+
+    #[test]
+    fn spatial_tag_matches_figure_axis_labels() {
+        let m = Mapping {
+            package: PackagePartition::Channel,
+            chiplet: ChipletPartition::Hybrid {
+                channel_ways: 2,
+                grid: PlanarGrid::new(2, 2),
+            },
+            package_order: TemporalOrder::ChannelPriority,
+            chiplet_order: TemporalOrder::PlanePriority,
+            chiplet_tile: Tile::new(16, 16, 64),
+            core_plane: (8, 8),
+            rotation: RotationMode::Ring,
+        };
+        assert_eq!(m.spatial_tag(), "(C, H)");
+        let s = m.to_string();
+        assert!(s.contains("16x16x64"));
+        assert!(s.contains("ring"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Loop nests: the ordered temporal loop structure a mapping induces,
+//! annotated with the working-set footprints the C3P methodology compares
+//! against buffer capacities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::primitives::Dim;
+
+/// Hierarchy level a temporal loop belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopLevel {
+    /// The rotating primitive inside the core-level block (Figure 4(b)).
+    Rotation,
+    /// Core-tile loops (chiplet-level temporal primitive).
+    Core,
+    /// Chiplet-tile loops (package-level temporal primitive).
+    Chiplet,
+}
+
+impl fmt::Display for LoopLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopLevel::Rotation => f.write_str("rot"),
+            LoopLevel::Core => f.write_str("core"),
+            LoopLevel::Chiplet => f.write_str("chip"),
+        }
+    }
+}
+
+/// One temporal loop of the nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loop {
+    /// Output dimension the loop iterates.
+    pub dim: Dim,
+    /// Trip count (1-count loops are kept out of nests).
+    pub count: u64,
+    /// Hierarchy level.
+    pub level: LoopLevel,
+}
+
+/// An ordered loop nest, innermost first, as induced by one mapping.
+///
+/// Position `0` of the footprint tables (held separately in the
+/// decomposition) corresponds to the core compute block below the innermost
+/// loop — the paper's `Cp_0` extension of the C3P flow (Figure 6(e)).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LoopNest {
+    loops: Vec<Loop>,
+}
+
+impl LoopNest {
+    /// Builds a nest from loops listed innermost first, dropping unit loops.
+    pub fn new(loops: impl IntoIterator<Item = Loop>) -> Self {
+        Self {
+            loops: loops.into_iter().filter(|l| l.count > 1).collect(),
+        }
+    }
+
+    /// The loops, innermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the nest has no (non-unit) loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Product of all trip counts (total temporal steps).
+    pub fn total_steps(&self) -> u64 {
+        self.loops.iter().map(|l| l.count).product()
+    }
+
+    /// Renders the nest outermost-first in the paper's `for`-style notation,
+    /// e.g. for post-design reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (depth, l) in self.loops.iter().rev().enumerate() {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("for {} in 0..{}  # {}\n", l.dim, l.count, l.level));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .loops
+            .iter()
+            .map(|l| format!("{}:{}@{}", l.dim, l.count, l.level))
+            .collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nest() -> LoopNest {
+        LoopNest::new([
+            Loop {
+                dim: Dim::Co,
+                count: 4,
+                level: LoopLevel::Core,
+            },
+            Loop {
+                dim: Dim::Ho,
+                count: 1,
+                level: LoopLevel::Core,
+            },
+            Loop {
+                dim: Dim::Wo,
+                count: 3,
+                level: LoopLevel::Chiplet,
+            },
+        ])
+    }
+
+    #[test]
+    fn unit_loops_are_dropped() {
+        let n = nest();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.total_steps(), 12);
+    }
+
+    #[test]
+    fn render_is_outermost_first() {
+        let r = nest().render();
+        let first = r.lines().next().unwrap();
+        assert!(first.contains("WO"), "{r}");
+        assert!(r.lines().nth(1).unwrap().starts_with("  "));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(nest().to_string(), "[CO:4@core WO:3@chip]");
+    }
+}

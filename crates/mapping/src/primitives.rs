@@ -1,0 +1,257 @@
+//! The spatial, temporal and rotating primitives of the output-centric
+//! dataflow description (Section III-B and IV-A).
+
+use std::fmt;
+
+use baton_model::PlanarGrid;
+use serde::{Deserialize, Serialize};
+
+/// A loop dimension of the output-centric nest.
+///
+/// Thanks to the output-centric dataflow only the three output dimensions
+/// appear in the temporal nests (the reduction dimensions CI/KH/KW are fully
+/// contained in the core compute block), but the reduction dims are kept for
+/// reporting the inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Output channels.
+    Co,
+    /// Output rows.
+    Ho,
+    /// Output columns.
+    Wo,
+    /// Input channels (reduction).
+    Ci,
+    /// Kernel rows (reduction).
+    Kh,
+    /// Kernel columns (reduction).
+    Kw,
+}
+
+impl Dim {
+    /// Whether a loop over this dimension changes the *input* working set.
+    pub fn input_relevant(self) -> bool {
+        matches!(self, Dim::Ho | Dim::Wo | Dim::Ci | Dim::Kh | Dim::Kw)
+    }
+
+    /// Whether a loop over this dimension changes the *weight* working set.
+    pub fn weight_relevant(self) -> bool {
+        matches!(self, Dim::Co | Dim::Ci | Dim::Kh | Dim::Kw)
+    }
+
+    /// Whether a loop over this dimension changes the *output* working set.
+    pub fn output_relevant(self) -> bool {
+        matches!(self, Dim::Co | Dim::Ho | Dim::Wo)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::Co => "CO",
+            Dim::Ho => "HO",
+            Dim::Wo => "WO",
+            Dim::Ci => "CI",
+            Dim::Kh => "KH",
+            Dim::Kw => "KW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Loop-unrolling order of a temporal primitive (Section IV-A.2).
+///
+/// The output-centric dataflow shrinks the unrolling search from the
+/// seven-dimensional loop nest to this binary choice per level: iterate the
+/// channel dimension in the inner loop (weight-reuse friendly) or the planar
+/// dimensions in the inner loop (activation-reuse friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalOrder {
+    /// `CO` in the inner loop: consecutive steps revisit the same plane tile
+    /// with new output channels.
+    ChannelPriority,
+    /// `HO`/`WO` in the inner loop: consecutive steps sweep the plane with
+    /// the same output channels.
+    PlanePriority,
+}
+
+impl TemporalOrder {
+    /// Both orders, for enumeration.
+    pub const ALL: [TemporalOrder; 2] = [TemporalOrder::ChannelPriority, TemporalOrder::PlanePriority];
+}
+
+impl fmt::Display for TemporalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalOrder::ChannelPriority => f.write_str("channel-priority"),
+            TemporalOrder::PlanePriority => f.write_str("plane-priority"),
+        }
+    }
+}
+
+/// Package-level spatial partition across `N_P` chiplets (Figure 5 (a)-(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackagePartition {
+    /// C-type: split the output-channel dimension; chiplets share input
+    /// activations (rotated over the ring) and hold distinct weights.
+    Channel,
+    /// P-type: split the output plane with the given pattern; chiplets share
+    /// weights (rotated over the ring) and hold distinct activations. The
+    /// grid must have `rows * cols == N_P`.
+    Planar(PlanarGrid),
+}
+
+impl PackagePartition {
+    /// Single-letter tag used in the paper's figure axes (`C` / `P`).
+    pub fn tag(&self) -> char {
+        match self {
+            PackagePartition::Channel => 'C',
+            PackagePartition::Planar(_) => 'P',
+        }
+    }
+}
+
+impl fmt::Display for PackagePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackagePartition::Channel => f.write_str("C"),
+            PackagePartition::Planar(g) => write!(f, "P[{}x{}]", g.rows(), g.cols()),
+        }
+    }
+}
+
+/// Chiplet-level spatial partition across `N_C` cores (Figure 5 (c)-(e)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChipletPartition {
+    /// C-type: cores split the chiplet tile's output channels; W-L1 buffers
+    /// stay private, activations are multicast over the central bus.
+    Channel,
+    /// P-type: cores split the chiplet tile's plane; W-L1 buffers merge into
+    /// one shared pool. `rows * cols == N_C`.
+    Planar(PlanarGrid),
+    /// H-type hybrid: both dimensions simultaneously;
+    /// `channel_ways * grid.tiles() == N_C` (Figure 5 (e)).
+    Hybrid {
+        /// Number of output-channel groups.
+        channel_ways: u32,
+        /// Planar grid within each channel group.
+        grid: PlanarGrid,
+    },
+}
+
+impl ChipletPartition {
+    /// Single-letter tag used in the paper's figure axes (`C` / `P` / `H`).
+    pub fn tag(&self) -> char {
+        match self {
+            ChipletPartition::Channel => 'C',
+            ChipletPartition::Planar(_) => 'P',
+            ChipletPartition::Hybrid { .. } => 'H',
+        }
+    }
+
+    /// Number of distinct weight streams among the cores (the number of
+    /// W-L1 pool groups; Section III-A.2's sharing policy).
+    pub fn weight_streams(&self, cores: u32) -> u32 {
+        match self {
+            ChipletPartition::Channel => cores,
+            ChipletPartition::Planar(_) => 1,
+            ChipletPartition::Hybrid { channel_ways, .. } => *channel_ways,
+        }
+    }
+
+    /// Number of cores splitting the plane within one weight stream.
+    pub fn plane_ways(&self, cores: u32) -> u32 {
+        cores / self.weight_streams(cores).max(1)
+    }
+}
+
+impl fmt::Display for ChipletPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipletPartition::Channel => f.write_str("C"),
+            ChipletPartition::Planar(g) => write!(f, "P[{}x{}]", g.rows(), g.cols()),
+            ChipletPartition::Hybrid { channel_ways, grid } => {
+                write!(f, "H[{}c x {}x{}]", channel_ways, grid.rows(), grid.cols())
+            }
+        }
+    }
+}
+
+/// How inter-chiplet data sharing is realized (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RotationMode {
+    /// Rotating transfer over the directional ring: each chiplet loads
+    /// `1/N_P` of the shared tensor from DRAM and forwards its slice
+    /// `N_P - 1` times (the paper's mechanism).
+    Ring,
+    /// Ablation: no ring sharing; every chiplet loads the full shared tensor
+    /// from DRAM itself.
+    DramOnly,
+}
+
+impl fmt::Display for RotationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RotationMode::Ring => f.write_str("ring"),
+            RotationMode::DramOnly => f.write_str("dram-only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_flags_match_convolution_indexing() {
+        // Inputs are indexed by (h, w, ci) via the sliding window; weights by
+        // (co, ci, kh, kw); outputs by (co, ho, wo).
+        assert!(Dim::Ho.input_relevant());
+        assert!(!Dim::Co.input_relevant());
+        assert!(Dim::Co.weight_relevant());
+        assert!(!Dim::Ho.weight_relevant());
+        assert!(Dim::Ci.weight_relevant() && Dim::Ci.input_relevant());
+        assert!(!Dim::Ci.output_relevant());
+    }
+
+    #[test]
+    fn weight_streams_per_partition() {
+        use baton_model::PlanarGrid;
+        assert_eq!(ChipletPartition::Channel.weight_streams(8), 8);
+        assert_eq!(
+            ChipletPartition::Planar(PlanarGrid::new(2, 4)).weight_streams(8),
+            1
+        );
+        let h = ChipletPartition::Hybrid {
+            channel_ways: 2,
+            grid: PlanarGrid::new(2, 2),
+        };
+        assert_eq!(h.weight_streams(8), 2);
+        assert_eq!(h.plane_ways(8), 4);
+    }
+
+    #[test]
+    fn tags_match_figure_axes() {
+        use baton_model::PlanarGrid;
+        assert_eq!(PackagePartition::Channel.tag(), 'C');
+        assert_eq!(PackagePartition::Planar(PlanarGrid::new(2, 2)).tag(), 'P');
+        assert_eq!(ChipletPartition::Channel.tag(), 'C');
+        assert_eq!(
+            ChipletPartition::Hybrid {
+                channel_ways: 2,
+                grid: PlanarGrid::new(1, 4)
+            }
+            .tag(),
+            'H'
+        );
+    }
+
+    #[test]
+    fn display_renders_grids() {
+        use baton_model::PlanarGrid;
+        let p = PackagePartition::Planar(PlanarGrid::new(2, 2));
+        assert_eq!(p.to_string(), "P[2x2]");
+        assert_eq!(TemporalOrder::ChannelPriority.to_string(), "channel-priority");
+        assert_eq!(RotationMode::Ring.to_string(), "ring");
+    }
+}

@@ -1,0 +1,77 @@
+//! Output tiles: the unit of one workload assignment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An output tile `HO x WO x CO` — the paper's "single chiplet workload"
+/// (`HO_t x WO_t x CO_t`) or, with `co == L`, the per-assignment core
+/// workload (`HO_c x WO_c x L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Tile height in output rows.
+    pub ho: u32,
+    /// Tile width in output columns.
+    pub wo: u32,
+    /// Tile depth in output channels.
+    pub co: u32,
+}
+
+impl Tile {
+    /// Creates a tile.
+    pub fn new(ho: u32, wo: u32, co: u32) -> Self {
+        Self { ho, wo, co }
+    }
+
+    /// Output elements in the tile.
+    pub fn elems(&self) -> u64 {
+        u64::from(self.ho) * u64::from(self.wo) * u64::from(self.co)
+    }
+
+    /// Planar elements (one channel).
+    pub fn plane_elems(&self) -> u64 {
+        u64::from(self.ho) * u64::from(self.wo)
+    }
+
+    /// Clamps the tile to a bounding extent (tiles at a part boundary).
+    pub fn clamped(&self, ho_max: u32, wo_max: u32, co_max: u32) -> Tile {
+        Tile::new(self.ho.min(ho_max), self.wo.min(wo_max), self.co.min(co_max))
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.ho, self.wo, self.co)
+    }
+}
+
+/// Ceiling division for loop counts.
+pub(crate) fn ceil_div(a: u32, b: u32) -> u32 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_volumes() {
+        let t = Tile::new(8, 16, 32);
+        assert_eq!(t.elems(), 8 * 16 * 32);
+        assert_eq!(t.plane_elems(), 128);
+    }
+
+    #[test]
+    fn clamping_at_boundaries() {
+        let t = Tile::new(8, 8, 64).clamped(5, 8, 48);
+        assert_eq!(t, Tile::new(5, 8, 48));
+    }
+
+    #[test]
+    fn ceil_div_rounds_up() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(8, 2), 4);
+        assert_eq!(ceil_div(1, 8), 1);
+    }
+}

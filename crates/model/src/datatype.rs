@@ -1,0 +1,29 @@
+//! Arithmetic data widths used throughout the reproduction.
+//!
+//! The paper models 8-bit inference arithmetic with a 24-bit reserved width
+//! for partial sums (Section V-A). Outputs are re-quantized to 8 bits before
+//! leaving a core, which is the key property of the output-centric dataflow:
+//! only 8-bit activations and weights ever cross the die-to-die links.
+
+/// Bit width of an activation element (input or re-quantized output).
+pub const ACT_BITS: u64 = 8;
+
+/// Bit width of a weight element.
+pub const WGT_BITS: u64 = 8;
+
+/// Bit width of a partial sum held in the O-L1 register file and, in the
+/// Simba baseline dataflow, transferred across the NoC/NoP.
+pub const PSUM_BITS: u64 = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psum_is_wider_than_operands() {
+        // The whole Simba-vs-NN-Baton comparison hinges on this asymmetry.
+        assert!(PSUM_BITS > ACT_BITS);
+        assert!(PSUM_BITS > WGT_BITS);
+        assert_eq!(PSUM_BITS, 3 * ACT_BITS);
+    }
+}

@@ -1,0 +1,345 @@
+//! Layer graphs and activation liveness.
+//!
+//! The [`crate::Model`] type is a linear layer list — all the paper's
+//! evaluation needs — but real networks are DAGs (residual adds, concats),
+//! and the *peak activation footprint* the paper discusses ("their peak
+//! memory requirements for activations are four times as many",
+//! Section V-B) depends on which tensors are live simultaneously. This
+//! module adds a light graph layer on top of the shape model: nodes are
+//! layers, edges are tensors, and a liveness sweep over a topological
+//! schedule yields the exact peak.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::ConvSpec;
+use crate::ACT_BITS;
+
+/// A node in the layer graph: one convolution-like workload plus the names
+/// of the tensors it consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// The layer workload.
+    pub layer: ConvSpec,
+    /// Tensor names consumed (graph inputs use the reserved name `"input"`;
+    /// element-wise merges such as residual adds list several).
+    pub inputs: Vec<String>,
+}
+
+/// Errors constructing or scheduling a layer graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two nodes produce a tensor with the same name.
+    DuplicateName(String),
+    /// A node consumes a tensor no node (and not the graph input) produces.
+    UnknownInput {
+        /// The consuming node.
+        node: String,
+        /// The missing tensor.
+        input: String,
+    },
+    /// The graph has a cycle (no topological schedule exists).
+    Cycle,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateName(n) => write!(f, "duplicate tensor name `{n}`"),
+            GraphError::UnknownInput { node, input } => {
+                write!(f, "node `{node}` consumes unknown tensor `{input}`")
+            }
+            GraphError::Cycle => f.write_str("layer graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DAG of layer workloads with named tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerGraph {
+    name: String,
+    nodes: Vec<GraphNode>,
+}
+
+impl LayerGraph {
+    /// Builds and validates a graph. Each node's layer name doubles as its
+    /// output tensor name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on duplicate names, unknown inputs or cycles.
+    pub fn new(name: impl Into<String>, nodes: Vec<GraphNode>) -> Result<Self, GraphError> {
+        let mut seen = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if seen.insert(n.layer.name().to_string(), i).is_some() {
+                return Err(GraphError::DuplicateName(n.layer.name().to_string()));
+            }
+        }
+        for n in &nodes {
+            for input in &n.inputs {
+                if input != "input" && !seen.contains_key(input) {
+                    return Err(GraphError::UnknownInput {
+                        node: n.layer.name().to_string(),
+                        input: input.clone(),
+                    });
+                }
+            }
+        }
+        let g = Self {
+            name: name.into(),
+            nodes,
+        };
+        g.topo_order()?; // reject cycles eagerly
+        Ok(g)
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The nodes in declaration order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// A topological schedule (indices into `nodes`), stable with respect to
+    /// declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if no schedule exists.
+    pub fn topo_order(&self) -> Result<Vec<usize>, GraphError> {
+        let index: HashMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.layer.name(), i))
+            .collect();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for input in &n.inputs {
+                if let Some(&p) = index.get(input.as_str()) {
+                    indegree[i] += 1;
+                    consumers[p].push(i);
+                }
+            }
+        }
+        // Kahn's algorithm with a sorted frontier for determinism.
+        let mut frontier: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(&i) = frontier.first() {
+            frontier.remove(0);
+            order.push(i);
+            for &c in &consumers[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    frontier.push(c);
+                    frontier.sort_unstable();
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Converts into a linear [`crate::Model`] following the topological
+    /// schedule (the form the mapping flows consume).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if no schedule exists.
+    pub fn to_model(&self, input_resolution: u32) -> Result<crate::Model, GraphError> {
+        let order = self.topo_order()?;
+        Ok(crate::Model::new(
+            self.name.clone(),
+            input_resolution,
+            order.iter().map(|&i| self.nodes[i].layer.clone()).collect(),
+        ))
+    }
+
+    /// Peak activation bytes live at any schedule point: at each step the
+    /// node's output plus every tensor still awaiting a consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if no schedule exists.
+    pub fn peak_live_activation_bytes(&self) -> Result<u64, GraphError> {
+        let order = self.topo_order()?;
+        let index: HashMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.layer.name(), i))
+            .collect();
+        // Last schedule position at which each tensor is consumed.
+        let mut last_use: HashMap<usize, usize> = HashMap::new();
+        for (pos, &i) in order.iter().enumerate() {
+            for input in &self.nodes[i].inputs {
+                if let Some(&p) = index.get(input.as_str()) {
+                    last_use
+                        .entry(p)
+                        .and_modify(|v| *v = (*v).max(pos))
+                        .or_insert(pos);
+                }
+            }
+        }
+        let mut live: u64 = 0;
+        let mut peak: u64 = 0;
+        let mut live_set: Vec<(usize, u64)> = Vec::new(); // (producer, bytes)
+        for (pos, &i) in order.iter().enumerate() {
+            let out_bytes = self.nodes[i].layer.output_elems() * ACT_BITS / 8;
+            live += out_bytes;
+            live_set.push((i, out_bytes));
+            peak = peak.max(live);
+            // Free tensors whose last consumer just ran.
+            live_set.retain(|&(p, bytes)| {
+                if last_use.get(&p).copied() == Some(pos) {
+                    live -= bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Ok(peak)
+    }
+}
+
+/// Builds a residual bottleneck block graph (the ResNet motif) for tests and
+/// examples: `a -> b -> c` with a skip tensor merged at `c`'s consumer.
+pub fn bottleneck_block(size: u32, ci: u32, mid: u32, co: u32) -> LayerGraph {
+    let node = |layer: ConvSpec, inputs: &[&str]| GraphNode {
+        layer,
+        inputs: inputs.iter().map(|s| s.to_string()).collect(),
+    };
+    LayerGraph::new(
+        "bottleneck",
+        vec![
+            node(
+                ConvSpec::pointwise("a", size, size, ci, mid).expect("valid a"),
+                &["input"],
+            ),
+            node(
+                ConvSpec::new("b", size, size, mid, 3, 1, 1, mid).expect("valid b"),
+                &["a"],
+            ),
+            node(
+                ConvSpec::pointwise("c", size, size, mid, co).expect("valid c"),
+                &["b"],
+            ),
+            // The merge consumes both the block output and the skip path.
+            node(
+                ConvSpec::pointwise("merge", size, size, co, co).expect("valid merge"),
+                &["c", "input"],
+            ),
+        ],
+    )
+    .expect("bottleneck graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottleneck_schedules_in_declaration_order() {
+        let g = bottleneck_block(56, 64, 64, 256);
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+        let m = g.to_model(224).unwrap();
+        assert_eq!(m.layers().len(), 4);
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        let err = LayerGraph::new(
+            "bad",
+            vec![GraphNode {
+                layer: ConvSpec::pointwise("x", 8, 8, 4, 4).unwrap(),
+                inputs: vec!["missing".into()],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let n = GraphNode {
+            layer: ConvSpec::pointwise("x", 8, 8, 4, 4).unwrap(),
+            inputs: vec!["input".into()],
+        };
+        let err = LayerGraph::new("bad", vec![n.clone(), n]).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let err = LayerGraph::new(
+            "bad",
+            vec![
+                GraphNode {
+                    layer: ConvSpec::pointwise("x", 8, 8, 4, 4).unwrap(),
+                    inputs: vec!["y".into()],
+                },
+                GraphNode {
+                    layer: ConvSpec::pointwise("y", 8, 8, 4, 4).unwrap(),
+                    inputs: vec!["x".into()],
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::Cycle);
+    }
+
+    #[test]
+    fn skip_connections_raise_peak_liveness() {
+        // The residual skip keeps the wide block output alive across the
+        // bottleneck, so the peak exceeds any single tensor.
+        let g = bottleneck_block(56, 256, 64, 256);
+        let peak = g.peak_live_activation_bytes().unwrap();
+        let wide = 56 * 56 * 256u64; // one wide tensor in bytes (8-bit)
+        assert!(peak > wide, "peak {peak} <= single tensor {wide}");
+        // But bounded by the sum of all tensors.
+        let total: u64 = g
+            .nodes()
+            .iter()
+            .map(|n| n.layer.output_elems())
+            .sum();
+        assert!(peak <= total);
+    }
+
+    #[test]
+    fn chain_peak_is_two_adjacent_tensors() {
+        // A pure chain only ever keeps producer + consumer outputs live.
+        let chain = LayerGraph::new(
+            "chain",
+            vec![
+                GraphNode {
+                    layer: ConvSpec::pointwise("a", 8, 8, 4, 16).unwrap(),
+                    inputs: vec!["input".into()],
+                },
+                GraphNode {
+                    layer: ConvSpec::pointwise("b", 8, 8, 16, 8).unwrap(),
+                    inputs: vec!["a".into()],
+                },
+                GraphNode {
+                    layer: ConvSpec::pointwise("c", 8, 8, 8, 4).unwrap(),
+                    inputs: vec!["b".into()],
+                },
+            ],
+        )
+        .unwrap();
+        let peak = chain.peak_live_activation_bytes().unwrap();
+        assert_eq!(peak, 8 * 8 * (16 + 8));
+    }
+}

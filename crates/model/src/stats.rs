@@ -1,0 +1,163 @@
+//! Model statistics: the per-layer summary tables behind the paper's
+//! workload characterization (Section V-B).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{ConvSpec, LayerKind};
+use crate::model::Model;
+use crate::{ACT_BITS, WGT_BITS};
+
+/// Per-layer statistics row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind bucket.
+    pub kind: LayerKind,
+    /// MAC operations.
+    pub macs: u64,
+    /// Input activation bytes.
+    pub input_bytes: u64,
+    /// Weight bytes.
+    pub weight_bytes: u64,
+    /// Output bytes.
+    pub output_bytes: u64,
+    /// Arithmetic intensity in MACs per byte moved (inputs + weights +
+    /// outputs, compulsory traffic only).
+    pub intensity: f64,
+    /// Whether the layer is activation-intensive (inputs > weights).
+    pub activation_intensive: bool,
+}
+
+impl LayerStats {
+    /// Computes the row for one layer.
+    pub fn of(layer: &ConvSpec) -> Self {
+        let input_bytes = layer.input_elems() * ACT_BITS / 8;
+        let weight_bytes = layer.weight_elems() * WGT_BITS / 8;
+        let output_bytes = layer.output_elems() * ACT_BITS / 8;
+        let moved = (input_bytes + weight_bytes + output_bytes).max(1);
+        Self {
+            name: layer.name().to_string(),
+            kind: layer.kind(),
+            macs: layer.macs(),
+            input_bytes,
+            weight_bytes,
+            output_bytes,
+            intensity: layer.macs() as f64 / moved as f64,
+            activation_intensive: layer.is_activation_intensive(),
+        }
+    }
+}
+
+/// Whole-model statistics summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Per-layer rows in execution order.
+    pub layers: Vec<LayerStats>,
+}
+
+impl ModelStats {
+    /// Computes statistics for every layer of a model.
+    pub fn of(model: &Model) -> Self {
+        Self {
+            model: model.name().to_string(),
+            layers: model.layers().iter().map(LayerStats::of).collect(),
+        }
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Count of activation-intensive layers.
+    pub fn activation_intensive_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.activation_intensive).count()
+    }
+
+    /// The layer with the lowest arithmetic intensity (the most
+    /// bandwidth-bound one).
+    pub fn most_bandwidth_bound(&self) -> Option<&LayerStats> {
+        self.layers
+            .iter()
+            .min_by(|a, b| a.intensity.total_cmp(&b.intensity))
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} layers, {:.2} GMAC",
+            self.model,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            "layer", "kind", "MMACs", "in KB", "wgt KB", "out KB", "AI"
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "{:<20} {:>10} {:>10.1} {:>10} {:>10} {:>10} {:>6.1}",
+                l.name,
+                l.kind.to_string(),
+                l.macs as f64 / 1e6,
+                l.input_bytes / 1024,
+                l.weight_bytes / 1024,
+                l.output_bytes / 1024,
+                l.intensity,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn totals_match_model() {
+        let m = zoo::resnet50(224);
+        let s = ModelStats::of(&m);
+        assert_eq!(s.total_macs(), m.total_macs());
+        assert_eq!(s.layers.len(), m.layers().len());
+    }
+
+    #[test]
+    fn early_layers_are_activation_intensive() {
+        let s = ModelStats::of(&zoo::vgg16(224));
+        assert!(s.layers[0].activation_intensive);
+        // Late 3x3x512 layers are weight-intensive.
+        let conv52 = s.layers.iter().find(|l| l.name == "conv5_2").unwrap();
+        assert!(!conv52.activation_intensive);
+    }
+
+    #[test]
+    fn fc_layers_are_the_most_bandwidth_bound() {
+        // 1x1-plane FCs move a byte per MAC: intensity ~ 1.
+        let s = ModelStats::of(&zoo::vgg16(224));
+        let worst = s.most_bandwidth_bound().unwrap();
+        assert!(worst.name.starts_with("fc"), "{}", worst.name);
+        assert!(worst.intensity < 1.5);
+        // Dense 3x3 convolutions sit far above.
+        let conv = s.layers.iter().find(|l| l.name == "conv3_2").unwrap();
+        assert!(conv.intensity > 50.0);
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let s = ModelStats::of(&zoo::darknet19(224));
+        let text = s.to_string();
+        assert!(text.contains("conv14"));
+        assert!(text.contains("GMAC"));
+    }
+}

@@ -1,0 +1,84 @@
+//! AlexNet (Krizhevsky et al., 2012) in its torchvision single-tower form:
+//! five convolutions with kernel sizes from 11x11 down to 3x3 plus three
+//! fully-connected layers. The paper highlights AlexNet as the benchmark
+//! with "convolution layers of diverse kernel sizes, ranging from 3x3 to
+//! 11x11" (Section V-B).
+
+use super::pool;
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// Builds AlexNet for a square input of `resolution x resolution x 3`.
+///
+/// # Panics
+///
+/// Panics if `resolution` is too small for the layer stack (< 63).
+pub fn alexnet(resolution: u32) -> Model {
+    let mut layers = Vec::new();
+    let r = resolution;
+
+    let conv1 = ConvSpec::new("conv1", r, r, 3, 11, 4, 2, 64).expect("valid conv1");
+    let p1 = pool(conv1.ho(), 3, 2, 0);
+    let conv2 = ConvSpec::new("conv2", p1, p1, 64, 5, 1, 2, 192).expect("valid conv2");
+    let p2 = pool(conv2.ho(), 3, 2, 0);
+    let conv3 = ConvSpec::new("conv3", p2, p2, 192, 3, 1, 1, 384).expect("valid conv3");
+    let conv4 = ConvSpec::new("conv4", p2, p2, 384, 3, 1, 1, 256).expect("valid conv4");
+    let conv5 = ConvSpec::new("conv5", p2, p2, 256, 3, 1, 1, 256).expect("valid conv5");
+    let p5 = pool(conv5.ho(), 3, 2, 0);
+
+    layers.extend([conv1, conv2, conv3, conv4, conv5]);
+    // First FC reorganized as point-wise over the final plane (Section VI-A).
+    layers.push(ConvSpec::pointwise("fc6", p5, p5, 256, 4096).expect("valid fc6"));
+    layers.push(ConvSpec::fully_connected("fc7", 4096, 4096).expect("valid fc7"));
+    layers.push(ConvSpec::fully_connected("fc8", 4096, 1000).expect("valid fc8"));
+
+    Model::new("alexnet", resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_224_reference_shapes() {
+        let m = alexnet(224);
+        assert_eq!(m.layers().len(), 8);
+        let conv1 = m.layer("conv1").unwrap();
+        assert_eq!(conv1.ho(), 55);
+        let conv2 = m.layer("conv2").unwrap();
+        assert_eq!((conv2.hi(), conv2.ho()), (27, 27));
+        let conv3 = m.layer("conv3").unwrap();
+        assert_eq!(conv3.hi(), 13);
+        // Classic 9216 -> 4096 first FC, reorganized point-wise: MACs match.
+        let fc6 = m.layer("fc6").unwrap();
+        assert_eq!(fc6.macs(), 9216 * 4096);
+    }
+
+    #[test]
+    fn alexnet_512_scales_feature_maps() {
+        let m = alexnet(512);
+        assert_eq!(m.layer("conv1").unwrap().ho(), 127);
+        assert_eq!(m.layer("conv2").unwrap().hi(), 63);
+        assert_eq!(m.layer("conv3").unwrap().hi(), 31);
+        assert_eq!(m.layer("fc6").unwrap().macs(), 256u64 * 15 * 15 * 4096);
+    }
+
+    #[test]
+    fn kernel_diversity_matches_paper_claim() {
+        let m = alexnet(224);
+        let ks: std::collections::BTreeSet<u32> =
+            m.layers().iter().map(|l| l.kh()).collect();
+        assert!(ks.contains(&11));
+        assert!(ks.contains(&5));
+        assert!(ks.contains(&3));
+        assert!(ks.contains(&1)); // reorganized FCs
+    }
+
+    #[test]
+    fn total_macs_within_published_ballpark() {
+        // AlexNet at 224 is ~0.7 GMAC for convs plus ~0.06 GMAC for FCs.
+        let m = alexnet(224);
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((0.5..1.2).contains(&g), "got {g} GMAC");
+    }
+}

@@ -1,0 +1,125 @@
+//! DarkNet-19 (Redmon & Farhadi, YOLO9000 backbone): nineteen convolutions
+//! alternating 3x3 feature extraction with 1x1 bottlenecks. The paper uses it
+//! as a wide, late-reducing detection backbone ("ResNet-50 and DarkNet-19 are
+//! wide models with up to 2048 channels ... the feature map size in ResNet-50
+//! reduces earlier than that in VGG-16 and DarkNet-19", Section V-B).
+
+use super::pool;
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// Builds DarkNet-19 for a square input of `resolution x resolution x 3`.
+///
+/// Layer names are `conv1` ... `conv19` in network order; `conv19` is the
+/// 1x1 x 1000 classification head.
+///
+/// # Panics
+///
+/// Panics if `resolution < 32`.
+pub fn darknet19(resolution: u32) -> Model {
+    let mut layers = Vec::new();
+    let mut size = resolution;
+    let mut ci = 3;
+    let mut idx = 0;
+
+    let push = |size: u32, ci: &mut u32, co: u32, k: u32, idx: &mut u32| -> ConvSpec {
+        *idx += 1;
+        let pad = if k == 3 { 1 } else { 0 };
+        let l = ConvSpec::new(format!("conv{idx}"), size, size, *ci, k, 1, pad, co)
+            .expect("valid darknet conv");
+        *ci = co;
+        l
+    };
+
+    // Block 1: 3x3x32, pool.
+    layers.push(push(size, &mut ci, 32, 3, &mut idx));
+    size = pool(size, 2, 2, 0);
+    // Block 2: 3x3x64, pool.
+    layers.push(push(size, &mut ci, 64, 3, &mut idx));
+    size = pool(size, 2, 2, 0);
+    // Block 3: 3x3x128, 1x1x64, 3x3x128, pool.
+    layers.push(push(size, &mut ci, 128, 3, &mut idx));
+    layers.push(push(size, &mut ci, 64, 1, &mut idx));
+    layers.push(push(size, &mut ci, 128, 3, &mut idx));
+    size = pool(size, 2, 2, 0);
+    // Block 4: 3x3x256, 1x1x128, 3x3x256, pool.
+    layers.push(push(size, &mut ci, 256, 3, &mut idx));
+    layers.push(push(size, &mut ci, 128, 1, &mut idx));
+    layers.push(push(size, &mut ci, 256, 3, &mut idx));
+    size = pool(size, 2, 2, 0);
+    // Block 5: 3x3x512, 1x1x256, 3x3x512, 1x1x256, 3x3x512, pool.
+    layers.push(push(size, &mut ci, 512, 3, &mut idx));
+    layers.push(push(size, &mut ci, 256, 1, &mut idx));
+    layers.push(push(size, &mut ci, 512, 3, &mut idx));
+    layers.push(push(size, &mut ci, 256, 1, &mut idx));
+    layers.push(push(size, &mut ci, 512, 3, &mut idx));
+    size = pool(size, 2, 2, 0);
+    // Block 6: 3x3x1024, 1x1x512, 3x3x1024, 1x1x512, 3x3x1024.
+    layers.push(push(size, &mut ci, 1024, 3, &mut idx));
+    layers.push(push(size, &mut ci, 512, 1, &mut idx));
+    layers.push(push(size, &mut ci, 1024, 3, &mut idx));
+    layers.push(push(size, &mut ci, 512, 1, &mut idx));
+    layers.push(push(size, &mut ci, 1024, 3, &mut idx));
+    // Classification head: 1x1x1000.
+    layers.push(push(size, &mut ci, 1000, 1, &mut idx));
+
+    Model::new("darknet19", resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn has_nineteen_convolutions() {
+        let m = darknet19(224);
+        assert_eq!(m.layers().len(), 19);
+        assert_eq!(m.layer("conv19").unwrap().co(), 1000);
+    }
+
+    #[test]
+    fn reference_shapes_at_224() {
+        let m = darknet19(224);
+        assert_eq!(m.layer("conv1").unwrap().hi(), 224);
+        assert_eq!(m.layer("conv3").unwrap().hi(), 56);
+        assert_eq!(m.layer("conv9").unwrap().hi(), 14);
+        let c14 = m.layer("conv14").unwrap();
+        assert_eq!((c14.hi(), c14.ci(), c14.co()), (7, 512, 1024));
+    }
+
+    #[test]
+    fn alternates_3x3_and_1x1_in_bottleneck_blocks() {
+        let m = darknet19(224);
+        assert_eq!(m.layer("conv4").unwrap().kind(), LayerKind::Pointwise);
+        assert_eq!(m.layer("conv5").unwrap().kh(), 3);
+        assert_eq!(m.layer("conv10").unwrap().kind(), LayerKind::Pointwise);
+    }
+
+    #[test]
+    fn total_macs_within_published_ballpark() {
+        // DarkNet-19 at 224 is ~2.8 GMAC.
+        let g = darknet19(224).total_macs() as f64 / 1e9;
+        assert!((2.4..3.2).contains(&g), "got {g} GMAC");
+    }
+
+    #[test]
+    fn weight_total_larger_than_vgg_convs() {
+        // Paper Figure 15 discussion: DarkNet's peak weight storage (4.5 MB)
+        // exceeds VGG's or ResNet's single-layer peak (2.25 MB).
+        let dk = darknet19(224);
+        let peak_mb = dk.peak_weight_bits() as f64 / 8.0 / 1024.0 / 1024.0;
+        assert!((4.0..5.0).contains(&peak_mb), "peak {peak_mb} MB");
+        let rn = super::super::resnet50(224);
+        let rn_peak_mb = rn.peak_weight_bits() as f64 / 8.0 / 1024.0 / 1024.0;
+        assert!(peak_mb > rn_peak_mb);
+    }
+
+    #[test]
+    fn feature_map_reduces_late() {
+        // Half the convolutions still run at >= 28x28 at 224 input.
+        let m = darknet19(224);
+        let large = m.layers().iter().filter(|l| l.hi() >= 28).count();
+        assert!(large >= 8, "{large} large layers");
+    }
+}

@@ -1,0 +1,114 @@
+//! MobileNetV2 (Sandler et al., 2018). The paper cites it among the
+//! state-of-the-art models it extracts representative layers from
+//! (Section V-B) but does not plot it; we include it as a zoo extension and
+//! to exercise the depthwise-convolution path of the framework.
+
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// Inverted-residual plan: `(expansion t, out channels c, repeats n, stride s)`.
+const PLAN: [(u32, u32, u32, u32); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds MobileNetV2 for a square input of `resolution x resolution x 3`.
+///
+/// Each inverted residual contributes an expansion point-wise conv (skipped
+/// when `t == 1`), a 3x3 depthwise conv, and a projection point-wise conv.
+///
+/// # Panics
+///
+/// Panics if `resolution < 64`.
+pub fn mobilenet_v2(resolution: u32) -> Model {
+    let mut layers = Vec::new();
+    let conv1 = ConvSpec::new("conv1", resolution, resolution, 3, 3, 2, 1, 32)
+        .expect("valid stem");
+    let mut size = conv1.ho();
+    layers.push(conv1);
+    let mut ci = 32;
+
+    let mut block = 0;
+    for (t, c, n, s) in PLAN {
+        for rep in 0..n {
+            block += 1;
+            let stride = if rep == 0 { s } else { 1 };
+            let hidden = ci * t;
+            if t != 1 {
+                layers.push(
+                    ConvSpec::pointwise(format!("block{block}_expand"), size, size, ci, hidden)
+                        .expect("valid expand"),
+                );
+            }
+            let dw = ConvSpec::depthwise(
+                format!("block{block}_dwise"),
+                size,
+                size,
+                hidden,
+                3,
+                stride,
+                1,
+            )
+            .expect("valid depthwise");
+            size = dw.ho();
+            layers.push(dw);
+            layers.push(
+                ConvSpec::pointwise(format!("block{block}_project"), size, size, hidden, c)
+                    .expect("valid project"),
+            );
+            ci = c;
+        }
+    }
+
+    layers.push(
+        ConvSpec::pointwise("conv_last", size, size, ci, 1280).expect("valid head conv"),
+    );
+    layers.push(ConvSpec::fully_connected("fc", 1280, 1000).expect("valid fc"));
+    Model::new("mobilenet_v2", resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn block_count_and_head() {
+        let m = mobilenet_v2(224);
+        // 17 inverted residuals: 16 with expand (3 layers) + 1 without
+        // (2 layers) = 50, plus stem, conv_last and fc = 53.
+        assert_eq!(m.layers().len(), 53);
+        assert_eq!(m.layer("conv_last").unwrap().co(), 1280);
+    }
+
+    #[test]
+    fn reference_shapes_at_224() {
+        let m = mobilenet_v2(224);
+        assert_eq!(m.layer("conv1").unwrap().ho(), 112);
+        assert_eq!(m.layer("block1_dwise").unwrap().hi(), 112);
+        // Final blocks run at 7x7.
+        assert_eq!(m.layer("block17_project").unwrap().hi(), 7);
+        assert_eq!(m.layer("block17_project").unwrap().co(), 320);
+    }
+
+    #[test]
+    fn depthwise_layers_are_grouped() {
+        let m = mobilenet_v2(224);
+        let dw = m.layer("block2_dwise").unwrap();
+        assert_eq!(dw.kind(), LayerKind::Depthwise);
+        assert_eq!(dw.ci_per_group(), 1);
+        assert_eq!(dw.ci(), 16 * 6);
+    }
+
+    #[test]
+    fn total_macs_within_published_ballpark() {
+        // MobileNetV2 at 224 is ~0.3 GMAC.
+        let g = mobilenet_v2(224).total_macs() as f64 / 1e9;
+        assert!((0.25..0.45).contains(&g), "got {g} GMAC");
+    }
+}

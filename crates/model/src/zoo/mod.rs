@@ -1,0 +1,107 @@
+//! Built-in model zoo with the exact layer shape tables of the paper's
+//! benchmarks (Section V-B): AlexNet, VGG-16, ResNet-50, DarkNet-19, plus
+//! MobileNetV2 as an extension.
+//!
+//! Every builder takes the square input resolution (224 for classification,
+//! 512 for detection in the paper) and derives the per-layer feature-map
+//! sizes exactly as the reference networks do, including the pooling
+//! shape bookkeeping. Fully-connected layers are reorganized into point-wise
+//! layers following Section VI-A.
+
+mod alexnet;
+mod darknet;
+mod mobilenet;
+mod resnet;
+mod vgg;
+mod yolo;
+
+pub use alexnet::alexnet;
+pub use darknet::darknet19;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet50, resnet_basic};
+pub use vgg::vgg16;
+pub use yolo::yolo_v2;
+
+use crate::model::Model;
+
+/// Output extent of a pooling window: `(input - k) / s + 1` with optional
+/// padding, saturating at 1.
+pub(crate) fn pool(input: u32, k: u32, s: u32, p: u32) -> u32 {
+    ((input + 2 * p).saturating_sub(k) / s + 1).max(1)
+}
+
+/// The paper's three model-level comparison benchmarks (Figure 13) at one
+/// input resolution: VGG-16, ResNet-50 and DarkNet-19.
+pub fn figure13_models(resolution: u32) -> Vec<Model> {
+    vec![
+        vgg16(resolution),
+        resnet50(resolution),
+        darknet19(resolution),
+    ]
+}
+
+/// The five representative layers of the case studies in Section VI-A
+/// (Figures 11 and 12), extracted at the given input resolution:
+/// activation-intensive (VGG-16 conv1), weight-intensive (VGG-16 conv12),
+/// large-kernel (ResNet-50 conv1), point-wise (res2a_branch2a) and common
+/// (res2a_branch2b).
+pub fn representative_layers(resolution: u32) -> Vec<(String, crate::ConvSpec)> {
+    let vgg = vgg16(resolution);
+    let resnet = resnet50(resolution);
+    let pick = |m: &Model, name: &str| {
+        m.layer(name)
+            .unwrap_or_else(|| panic!("zoo model {} lacks layer {name}", m.name()))
+            .clone()
+    };
+    vec![
+        ("activation-intensive".to_string(), pick(&vgg, "conv1_1")),
+        ("weight-intensive".to_string(), pick(&vgg, "conv5_2")),
+        ("large-kernel".to_string(), pick(&resnet, "conv1")),
+        ("point-wise".to_string(), pick(&resnet, "res2a_branch2a")),
+        ("common".to_string(), pick(&resnet, "res2a_branch2b")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn pool_matches_reference_arithmetic() {
+        assert_eq!(pool(224, 2, 2, 0), 112);
+        assert_eq!(pool(55, 3, 2, 0), 27);
+        assert_eq!(pool(112, 3, 2, 1), 56);
+        assert_eq!(pool(1, 2, 2, 0), 1);
+    }
+
+    #[test]
+    fn figure13_set_has_three_models() {
+        let ms = figure13_models(224);
+        let names: Vec<_> = ms.iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, ["vgg16", "resnet50", "darknet19"]);
+    }
+
+    #[test]
+    fn representative_layers_match_paper_buckets() {
+        let layers = representative_layers(224);
+        assert_eq!(layers.len(), 5);
+        let by_bucket: std::collections::HashMap<_, _> = layers
+            .iter()
+            .map(|(b, l)| (b.as_str(), l.clone()))
+            .collect();
+        assert!(by_bucket["activation-intensive"].is_activation_intensive());
+        assert!(!by_bucket["weight-intensive"].is_activation_intensive());
+        assert_eq!(by_bucket["large-kernel"].kh(), 7);
+        assert_eq!(by_bucket["point-wise"].kind(), LayerKind::Pointwise);
+        assert_eq!(by_bucket["common"].kh(), 3);
+        assert_eq!(by_bucket["common"].co(), 64);
+    }
+
+    #[test]
+    fn representative_layers_exist_at_512() {
+        let layers = representative_layers(512);
+        assert_eq!(layers[0].1.hi(), 512);
+        assert_eq!(layers[2].1.hi(), 512);
+    }
+}

@@ -1,0 +1,276 @@
+//! ResNet-50 (He et al., 2016) with Caffe-style layer naming
+//! (`res{stage}{block}_branch{path}`), which is the naming the paper uses for
+//! its point-wise (`res2a_branch2a`) and common (`res2a_branch2b`) case-study
+//! layers. Strides follow the original Caffe deployment: the stride-2
+//! reduction of stages 3-5 sits on `branch2a` and `branch1`.
+
+use super::pool;
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// `(stage index, mid channels, out channels, block count)` for stages 2-5.
+const STAGES: [(u32, u32, u32, usize); 4] = [
+    (2, 64, 256, 3),
+    (3, 128, 512, 4),
+    (4, 256, 1024, 6),
+    (5, 512, 2048, 3),
+];
+
+/// Block letter for the `i`-th block of a stage (`a`, `b`, `c`, ...).
+fn block_letter(i: usize) -> char {
+    (b'a' + i as u8) as char
+}
+
+/// Builds ResNet-50 for a square input of `resolution x resolution x 3`.
+///
+/// The returned model contains the 53 convolution layers (conv1, 16
+/// bottleneck blocks of three convs each, 4 down-sample `branch1` convs) and
+/// the final FC reorganized as point-wise; batch-norm, ReLU and the pools are
+/// shape bookkeeping only.
+///
+/// # Panics
+///
+/// Panics if `resolution < 32`.
+pub fn resnet50(resolution: u32) -> Model {
+    let mut layers = Vec::new();
+    let r = resolution;
+
+    let conv1 = ConvSpec::new("conv1", r, r, 3, 7, 2, 3, 64).expect("valid conv1");
+    let mut size = pool(conv1.ho(), 3, 2, 1);
+    layers.push(conv1);
+
+    let mut ci = 64;
+    for (stage, mid, out, blocks) in STAGES {
+        for b in 0..blocks {
+            let letter = block_letter(b);
+            let prefix = format!("res{stage}{letter}");
+            // Caffe puts the stage's stride-2 on the first block's branch2a
+            // and branch1 (stage 2 keeps stride 1 because the max-pool
+            // already reduced the plane).
+            let stride = if b == 0 && stage > 2 { 2 } else { 1 };
+            if b == 0 {
+                layers.push(
+                    ConvSpec::new(
+                        format!("{prefix}_branch1"),
+                        size,
+                        size,
+                        ci,
+                        1,
+                        stride,
+                        0,
+                        out,
+                    )
+                    .expect("valid branch1"),
+                );
+            }
+            layers.push(
+                ConvSpec::new(
+                    format!("{prefix}_branch2a"),
+                    size,
+                    size,
+                    ci,
+                    1,
+                    stride,
+                    0,
+                    mid,
+                )
+                .expect("valid branch2a"),
+            );
+            let mid_size = if stride == 2 { size / 2 } else { size };
+            layers.push(
+                ConvSpec::new(
+                    format!("{prefix}_branch2b"),
+                    mid_size,
+                    mid_size,
+                    mid,
+                    3,
+                    1,
+                    1,
+                    mid,
+                )
+                .expect("valid branch2b"),
+            );
+            layers.push(
+                ConvSpec::new(
+                    format!("{prefix}_branch2c"),
+                    mid_size,
+                    mid_size,
+                    mid,
+                    1,
+                    1,
+                    0,
+                    out,
+                )
+                .expect("valid branch2c"),
+            );
+            size = mid_size;
+            ci = out;
+        }
+    }
+
+    layers.push(ConvSpec::fully_connected("fc1000", 2048, 1000).expect("valid fc"));
+    Model::new("resnet50", resolution, layers)
+}
+
+/// `(stage, channels, blocks)` plans for the basic-block ResNets.
+const BASIC_PLANS: [(&str, [usize; 4]); 2] =
+    [("resnet18", [2, 2, 2, 2]), ("resnet34", [3, 4, 6, 3])];
+
+/// Builds a basic-block ResNet (ResNet-18 or ResNet-34) for a square input.
+///
+/// Basic blocks are two 3x3 convolutions; stages run at 64/128/256/512
+/// channels with stride-2 on the first block of stages 3-5 (plus a 1x1
+/// `branch1` projection). Layer naming follows the bottleneck convention
+/// with `branch2a`/`branch2b`.
+///
+/// # Panics
+///
+/// Panics if `depth` is not 18 or 34, or `resolution < 32`.
+pub fn resnet_basic(depth: u32, resolution: u32) -> Model {
+    let (name, blocks) = match depth {
+        18 => BASIC_PLANS[0],
+        34 => BASIC_PLANS[1],
+        other => panic!("resnet_basic supports depths 18 and 34, got {other}"),
+    };
+    let mut layers = Vec::new();
+    let conv1 =
+        ConvSpec::new("conv1", resolution, resolution, 3, 7, 2, 3, 64).expect("valid conv1");
+    let mut size = pool(conv1.ho(), 3, 2, 1);
+    layers.push(conv1);
+    let mut ci = 64;
+    for (stage, (&nblocks, channels)) in blocks.iter().zip([64u32, 128, 256, 512]).enumerate() {
+        let stage_no = stage + 2;
+        for b in 0..nblocks {
+            let letter = block_letter(b);
+            let prefix = format!("res{stage_no}{letter}");
+            let stride = if b == 0 && stage_no > 2 { 2 } else { 1 };
+            if b == 0 && (stride == 2 || ci != channels) {
+                layers.push(
+                    ConvSpec::new(
+                        format!("{prefix}_branch1"),
+                        size,
+                        size,
+                        ci,
+                        1,
+                        stride,
+                        0,
+                        channels,
+                    )
+                    .expect("valid branch1"),
+                );
+            }
+            layers.push(
+                ConvSpec::new(
+                    format!("{prefix}_branch2a"),
+                    size,
+                    size,
+                    ci,
+                    3,
+                    stride,
+                    1,
+                    channels,
+                )
+                .expect("valid branch2a"),
+            );
+            let out_size = if stride == 2 { size / 2 } else { size };
+            layers.push(
+                ConvSpec::new(
+                    format!("{prefix}_branch2b"),
+                    out_size,
+                    out_size,
+                    channels,
+                    3,
+                    1,
+                    1,
+                    channels,
+                )
+                .expect("valid branch2b"),
+            );
+            size = out_size;
+            ci = channels;
+        }
+    }
+    layers.push(ConvSpec::fully_connected("fc1000", 512, 1000).expect("valid fc"));
+    Model::new(name, resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn resnet50_224_reference_shapes() {
+        let m = resnet50(224);
+        // 1 stem + 16 blocks x 3 + 4 branch1 + 1 fc = 54 layers.
+        assert_eq!(m.layers().len(), 54);
+        assert_eq!(m.layer("conv1").unwrap().ho(), 112);
+        let b2a = m.layer("res2a_branch2a").unwrap();
+        assert_eq!((b2a.hi(), b2a.ci(), b2a.co()), (56, 64, 64));
+        assert_eq!(b2a.kind(), LayerKind::Pointwise);
+        let b2b = m.layer("res2a_branch2b").unwrap();
+        assert_eq!((b2b.hi(), b2b.kh(), b2b.co()), (56, 3, 64));
+        // Stage transitions: 56 -> 28 -> 14 -> 7.
+        assert_eq!(m.layer("res3a_branch2b").unwrap().hi(), 28);
+        assert_eq!(m.layer("res4a_branch2b").unwrap().hi(), 14);
+        assert_eq!(m.layer("res5c_branch2c").unwrap().hi(), 7);
+        // Wide final stage, as the paper notes ("up to 2048 channels").
+        assert_eq!(m.layer("res5c_branch2c").unwrap().co(), 2048);
+    }
+
+    #[test]
+    fn resnet50_512_shapes() {
+        let m = resnet50(512);
+        assert_eq!(m.layer("conv1").unwrap().ho(), 256);
+        assert_eq!(m.layer("res2a_branch2a").unwrap().hi(), 128);
+        assert_eq!(m.layer("res5c_branch2c").unwrap().hi(), 16);
+    }
+
+    #[test]
+    fn stride_two_sits_on_branch2a_for_stages_3_to_5() {
+        let m = resnet50(224);
+        assert_eq!(m.layer("res3a_branch2a").unwrap().stride_h(), 2);
+        assert_eq!(m.layer("res3a_branch1").unwrap().stride_h(), 2);
+        assert_eq!(m.layer("res2a_branch2a").unwrap().stride_h(), 1);
+        assert_eq!(m.layer("res3b_branch2a").unwrap().stride_h(), 1);
+    }
+
+    #[test]
+    fn total_macs_match_published_figure() {
+        // ResNet-50 at 224 is ~4.1 GMAC.
+        let m = resnet50(224);
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((3.7..4.4).contains(&g), "got {g} GMAC");
+    }
+
+    #[test]
+    fn resnet18_and_34_reference_shapes() {
+        let m18 = resnet_basic(18, 224);
+        // 1 stem + 8 blocks x 2 + 3 branch1 + 1 fc = 21 layers.
+        assert_eq!(m18.layers().len(), 21);
+        assert_eq!(m18.layer("res2a_branch2a").unwrap().hi(), 56);
+        assert_eq!(m18.layer("res5b_branch2b").unwrap().hi(), 7);
+        let g18 = m18.total_macs() as f64 / 1e9;
+        assert!((1.6..2.0).contains(&g18), "resnet18 {g18} GMAC");
+
+        let m34 = resnet_basic(34, 224);
+        assert_eq!(m34.layers().len(), 1 + 16 * 2 + 3 + 1);
+        let g34 = m34.total_macs() as f64 / 1e9;
+        assert!((3.3..3.9).contains(&g34), "resnet34 {g34} GMAC");
+    }
+
+    #[test]
+    #[should_panic(expected = "depths 18 and 34")]
+    fn unsupported_depths_panic() {
+        let _ = resnet_basic(50, 224);
+    }
+
+    #[test]
+    fn feature_map_reduces_earlier_than_vgg() {
+        // Paper Section V-B: ResNet-50's feature map size reduces earlier,
+        // so its peak activation demand is ~4x lower than VGG-16's.
+        let resnet = resnet50(224);
+        let vgg = super::super::vgg16(224);
+        assert!(resnet.peak_activation_bits() * 3 < vgg.peak_activation_bits());
+    }
+}

@@ -1,0 +1,116 @@
+//! VGG-16 (Simonyan & Zisserman, 2015): thirteen 3x3 convolutions in five
+//! blocks plus three fully-connected layers. The paper draws its
+//! activation-intensive (conv1_1) and weight-intensive (conv5_2, its
+//! "conv12") case-study layers from this network, and notes that VGG's
+//! feature-map size "reduces later" than ResNet-50's, which is why NN-Baton's
+//! savings over Simba are larger here (Section VI-A).
+
+use super::pool;
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// Channel plan of the five convolution blocks.
+const BLOCKS: [(&str, u32, usize); 5] = [
+    ("conv1", 64, 2),
+    ("conv2", 128, 2),
+    ("conv3", 256, 3),
+    ("conv4", 512, 3),
+    ("conv5", 512, 3),
+];
+
+/// Builds VGG-16 for a square input of `resolution x resolution x 3`.
+///
+/// Layers are named `conv{block}_{index}` (e.g. `conv5_2` is the paper's
+/// "VGG-16 conv12") and `fc6`/`fc7`/`fc8`.
+///
+/// # Panics
+///
+/// Panics if `resolution < 32` (the five 2x pools need at least one output
+/// element each).
+pub fn vgg16(resolution: u32) -> Model {
+    let mut layers = Vec::new();
+    let mut size = resolution;
+    let mut ci = 3;
+    for (block, co, reps) in BLOCKS {
+        for i in 1..=reps {
+            let name = format!("{block}_{i}");
+            layers.push(
+                ConvSpec::new(name, size, size, ci, 3, 1, 1, co).expect("valid vgg conv"),
+            );
+            ci = co;
+        }
+        size = pool(size, 2, 2, 0);
+    }
+    // FC layers reorganized into point-wise layers (Section VI-A): the
+    // first FC becomes a 1x1 convolution over the final feature-map plane
+    // (identical MAC count to the dense layer), the rest act on a pooled
+    // 1x1 plane.
+    layers.push(ConvSpec::pointwise("fc6", size, size, 512, 4096).expect("valid fc6"));
+    layers.push(ConvSpec::fully_connected("fc7", 4096, 4096).expect("valid fc7"));
+    layers.push(ConvSpec::fully_connected("fc8", 4096, 1000).expect("valid fc8"));
+    Model::new("vgg16", resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_224_reference_shapes() {
+        let m = vgg16(224);
+        assert_eq!(m.layers().len(), 16);
+        assert_eq!(m.layer("conv1_1").unwrap().hi(), 224);
+        assert_eq!(m.layer("conv3_1").unwrap().hi(), 56);
+        let conv12 = m.layer("conv5_2").unwrap();
+        assert_eq!((conv12.hi(), conv12.ci(), conv12.co()), (14, 512, 512));
+        let fc6 = m.layer("fc6").unwrap();
+        assert_eq!((fc6.hi(), fc6.ci(), fc6.co()), (7, 512, 4096));
+        // The reorganized point-wise fc6 preserves the dense layer's MACs.
+        assert_eq!(fc6.macs(), 25088 * 4096);
+    }
+
+    #[test]
+    fn vgg16_512_shapes() {
+        let m = vgg16(512);
+        assert_eq!(m.layer("conv5_2").unwrap().hi(), 32);
+        assert_eq!(m.layer("fc6").unwrap().macs(), 512u64 * 16 * 16 * 4096);
+    }
+
+    #[test]
+    fn conv_macs_match_published_total() {
+        // VGG-16 at 224 is the classic ~15.3 GMAC conv workload plus
+        // ~0.12 GMAC of FCs.
+        let m = vgg16(224);
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((15.0..16.0).contains(&g), "got {g} GMAC");
+    }
+
+    #[test]
+    fn peak_activation_is_first_block() {
+        let m = vgg16(224);
+        assert_eq!(
+            m.peak_activation_bits(),
+            m.layer("conv1_2").unwrap().input_bits()
+        );
+    }
+
+    #[test]
+    fn peak_weights_live_in_fc7_after_reorganization() {
+        let m = vgg16(224);
+        // With fc6 reorganized as point-wise, fc7 (4096x4096) holds the
+        // largest weight tensor.
+        assert_eq!(
+            m.peak_weight_bits(),
+            m.layer("fc7").unwrap().weight_bits()
+        );
+    }
+
+    #[test]
+    fn resolution_512_quadruples_peak_activations() {
+        // Paper: at 512x512 the peak activation requirement is ~4x larger.
+        let a224 = vgg16(224).peak_activation_bits() as f64;
+        let a512 = vgg16(512).peak_activation_bits() as f64;
+        let ratio = a512 / a224;
+        assert!((4.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+}

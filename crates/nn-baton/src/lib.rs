@@ -1,0 +1,96 @@
+//! # NN-Baton
+//!
+//! A from-scratch Rust reproduction of **NN-Baton: DNN Workload
+//! Orchestration and Chiplet Granularity Exploration for Multichip
+//! Accelerators** (Tan, Cai, Dong, Ma — ISCA 2021).
+//!
+//! NN-Baton is an analytical mapping and design-space-exploration tool for
+//! chiplet-based DNN inference accelerators. This crate is the public facade
+//! of the workspace; the subsystems live in dedicated crates re-exported
+//! below:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`model`] | `baton-model` | layer shapes, halo geometry, model zoo, model-description parser |
+//! | [`arch`] | `baton-arch` | package/chiplet/core hardware model, Table I energy + Figure 10 memory technology |
+//! | [`mapping`] | `baton-mapping` | spatial/temporal/rotating primitives, tiling, loop nests, mapping enumeration |
+//! | [`c3p`] | `baton-c3p` | the C3P analytical engine: access profiles, energy, analytical runtime |
+//! | [`sim`] | `baton-sim` | discrete-event runtime simulator (DRAM channels, ring, bus, double-buffered cores) |
+//! | [`simba`] | `baton-simba` | the weight-centric Simba baseline of Figures 12-13 |
+//! | [`dse`] | `baton-dse` | pre-design (Figures 14-15) and post-design flows |
+//! | [`func`] | `baton-func` | functional simulator: bit-exact execution of mappings on real tensors |
+//!
+//! # Quickstart
+//!
+//! Map one layer on the paper's case-study machine and inspect the result:
+//!
+//! ```
+//! use nn_baton::prelude::*;
+//!
+//! let arch = presets::case_study_accelerator(); // 4 chiplets x 8 cores x 8x8 MACs
+//! let tech = Technology::paper_16nm();
+//! let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+//!
+//! let best = search_layer(&layer, &arch, &tech, Objective::Energy)?;
+//! println!("{}: {}", best.mapping.spatial_tag(), best.energy);
+//! assert!(best.utilization > 0.0);
+//! # Ok::<(), nn_baton::c3p::SearchError>(())
+//! ```
+//!
+//! Run the post-design flow over a whole model:
+//!
+//! ```
+//! use nn_baton::prelude::*;
+//!
+//! let arch = presets::case_study_accelerator();
+//! let tech = Technology::paper_16nm();
+//! let report = map_model(&zoo::darknet19(224), &arch, &tech)?;
+//! println!("total: {:.1} uJ in {} cycles", report.energy.total_uj(), report.cycles);
+//! # Ok::<(), nn_baton::c3p::SearchError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use baton_arch as arch;
+pub use baton_c3p as c3p;
+pub use baton_dse as dse;
+pub use baton_func as func;
+pub use baton_mapping as mapping;
+pub use baton_model as model;
+pub use baton_sim as sim;
+pub use baton_simba as simba;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use baton_arch::{presets, CostModel, PackageConfig, Technology};
+    pub use baton_c3p::{
+        evaluate, search_layer, EnergyBreakdown, Evaluation, Objective, TrafficBounds,
+    };
+    pub use baton_dse::{
+        compare_model, full_sweep, full_sweep_suite, fusion_analysis, granularity_sweep,
+        map_model, pareto_front, recommend, DesignPoint, SweepOptions,
+    };
+    pub use baton_func::{reference_conv, run_mapping, Tensor3, Tensor4};
+    pub use baton_mapping::{
+        verify_coverage, ChipletPartition, Mapping, PackagePartition, RotationMode,
+        TemporalOrder, Tile,
+    };
+    pub use baton_model::{parse_model, render_model, zoo, ConvSpec, Model, PlanarGrid};
+    pub use baton_sim::{simulate, simulate_traced};
+    pub use baton_simba::{evaluate_simba, evaluate_simba_tuned};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let layer = zoo::vgg16(224).layer("conv3_1").cloned().unwrap();
+        let ours = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        let theirs = evaluate_simba(&layer, &arch, &tech);
+        assert!(ours.energy.total_pj() < theirs.energy.total_pj());
+    }
+}

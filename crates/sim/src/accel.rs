@@ -1,0 +1,509 @@
+//! The accelerator timing model: tile pipelines over contended resources.
+//!
+//! Each chiplet executes its chiplet-tile sequence with double-buffered
+//! loading (A-L1/W-L1 are "generated with double SRAMs to overlap the data
+//! loading and computation time", Section III-A.1): the load of tile `i+1`
+//! proceeds while tile `i` computes, at most one tile ahead. Loads contend
+//! for the chiplet's DRAM channel, its outgoing ring link and its central
+//! bus, all modeled as bandwidth-limited FIFO [`Server`]s; write-backs share
+//! the DRAM channel.
+
+use baton_arch::{PackageConfig, Technology};
+use baton_c3p::{evaluate_decomposition, AccessCounts};
+use baton_mapping::{decompose, LoopLevel, Mapping, MappingError};
+use baton_model::ConvSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Cycles, Engine};
+use crate::resource::Server;
+use crate::trace::{Trace, TraceKind};
+
+/// Simulation outcome for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end cycles until the last write-back completes.
+    pub total_cycles: Cycles,
+    /// Pure compute cycles of the critical chiplet.
+    pub compute_cycles: Cycles,
+    /// Cycles the critical chiplet spent stalled on data.
+    pub stall_cycles: Cycles,
+    /// Busy cycles of the most-loaded DRAM channel.
+    pub dram_busy: Cycles,
+    /// Busy cycles of the most-loaded ring link.
+    pub ring_busy: Cycles,
+    /// Busy cycles of the most-loaded central bus.
+    pub bus_busy: Cycles,
+    /// Tiles executed per chiplet.
+    pub tiles_per_chiplet: u64,
+    /// End-to-end MAC utilization.
+    pub utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    LoadDone { chiplet: u32, tile: u64 },
+    ComputeDone { chiplet: u32, tile: u64 },
+}
+
+struct ChipletState {
+    tiles: u64,
+    next_load: u64,
+    loaded_ready: u64, // highest tile index loaded + 1
+    computed: u64,
+    computing: bool,
+    dram: Server,
+    ring: Server,
+    bus: Server,
+    finish: Cycles,
+}
+
+/// Per-tile bit budgets derived from the resolved access counts.
+#[derive(Debug, Clone, Copy)]
+struct TileBits {
+    dram_in: u64,
+    ring: u64,
+    bus: u64,
+    dram_out: u64,
+    compute: Cycles,
+}
+
+/// Simulates one layer under one mapping and returns the timing report.
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if the mapping is illegal for the layer/machine
+/// pair (same legality rules as the analytical path).
+pub fn simulate(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mapping: &Mapping,
+) -> Result<SimReport, MappingError> {
+    let d = decompose(layer, arch, mapping)?;
+    let ev = evaluate_decomposition(&d, arch, tech, mapping);
+    Ok(simulate_resolved(
+        &ev.access,
+        d.compute_cycles,
+        tiles_per_chiplet(&d.nest),
+        arch,
+        tech,
+        d.volumes.mac_ops,
+        None,
+    ))
+}
+
+/// Like [`simulate`], additionally recording the full event [`Trace`].
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if the mapping is illegal.
+pub fn simulate_traced(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mapping: &Mapping,
+) -> Result<(SimReport, Trace), MappingError> {
+    let d = decompose(layer, arch, mapping)?;
+    let ev = evaluate_decomposition(&d, arch, tech, mapping);
+    let mut trace = Trace::new();
+    let report = simulate_resolved(
+        &ev.access,
+        d.compute_cycles,
+        tiles_per_chiplet(&d.nest),
+        arch,
+        tech,
+        d.volumes.mac_ops,
+        Some(&mut trace),
+    );
+    Ok((report, trace))
+}
+
+/// Chiplet-tile count: the product of the chiplet-level loop trip counts.
+fn tiles_per_chiplet(nest: &baton_mapping::LoopNest) -> u64 {
+    nest.loops()
+        .iter()
+        .filter(|l| l.level == LoopLevel::Chiplet)
+        .map(|l| l.count)
+        .product::<u64>()
+        .max(1)
+}
+
+/// Core of the simulator, operating on resolved traffic totals.
+#[allow(clippy::too_many_arguments)]
+fn simulate_resolved(
+    access: &AccessCounts,
+    compute_cycles: Cycles,
+    tiles: u64,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mac_ops: u64,
+    mut trace: Option<&mut Trace>,
+) -> SimReport {
+    let n_p = u64::from(arch.chiplets).max(1);
+    let bw = &tech.bandwidth;
+
+    let per_tile = TileBits {
+        dram_in: (access.dram_input_bits + access.dram_weight_bits) / n_p / tiles,
+        ring: access.d2d_bits / n_p / tiles,
+        bus: access.a_l2_bits / n_p / tiles,
+        dram_out: access.dram_output_bits / n_p / tiles,
+        compute: (compute_cycles / tiles).max(1),
+    };
+
+    let mut chiplets: Vec<ChipletState> = (0..arch.chiplets)
+        .map(|_| ChipletState {
+            tiles,
+            next_load: 0,
+            loaded_ready: 0,
+            computed: 0,
+            computing: false,
+            dram: Server::new(bw.dram_bits_per_cycle),
+            ring: Server::new(bw.d2d_bits_per_cycle),
+            bus: Server::new(bw.bus_bits_per_cycle),
+            finish: 0,
+        })
+        .collect();
+
+    let mut engine: Engine<Event> = Engine::new();
+    // Kick off the first load on every chiplet.
+    for c in 0..arch.chiplets {
+        start_load(&mut engine, &mut chiplets[c as usize], c, 0, &per_tile, &mut trace);
+    }
+
+    while let Some(s) = engine.pop() {
+        let now = s.time;
+        match s.event {
+            Event::LoadDone { chiplet, tile } => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(now, chiplet, tile, TraceKind::LoadDone);
+                }
+                let st = &mut chiplets[chiplet as usize];
+                st.loaded_ready = st.loaded_ready.max(tile + 1);
+                if !st.computing && st.computed == tile {
+                    st.computing = true;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record(now, chiplet, tile, TraceKind::ComputeStart);
+                    }
+                    engine.schedule_at(now + per_tile.compute, Event::ComputeDone { chiplet, tile });
+                }
+                // Double buffering: prefetch at most one tile ahead of the
+                // one currently computing.
+                if st.next_load < st.tiles && st.next_load <= st.computed + 1 {
+                    let t = st.next_load;
+                    start_load(&mut engine, st, chiplet, t, &per_tile, &mut trace);
+                }
+            }
+            Event::ComputeDone { chiplet, tile } => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(now, chiplet, tile, TraceKind::ComputeDone);
+                }
+                let st = &mut chiplets[chiplet as usize];
+                st.computing = false;
+                st.computed = tile + 1;
+                // Write the tile's outputs back through the bus + DRAM.
+                let (_, bus_end) = st.bus.reserve(now, per_tile.dram_out);
+                let (_, wb_end) = st.dram.reserve(bus_end, per_tile.dram_out);
+                st.finish = st.finish.max(wb_end);
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(wb_end, chiplet, tile, TraceKind::WritebackDone);
+                }
+                if st.computed < st.tiles {
+                    if st.loaded_ready > st.computed {
+                        st.computing = true;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record(now, chiplet, st.computed, TraceKind::ComputeStart);
+                        }
+                        engine.schedule_at(
+                            now + per_tile.compute,
+                            Event::ComputeDone {
+                                chiplet,
+                                tile: st.computed,
+                            },
+                        );
+                    }
+                    if st.next_load < st.tiles && st.next_load <= st.computed + 1 {
+                        let t = st.next_load;
+                        start_load(&mut engine, st, chiplet, t, &per_tile, &mut trace);
+                    }
+                }
+            }
+        }
+    }
+
+    let total_cycles = chiplets.iter().map(|c| c.finish).max().unwrap_or(0).max(1);
+    let compute = per_tile.compute * tiles;
+    let units = arch.total_macs();
+    SimReport {
+        total_cycles,
+        compute_cycles: compute,
+        stall_cycles: total_cycles.saturating_sub(compute),
+        dram_busy: chiplets.iter().map(|c| c.dram.busy_cycles()).max().unwrap_or(0),
+        ring_busy: chiplets.iter().map(|c| c.ring.busy_cycles()).max().unwrap_or(0),
+        bus_busy: chiplets.iter().map(|c| c.bus.busy_cycles()).max().unwrap_or(0),
+        tiles_per_chiplet: tiles,
+        utilization: mac_ops as f64 / (total_cycles as f64 * units as f64),
+    }
+}
+
+fn start_load(
+    engine: &mut Engine<Event>,
+    st: &mut ChipletState,
+    chiplet: u32,
+    tile: u64,
+    per_tile: &TileBits,
+    trace: &mut Option<&mut Trace>,
+) {
+    debug_assert_eq!(st.next_load, tile);
+    st.next_load += 1;
+    let now = engine.now();
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record(now, chiplet, tile, TraceKind::LoadStart);
+    }
+    let (_, dram_end) = st.dram.reserve(now, per_tile.dram_in);
+    let (_, ring_end) = st.ring.reserve(now, per_tile.ring);
+    // The bus distributes DRAM- and ring-sourced data to the cores.
+    let staged = dram_end.max(ring_end);
+    let (_, bus_end) = st.bus.reserve(staged, per_tile.bus);
+    engine.schedule_at(bus_end, Event::LoadDone { chiplet, tile });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_c3p::Objective;
+    use baton_model::zoo;
+
+    fn setup() -> (PackageConfig, Technology) {
+        (presets::case_study_accelerator(), Technology::paper_16nm())
+    }
+
+    fn best_mapping(layer: &ConvSpec, arch: &PackageConfig, tech: &Technology) -> Mapping {
+        baton_c3p::search_layer(layer, arch, tech, Objective::Energy)
+            .unwrap()
+            .mapping
+    }
+
+    #[test]
+    fn des_never_beats_the_analytical_compute_bound() {
+        let (arch, tech) = setup();
+        for (_, layer) in zoo::representative_layers(224) {
+            let m = best_mapping(&layer, &arch, &tech);
+            let ev = baton_c3p::evaluate(&layer, &arch, &tech, &m).unwrap();
+            let r = simulate(&layer, &arch, &tech, &m).unwrap();
+            assert!(
+                r.total_cycles + r.tiles_per_chiplet >= ev.compute_cycles,
+                "{}: DES {} < compute bound {}",
+                layer.name(),
+                r.total_cycles,
+                ev.compute_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn compute_bound_layer_has_small_stall_fraction() {
+        let (arch, tech) = setup();
+        let layer = zoo::vgg16(224).layer("conv3_2").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let r = simulate(&layer, &arch, &tech, &m).unwrap();
+        // Double buffering hides most of the load latency on this
+        // compute-heavy 3x3 layer.
+        let stall_frac = r.stall_cycles as f64 / r.total_cycles as f64;
+        assert!(stall_frac < 0.5, "stall fraction {stall_frac}");
+    }
+
+    #[test]
+    fn starved_dram_bandwidth_dominates_runtime() {
+        let (arch, mut tech) = setup();
+        let layer = zoo::resnet50(224).layer("res2a_branch2a").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let fast = simulate(&layer, &arch, &tech, &m).unwrap();
+        tech.bandwidth.dram_bits_per_cycle = 1;
+        let slow = simulate(&layer, &arch, &tech, &m).unwrap();
+        assert!(slow.total_cycles > 4 * fast.total_cycles);
+        assert!(slow.stall_cycles > slow.compute_cycles);
+    }
+
+    #[test]
+    fn des_and_analytical_agree_within_pipeline_slack() {
+        // When compute dominates, DES total = compute + pipeline fill; the
+        // analytical model reports max(compute, bandwidth bounds). They must
+        // agree within the fill/drain slack of a couple of tiles.
+        let (arch, tech) = setup();
+        let layer = zoo::vgg16(224).layer("conv2_2").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let ev = baton_c3p::evaluate(&layer, &arch, &tech, &m).unwrap();
+        let r = simulate(&layer, &arch, &tech, &m).unwrap();
+        let ratio = r.total_cycles as f64 / ev.cycles as f64;
+        assert!((0.8..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (arch, tech) = setup();
+        let layer = zoo::darknet19(224).layer("conv14").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let r = simulate(&layer, &arch, &tech, &m).unwrap();
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (arch, tech) = setup();
+        let layer = zoo::resnet50(224).layer("res3a_branch2b").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let a = simulate(&layer, &arch, &tech, &m).unwrap();
+        let b = simulate(&layer, &arch, &tech, &m).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_chiplet_machine_simulates() {
+        let (_, tech) = setup();
+        let arch = PackageConfig::new(1, presets::case_study_chiplet());
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let m = best_mapping(&layer, &arch, &tech);
+        let r = simulate(&layer, &arch, &tech, &m).unwrap();
+        assert_eq!(r.ring_busy, 0);
+        assert!(r.total_cycles > 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_c3p::Objective;
+    use baton_model::zoo;
+
+    #[test]
+    fn traced_run_matches_untraced_and_has_valid_lifecycles() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let m = baton_c3p::search_layer(&layer, &arch, &tech, Objective::Energy)
+            .unwrap()
+            .mapping;
+        let plain = simulate(&layer, &arch, &tech, &m).unwrap();
+        let (traced, trace) = simulate_traced(&layer, &arch, &tech, &m).unwrap();
+        assert_eq!(plain, traced);
+        trace.check_lifecycles().unwrap();
+        // Every chiplet executes every tile: 5 events per (chiplet, tile).
+        let expected = 5 * u64::from(arch.chiplets) * traced.tiles_per_chiplet;
+        assert_eq!(trace.events().len() as u64, expected);
+    }
+
+    #[test]
+    fn trace_times_expose_double_buffering() {
+        // With double buffering, some tile's LoadStart precedes the previous
+        // tile's ComputeDone on the same chiplet.
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let layer = zoo::vgg16(224).layer("conv2_1").cloned().unwrap();
+        let m = baton_c3p::search_layer(&layer, &arch, &tech, Objective::Energy)
+            .unwrap()
+            .mapping;
+        let (report, trace) = simulate_traced(&layer, &arch, &tech, &m).unwrap();
+        if report.tiles_per_chiplet < 2 {
+            return; // single-tile runs cannot overlap
+        }
+        let loads: Vec<_> = trace
+            .chiplet(0)
+            .filter(|e| e.kind == crate::trace::TraceKind::LoadStart)
+            .collect();
+        let computes: Vec<_> = trace
+            .chiplet(0)
+            .filter(|e| e.kind == crate::trace::TraceKind::ComputeDone)
+            .collect();
+        assert!(loads[1].time <= computes[0].time, "no overlap observed");
+    }
+}
+
+/// Whole-model simulation result: per-layer reports plus aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSimReport {
+    /// Per-layer reports in execution order, tagged with the layer name.
+    pub layers: Vec<(String, SimReport)>,
+    /// End-to-end cycles (layers execute back to back).
+    pub total_cycles: Cycles,
+    /// Aggregate MAC utilization over the whole run.
+    pub utilization: f64,
+}
+
+/// Simulates a whole model, layer by layer, with the given per-layer
+/// mappings (typically the post-design flow's winners).
+///
+/// # Errors
+///
+/// Returns [`MappingError`] for the first illegal `(layer, mapping)` pair.
+///
+/// # Panics
+///
+/// Panics if `mappings.len() != model.layers().len()`.
+pub fn simulate_model(
+    model: &baton_model::Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mappings: &[Mapping],
+) -> Result<ModelSimReport, MappingError> {
+    assert_eq!(
+        mappings.len(),
+        model.layers().len(),
+        "one mapping per layer"
+    );
+    let mut layers = Vec::with_capacity(mappings.len());
+    let mut total_cycles = 0u64;
+    let mut total_macs = 0u64;
+    for (layer, mapping) in model.layers().iter().zip(mappings) {
+        let r = simulate(layer, arch, tech, mapping)?;
+        total_cycles += r.total_cycles;
+        total_macs += layer.macs();
+        layers.push((layer.name().to_string(), r));
+    }
+    Ok(ModelSimReport {
+        layers,
+        total_cycles: total_cycles.max(1),
+        utilization: total_macs as f64
+            / (total_cycles.max(1) as f64 * arch.total_macs() as f64),
+    })
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use baton_arch::presets;
+    use baton_c3p::Objective;
+    use baton_model::zoo;
+
+    #[test]
+    fn whole_model_simulation_aggregates_layers() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let model = zoo::alexnet(224);
+        let mappings: Vec<Mapping> = model
+            .layers()
+            .iter()
+            .map(|l| {
+                baton_c3p::search_layer(l, &arch, &tech, Objective::Energy)
+                    .unwrap()
+                    .mapping
+            })
+            .collect();
+        let r = simulate_model(&model, &arch, &tech, &mappings).unwrap();
+        assert_eq!(r.layers.len(), model.layers().len());
+        let sum: u64 = r.layers.iter().map(|(_, l)| l.total_cycles).sum();
+        assert_eq!(sum, r.total_cycles);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        assert_eq!(r.layers[0].0, "conv1");
+    }
+
+    #[test]
+    #[should_panic(expected = "one mapping per layer")]
+    fn mismatched_mapping_count_panics() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let model = zoo::alexnet(224);
+        let _ = simulate_model(&model, &arch, &tech, &[]);
+    }
+}

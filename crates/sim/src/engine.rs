@@ -1,0 +1,153 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`, so simultaneous events fire in
+//! scheduling order and every run is reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in core clock cycles.
+pub type Cycles = u64;
+
+/// An event scheduled at an absolute time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Scheduled<E> {
+    /// Absolute firing time.
+    pub time: Cycles,
+    /// Tie-break sequence number (scheduling order).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// The event queue and clock.
+///
+/// ```
+/// use baton_sim::Engine;
+///
+/// let mut e: Engine<&'static str> = Engine::new();
+/// e.schedule_at(10, "b");
+/// e.schedule_at(5, "a");
+/// e.schedule_at(10, "c");
+/// let order: Vec<_> = std::iter::from_fn(|| e.pop().map(|s| s.event)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: Cycles,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+}
+
+impl<E: Ord> Engine<E> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — causality violations are programming
+    /// errors in the model.
+    pub fn schedule_at(&mut self, time: Cycles, event: E) {
+        assert!(time >= self.now, "event scheduled in the past");
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules an event `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock. Returns `None` when the
+    /// queue drains (end of simulation).
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let Reverse(s) = self.queue.pop()?;
+        self.now = s.time;
+        Some(s)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<E: Ord> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(3, 30);
+        e.schedule_at(1, 10);
+        e.schedule_at(3, 31);
+        e.schedule_at(2, 20);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|s| s.event)).collect();
+        assert_eq!(order, [10, 20, 30, 31]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(7, ());
+        assert_eq!(e.now(), 0);
+        e.pop();
+        assert_eq!(e.now(), 7);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(5, 1);
+        e.pop();
+        e.schedule_in(3, 2);
+        let s = e.pop().unwrap();
+        assert_eq!(s.time, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(5, 1);
+        e.pop();
+        e.schedule_at(2, 2);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut e: Engine<u32> = Engine::new();
+            for i in 0..100u32 {
+                e.schedule_at(u64::from(i % 10), i);
+            }
+            std::iter::from_fn(move || e.pop().map(|s| s.event)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,41 @@
+//! Cycle-approximate discrete-event simulator for the multichip accelerator.
+//!
+//! The paper's C3P engine is analytical, but its runtime numbers come from a
+//! dedicated simulator: "We establish a simulator to obtain the runtime for a
+//! specific workload" (Section V-C). This crate is that substrate: a small
+//! discrete-event [`engine`] plus an [`accel`] model that executes a mapping
+//! tile by tile with double-buffered loading, per-chiplet DRAM channels, the
+//! directional ring links and the central bus as bandwidth-limited servers.
+//!
+//! The simulator and the analytical runtime bound of `baton-c3p` are
+//! cross-validated in this crate's tests: the DES can only add contention on
+//! top of the analytical critical path, and they agree when a single
+//! resource dominates.
+//!
+//! ```
+//! use baton_arch::{presets, Technology};
+//! use baton_model::zoo;
+//! use baton_c3p::Objective;
+//!
+//! let arch = presets::case_study_accelerator();
+//! let tech = Technology::paper_16nm();
+//! let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+//! let best = baton_c3p::search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+//! let report = baton_sim::simulate(&layer, &arch, &tech, &best.mapping).unwrap();
+//! assert!(report.total_cycles >= best.compute_cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accel;
+pub mod engine;
+pub mod resource;
+pub mod ring;
+pub mod trace;
+
+pub use accel::{simulate, simulate_model, simulate_traced, ModelSimReport, SimReport};
+pub use engine::{Engine, Scheduled};
+pub use resource::Server;
+pub use ring::{rotation_latency, simulate_rotation, RingConfig, RotationReport};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,105 @@
+//! Bandwidth-limited FIFO servers: DRAM channels, ring links, buses.
+
+use crate::engine::Cycles;
+
+/// A FIFO server with a fixed service rate in bits per cycle.
+///
+/// Reservations are granted in request order; a transfer occupies the server
+/// for `ceil(bits / rate)` cycles starting no earlier than both the request
+/// time and the server's previous completion.
+///
+/// ```
+/// use baton_sim::Server;
+///
+/// let mut dram = Server::new(64);
+/// assert_eq!(dram.reserve(0, 640), (0, 10));
+/// // A second request at time 3 queues behind the first.
+/// assert_eq!(dram.reserve(3, 64), (10, 11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Server {
+    bits_per_cycle: u64,
+    free_at: Cycles,
+    busy: Cycles,
+}
+
+impl Server {
+    /// Creates a server with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_cycle` is zero.
+    pub fn new(bits_per_cycle: u64) -> Self {
+        assert!(bits_per_cycle > 0, "server rate must be positive");
+        Self {
+            bits_per_cycle,
+            free_at: 0,
+            busy: 0,
+        }
+    }
+
+    /// Reserves the server for `bits` starting at `now`, returning the
+    /// `(start, end)` cycle window. Zero-bit requests complete immediately.
+    pub fn reserve(&mut self, now: Cycles, bits: u64) -> (Cycles, Cycles) {
+        let start = self.free_at.max(now);
+        if bits == 0 {
+            return (start, start);
+        }
+        let dur = bits.div_ceil(self.bits_per_cycle);
+        let end = start + dur;
+        self.free_at = end;
+        self.busy += dur;
+        (start, end)
+    }
+
+    /// Time the server becomes idle.
+    pub fn free_at(&self) -> Cycles {
+        self.free_at
+    }
+
+    /// Total busy cycles served so far.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_reservations_queue() {
+        let mut s = Server::new(10);
+        assert_eq!(s.reserve(0, 100), (0, 10));
+        assert_eq!(s.reserve(0, 100), (10, 20));
+        assert_eq!(s.busy_cycles(), 20);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_counted_busy() {
+        let mut s = Server::new(10);
+        s.reserve(0, 10);
+        s.reserve(100, 10);
+        assert_eq!(s.busy_cycles(), 2);
+        assert_eq!(s.free_at(), 101);
+    }
+
+    #[test]
+    fn transfers_round_up_to_whole_cycles() {
+        let mut s = Server::new(64);
+        assert_eq!(s.reserve(0, 65), (0, 2));
+    }
+
+    #[test]
+    fn zero_bits_complete_instantly() {
+        let mut s = Server::new(8);
+        assert_eq!(s.reserve(5, 0), (5, 5));
+        assert_eq!(s.busy_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Server::new(0);
+    }
+}

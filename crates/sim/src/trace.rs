@@ -1,0 +1,177 @@
+//! Execution traces: the DES's event log for debugging and visualization.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Cycles;
+
+/// What happened at a trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A tile's input/weight load began (DRAM + ring + bus reservation).
+    LoadStart,
+    /// A tile's load completed; the tile is ready to compute.
+    LoadDone,
+    /// A tile's computation began on the core array.
+    ComputeStart,
+    /// A tile's computation completed.
+    ComputeDone,
+    /// A tile's output write-back left the chiplet.
+    WritebackDone,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::LoadStart => "load-start",
+            TraceKind::LoadDone => "load-done",
+            TraceKind::ComputeStart => "compute-start",
+            TraceKind::ComputeDone => "compute-done",
+            TraceKind::WritebackDone => "writeback-done",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time in cycles.
+    pub time: Cycles,
+    /// Chiplet index.
+    pub chiplet: u32,
+    /// Tile index within the chiplet's sequence.
+    pub tile: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// An ordered trace of DES events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (times must be non-decreasing per the engine).
+    pub fn record(&mut self, time: Cycles, chiplet: u32, tile: u64, kind: TraceKind) {
+        self.events.push(TraceEvent {
+            time,
+            chiplet,
+            tile,
+            kind,
+        });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one chiplet.
+    pub fn chiplet(&self, chiplet: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.chiplet == chiplet)
+    }
+
+    /// Validates the per-tile lifecycle ordering on every chiplet:
+    /// `LoadStart <= LoadDone <= ComputeStart <= ComputeDone <=
+    /// WritebackDone` and monotone compute order across tiles.
+    pub fn check_lifecycles(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut stage: HashMap<(u32, u64), TraceKind> = HashMap::new();
+        let rank = |k: TraceKind| match k {
+            TraceKind::LoadStart => 0,
+            TraceKind::LoadDone => 1,
+            TraceKind::ComputeStart => 2,
+            TraceKind::ComputeDone => 3,
+            TraceKind::WritebackDone => 4,
+        };
+        for e in &self.events {
+            let key = (e.chiplet, e.tile);
+            if let Some(prev) = stage.get(&key) {
+                if rank(e.kind) <= rank(*prev) {
+                    return Err(format!(
+                        "tile {:?}: {} after {}",
+                        key, e.kind, prev
+                    ));
+                }
+            } else if e.kind != TraceKind::LoadStart {
+                return Err(format!("tile {key:?} began with {}", e.kind));
+            }
+            stage.insert(key, e.kind);
+        }
+        for ((c, t), k) in &stage {
+            if *k != TraceKind::WritebackDone {
+                return Err(format!("tile ({c},{t}) ended at {k}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a compact textual timeline (one line per event).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>10}  chiplet {:>2}  tile {:>4}  {}\n",
+                e.time, e.chiplet, e.tile, e.kind
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_check_accepts_a_proper_sequence() {
+        let mut t = Trace::new();
+        for (time, kind) in [
+            (0, TraceKind::LoadStart),
+            (10, TraceKind::LoadDone),
+            (10, TraceKind::ComputeStart),
+            (50, TraceKind::ComputeDone),
+            (60, TraceKind::WritebackDone),
+        ] {
+            t.record(time, 0, 0, kind);
+        }
+        assert!(t.check_lifecycles().is_ok());
+        assert_eq!(t.events().len(), 5);
+        assert!(t.render().contains("compute-done"));
+    }
+
+    #[test]
+    fn lifecycle_check_rejects_out_of_order_stages() {
+        let mut t = Trace::new();
+        t.record(0, 0, 0, TraceKind::LoadStart);
+        t.record(5, 0, 0, TraceKind::ComputeDone);
+        t.record(6, 0, 0, TraceKind::ComputeStart);
+        assert!(t.check_lifecycles().is_err());
+    }
+
+    #[test]
+    fn lifecycle_check_rejects_incomplete_tiles() {
+        let mut t = Trace::new();
+        t.record(0, 0, 0, TraceKind::LoadStart);
+        t.record(10, 0, 0, TraceKind::LoadDone);
+        assert!(t.check_lifecycles().is_err());
+    }
+
+    #[test]
+    fn per_chiplet_filtering() {
+        let mut t = Trace::new();
+        t.record(0, 0, 0, TraceKind::LoadStart);
+        t.record(0, 1, 0, TraceKind::LoadStart);
+        t.record(1, 1, 0, TraceKind::LoadDone);
+        assert_eq!(t.chiplet(1).count(), 2);
+        assert_eq!(t.chiplet(0).count(), 1);
+    }
+}

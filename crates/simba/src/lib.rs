@@ -1,0 +1,35 @@
+//! The Simba baseline: a weight-centric multichip dataflow model.
+//!
+//! Figures 12-13 of the paper compare NN-Baton's output-centric mapping
+//! against a 4-chiplet Simba prototype "with the same memory and computation
+//! resources", counting "the memory write/read operations coupled with the
+//! die-to-die communication" (controller and RISC-V overheads omitted on
+//! both sides). This crate reproduces that comparator.
+//!
+//! Simba's dataflow (Section III-B, Figure 4(c)-(d)):
+//!
+//! * spatial mapping centres on the *weight* dimensions — input channels
+//!   split along PE/chiplet rows, output channels along columns;
+//! * partial sums (24-bit) accumulate across rows, hopping core-to-core on
+//!   the NoC and chiplet-to-chiplet on the NoP;
+//! * the planar dimensions are only iterated temporally in PE-sized tiles,
+//!   so halo regions reload from memory and activations cannot aggregate at
+//!   the chiplet level.
+//!
+//! ```
+//! use baton_arch::{presets, Technology};
+//! use baton_model::zoo;
+//!
+//! let arch = presets::simba_4chiplet();
+//! let tech = Technology::paper_16nm();
+//! let layer = zoo::vgg16(224).layer("conv1_1").cloned().unwrap();
+//! let ev = baton_simba::evaluate_simba(&layer, &arch, &tech);
+//! assert!(ev.energy.total_pj() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataflow;
+
+pub use dataflow::{evaluate_simba, evaluate_simba_tuned, evaluate_simba_with, SimbaEvaluation, SimbaGeometry};

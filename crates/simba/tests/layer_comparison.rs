@@ -1,0 +1,72 @@
+//! Figure 12 shape check: per-bucket NN-Baton vs Simba on the five
+//! representative layers at both resolutions.
+
+use baton_arch::{presets, Technology};
+use baton_c3p::Objective;
+use baton_model::zoo;
+use baton_simba::evaluate_simba;
+
+/// Saving of the best NN-Baton mapping over Simba for one layer.
+fn saving(layer: &baton_model::ConvSpec) -> f64 {
+    let arch = presets::simba_4chiplet();
+    let tech = Technology::paper_16nm();
+    let ours = baton_c3p::search_layer(layer, &arch, &tech, Objective::Energy).unwrap();
+    let simba = evaluate_simba(layer, &arch, &tech);
+    1.0 - ours.energy.total_pj() / simba.energy.total_pj()
+}
+
+#[test]
+fn figure12_shape_significant_wins_on_activation_and_large_kernel() {
+    // "We observe significant advantages of NN-Baton in the
+    // activation-intensive and large kernel-size layers, especially in the
+    // 512x512 resolution case."
+    for res in [224, 512] {
+        let layers = zoo::representative_layers(res);
+        let by = |b: &str| {
+            layers
+                .iter()
+                .find(|(bucket, _)| bucket == b)
+                .map(|(_, l)| saving(l))
+                .unwrap()
+        };
+        assert!(by("activation-intensive") > 0.25, "act @{res}");
+        assert!(by("large-kernel") > 0.25, "kernel @{res}");
+    }
+}
+
+#[test]
+fn figure12_shape_parity_on_weight_intensive_and_common() {
+    // "On the contrary, in layers with smaller feature sizes, such as the
+    // weight-intensive ... layers, both perform similarly." NN-Baton should
+    // neither lose badly nor win big here.
+    for res in [224, 512] {
+        let layers = zoo::representative_layers(res);
+        for bucket in ["weight-intensive", "common"] {
+            let (_, l) = layers.iter().find(|(b, _)| b == bucket).unwrap();
+            let s = saving(l);
+            assert!(
+                (-0.10..0.30).contains(&s),
+                "{bucket} @{res}: saving {:.1}%",
+                100.0 * s
+            );
+        }
+    }
+}
+
+#[test]
+fn figure12_simba_d2d_is_never_lower() {
+    // "Simba's die-to-die overhead is always slightly higher than ours due
+    // to the massive transfer for partial sums on the package."
+    let arch = presets::simba_4chiplet();
+    let tech = Technology::paper_16nm();
+    for (bucket, layer) in zoo::representative_layers(512) {
+        let ours = baton_c3p::search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        let simba = evaluate_simba(&layer, &arch, &tech);
+        assert!(
+            simba.energy.d2d_pj >= ours.energy.d2d_pj * 0.99,
+            "{bucket}: simba d2d {} < ours {}",
+            simba.energy.d2d_pj,
+            ours.energy.d2d_pj
+        );
+    }
+}

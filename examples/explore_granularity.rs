@@ -1,0 +1,72 @@
+//! Pre-design flow: chiplet granularity exploration (the Figure 14 study).
+//!
+//! Sweeps every Table II computation geometry with a 2048-MAC budget,
+//! buffers proportional to compute, and reports the best implementation per
+//! chiplet count with and without a 2 mm^2 chiplet-area constraint.
+//!
+//! ```sh
+//! cargo run --release --example explore_granularity [model] [resolution]
+//! ```
+
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "resnet50".to_string());
+    let res: u32 = args.next().and_then(|r| r.parse().ok()).unwrap_or(224);
+    let model = match name.as_str() {
+        "vgg16" => zoo::vgg16(res),
+        "resnet50" => zoo::resnet50(res),
+        "darknet19" => zoo::darknet19(res),
+        "alexnet" => zoo::alexnet(res),
+        other => {
+            eprintln!("unknown model `{other}`");
+            std::process::exit(2);
+        }
+    };
+    let tech = Technology::paper_16nm();
+    const AREA_LIMIT: f64 = 2.0;
+
+    println!("granularity sweep: 2048 MACs on {model}");
+    let results = granularity_sweep(
+        &model,
+        &tech,
+        2048,
+        &ProportionalBuffers::default(),
+        Some(AREA_LIMIT),
+    );
+
+    println!(
+        "{:>16} {:>10} {:>12} {:>12} {:>12}  {}",
+        "(Np,Nc,L,P)", "area mm^2", "energy uJ", "cycles", "EDP J*s", "fits 2mm^2"
+    );
+    for r in &results {
+        println!(
+            "{:>16} {:>10.2} {:>12.1} {:>12} {:>12.3e}  {}",
+            format!("{:?}", r.geometry),
+            r.chiplet_area_mm2,
+            r.energy_pj / 1e6,
+            r.cycles,
+            r.edp(&tech),
+            if r.meets_area { "yes" } else { "NO" },
+        );
+    }
+
+    // Best EDP under the area constraint, per chiplet count.
+    println!("\nbest EDP per chiplet count under {AREA_LIMIT} mm^2:");
+    for np in [1u32, 2, 4, 8] {
+        let best = results
+            .iter()
+            .filter(|r| r.geometry.0 == np && r.meets_area)
+            .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)));
+        match best {
+            Some(r) => println!(
+                "  {np}-chiplet: {:?} with EDP {:.3e} J*s",
+                r.geometry,
+                r.edp(&tech)
+            ),
+            None => println!("  {np}-chiplet: no implementation meets the constraint"),
+        }
+    }
+}

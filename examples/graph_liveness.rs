@@ -1,0 +1,60 @@
+//! Layer graphs, activation liveness and inter-layer forwarding.
+//!
+//! Demonstrates the graph layer on top of the shape model: build a residual
+//! block as a DAG, schedule it, measure the peak live-activation footprint
+//! (the quantity behind the paper's Section V-B peak-memory discussion), and
+//! run the layer-fusion study on a full model.
+//!
+//! ```sh
+//! cargo run --release --example graph_liveness
+//! ```
+
+use nn_baton::dse::fusion_analysis;
+use nn_baton::model::graph::bottleneck_block;
+use nn_baton::prelude::*;
+
+fn main() {
+    // A ResNet bottleneck as a DAG: the skip edge keeps the wide tensor
+    // alive across the whole block.
+    let block = bottleneck_block(56, 256, 64, 256);
+    let order = block.topo_order().expect("acyclic");
+    println!("bottleneck schedule: {order:?}");
+    let peak = block.peak_live_activation_bytes().expect("acyclic");
+    println!(
+        "peak live activations: {} KB (one 56x56x256 tensor is {} KB)",
+        peak / 1024,
+        56 * 56 * 256 / 1024
+    );
+
+    // Liveness across whole zoo models: the paper notes VGG/DarkNet peak
+    // ~4x higher than ResNet-50 at the same input.
+    for model in [zoo::vgg16(224), zoo::resnet50(224), zoo::darknet19(224)] {
+        println!(
+            "{:<12} peak single-layer activations: {:>8} KB",
+            model.name(),
+            model.peak_activation_bits() / 8 / 1024
+        );
+    }
+
+    // Inter-layer forwarding: which tensors could stay on-package?
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let model = zoo::darknet19(224);
+    let report = map_model(&model, &arch, &tech).expect("model maps");
+    let fusion = fusion_analysis(&model, &arch, &tech, &report);
+    println!(
+        "\n{}: {} fusable links, {:.1}% model energy saved by forwarding:",
+        model.name(),
+        fusion.links.len(),
+        100.0 * fusion.saving()
+    );
+    for link in fusion.links.iter().take(6) {
+        println!(
+            "  {} -> {}: {} KB stays on-package, saves {:.1} uJ",
+            link.from,
+            link.to,
+            link.tensor_bytes / 1024,
+            link.saved_pj / 1e6
+        );
+    }
+}

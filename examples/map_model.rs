@@ -1,0 +1,46 @@
+//! Post-design flow: deploy a whole model on a fixed machine and print the
+//! per-layer mapping report a hardware compiler would consume.
+//!
+//! ```sh
+//! cargo run --release --example map_model [vgg16|resnet50|darknet19|alexnet|mobilenet_v2] [224|512]
+//! ```
+
+use nn_baton::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "vgg16".to_string());
+    let res: u32 = args
+        .next()
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(224);
+    let model = match name.as_str() {
+        "vgg16" => zoo::vgg16(res),
+        "resnet50" => zoo::resnet50(res),
+        "darknet19" => zoo::darknet19(res),
+        "alexnet" => zoo::alexnet(res),
+        "mobilenet_v2" => zoo::mobilenet_v2(res),
+        other => {
+            eprintln!("unknown model `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let report = map_model(&model, &arch, &tech).expect("model maps on the case-study machine");
+
+    // The summary table: one line per layer with its spatial strategy.
+    print!("{report}");
+    println!(
+        "model EDP: {:.3e} J*s, mean utilization {:.1}%",
+        report.edp(&tech),
+        100.0 * report.utilization(&arch)
+    );
+
+    // The detailed hand-off for one layer: loop nest in `for` notation.
+    if let Some(first) = report.layers.first() {
+        println!("\nloop nest of `{}` (outermost first):", first.layer);
+        print!("{}", first.nest);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: map one layer on the paper's case-study machine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nn_baton::prelude::*;
+
+fn main() {
+    // The Section VI-A machine: 4 chiplets x 8 cores x 8 lanes of 8-wide
+    // vector MACs, 1.5 KB O-L1 / 800 B A-L1 / 18 KB W-L1 / 64 KB A-L2.
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    println!(
+        "machine: {:?} = {} MACs, chiplet area {:.2} mm^2",
+        arch.geometry(),
+        arch.total_macs(),
+        tech.area.chiplet_mm2(&arch.chiplet)
+    );
+
+    // Pick the paper's "common" case-study layer: ResNet-50 res2a_branch2b.
+    let model = zoo::resnet50(224);
+    let layer = model
+        .layer("res2a_branch2b")
+        .expect("zoo layer")
+        .clone();
+    println!("layer:   {layer}");
+
+    // Post-design search: the exhaustive mapping space, minimizing energy.
+    let best = search_layer(&layer, &arch, &tech, Objective::Energy)
+        .expect("the case-study machine maps every zoo layer");
+    println!("mapping: {}", best.mapping);
+    println!("energy:  {}", best.energy);
+    println!(
+        "runtime: {} cycles ({:.2} us at 500 MHz), utilization {:.1}%",
+        best.cycles,
+        1e6 * tech.cycles_to_seconds(best.cycles),
+        100.0 * best.utilization
+    );
+
+    // Cross-check the analytical runtime with the discrete-event simulator.
+    let sim = simulate(&layer, &arch, &tech, &best.mapping).expect("legal mapping");
+    println!(
+        "DES:     {} cycles ({} tiles/chiplet, {} stall cycles)",
+        sim.total_cycles, sim.tiles_per_chiplet, sim.stall_cycles
+    );
+}

@@ -1,0 +1,35 @@
+//! The Figure 13 comparison: NN-Baton vs the Simba weight-centric baseline
+//! on VGG-16, ResNet-50 and DarkNet-19 with identical hardware resources.
+//!
+//! ```sh
+//! cargo run --release --example simba_comparison [224|512]
+//! ```
+
+use nn_baton::prelude::*;
+
+fn main() {
+    let res: u32 = std::env::args()
+        .nth(1)
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(224);
+    let arch = presets::simba_4chiplet();
+    let tech = Technology::paper_16nm();
+
+    println!("4-chiplet system, {res}x{res} inputs (paper claim: 22.5%-44% saving)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "model", "NN-Baton uJ", "Simba uJ", "saving"
+    );
+    for model in zoo::figure13_models(res) {
+        let c = compare_model(&model, &arch, &tech);
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>7.1}%",
+            c.model,
+            c.baton.total_uj(),
+            c.simba.total_uj(),
+            100.0 * c.saving()
+        );
+        println!("             ours:  {}", c.baton);
+        println!("             simba: {}", c.simba);
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `baton` command-line tool.
+
+use std::process::Command;
+
+fn baton(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_baton"))
+        .args(args)
+        .output()
+        .expect("baton binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (ok, stdout, _) = baton(&["help"]);
+    assert!(ok);
+    for cmd in ["stats", "map", "compare", "explore", "sweep", "recommend", "check"] {
+        assert!(stdout.contains(cmd), "help lacks `{cmd}`: {stdout}");
+    }
+}
+
+#[test]
+fn stats_prints_the_model_table() {
+    let (ok, stdout, _) = baton(&["stats", "darknet19", "--res", "224"]);
+    assert!(ok);
+    assert!(stdout.contains("darknet19: 19 layers"));
+    assert!(stdout.contains("conv19"));
+}
+
+#[test]
+fn map_emits_csv_artifacts() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("alexnet.csv");
+    let (ok, stdout, stderr) = baton(&[
+        "map",
+        "alexnet",
+        "--csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("alexnet"));
+    let content = std::fs::read_to_string(&csv).unwrap();
+    assert!(content.starts_with("layer,"));
+    // Header + 8 layers.
+    assert_eq!(content.lines().count(), 9);
+}
+
+#[test]
+fn check_validates_and_rejects_model_files() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.baton");
+    std::fs::write(&good, "model demo @64\nconv name=c in=64x64x3 k=3 s=1 p=1 co=8\n")
+        .unwrap();
+    let (ok, stdout, _) = baton(&["check", good.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("ok: demo"));
+
+    let bad = dir.join("bad.baton");
+    std::fs::write(&bad, "model demo @64\nconv name=c in=64x64 k=3 co=8\n").unwrap();
+    let (ok, _, stderr) = baton(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let (ok, _, stderr) = baton(&["frobnicate", "vgg16"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown"));
+    let (ok, _, stderr) = baton(&["map", "not-a-model"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+}
+
+#[test]
+fn custom_model_file_maps_end_to_end() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("pipeline.baton");
+    std::fs::write(
+        &file,
+        "model pipe @96\n\
+         conv name=a in=96x96x3 k=3 s=2 p=1 co=16\n\
+         pointwise name=b in=48x48x16 co=32\n\
+         fc name=c ci=512 co=10\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = baton(&["map", file.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("pipe: 3 layers"));
+}

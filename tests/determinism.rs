@@ -1,0 +1,94 @@
+//! Cross-cutting determinism: every flow is a pure function of its inputs.
+//!
+//! The DSE results feed publication tables, so run-to-run wobble would be a
+//! correctness bug. These tests run each flow twice and require identical
+//! output, including orderings.
+
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::mapping::enumerate;
+use nn_baton::prelude::*;
+
+#[test]
+fn candidate_enumeration_is_stable() {
+    let arch = presets::case_study_accelerator();
+    let layer = zoo::resnet50(224).layer("res3a_branch2b").cloned().unwrap();
+    let a = enumerate::candidates(&layer, &arch);
+    let b = enumerate::candidates(&layer, &arch);
+    assert_eq!(a, b);
+    // Sorted by the numeric key: stable under re-sorting.
+    let mut c = a.clone();
+    c.reverse();
+    let c2 = enumerate::candidates(&layer, &arch);
+    assert_ne!(c, c2);
+}
+
+#[test]
+fn search_and_simulation_are_deterministic() {
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let layer = zoo::darknet19(224).layer("conv9").cloned().unwrap();
+    let e1 = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+    let e2 = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+    assert_eq!(e1, e2);
+    let s1 = simulate(&layer, &arch, &tech, &e1.mapping).unwrap();
+    let s2 = simulate(&layer, &arch, &tech, &e2.mapping).unwrap();
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn granularity_sweep_is_deterministic() {
+    let tech = Technology::paper_16nm();
+    let model = Model::new(
+        "slice",
+        224,
+        vec![zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap()],
+    );
+    let a = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
+    let b = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
+    assert_eq!(a, b);
+    // Sorted by geometry tuple.
+    let mut geos: Vec<_> = a.iter().map(|r| r.geometry).collect();
+    let sorted = {
+        let mut s = geos.clone();
+        s.sort_unstable();
+        s
+    };
+    geos.sort_unstable();
+    assert_eq!(geos, sorted);
+}
+
+#[test]
+fn full_sweep_is_deterministic() {
+    let tech = Technology::paper_16nm();
+    let model = Model::new(
+        "slice",
+        224,
+        vec![zoo::darknet19(224).layer("conv9").cloned().unwrap()],
+    );
+    let mut opts = SweepOptions {
+        total_macs: 2048,
+        ..SweepOptions::default()
+    };
+    opts.space.memory.o_l1 = vec![144];
+    opts.space.memory.a_l1 = vec![1024, 8192];
+    opts.space.memory.w_l1 = vec![18 * 1024];
+    opts.space.memory.a_l2 = vec![64 * 1024];
+    let a = full_sweep(&model, &tech, &opts);
+    let b = full_sweep(&model, &tech, &opts);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn functional_execution_is_deterministic() {
+    let arch = presets::case_study_accelerator();
+    let layer = ConvSpec::new("d", 16, 16, 6, 3, 1, 1, 12).unwrap();
+    let input = Tensor3::counting(16, 16, 6);
+    let weights = Tensor4::counting(3, 3, 6, 12);
+    let m = enumerate::candidates(&layer, &arch)
+        .into_iter()
+        .find(|m| nn_baton::mapping::decompose(&layer, &arch, m).is_ok())
+        .unwrap();
+    let a = run_mapping(&layer, &arch, &m, &input, &weights, 5).unwrap();
+    let b = run_mapping(&layer, &arch, &m, &input, &weights, 5).unwrap();
+    assert_eq!(a, b);
+}

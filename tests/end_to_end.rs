@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: the complete NN-Baton pipelines from the
+//! model zoo / parser through mapping, C3P evaluation, simulation and the
+//! design flows.
+
+use nn_baton::arch::presets::ProportionalBuffers;
+use nn_baton::prelude::*;
+
+fn setup() -> (PackageConfig, Technology) {
+    (presets::case_study_accelerator(), Technology::paper_16nm())
+}
+
+#[test]
+fn parse_map_simulate_pipeline() {
+    // Text description -> model -> post-design flow -> DES, end to end.
+    let text = "\
+model pipeline-test @128
+conv      name=c1 in=128x128x3  k=3 s=2 p=1 co=32
+conv      name=c2 in=64x64x32   k=3 s=1 p=1 co=64
+pointwise name=c3 in=64x64x64   co=32
+fc        name=fc ci=512 co=10
+";
+    let model = parse_model(text).expect("valid description");
+    let (arch, tech) = setup();
+    let report = map_model(&model, &arch, &tech).expect("model maps");
+    assert_eq!(report.layers.len(), 4);
+    for l in &report.layers {
+        let layer = model.layer(&l.layer).unwrap();
+        let sim = simulate(layer, &arch, &tech, &l.evaluation.mapping).expect("legal mapping");
+        assert!(sim.total_cycles > 0);
+    }
+}
+
+#[test]
+fn every_zoo_model_maps_on_the_case_study_machine() {
+    let (arch, tech) = setup();
+    for model in [
+        zoo::alexnet(224),
+        zoo::vgg16(224),
+        zoo::resnet50(224),
+        zoo::darknet19(224),
+        zoo::mobilenet_v2(224),
+    ] {
+        let report = map_model(&model, &arch, &tech)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        assert_eq!(report.layers.len(), model.layers().len());
+        assert!(report.energy.total_pj() > 0.0);
+        // Energy per MAC stays within a sane envelope above the raw MAC
+        // cost. Memory can dominate by orders of magnitude: batch-1 FC
+        // layers are weight-DRAM bound and depthwise layers read a full
+        // P-wide vector per useful channel, so MobileNetV2 lands near
+        // 7 pJ/MAC on this dense-vector machine.
+        let per_mac = report.energy.total_pj() / model.total_macs() as f64;
+        assert!(
+            (0.024..10.0).contains(&per_mac),
+            "{}: {per_mac} pJ/MAC",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn post_design_flow_is_deterministic() {
+    let (arch, tech) = setup();
+    let model = zoo::darknet19(224);
+    let a = map_model(&model, &arch, &tech).unwrap();
+    let b = map_model(&model, &arch, &tech).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn granularity_and_dse_flows_agree_on_the_winner_region() {
+    // The Figure 14 flow (proportional buffers) and the Figure 15 flow
+    // (free memory allocation) must both conclude that multi-chiplet
+    // designs dominate under a tight area budget.
+    let tech = Technology::paper_16nm();
+    let model = nn_baton::model::Model::new(
+        "resnet-slice",
+        224,
+        vec![
+            zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap(),
+            zoo::resnet50(224).layer("res4a_branch2a").cloned().unwrap(),
+        ],
+    );
+    let gran = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
+    assert!(gran
+        .iter()
+        .filter(|r| r.geometry.0 == 1)
+        .all(|r| !r.meets_area));
+    assert!(gran.iter().any(|r| r.geometry.0 == 4 && r.meets_area));
+
+    let mut opts = SweepOptions {
+        total_macs: 2048,
+        ..SweepOptions::default()
+    };
+    opts.space.memory.o_l1 = vec![144];
+    opts.space.memory.a_l1 = vec![1024, 8 * 1024];
+    opts.space.memory.w_l1 = vec![18 * 1024, 72 * 1024];
+    opts.space.memory.a_l2 = vec![64 * 1024];
+    let points = full_sweep(&model, &tech, &opts);
+    let best = points
+        .iter()
+        .filter(|p| p.chiplet_area_mm2 <= 2.0)
+        .min_by(|a, b| a.edp(&tech).total_cmp(&b.edp(&tech)))
+        .expect("some design fits 2 mm^2");
+    assert!(best.geometry.0 >= 2, "winner {:?}", best.geometry);
+}
+
+#[test]
+fn objectives_trade_off_consistently_model_level() {
+    use nn_baton::dse::postdesign::map_model_with;
+    let (arch, tech) = setup();
+    let model = zoo::alexnet(224);
+    let e = map_model_with(&model, &arch, &tech, Objective::Energy).unwrap();
+    let r = map_model_with(&model, &arch, &tech, Objective::Runtime).unwrap();
+    assert!(e.energy.total_pj() <= r.energy.total_pj() + 1.0);
+    assert!(r.cycles <= e.cycles);
+}
+
+#[test]
+fn mobilenet_depthwise_layers_map_and_simulate() {
+    let (arch, tech) = setup();
+    let model = zoo::mobilenet_v2(224);
+    let dw = model.layer("block4_dwise").unwrap();
+    let best = search_layer(dw, &arch, &tech, Objective::Energy).unwrap();
+    // Depthwise layers disable input rotation (nothing is shared).
+    assert_eq!(best.access.d2d_bits, 0);
+    let sim = simulate(dw, &arch, &tech, &best.mapping).unwrap();
+    assert!(sim.total_cycles > 0);
+}
+
+#[test]
+fn energy_breakdown_reconstructs_from_access_counts() {
+    // The priced breakdown must be reproducible from the access counts and
+    // the public energy model: no hidden terms.
+    let (arch, tech) = setup();
+    let layer = zoo::vgg16(224).layer("conv4_2").cloned().unwrap();
+    let ev = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+    let e = &tech.energy;
+    let a = &ev.access;
+    let dram = e.dram_pj(a.dram_total_bits());
+    assert!((dram - ev.energy.dram_pj).abs() < 1e-6);
+    let rf = e.rf_rmw_pj(a.o_l1_rmw_bits);
+    assert!((rf - ev.energy.rf_pj).abs() < 1e-6);
+    let mac = e.mac_pj(a.mac_ops);
+    assert!((mac - ev.energy.mac_pj).abs() < 1e-6);
+}

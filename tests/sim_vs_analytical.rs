@@ -1,0 +1,100 @@
+//! Cross-validation of the discrete-event simulator against the analytical
+//! runtime bound of the C3P engine.
+
+use nn_baton::prelude::*;
+
+fn setup() -> (PackageConfig, Technology) {
+    (presets::case_study_accelerator(), Technology::paper_16nm())
+}
+
+/// The DES includes everything the analytical bound includes, so its total
+/// can never undercut the bound by more than the tile-rounding slack.
+#[test]
+fn des_is_bounded_below_by_the_analytical_model() {
+    let (arch, tech) = setup();
+    for model in [zoo::vgg16(224), zoo::resnet50(224)] {
+        for layer in model.layers().iter().step_by(3) {
+            let Ok(best) = search_layer(layer, &arch, &tech, Objective::Energy) else {
+                continue;
+            };
+            let sim = simulate(layer, &arch, &tech, &best.mapping).unwrap();
+            assert!(
+                sim.total_cycles + 2 * sim.tiles_per_chiplet >= best.compute_cycles,
+                "{}: DES {} < analytical compute {}",
+                layer.name(),
+                sim.total_cycles,
+                best.compute_cycles
+            );
+        }
+    }
+}
+
+/// On compute-bound layers the two models agree within pipeline fill/drain.
+#[test]
+fn agreement_on_compute_bound_layers() {
+    let (arch, tech) = setup();
+    let mut checked = 0;
+    for layer in zoo::vgg16(224).layers() {
+        let Ok(best) = search_layer(layer, &arch, &tech, Objective::Energy) else {
+            continue;
+        };
+        // Compute-bound: analytical runtime equals the compute path.
+        if best.cycles != best.compute_cycles {
+            continue;
+        }
+        let sim = simulate(layer, &arch, &tech, &best.mapping).unwrap();
+        let ratio = sim.total_cycles as f64 / best.cycles as f64;
+        assert!(
+            (0.9..2.5).contains(&ratio),
+            "{}: DES/analytical = {ratio}",
+            layer.name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "only {checked} compute-bound layers found");
+}
+
+/// Starving a bandwidth resource moves both models in the same direction,
+/// with the DES at least as pessimistic.
+#[test]
+fn bandwidth_starvation_tracks() {
+    let (arch, mut tech) = setup();
+    let layer = zoo::resnet50(224)
+        .layer("res2a_branch2a")
+        .cloned()
+        .unwrap();
+    let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+    let base_sim = simulate(&layer, &arch, &tech, &best.mapping).unwrap();
+
+    tech.bandwidth.dram_bits_per_cycle = 2;
+    let slow_eval = nn_baton::c3p::evaluate(&layer, &arch, &tech, &best.mapping).unwrap();
+    let slow_sim = simulate(&layer, &arch, &tech, &best.mapping).unwrap();
+    assert!(slow_eval.cycles > best.cycles);
+    assert!(slow_sim.total_cycles > base_sim.total_cycles);
+    // The DES serializes load/writeback on the same channel, so it is at
+    // least as slow as the aggregate-bandwidth bound.
+    assert!(
+        slow_sim.total_cycles as f64 >= 0.9 * slow_eval.cycles as f64,
+        "DES {} vs analytical {}",
+        slow_sim.total_cycles,
+        slow_eval.cycles
+    );
+}
+
+/// The DES stall accounting is self-consistent: total = compute + stall.
+#[test]
+fn stall_accounting_is_consistent() {
+    let (arch, tech) = setup();
+    for (_, layer) in zoo::representative_layers(224) {
+        let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
+        let sim = simulate(&layer, &arch, &tech, &best.mapping).unwrap();
+        assert_eq!(
+            sim.total_cycles,
+            sim.compute_cycles + sim.stall_cycles,
+            "{}",
+            layer.name()
+        );
+        assert!(sim.dram_busy <= sim.total_cycles);
+        assert!(sim.bus_busy <= sim.total_cycles);
+    }
+}
