@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn matched_o_l2_rule() {
-        let ch = ChipletConfig::new(8, case_study_core(), 64 * 1024, 0)
-            .with_matched_o_l2(4096);
+        let ch = ChipletConfig::new(8, case_study_core(), 64 * 1024, 0).with_matched_o_l2(4096);
         assert_eq!(ch.o_l2_bytes, 4096);
     }
 }

@@ -178,7 +178,7 @@ mod tests {
     fn assembly_yield_penalizes_many_dies() {
         let mut c = CostModel::n16_default();
         c.assembly_yield_per_die = 0.90; // sloppy assembly
-        // With poor assembly yield, fewer dies become preferable.
+                                         // With poor assembly yield, fewer dies become preferable.
         let few = c.system_cost_usd(100.0, 2);
         let many = c.system_cost_usd(100.0, 8);
         assert!(few < many);

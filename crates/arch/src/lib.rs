@@ -30,18 +30,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chiplet;
+pub mod core;
 pub mod cost;
 pub mod noc;
-pub mod core;
 pub mod package;
 pub mod presets;
 pub mod tech;
 pub mod validate;
 
 pub use chiplet::ChipletConfig;
+pub use core::CoreConfig;
 pub use cost::CostModel;
 pub use noc::NopTopology;
-pub use core::CoreConfig;
 pub use package::PackageConfig;
 pub use tech::{AreaModel, EnergyModel, LinearFit, PowerModel, Technology};
 pub use validate::{validate, ConfigError};

@@ -81,9 +81,7 @@ mod tests {
         let pkg4 = presets::case_study_accelerator();
         let mut pkg8 = pkg4;
         pkg8.chiplets = 8;
-        assert!(
-            (p.package_leakage_w(&pkg8) - 2.0 * p.package_leakage_w(&pkg4)).abs() < 1e-12
-        );
+        assert!((p.package_leakage_w(&pkg8) - 2.0 * p.package_leakage_w(&pkg4)).abs() < 1e-12);
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn flipped(
 }
 
 fn main() {
-    header("Ablation", "forced temporal orders vs free per-layer choice");
+    header(
+        "Ablation",
+        "forced temporal orders vs free per-layer choice",
+    );
     let arch = presets::case_study_accelerator();
     let tech = Technology::paper_16nm();
     println!(
@@ -42,8 +45,20 @@ fn main() {
     for (bucket, layer) in zoo::representative_layers(224) {
         let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
         let free = best.energy.total_pj();
-        let cp = flipped(&layer, &arch, &tech, &best.mapping, TemporalOrder::ChannelPriority);
-        let pp = flipped(&layer, &arch, &tech, &best.mapping, TemporalOrder::PlanePriority);
+        let cp = flipped(
+            &layer,
+            &arch,
+            &tech,
+            &best.mapping,
+            TemporalOrder::ChannelPriority,
+        );
+        let pp = flipped(
+            &layer,
+            &arch,
+            &tech,
+            &best.mapping,
+            TemporalOrder::PlanePriority,
+        );
         println!(
             "{:<22} {:>10.1} {:>13.1} {:>13.1} {:>10} {:>10}",
             bucket,

@@ -24,13 +24,7 @@ fn main() {
     for d2d in [0.3, 0.6, 1.17, 2.0, 3.34] {
         let mut tech = Technology::paper_16nm();
         tech.energy.d2d_pj_per_bit = d2d;
-        let results = granularity_sweep(
-            &model,
-            &tech,
-            2048,
-            &ProportionalBuffers::default(),
-            None,
-        );
+        let results = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), None);
         let best = |np: u32| {
             results
                 .iter()

@@ -10,7 +10,10 @@ use nn_baton::dse::fusion_analysis;
 use nn_baton::prelude::*;
 
 fn main() {
-    header("Extension", "inter-layer activation forwarding vs layer-wise mapping");
+    header(
+        "Extension",
+        "inter-layer activation forwarding vs layer-wise mapping",
+    );
     let arch = presets::case_study_accelerator();
     let tech = Technology::paper_16nm();
     println!(
@@ -18,11 +21,7 @@ fn main() {
         "model", "input", "links", "layer-wise uJ", "forwarded uJ", "saving"
     );
     for res in [224u32, 512] {
-        for model in [
-            zoo::vgg16(res),
-            zoo::resnet50(res),
-            zoo::darknet19(res),
-        ] {
+        for model in [zoo::vgg16(res), zoo::resnet50(res), zoo::darknet19(res)] {
             let report = map_model(&model, &arch, &tech).expect("model maps");
             let f = fusion_analysis(&model, &arch, &tech, &report);
             println!(

@@ -10,7 +10,10 @@ use nn_baton::arch::NopTopology;
 use nn_baton::prelude::*;
 
 fn main() {
-    header("Extension", "NoP topology: all-gather energy and wiring budget");
+    header(
+        "Extension",
+        "NoP topology: all-gather energy and wiring budget",
+    );
     let tech = Technology::paper_16nm();
     let pj = tech.energy.d2d_pj_per_bit;
     // A representative rotation: a 64 KB activation slice per chiplet.

@@ -11,7 +11,10 @@ use nn_baton::arch::{ChipletConfig, CoreConfig, PackageConfig};
 use nn_baton::prelude::*;
 
 fn main() {
-    header("Extension", "Simba weight-centric baseline vs chiplet count");
+    header(
+        "Extension",
+        "Simba weight-centric baseline vs chiplet count",
+    );
     let tech = Technology::paper_16nm();
     let layer = zoo::resnet50(224).layer("res3a_branch2b").cloned().unwrap();
     println!("layer: {layer}");
@@ -24,8 +27,7 @@ fn main() {
         // per-chiplet resources stay comparable with the rest of the repo.
         let core = CoreConfig::new(8, 8, 1536, 800, 18 * 1024);
         let chiplet = ChipletConfig::new(4, core, 64 * 1024, 32 * 1024);
-        let arch = PackageConfig::new(chips.min(8).max(1), chiplet)
-            .with_dram_channels(4);
+        let arch = PackageConfig::new(chips.clamp(1, 8), chiplet).with_dram_channels(4);
         // The ring model covers up to 8 chiplets; beyond that we scale the
         // mesh geometry directly through the Simba evaluator, which only
         // needs the grid shape.

@@ -8,11 +8,14 @@
 
 use baton_bench::{header, pct};
 use nn_baton::c3p::EnergyBreakdown;
-use nn_baton::simba::evaluate_simba_tuned;
 use nn_baton::prelude::*;
+use nn_baton::simba::evaluate_simba_tuned;
 
 fn main() {
-    header("Extension", "savings vs fixed and per-layer-tuned Simba grids");
+    header(
+        "Extension",
+        "savings vs fixed and per-layer-tuned Simba grids",
+    );
     let arch = presets::simba_4chiplet();
     let tech = Technology::paper_16nm();
     println!(

@@ -15,8 +15,14 @@ fn main() {
         "package partition pattern vs DRAM sharing degree (4 chiplets)",
     );
     let layers = [
-        ("VGG-16 conv2_1 @512", zoo::vgg16(512).layer("conv2_1").cloned().unwrap()),
-        ("ResNet-50 conv1 @512", zoo::resnet50(512).layer("conv1").cloned().unwrap()),
+        (
+            "VGG-16 conv2_1 @512",
+            zoo::vgg16(512).layer("conv2_1").cloned().unwrap(),
+        ),
+        (
+            "ResNet-50 conv1 @512",
+            zoo::resnet50(512).layer("conv1").cloned().unwrap(),
+        ),
         (
             "res2a_branch2b @224",
             zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap(),

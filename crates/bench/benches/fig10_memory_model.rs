@@ -6,7 +6,10 @@ use baton_bench::header;
 use nn_baton::arch::{AreaModel, EnergyModel, LinearFit};
 
 fn main() {
-    header("Figure 10", "memory size vs area and energy (16 nm, linear fits)");
+    header(
+        "Figure 10",
+        "memory size vs area and energy (16 nm, linear fits)",
+    );
     let e = EnergyModel::paper_16nm();
     let a = AreaModel::paper_16nm();
 
@@ -39,7 +42,10 @@ fn main() {
         "\nenergy fit: {:.4} + {:.5} * KB (Table I anchors: 1KB -> 0.3, 32KB -> 0.81)",
         fe.intercept, fe.slope
     );
-    println!("area fit:   {:.0} + {:.0} * KB um^2", fa.intercept, fa.slope);
+    println!(
+        "area fit:   {:.0} + {:.0} * KB um^2",
+        fa.intercept, fa.slope
+    );
     let max_resid = pts_energy
         .iter()
         .map(|&(x, y)| (y - fe.eval(x)).abs())

@@ -8,7 +8,10 @@ use baton_bench::{header, pct};
 use nn_baton::prelude::*;
 
 fn main() {
-    header("Figure 13", "NN-Baton vs Simba, model level (4-chiplet system)");
+    header(
+        "Figure 13",
+        "NN-Baton vs Simba, model level (4-chiplet system)",
+    );
     let arch = presets::simba_4chiplet();
     let tech = Technology::paper_16nm();
     println!(

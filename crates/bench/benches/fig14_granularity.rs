@@ -13,7 +13,10 @@ use nn_baton::prelude::*;
 const AREA_LIMIT: f64 = 2.0;
 
 fn main() {
-    header("Figure 14", "2048-MAC implementations, 2 mm^2 chiplet budget");
+    header(
+        "Figure 14",
+        "2048-MAC implementations, 2 mm^2 chiplet budget",
+    );
     let tech = Technology::paper_16nm();
     let models = [
         zoo::alexnet(224),

@@ -14,11 +14,7 @@ fn main() {
     header("Figure 15", "4096-MAC DSE, 3 mm^2 chiplet constraint");
     let tech = Technology::paper_16nm();
     let opts = SweepOptions::default();
-    let benchmarks = [
-        zoo::darknet19(224),
-        zoo::vgg16(512),
-        zoo::resnet50(512),
-    ];
+    let benchmarks = [zoo::darknet19(224), zoo::vgg16(512), zoo::resnet50(512)];
 
     println!(
         "sweep: {} geometries x {} memory configs = {} candidate designs per model",
@@ -42,13 +38,18 @@ fn main() {
             "N_P", "points", "chiplet area mm^2", "best EDP J*s", "best energy uJ"
         );
         for np in [1u32, 2, 4, 8] {
-            let sel: Vec<&DesignPoint> =
-                points.iter().filter(|p| p.geometry.0 == np).collect();
+            let sel: Vec<&DesignPoint> = points.iter().filter(|p| p.geometry.0 == np).collect();
             if sel.is_empty() {
                 continue;
             }
-            let amin = sel.iter().map(|p| p.chiplet_area_mm2).fold(f64::MAX, f64::min);
-            let amax = sel.iter().map(|p| p.chiplet_area_mm2).fold(f64::MIN, f64::max);
+            let amin = sel
+                .iter()
+                .map(|p| p.chiplet_area_mm2)
+                .fold(f64::MAX, f64::min);
+            let amax = sel
+                .iter()
+                .map(|p| p.chiplet_area_mm2)
+                .fold(f64::MIN, f64::max);
             let best_edp = sel.iter().map(|p| p.edp(&tech)).fold(f64::MAX, f64::min);
             let best_e = sel.iter().map(|p| p.energy_pj).fold(f64::MAX, f64::min);
             println!(
@@ -85,6 +86,10 @@ fn main() {
 
         // The Pareto front of the (area, EDP) scatter.
         let front = pareto_front(&points, |p| (p.chiplet_area_mm2, p.edp(&tech)));
-        println!("    Pareto front: {} of {} points", front.len(), points.len());
+        println!(
+            "    Pareto front: {} of {} points",
+            front.len(),
+            points.len()
+        );
     }
 }

@@ -10,10 +10,7 @@ use std::hint::black_box;
 fn setup() -> (PackageConfig, Technology, ConvSpec, Mapping) {
     let arch = presets::case_study_accelerator();
     let tech = Technology::paper_16nm();
-    let layer = zoo::resnet50(224)
-        .layer("res2a_branch2b")
-        .cloned()
-        .unwrap();
+    let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
     let mapping = search_layer(&layer, &arch, &tech, Objective::Energy)
         .unwrap()
         .mapping;

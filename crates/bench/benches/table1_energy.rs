@@ -10,12 +10,23 @@ fn main() {
     let rows: [(&str, f64, &str); 6] = [
         ("DRAM access", e.dram_pj_per_bit, "pJ/bit"),
         ("Die-to-die (GRS)", e.d2d_pj_per_bit, "pJ/bit"),
-        ("L2 access (32KB SRAM)", e.sram_access_pj_per_bit(32 * 1024), "pJ/bit"),
-        ("L1 access (1KB SRAM)", e.sram_access_pj_per_bit(1024), "pJ/bit"),
+        (
+            "L2 access (32KB SRAM)",
+            e.sram_access_pj_per_bit(32 * 1024),
+            "pJ/bit",
+        ),
+        (
+            "L1 access (1KB SRAM)",
+            e.sram_access_pj_per_bit(1024),
+            "pJ/bit",
+        ),
         ("Register RMW", e.rf_rmw_pj_per_bit, "pJ/bit"),
         ("8-bit MAC", e.mac_pj_per_op, "pJ/op"),
     ];
-    println!("{:<24} {:>10} {:>8} {:>12}", "operation", "energy", "unit", "rel. cost");
+    println!(
+        "{:<24} {:>10} {:>8} {:>12}",
+        "operation", "energy", "unit", "rel. cost"
+    );
     for (name, energy, unit) in rows {
         println!(
             "{:<24} {:>10.3} {:>8} {:>11.2}x",

@@ -3,6 +3,7 @@
 use baton_arch::{PackageConfig, Technology};
 use baton_mapping::{decompose, Decomposition, Dim, LoopLevel, Mapping, MappingError};
 use baton_model::ConvSpec;
+use baton_telemetry::{count, Counter};
 use serde::{Deserialize, Serialize};
 
 use crate::energy::EnergyBreakdown;
@@ -176,6 +177,7 @@ pub fn evaluate_decomposition(
     tech: &Technology,
     mapping: &Mapping,
 ) -> Evaluation {
+    count(Counter::Evaluations);
     let profiles = LayerProfiles::build(d);
     let access = resolve(d, &profiles, arch);
     let energy = price(&access, arch, tech);
@@ -221,6 +223,21 @@ pub fn resolve_at_capacities(
     let d2d_weight = p.d2d_weight.access_bits(w_eff_bits);
     let w_l1_fill = dram_weight_bits + d2d_weight;
 
+    // C³P penalty activations: a resolved access above its base volume
+    // means the buffer at that level is below the critical capacity. This
+    // is the sweep hot path, so the checks stay behind one branch.
+    if baton_telemetry::enabled() {
+        if dram_input_bits > d.volumes.dram_input_base {
+            count(Counter::PenaltyAL2);
+        }
+        if a_l2_read > d.volumes.a_l2_read_base {
+            count(Counter::PenaltyAL1);
+        }
+        if dram_weight_bits > d.volumes.dram_weight_base {
+            count(Counter::PenaltyWL1);
+        }
+    }
+
     AccessCounts {
         dram_input_bits,
         dram_weight_bits,
@@ -244,8 +261,7 @@ pub fn price(a: &AccessCounts, arch: &PackageConfig, tech: &Technology) -> Energ
         d2d_pj: e.d2d_pj(a.d2d_bits),
         l2_pj: e.sram_pj(a.a_l2_bits, arch.chiplet.a_l2_bytes)
             + e.sram_pj(a.o_l2_bits, arch.chiplet.o_l2_bytes),
-        l1_pj: e.sram_pj(a.a_l1_bits, core.a_l1_bytes)
-            + e.sram_pj(a.w_l1_bits, core.w_l1_bytes),
+        l1_pj: e.sram_pj(a.a_l1_bits, core.a_l1_bytes) + e.sram_pj(a.w_l1_bits, core.w_l1_bytes),
         rf_pj: e.rf_rmw_pj(a.o_l1_rmw_bits),
         mac_pj: e.mac_pj(a.mac_ops),
     }

@@ -85,7 +85,8 @@ impl AccessProfile {
 
     /// Total access in bits at a given buffer capacity.
     pub fn access_bits(&self, capacity_bits: u64) -> u64 {
-        self.base_bits.saturating_mul(self.multiplier(capacity_bits))
+        self.base_bits
+            .saturating_mul(self.multiplier(capacity_bits))
     }
 
     /// The smallest capacity with no penalty at all (the outermost critical

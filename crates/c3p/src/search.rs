@@ -6,6 +6,7 @@ use baton_arch::{PackageConfig, Technology};
 use baton_mapping::enumerate::{candidates_with, EnumOptions};
 use baton_mapping::{decompose, Mapping};
 use baton_model::ConvSpec;
+use baton_telemetry::{count, span_labeled, Counter};
 use serde::{Deserialize, Serialize};
 
 use crate::evaluate::{evaluate_decomposition, Evaluation};
@@ -79,17 +80,37 @@ pub fn search_layer_with(
     objective: Objective,
     opts: EnumOptions,
 ) -> Result<Evaluation, SearchError> {
+    let sp = span_labeled("search_layer", || layer.name().to_string());
     let cands = candidates_with(layer, arch, opts);
     let n = cands.len();
+    let mut feasible = 0u64;
     let mut best: Option<(f64, Evaluation)> = None;
     for m in cands {
         let Some(ev) = try_evaluate(layer, arch, tech, &m) else {
             continue;
         };
+        feasible += 1;
         let score = objective.score(&ev, tech);
         if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+            count(Counter::BestImprovements);
             best = Some((score, ev));
         }
+    }
+    if baton_telemetry::enabled() {
+        count(if best.is_some() {
+            Counter::SearchesCompleted
+        } else {
+            Counter::SearchesFailed
+        });
+        let mut ev = baton_telemetry::event("search_layer")
+            .str("layer", layer.name())
+            .u64("candidates", n as u64)
+            .u64("feasible", feasible)
+            .u64("dur_us", sp.elapsed_us());
+        if let Some((score, _)) = &best {
+            ev = ev.f64("best_score", *score);
+        }
+        ev.emit();
     }
     best.map(|(_, ev)| ev).ok_or_else(|| SearchError {
         layer: layer.name().to_string(),

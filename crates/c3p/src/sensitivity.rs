@@ -53,11 +53,9 @@ impl KnobEffect {
     /// costs more than it saves).
     pub fn saving_per_byte(&self) -> f64 {
         match self.next_cc_bytes {
-            Some(next) if next > self.current_bytes => {
-                ((self.energy_now_pj - self.energy_next_pj)
-                    / (next - self.current_bytes) as f64)
-                    .max(0.0)
-            }
+            Some(next) if next > self.current_bytes => ((self.energy_now_pj - self.energy_next_pj)
+                / (next - self.current_bytes) as f64)
+                .max(0.0),
             _ => 0.0,
         }
     }
@@ -156,10 +154,7 @@ mod tests {
     use baton_mapping::decompose;
     use baton_model::zoo;
 
-    fn effects_for(
-        layer_name: &str,
-        shrink_a_l2: bool,
-    ) -> (Vec<KnobEffect>, PackageConfig) {
+    fn effects_for(layer_name: &str, shrink_a_l2: bool) -> (Vec<KnobEffect>, PackageConfig) {
         let mut arch = presets::case_study_accelerator();
         if shrink_a_l2 {
             arch.chiplet.a_l2_bytes = 4 * 1024;

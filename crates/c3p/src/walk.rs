@@ -82,10 +82,10 @@ mod tests {
     #[test]
     fn w_l1_example_1() {
         let nest = LoopNest::new([
-            l(Dim::Co, 4),  // C1
-            l(Dim::Wo, 3),  // W1
-            l(Dim::Ho, 5),  // H1
-            l(Dim::Co, 2),  // C2
+            l(Dim::Co, 4), // C1
+            l(Dim::Wo, 3), // W1
+            l(Dim::Ho, 5), // H1
+            l(Dim::Co, 2), // C2
         ]);
         // Footprints: base 100; after C1 -> 400; W1/H1 don't grow weights;
         // after C2 -> 800.
@@ -107,12 +107,7 @@ mod tests {
     /// outer region `W1 x H1` is guarded by the full weight set.
     #[test]
     fn w_l1_example_2() {
-        let nest = LoopNest::new([
-            l(Dim::Co, 4),
-            l(Dim::Co, 2),
-            l(Dim::Wo, 3),
-            l(Dim::Ho, 5),
-        ]);
+        let nest = LoopNest::new([l(Dim::Co, 4), l(Dim::Co, 2), l(Dim::Wo, 3), l(Dim::Ho, 5)]);
         let fp = [100, 400, 800, 800, 800];
         let bps = c3p_breakpoints(&nest, &fp, Dim::weight_relevant);
         assert_eq!(

@@ -3,6 +3,14 @@
 //! The benches print human-readable tables; these emitters produce the same
 //! series as machine-readable CSV so the paper's figures can be regenerated
 //! with any plotting tool.
+//!
+//! Each series has a streaming `write_*_csv` form that emits into any
+//! [`std::fmt::Write`] sink — pair it with [`IoAdapter`] to stream straight
+//! into a buffered file without materializing the whole table — and a
+//! `*_csv` convenience wrapper that renders to a `String`.
+
+use std::fmt;
+use std::io;
 
 use baton_arch::Technology;
 
@@ -10,55 +18,133 @@ use crate::comparison::ModelComparison;
 use crate::postdesign::ModelReport;
 use crate::predesign::{DesignPoint, GranularityResult};
 
-/// CSV of Figure 14-style granularity results.
-pub fn granularity_csv(results: &[GranularityResult], tech: &Technology) -> String {
-    let mut out = String::from(
+/// Bridges a [`std::io::Write`] byte sink (e.g. a `BufWriter<File>`) into
+/// the [`std::fmt::Write`] interface the CSV emitters use, capturing the
+/// first I/O error for retrieval after the emitter returns.
+#[derive(Debug)]
+pub struct IoAdapter<W: io::Write> {
+    inner: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> IoAdapter<W> {
+    /// Wraps the byte sink.
+    pub fn new(inner: W) -> Self {
+        Self { inner, error: None }
+    }
+
+    /// Flushes and unwraps, surfacing any I/O error the emitter hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write or flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: io::Write> fmt::Write for IoAdapter<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        if self.error.is_some() {
+            return Err(fmt::Error);
+        }
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+/// Streams Figure 14-style granularity results as CSV.
+///
+/// # Errors
+///
+/// Propagates the sink's formatting error.
+pub fn write_granularity_csv<W: fmt::Write>(
+    out: &mut W,
+    results: &[GranularityResult],
+    tech: &Technology,
+) -> fmt::Result {
+    out.write_str(
         "chiplets,cores,lanes,vector,chiplet_area_mm2,energy_uj,cycles,edp_js,meets_area\n",
-    );
+    )?;
     for r in results {
         let (np, nc, l, p) = r.geometry;
-        out.push_str(&format!(
-            "{np},{nc},{l},{p},{:.4},{:.3},{},{:.6e},{}\n",
+        writeln!(
+            out,
+            "{np},{nc},{l},{p},{:.4},{:.3},{},{:.6e},{}",
             r.chiplet_area_mm2,
             r.energy_pj / 1e6,
             r.cycles,
             r.edp(tech),
             r.meets_area
-        ));
+        )?;
     }
+    Ok(())
+}
+
+/// CSV of Figure 14-style granularity results.
+pub fn granularity_csv(results: &[GranularityResult], tech: &Technology) -> String {
+    let mut out = String::new();
+    let _ = write_granularity_csv(&mut out, results, tech);
     out
 }
 
-/// CSV of Figure 15-style design points (the area/EDP scatter).
-pub fn design_points_csv(points: &[DesignPoint], tech: &Technology) -> String {
-    let mut out = String::from(
+/// Streams Figure 15-style design points (the area/EDP scatter) as CSV.
+///
+/// # Errors
+///
+/// Propagates the sink's formatting error.
+pub fn write_design_points_csv<W: fmt::Write>(
+    out: &mut W,
+    points: &[DesignPoint],
+    tech: &Technology,
+) -> fmt::Result {
+    out.write_str(
         "chiplets,cores,lanes,vector,o_l1_b,a_l1_b,w_l1_b,a_l2_b,\
          chiplet_area_mm2,energy_uj,cycles,edp_js\n",
-    );
+    )?;
     for p in points {
         let (np, nc, l, v) = p.geometry;
         let (o1, a1, w1, a2) = p.memory;
-        out.push_str(&format!(
-            "{np},{nc},{l},{v},{o1},{a1},{w1},{a2},{:.4},{:.3},{},{:.6e}\n",
+        writeln!(
+            out,
+            "{np},{nc},{l},{v},{o1},{a1},{w1},{a2},{:.4},{:.3},{},{:.6e}",
             p.chiplet_area_mm2,
             p.energy_pj / 1e6,
             p.cycles,
             p.edp(tech)
-        ));
+        )?;
     }
+    Ok(())
+}
+
+/// CSV of Figure 15-style design points (the area/EDP scatter).
+pub fn design_points_csv(points: &[DesignPoint], tech: &Technology) -> String {
+    let mut out = String::new();
+    let _ = write_design_points_csv(&mut out, points, tech);
     out
 }
 
-/// CSV of a post-design per-layer report.
-pub fn model_report_csv(report: &ModelReport) -> String {
-    let mut out = String::from(
+/// Streams a post-design per-layer report as CSV.
+///
+/// # Errors
+///
+/// Propagates the sink's formatting error.
+pub fn write_model_report_csv<W: fmt::Write>(out: &mut W, report: &ModelReport) -> fmt::Result {
+    out.write_str(
         "layer,spatial,package_order,chiplet_order,tile,energy_uj,cycles,utilization,\
          dram_bits,d2d_bits\n",
-    );
+    )?;
     for l in &report.layers {
         let m = &l.evaluation.mapping;
-        out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{},{:.4},{},{}\n",
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.3},{},{:.4},{},{}",
             l.layer,
             m.spatial_tag().replace(", ", "/"),
             m.package_order,
@@ -69,25 +155,46 @@ pub fn model_report_csv(report: &ModelReport) -> String {
             l.evaluation.utilization,
             l.evaluation.access.dram_total_bits(),
             l.evaluation.access.d2d_bits,
-        ));
+        )?;
     }
+    Ok(())
+}
+
+/// CSV of a post-design per-layer report.
+pub fn model_report_csv(report: &ModelReport) -> String {
+    let mut out = String::new();
+    let _ = write_model_report_csv(&mut out, report);
     out
 }
 
-/// CSV of the Simba comparisons (Figure 13 series).
-pub fn comparison_csv(comparisons: &[ModelComparison]) -> String {
-    let mut out =
-        String::from("model,resolution,baton_uj,simba_uj,saving_frac\n");
+/// Streams the Simba comparisons (Figure 13 series) as CSV.
+///
+/// # Errors
+///
+/// Propagates the sink's formatting error.
+pub fn write_comparison_csv<W: fmt::Write>(
+    out: &mut W,
+    comparisons: &[ModelComparison],
+) -> fmt::Result {
+    out.write_str("model,resolution,baton_uj,simba_uj,saving_frac\n")?;
     for c in comparisons {
-        out.push_str(&format!(
-            "{},{},{:.3},{:.3},{:.4}\n",
+        writeln!(
+            out,
+            "{},{},{:.3},{:.3},{:.4}",
             c.model,
             c.resolution,
             c.baton.total_uj(),
             c.simba.total_uj(),
             c.saving()
-        ));
+        )?;
     }
+    Ok(())
+}
+
+/// CSV of the Simba comparisons (Figure 13 series).
+pub fn comparison_csv(comparisons: &[ModelComparison]) -> String {
+    let mut out = String::new();
+    let _ = write_comparison_csv(&mut out, comparisons);
     out
 }
 
@@ -131,5 +238,44 @@ mod tests {
         assert_eq!(fields[0], "4");
         assert_eq!(fields[4], "144"); // O-L1 bytes
         assert_eq!(fields[8].parse::<f64>().unwrap(), 1.84); // chiplet area
+    }
+
+    #[test]
+    fn io_adapter_streams_the_same_bytes_as_the_string_wrapper() {
+        let tech = Technology::paper_16nm();
+        let p = DesignPoint {
+            geometry: (2, 8, 8, 16),
+            memory: (144, 2048, 18 * 1024, 128 * 1024),
+            chiplet_area_mm2: 2.1,
+            energy_pj: 5e8,
+            cycles: 400_000,
+        };
+        let mut sink = IoAdapter::new(Vec::new());
+        write_design_points_csv(&mut sink, std::slice::from_ref(&p), &tech).unwrap();
+        let bytes = sink.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            design_points_csv(&[p], &tech)
+        );
+    }
+
+    #[test]
+    fn io_adapter_surfaces_write_errors() {
+        /// A sink that always fails.
+        #[derive(Debug)]
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let tech = Technology::paper_16nm();
+        let mut sink = IoAdapter::new(Broken);
+        assert!(write_design_points_csv(&mut sink, &[], &tech).is_err());
+        let err = sink.finish().unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
     }
 }

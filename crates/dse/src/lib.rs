@@ -31,17 +31,16 @@ pub mod csv;
 pub mod fusion;
 pub mod pareto;
 pub mod postdesign;
-pub mod recommend;
 pub mod predesign;
+pub mod recommend;
 pub mod space;
 
 pub use comparison::{compare_model, ModelComparison};
 pub use fusion::{fusion_analysis, FusedLink, FusionReport};
 pub use pareto::pareto_front;
 pub use postdesign::{map_model, LayerReport, ModelReport};
-pub use recommend::{recommend, Recommendation};
 pub use predesign::{
-    full_sweep, full_sweep_suite, granularity_sweep, DesignPoint, GranularityResult,
-    SweepOptions,
+    full_sweep, full_sweep_suite, granularity_sweep, DesignPoint, GranularityResult, SweepOptions,
 };
+pub use recommend::{recommend, Recommendation};
 pub use space::{ComputeSpace, DesignSpace, MemorySpace};

@@ -3,19 +3,33 @@
 /// Returns the indices of the Pareto-optimal points for two minimized
 /// objectives `(x, y)` (no other point is <= in both and < in one).
 ///
+/// # NaN contract
+///
+/// A NaN objective has no defined dominance order, so points whose key
+/// contains a NaN are excluded from the front (they can neither dominate
+/// nor be fairly compared). Debug builds additionally assert no NaN was
+/// seen, since upstream scoring is expected to produce finite-or-infinite
+/// values only.
+///
 /// ```
 /// let pts = [(1.0, 5.0), (2.0, 2.0), (3.0, 4.0), (4.0, 1.0)];
 /// let front = baton_dse::pareto_front(&pts, |p| *p);
 /// assert_eq!(front, vec![0, 1, 3]);
 /// ```
 pub fn pareto_front<T>(points: &[T], key: impl Fn(&T) -> (f64, f64)) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..points.len()).collect();
+    let mut idx: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            let (x, y) = key(&points[i]);
+            let clean = !x.is_nan() && !y.is_nan();
+            debug_assert!(clean, "NaN objective at point {i}: ({x}, {y})");
+            clean
+        })
+        .collect();
     idx.sort_by(|&a, &b| {
         let (xa, ya) = key(&points[a]);
         let (xb, yb) = key(&points[b]);
-        xa.partial_cmp(&xb)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(ya.partial_cmp(&yb).unwrap_or(std::cmp::Ordering::Equal))
+        // total_cmp is safe here: NaN keys were filtered above.
+        xa.total_cmp(&xb).then(ya.total_cmp(&yb))
     });
     let mut front = Vec::new();
     let mut best_y = f64::INFINITY;
@@ -53,5 +67,23 @@ mod tests {
         let empty: [(f64, f64); 0] = [];
         assert!(pareto_front(&empty, |p| *p).is_empty());
         assert_eq!(pareto_front(&[(3.0, 3.0)], |p| *p), vec![0]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN objective"))]
+    fn nan_points_never_join_the_front() {
+        // Release builds silently drop NaN points; debug builds flag the
+        // upstream bug loudly.
+        let pts = [(1.0, f64::NAN), (f64::NAN, 1.0), (2.0, 2.0)];
+        let front = pareto_front(&pts, |p| *p);
+        assert_eq!(front, vec![2]);
+    }
+
+    #[test]
+    fn infinities_still_order_totally() {
+        let pts = [(f64::INFINITY, 0.5), (1.0, 1.0), (2.0, f64::INFINITY)];
+        let front = pareto_front(&pts, |p| *p);
+        // (1,1) dominates (2,inf); (inf,0.5) survives on the y axis.
+        assert_eq!(front, vec![0, 1]);
     }
 }

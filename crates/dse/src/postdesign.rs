@@ -16,6 +16,7 @@ use baton_c3p::{
 use baton_mapping::decompose;
 use baton_mapping::enumerate::EnumOptions;
 use baton_model::Model;
+use baton_telemetry::{event, span_labeled, Progress};
 use serde::{Deserialize, Serialize};
 
 /// The per-layer result of the post-design flow.
@@ -50,7 +51,11 @@ impl ModelReport {
 
     /// Average MAC utilization weighted by layer cycles.
     pub fn utilization(&self, arch: &PackageConfig) -> f64 {
-        let macs: u64 = self.layers.iter().map(|l| l.evaluation.access.mac_ops).sum();
+        let macs: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.evaluation.access.mac_ops)
+            .sum();
         macs as f64 / (self.cycles as f64 * arch.total_macs() as f64)
     }
 
@@ -58,11 +63,7 @@ impl ModelReport {
     /// peak-throughput floors: `(layer, dram_gap, runtime_gap)`, both >= 1.0.
     /// Large DRAM gaps flag layers where the machine's buffers force
     /// reloads; large runtime gaps flag utilization losses.
-    pub fn optimality_gaps(
-        &self,
-        model: &Model,
-        arch: &PackageConfig,
-    ) -> Vec<(String, f64, f64)> {
+    pub fn optimality_gaps(&self, model: &Model, arch: &PackageConfig) -> Vec<(String, f64, f64)> {
         self.layers
             .iter()
             .filter_map(|l| {
@@ -145,14 +146,25 @@ pub fn map_model_opts(
     objective: Objective,
     opts: EnumOptions,
 ) -> Result<ModelReport, SearchError> {
+    let mut meter = Progress::new("map_model", model.layers().len() as u64);
     let mut layers = Vec::with_capacity(model.layers().len());
     let mut energy = EnergyBreakdown::default();
     let mut cycles = 0u64;
     for layer in model.layers() {
+        let layer_span = span_labeled("map_layer", || layer.name().to_string());
         let ev = search_layer_with(layer, arch, tech, objective, opts)?;
         let nest = decompose(layer, arch, &ev.mapping)
             .map(|d| d.nest.render())
             .unwrap_or_default();
+        if baton_telemetry::enabled() {
+            event("map_layer")
+                .str("layer", layer.name())
+                .str("mapping", &ev.mapping.spatial_tag())
+                .f64("energy_pj", ev.energy.total_pj())
+                .u64("cycles", ev.cycles)
+                .u64("dur_us", layer_span.elapsed_us())
+                .emit();
+        }
         energy += ev.energy;
         cycles += ev.cycles;
         layers.push(LayerReport {
@@ -160,6 +172,7 @@ pub fn map_model_opts(
             evaluation: ev,
             nest,
         });
+        meter.tick(1);
     }
     Ok(ModelReport {
         model: model.name().to_string(),
@@ -186,7 +199,11 @@ mod tests {
         let r = map_model(&model, &arch, &tech).unwrap();
         assert_eq!(r.layers.len(), 19);
         // Totals are sums of the layers.
-        let sum: f64 = r.layers.iter().map(|l| l.evaluation.energy.total_pj()).sum();
+        let sum: f64 = r
+            .layers
+            .iter()
+            .map(|l| l.evaluation.energy.total_pj())
+            .sum();
         assert!((sum - r.energy.total_pj()).abs() / sum < 1e-9);
         let cyc: u64 = r.layers.iter().map(|l| l.evaluation.cycles).sum();
         assert_eq!(cyc, r.cycles);

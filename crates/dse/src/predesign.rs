@@ -7,6 +7,7 @@ use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Obje
 use baton_mapping::enumerate::{candidates_with, EnumOptions};
 use baton_mapping::{decompose, Decomposition};
 use baton_model::{ConvSpec, Model, ACT_BITS};
+use baton_telemetry::{count, count_n, event, span, Counter, Progress};
 use serde::{Deserialize, Serialize};
 
 use crate::postdesign::map_model_opts;
@@ -46,11 +47,17 @@ pub fn granularity_sweep(
     buffers: &ProportionalBuffers,
     area_limit_mm2: Option<f64>,
 ) -> Vec<GranularityResult> {
+    let _sweep_span = span("granularity_sweep");
     let space = DesignSpace::default();
+    let geometries = space.compute.geometries_for(total_macs);
+    let mut meter = Progress::new("granularity_sweep", geometries.len() as u64);
     let mut out = Vec::new();
-    for (np, nc, l, p) in space.compute.geometries_for(total_macs) {
+    for (np, nc, l, p) in geometries {
+        meter.tick(1);
+        count(Counter::SweepGeometries);
         let arch = buffers.package(np, nc, l, p);
         if validate(&arch).is_err() {
+            count(Counter::SweepGeometriesSkipped);
             continue;
         }
         let area = tech.area.chiplet_mm2(&arch.chiplet);
@@ -61,10 +68,23 @@ pub fn granularity_sweep(
             co_fractions: &[1, 4],
             ..EnumOptions::default()
         };
-        let Ok(report) = map_model_opts(model, &arch, tech, Objective::Energy, sweep_opts)
-        else {
+        let geo_span = span("granularity_geometry");
+        let Ok(report) = map_model_opts(model, &arch, tech, Objective::Energy, sweep_opts) else {
+            count(Counter::SweepGeometriesSkipped);
             continue;
         };
+        if baton_telemetry::enabled() {
+            event("granularity_point")
+                .u64("n_p", u64::from(np))
+                .u64("n_c", u64::from(nc))
+                .u64("lanes", u64::from(l))
+                .u64("vector", u64::from(p))
+                .f64("area_mm2", area)
+                .f64("energy_pj", report.energy.total_pj())
+                .u64("cycles", report.cycles)
+                .u64("dur_us", geo_span.elapsed_us())
+                .emit();
+        }
         out.push(GranularityResult {
             geometry: (np, nc, l, p),
             chiplet_area_mm2: area,
@@ -149,12 +169,32 @@ struct Candidate {
 /// Runs the full Figure 15 sweep: every computation geometry times every
 /// memory allocation of the space, returning the *valid* design points.
 pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<DesignPoint> {
+    let _sweep_span = span("full_sweep");
+    let geometries = opts.space.compute.geometries_for(opts.total_macs);
+    let units = geometries.len() as u64 * opts.space.memory.o_l1.len() as u64;
+    let mut meter = Progress::new("full_sweep", units);
     let mut points = Vec::new();
-    for (np, nc, l, p) in opts.space.compute.geometries_for(opts.total_macs) {
+    for (np, nc, l, p) in geometries {
+        count(Counter::SweepGeometries);
         for &o_l1 in &opts.space.memory.o_l1 {
+            let before = points.len();
+            let unit_span = span("sweep_geometry");
             sweep_geometry(model, tech, opts, (np, nc, l, p), o_l1, &mut points);
+            if baton_telemetry::enabled() {
+                event("sweep_unit")
+                    .u64("n_p", u64::from(np))
+                    .u64("n_c", u64::from(nc))
+                    .u64("lanes", u64::from(l))
+                    .u64("vector", u64::from(p))
+                    .u64("o_l1", o_l1)
+                    .u64("points", (points.len() - before) as u64)
+                    .u64("dur_us", unit_span.elapsed_us())
+                    .emit();
+            }
+            meter.tick(1);
         }
     }
+    count_n(Counter::SweepPoints, points.len() as u64);
     points
 }
 
@@ -216,9 +256,8 @@ fn sweep_geometry(
                         opts.o_l2_bytes,
                     ),
                 );
-                let Some((energy_pj, cycles)) =
-                    evaluate_model_at(&per_layer, &arch, tech)
-                else {
+                let Some((energy_pj, cycles)) = evaluate_model_at(&per_layer, &arch, tech) else {
+                    count(Counter::SweepPointsInfeasible);
                     continue;
                 };
                 points.push(DesignPoint {
@@ -364,9 +403,7 @@ fn evaluate_model_at(
     for cands in per_layer {
         let mut best: Option<(f64, u64)> = None;
         for c in cands {
-            if let Some((e, cyc)) =
-                score_candidate(c, a_l1, w_l1, a_l2, opts_o_l2, arch, tech)
-            {
+            if let Some((e, cyc)) = score_candidate(c, a_l1, w_l1, a_l2, opts_o_l2, arch, tech) {
                 if best.map(|(be, _)| e < be).unwrap_or(true) {
                     best = Some((e, cyc));
                 }
@@ -411,13 +448,23 @@ mod tests {
         );
         // Some geometries are infeasible (e.g. 16-lane machines on thin
         // layers), but the bulk of the 32 exact-product tuples must map.
-        assert!(results.len() >= 25, "only {} geometries mapped", results.len());
+        assert!(
+            results.len() >= 25,
+            "only {} geometries mapped",
+            results.len()
+        );
         // Area grows with per-chiplet MACs.
         let one: Vec<_> = results.iter().filter(|r| r.geometry.0 == 1).collect();
         let eight: Vec<_> = results.iter().filter(|r| r.geometry.0 == 8).collect();
         assert!(!one.is_empty() && !eight.is_empty());
-        let a1 = one.iter().map(|r| r.chiplet_area_mm2).fold(f64::MAX, f64::min);
-        let a8 = eight.iter().map(|r| r.chiplet_area_mm2).fold(f64::MAX, f64::min);
+        let a1 = one
+            .iter()
+            .map(|r| r.chiplet_area_mm2)
+            .fold(f64::MAX, f64::min);
+        let a8 = eight
+            .iter()
+            .map(|r| r.chiplet_area_mm2)
+            .fold(f64::MAX, f64::min);
         assert!(a1 > a8, "1-chiplet {a1} mm^2 <= 8-chiplet {a8} mm^2");
     }
 

@@ -121,9 +121,10 @@ impl fmt::Display for Recommendation {
                 "  alternative: {:?} at {:.2} mm^2 ({:+.1}% EDP)",
                 alt.geometry,
                 alt.chiplet_area_mm2,
-                100.0 * (alt.energy_pj * alt.cycles as f64
-                    / (self.winner.energy_pj * self.winner.cycles as f64)
-                    - 1.0)
+                100.0
+                    * (alt.energy_pj * alt.cycles as f64
+                        / (self.winner.energy_pj * self.winner.cycles as f64)
+                        - 1.0)
             )?;
         }
         Ok(())
@@ -183,13 +184,7 @@ mod tests {
         let tech = Technology::paper_16nm();
         let mut opts = small_opts();
         opts.area_limit_mm2 = Some(0.01);
-        assert!(recommend(
-            &tiny_model(),
-            &tech,
-            &opts,
-            &CostModel::n16_default()
-        )
-        .is_none());
+        assert!(recommend(&tiny_model(), &tech, &opts, &CostModel::n16_default()).is_none());
     }
 
     #[test]

@@ -37,8 +37,7 @@ impl ComputeSpace {
             for &nc in &self.cores {
                 for &l in &self.lanes {
                     for &p in &self.vector {
-                        if u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p)
-                            == total_macs
+                        if u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p) == total_macs
                         {
                             out.push((np, nc, l, p));
                         }
@@ -79,16 +78,7 @@ impl Default for MemorySpace {
         let kb = |k: u64| k * 1024;
         Self {
             o_l1: vec![48, 96, 144],
-            a_l1: vec![
-                kb(1),
-                kb(2),
-                kb(4),
-                kb(8),
-                kb(16),
-                kb(32),
-                kb(64),
-                kb(128),
-            ],
+            a_l1: vec![kb(1), kb(2), kb(4), kb(8), kb(16), kb(32), kb(64), kb(128)],
             w_l1: vec![
                 kb(2),
                 kb(4),
@@ -167,7 +157,10 @@ mod tests {
         assert!(g.contains(&(4, 4, 16, 8)));
         // Every tuple multiplies out to the budget.
         for (np, nc, l, p) in g {
-            assert_eq!(u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p), 2048);
+            assert_eq!(
+                u64::from(np) * u64::from(nc) * u64::from(l) * u64::from(p),
+                2048
+            );
         }
     }
 

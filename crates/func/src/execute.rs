@@ -221,11 +221,9 @@ fn compute_block(
                 for &(s0, sl) in &slices {
                     for ky in 0..layer.kh() {
                         for kx in 0..layer.kw() {
-                            let iy = i64::from(oy) * i64::from(layer.stride_h())
-                                + i64::from(ky)
+                            let iy = i64::from(oy) * i64::from(layer.stride_h()) + i64::from(ky)
                                 - i64::from(layer.pad_h());
-                            let ix = i64::from(ox) * i64::from(layer.stride_w())
-                                + i64::from(kx)
+                            let ix = i64::from(ox) * i64::from(layer.stride_w()) + i64::from(kx)
                                 - i64::from(layer.pad_w());
                             for ic in s0..s0 + sl {
                                 let real_ic = group * ci_g + ic;
@@ -235,8 +233,7 @@ fn compute_block(
                         }
                     }
                 }
-                let idx =
-                    ((oy as usize) * wo as usize + ox as usize) * co as usize + oc as usize;
+                let idx = ((oy as usize) * wo as usize + ox as usize) * co as usize + oc as usize;
                 if written[idx] {
                     return Err(ExecError::Overlap { at: (oy, ox, oc) });
                 }
@@ -293,12 +290,7 @@ mod tests {
     fn check_layer(layer: &ConvSpec, take: usize) {
         let arch = presets::case_study_accelerator();
         let input = Tensor3::counting(layer.hi(), layer.wi(), layer.ci());
-        let weights = Tensor4::counting(
-            layer.kh(),
-            layer.kw(),
-            layer.ci_per_group(),
-            layer.co(),
-        );
+        let weights = Tensor4::counting(layer.kh(), layer.kw(), layer.ci_per_group(), layer.co());
         let golden = reference_conv(layer, &input, &weights, 6);
         let mut checked = 0;
         for m in enumerate::candidates(layer, &arch).into_iter().take(take) {

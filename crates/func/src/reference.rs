@@ -10,12 +10,7 @@ use crate::tensor::{requantize, Tensor3, Tensor4};
 /// # Panics
 ///
 /// Panics if the tensor shapes disagree with the layer description.
-pub fn reference_conv(
-    layer: &ConvSpec,
-    input: &Tensor3,
-    weights: &Tensor4,
-    shift: u32,
-) -> Tensor3 {
+pub fn reference_conv(layer: &ConvSpec, input: &Tensor3, weights: &Tensor4, shift: u32) -> Tensor3 {
     assert_eq!(
         input.shape(),
         (layer.hi(), layer.wi(), layer.ci()),
@@ -37,11 +32,9 @@ pub fn reference_conv(
                 let mut acc: i32 = 0;
                 for ky in 0..layer.kh() {
                     for kx in 0..layer.kw() {
-                        let iy = i64::from(oy) * i64::from(layer.stride_h())
-                            + i64::from(ky)
+                        let iy = i64::from(oy) * i64::from(layer.stride_h()) + i64::from(ky)
                             - i64::from(layer.pad_h());
-                        let ix = i64::from(ox) * i64::from(layer.stride_w())
-                            + i64::from(kx)
+                        let ix = i64::from(ox) * i64::from(layer.stride_w()) + i64::from(kx)
                             - i64::from(layer.pad_w());
                         for ic in 0..ci_g {
                             let real_ic = group * ci_g + ic;
@@ -72,9 +65,8 @@ mod tests {
         let out = reference_conv(&layer, &input, &w, 0);
         for h in 0..4 {
             for x in 0..4 {
-                let expect = (i32::from(input.get(h.into(), x.into(), 0))
-                    * i32::from(wval))
-                .clamp(-128, 127) as i8;
+                let expect = (i32::from(input.get(h.into(), x.into(), 0)) * i32::from(wval))
+                    .clamp(-128, 127) as i8;
                 assert_eq!(out.get(h.into(), x.into(), 0), expect);
             }
         }
@@ -104,11 +96,20 @@ mod tests {
             s
         };
         // Interior output sees the full kernel.
-        assert_eq!(i32::from(out.get(2, 2, 0)), wsum(0..3, 0..3).clamp(-128, 127));
+        assert_eq!(
+            i32::from(out.get(2, 2, 0)),
+            wsum(0..3, 0..3).clamp(-128, 127)
+        );
         // Top-left corner loses the ky=0 row and kx=0 column to padding.
-        assert_eq!(i32::from(out.get(0, 0, 0)), wsum(1..3, 1..3).clamp(-128, 127));
+        assert_eq!(
+            i32::from(out.get(0, 0, 0)),
+            wsum(1..3, 1..3).clamp(-128, 127)
+        );
         // Top edge loses only the ky=0 row.
-        assert_eq!(i32::from(out.get(0, 2, 0)), wsum(1..3, 0..3).clamp(-128, 127));
+        assert_eq!(
+            i32::from(out.get(0, 2, 0)),
+            wsum(1..3, 0..3).clamp(-128, 127)
+        );
     }
 
     #[test]
@@ -151,7 +152,10 @@ mod tests {
         let out2 = reference_conv(&layer, &masked, &w, 4);
         for h in 0..6u32 {
             for x in 0..6u32 {
-                assert_eq!(out.get(h.into(), x.into(), 0), out2.get(h.into(), x.into(), 0));
+                assert_eq!(
+                    out.get(h.into(), x.into(), 0),
+                    out2.get(h.into(), x.into(), 0)
+                );
             }
         }
     }

@@ -177,9 +177,7 @@ fn assign_tile(
     for (ri, &(rh0, rh1)) in rows.iter().enumerate() {
         for (ci_, &(cw0, cw1)) in cols.iter().enumerate() {
             for (ki, &(kc0, kc1)) in chans.iter().enumerate() {
-                let core = ki * (grid_r as usize * grid_c as usize)
-                    + ri * grid_c as usize
-                    + ci_;
+                let core = ki * (grid_r as usize * grid_c as usize) + ri * grid_c as usize + ci_;
                 let core = core % n_c as usize;
                 let load_idx = chiplet_idx * n_c as usize + core;
                 for h in rh0..rh1 {

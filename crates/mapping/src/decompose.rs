@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::mapping::Mapping;
 use crate::nest::{Loop, LoopLevel, LoopNest};
-use crate::primitives::{ChipletPartition, Dim, PackagePartition, RotationMode};
 use crate::primitives::TemporalOrder;
+use crate::primitives::{ChipletPartition, Dim, PackagePartition, RotationMode};
 use crate::tile::ceil_div;
 
 /// Reasons a mapping is illegal for a given layer/machine pair.
@@ -300,6 +300,30 @@ pub fn decompose(
     arch: &PackageConfig,
     mapping: &Mapping,
 ) -> Result<Decomposition, MappingError> {
+    use baton_telemetry::{count, Counter};
+    count(Counter::DecomposeCalls);
+    let result = decompose_impl(layer, arch, mapping);
+    if baton_telemetry::enabled() {
+        if let Err(e) = &result {
+            count(match e {
+                MappingError::GridMismatch { .. } => Counter::RejectGridMismatch,
+                MappingError::ChannelsTooFew { .. } => Counter::RejectChannelsTooFew,
+                MappingError::PlaneTooFine { .. } => Counter::RejectPlaneTooFine,
+                MappingError::OL1Overflow { .. } => Counter::RejectOL1Overflow,
+                MappingError::OL2Overflow { .. } => Counter::RejectOL2Overflow,
+                MappingError::AL1Overflow { .. } => Counter::RejectAL1Overflow,
+                MappingError::WL1Overflow { .. } => Counter::RejectWL1Overflow,
+            });
+        }
+    }
+    result
+}
+
+fn decompose_impl(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    mapping: &Mapping,
+) -> Result<Decomposition, MappingError> {
     let n_p = arch.chiplets;
     let n_c = arch.chiplet.cores;
     let lanes = arch.chiplet.core.lanes;
@@ -409,8 +433,7 @@ pub fn decompose(
     // Depthwise layers pair each output channel with exactly one input
     // channel, so a C-type package split also splits the inputs: nothing is
     // shared and rotation degenerates.
-    let rotate_inputs =
-        ring && matches!(mapping.package, PackagePartition::Channel) && !depthwise;
+    let rotate_inputs = ring && matches!(mapping.package, PackagePartition::Channel) && !depthwise;
     let rotate_weights = ring && matches!(mapping.package, PackagePartition::Planar(_));
 
     // --- Package partition: per-chiplet part axes ---------------------------
@@ -418,11 +441,7 @@ pub fn decompose(
     // parts.
     let (part_h, part_w, part_co): (Axis, Axis, Axis) = match &mapping.package {
         // C-type: every chiplet tiles the same full plane; CO splits.
-        PackagePartition::Channel => (
-            Axis::single(ho),
-            Axis::single(wo),
-            Axis::balanced(co, n_p),
-        ),
+        PackagePartition::Channel => (Axis::single(ho), Axis::single(wo), Axis::balanced(co, n_p)),
         // P-type: the plane splits across chiplets; CO stays whole.
         PackagePartition::Planar(g) => (
             Axis::balanced(ho, g.rows()),
@@ -443,8 +462,10 @@ pub fn decompose(
         ChipletPartition::Planar(g) => (g.rows(), g.cols()),
         ChipletPartition::Hybrid { grid, .. } => (grid.rows(), grid.cols()),
     };
-    let core_tiles_h = tiles_h.refine(|e| Axis::balanced(e, grid_rows).refine(|s| Axis::tiled(s, ho_c)));
-    let core_tiles_w = tiles_w.refine(|e| Axis::balanced(e, grid_cols).refine(|s| Axis::tiled(s, wo_c)));
+    let core_tiles_h =
+        tiles_h.refine(|e| Axis::balanced(e, grid_rows).refine(|s| Axis::tiled(s, ho_c)));
+    let core_tiles_w =
+        tiles_w.refine(|e| Axis::balanced(e, grid_cols).refine(|s| Axis::tiled(s, wo_c)));
     // Channel steps: each chiplet tile's CO extent splits into `streams`
     // groups, each group iterates lanes-sized steps.
     let group_co = tiles_co.refine(|e| Axis::balanced(e, streams));
@@ -550,7 +571,10 @@ pub fn decompose(
             t_co: tiles_co_steps(&part_co, tile.co),
             t_h: axis_tile_count(&part_h, tile.ho),
             t_w: axis_tile_count(&part_w, tile.wo),
-            c_co: u64::from(ceil_div(ceil_div(tile.co.min(part_co.max()), streams), lanes)),
+            c_co: u64::from(ceil_div(
+                ceil_div(tile.co.min(part_co.max()), streams),
+                lanes,
+            )),
             c_h: core_loop_count(part_h.max().min(tile.ho), grid_rows, ho_c),
             c_w: core_loop_count(part_w.max().min(tile.wo), grid_cols, wo_c),
             rotate_inputs,
@@ -644,11 +668,7 @@ struct NestInputs {
 
 /// Builds the temporal nest (innermost first) and the aligned footprint
 /// tables.
-fn build_nest(
-    layer: &ConvSpec,
-    mapping: &Mapping,
-    inp: NestInputs,
-) -> (LoopNest, Footprints) {
+fn build_nest(layer: &ConvSpec, mapping: &Mapping, inp: NestInputs) -> (LoopNest, Footprints) {
     let (kh, kw) = (layer.kh(), layer.kw());
     let (sh, sw) = (layer.stride_h(), layer.stride_w());
     let ci_g = u64::from(layer.ci_per_group());
@@ -808,10 +828,10 @@ fn build_nest(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tile::Tile;
     use baton_arch::presets;
     use baton_model::zoo;
     use baton_model::PlanarGrid;
-    use crate::tile::Tile;
 
     fn arch() -> PackageConfig {
         presets::case_study_accelerator()
@@ -912,10 +932,7 @@ mod tests {
         assert!(d.rotate_weights);
         assert!(!d.rotate_inputs);
         assert_eq!(d.volumes.d2d_input_base, 0);
-        assert_eq!(
-            d.volumes.d2d_weight_base,
-            layer.weight_elems() * 8 * 3
-        );
+        assert_eq!(d.volumes.d2d_weight_base, layer.weight_elems() * 8 * 3);
         assert_eq!(d.volumes.dram_weight_base, layer.weight_elems() * 8);
     }
 
@@ -925,7 +942,10 @@ mod tests {
         assert!(d.rotate_inputs);
         assert!(!d.rotate_weights);
         assert_eq!(d.volumes.d2d_weight_base, 0);
-        assert_eq!(d.volumes.dram_weight_base, common_layer().weight_elems() * 8);
+        assert_eq!(
+            d.volumes.dram_weight_base,
+            common_layer().weight_elems() * 8
+        );
     }
 
     #[test]
@@ -1002,15 +1022,15 @@ mod tests {
         assert_eq!(d.volumes.mac_ops, layer.macs());
         // 1x1 kernels: window sums equal pixel sums, so the A-L2 fill equals
         // the consumed activation volume exactly (x N_P chiplets sharing).
-        assert_eq!(
-            d.volumes.a_l2_fill_base,
-            layer.input_bits() * 4
-        );
+        assert_eq!(d.volumes.a_l2_fill_base, layer.input_bits() * 4);
     }
 
     #[test]
     fn depthwise_disables_input_rotation() {
-        let layer = zoo::mobilenet_v2(224).layer("block2_dwise").cloned().unwrap();
+        let layer = zoo::mobilenet_v2(224)
+            .layer("block2_dwise")
+            .cloned()
+            .unwrap();
         let m = Mapping {
             chiplet_tile: Tile::new(16, 16, 24),
             ..simple_mapping()

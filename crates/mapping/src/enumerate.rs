@@ -7,11 +7,12 @@
 //! set: every legal spatial pair, both temporal orders per level, a ladder of
 //! chiplet-tile shapes and the partition-pattern grids.
 
-use baton_arch::PackageConfig;
-use baton_model::{ConvSpec, PlanarGrid, PSUM_BITS};
 use crate::mapping::Mapping;
 use crate::primitives::{ChipletPartition, PackagePartition, RotationMode, TemporalOrder};
 use crate::tile::{ceil_div, Tile};
+use baton_arch::PackageConfig;
+use baton_model::{ConvSpec, PlanarGrid, PSUM_BITS};
+use baton_telemetry::{count, count_n, Counter};
 
 /// Knobs bounding the candidate set size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,11 +48,7 @@ pub fn candidates(layer: &ConvSpec, arch: &PackageConfig) -> Vec<Mapping> {
 }
 
 /// Generates candidates with explicit options.
-pub fn candidates_with(
-    layer: &ConvSpec,
-    arch: &PackageConfig,
-    opts: EnumOptions,
-) -> Vec<Mapping> {
+pub fn candidates_with(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions) -> Vec<Mapping> {
     let n_p = arch.chiplets;
     let n_c = arch.chiplet.cores;
     let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
@@ -61,9 +58,7 @@ pub fn candidates_with(
         // The plane extents a single chiplet owns under this partition.
         let (part_h, part_w, part_co) = match &pkg {
             PackagePartition::Channel => (ho, wo, ceil_div(co, n_p)),
-            PackagePartition::Planar(g) => {
-                (ceil_div(ho, g.rows()), ceil_div(wo, g.cols()), co)
-            }
+            PackagePartition::Planar(g) => (ceil_div(ho, g.rows()), ceil_div(wo, g.cols()), co),
         };
         for chip in chiplet_options(n_c) {
             for &fh in opts.plane_fractions {
@@ -75,6 +70,7 @@ pub fn candidates_with(
                             ceil_div(part_co, fc).max(1),
                         );
                         if !tile_fits_partition(&chip, tile, n_c) {
+                            count(Counter::CandidatesStructurallyRejected);
                             continue;
                         }
                         let core_plane = core_plane_for(layer, arch, &chip, tile, n_c);
@@ -124,8 +120,11 @@ pub fn candidates_with(
             }
         }
     }
+    let raw = out.len();
     out.sort_by_key(mapping_key);
     out.dedup_by_key(|m| mapping_key(m));
+    count_n(Counter::CandidatesGenerated, out.len() as u64);
+    count_n(Counter::CandidatesDeduped, (raw - out.len()) as u64);
     out
 }
 
@@ -251,9 +250,8 @@ pub fn core_plane_for(
     loop {
         let fits_o_l1 = u64::from(h) * u64::from(w) <= cap;
         let win = |t: u32, s: u32, k: u32| u64::from((t - 1) * s + k);
-        let need = win(h, layer.stride_h(), layer.kh())
-            * win(w, layer.stride_w(), layer.kw())
-            * chunk;
+        let need =
+            win(h, layer.stride_h(), layer.kh()) * win(w, layer.stride_w(), layer.kw()) * chunk;
         let fits_a_l1 = need <= core.a_l1_bytes;
         if fits_o_l1 && fits_a_l1 {
             return (h, w);
@@ -280,10 +278,7 @@ mod tests {
 
     #[test]
     fn generates_hundreds_of_candidates_for_a_common_layer() {
-        let layer = zoo::resnet50(224)
-            .layer("res2a_branch2b")
-            .cloned()
-            .unwrap();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
         let maps = candidates(&layer, &arch());
         assert!(
             maps.len() >= 100,
@@ -298,9 +293,7 @@ mod tests {
         // channels cannot split across chiplets.
         let thin = ConvSpec::new("thin", 64, 64, 16, 3, 1, 1, 2).unwrap();
         let opts = package_options(&thin, 4);
-        assert!(opts
-            .iter()
-            .all(|p| !matches!(p, PackagePartition::Channel)));
+        assert!(opts.iter().all(|p| !matches!(p, PackagePartition::Channel)));
         // But planar options survive.
         assert!(!opts.is_empty());
     }
@@ -348,10 +341,7 @@ mod tests {
 
     #[test]
     fn candidates_are_deduplicated() {
-        let layer = zoo::resnet50(224)
-            .layer("res2a_branch2a")
-            .cloned()
-            .unwrap();
+        let layer = zoo::resnet50(224).layer("res2a_branch2a").cloned().unwrap();
         let maps = candidates(&layer, &arch());
         let mut keys: Vec<String> = maps.iter().map(|m| m.to_string()).collect();
         let before = keys.len();

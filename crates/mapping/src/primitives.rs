@@ -77,7 +77,8 @@ pub enum TemporalOrder {
 
 impl TemporalOrder {
     /// Both orders, for enumeration.
-    pub const ALL: [TemporalOrder; 2] = [TemporalOrder::ChannelPriority, TemporalOrder::PlanePriority];
+    pub const ALL: [TemporalOrder; 2] =
+        [TemporalOrder::ChannelPriority, TemporalOrder::PlanePriority];
 }
 
 impl fmt::Display for TemporalOrder {
@@ -251,7 +252,10 @@ mod tests {
         use baton_model::PlanarGrid;
         let p = PackagePartition::Planar(PlanarGrid::new(2, 2));
         assert_eq!(p.to_string(), "P[2x2]");
-        assert_eq!(TemporalOrder::ChannelPriority.to_string(), "channel-priority");
+        assert_eq!(
+            TemporalOrder::ChannelPriority.to_string(),
+            "channel-priority"
+        );
         assert_eq!(RotationMode::Ring.to_string(), "ring");
     }
 }

@@ -35,7 +35,11 @@ impl Tile {
 
     /// Clamps the tile to a bounding extent (tiles at a part boundary).
     pub fn clamped(&self, ho_max: u32, wo_max: u32, co_max: u32) -> Tile {
-        Tile::new(self.ho.min(ho_max), self.wo.min(wo_max), self.co.min(co_max))
+        Tile::new(
+            self.ho.min(ho_max),
+            self.wo.min(wo_max),
+            self.co.min(co_max),
+        )
     }
 }
 

@@ -22,8 +22,8 @@ mod tests {
     #[test]
     fn psum_is_wider_than_operands() {
         // The whole Simba-vs-NN-Baton comparison hinges on this asymmetry.
-        assert!(PSUM_BITS > ACT_BITS);
-        assert!(PSUM_BITS > WGT_BITS);
+        const { assert!(PSUM_BITS > ACT_BITS) };
+        const { assert!(PSUM_BITS > WGT_BITS) };
         assert_eq!(PSUM_BITS, 3 * ACT_BITS);
     }
 }

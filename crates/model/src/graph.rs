@@ -310,11 +310,7 @@ mod tests {
         let wide = 56 * 56 * 256u64; // one wide tensor in bytes (8-bit)
         assert!(peak > wide, "peak {peak} <= single tensor {wide}");
         // But bounded by the sum of all tensors.
-        let total: u64 = g
-            .nodes()
-            .iter()
-            .map(|n| n.layer.output_elems())
-            .sum();
+        let total: u64 = g.nodes().iter().map(|n| n.layer.output_elems()).sum();
         assert!(peak <= total);
     }
 

@@ -338,27 +338,13 @@ impl ConvSpec {
     /// Number of *real* (non-padding) input rows touched by the output rows
     /// `[oy0, oy0 + tile_out)`, clipped to the input plane.
     pub fn clipped_input_rows(&self, oy0: u32, tile_out: u32) -> u32 {
-        clipped_extent(
-            oy0,
-            tile_out,
-            self.stride_h,
-            self.kh,
-            self.pad_h,
-            self.hi,
-        )
+        clipped_extent(oy0, tile_out, self.stride_h, self.kh, self.pad_h, self.hi)
     }
 
     /// Number of real input columns touched by the output columns
     /// `[ox0, ox0 + tile_out)`, clipped to the input plane.
     pub fn clipped_input_cols(&self, ox0: u32, tile_out: u32) -> u32 {
-        clipped_extent(
-            ox0,
-            tile_out,
-            self.stride_w,
-            self.kw,
-            self.pad_w,
-            self.wi,
-        )
+        clipped_extent(ox0, tile_out, self.stride_w, self.kw, self.pad_w, self.wi)
     }
 
     /// Returns a renamed clone; convenient when expanding repeated blocks in

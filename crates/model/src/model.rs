@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn totals_sum_layers() {
         let m = tiny();
-        assert_eq!(
-            m.total_macs(),
-            m.layers()[0].macs() + m.layers()[1].macs()
-        );
+        assert_eq!(m.total_macs(), m.layers()[0].macs() + m.layers()[1].macs());
         assert_eq!(m.peak_weight_bits(), m.layers()[1].weight_bits());
         assert_eq!(m.peak_activation_bits(), m.layers()[1].input_bits());
     }

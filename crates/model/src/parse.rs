@@ -52,7 +52,10 @@ impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseModelError::MissingHeader => {
-                write!(f, "model description must start with `model <name> @<resolution>`")
+                write!(
+                    f,
+                    "model description must start with `model <name> @<resolution>`"
+                )
             }
             ParseModelError::Syntax { line, message } => {
                 write!(f, "line {line}: {message}")
@@ -131,19 +134,36 @@ pub fn render_model(model: &Model) -> String {
         let line = match l.kind() {
             LayerKind::Depthwise => format!(
                 "depthwise name={} in={}x{}x{} k={} s={} p={}",
-                l.name(), l.hi(), l.wi(), l.ci(), l.kh(), l.stride_h(), l.pad_h()
+                l.name(),
+                l.hi(),
+                l.wi(),
+                l.ci(),
+                l.kh(),
+                l.stride_h(),
+                l.pad_h()
             ),
             LayerKind::Pointwise if l.hi() == 1 && l.wi() == 1 && l.stride_h() == 1 => {
                 format!("fc name={} ci={} co={}", l.name(), l.ci(), l.co())
             }
             LayerKind::Pointwise if l.stride_h() == 1 && l.stride_w() == 1 => format!(
                 "pointwise name={} in={}x{}x{} co={}",
-                l.name(), l.hi(), l.wi(), l.ci(), l.co()
+                l.name(),
+                l.hi(),
+                l.wi(),
+                l.ci(),
+                l.co()
             ),
             _ => {
                 let mut s = format!(
                     "conv name={} in={}x{}x{} k={} s={} p={} co={}",
-                    l.name(), l.hi(), l.wi(), l.ci(), l.kh(), l.stride_h(), l.pad_h(), l.co()
+                    l.name(),
+                    l.hi(),
+                    l.wi(),
+                    l.ci(),
+                    l.kh(),
+                    l.stride_h(),
+                    l.pad_h(),
+                    l.co()
                 );
                 if l.groups() > 1 {
                     s.push_str(&format!(" groups={}", l.groups()));

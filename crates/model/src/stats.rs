@@ -76,7 +76,10 @@ impl ModelStats {
 
     /// Count of activation-intensive layers.
     pub fn activation_intensive_count(&self) -> usize {
-        self.layers.iter().filter(|l| l.activation_intensive).count()
+        self.layers
+            .iter()
+            .filter(|l| l.activation_intensive)
+            .count()
     }
 
     /// The layer with the lowest arithmetic intensity (the most

@@ -66,8 +66,7 @@ mod tests {
     #[test]
     fn kernel_diversity_matches_paper_claim() {
         let m = alexnet(224);
-        let ks: std::collections::BTreeSet<u32> =
-            m.layers().iter().map(|l| l.kh()).collect();
+        let ks: std::collections::BTreeSet<u32> = m.layers().iter().map(|l| l.kh()).collect();
         assert!(ks.contains(&11));
         assert!(ks.contains(&5));
         assert!(ks.contains(&3));

@@ -27,8 +27,7 @@ const PLAN: [(u32, u32, u32, u32); 7] = [
 /// Panics if `resolution < 64`.
 pub fn mobilenet_v2(resolution: u32) -> Model {
     let mut layers = Vec::new();
-    let conv1 = ConvSpec::new("conv1", resolution, resolution, 3, 3, 2, 1, 32)
-        .expect("valid stem");
+    let conv1 = ConvSpec::new("conv1", resolution, resolution, 3, 3, 2, 1, 32).expect("valid stem");
     let mut size = conv1.ho();
     layers.push(conv1);
     let mut ci = 32;
@@ -65,9 +64,7 @@ pub fn mobilenet_v2(resolution: u32) -> Model {
         }
     }
 
-    layers.push(
-        ConvSpec::pointwise("conv_last", size, size, ci, 1280).expect("valid head conv"),
-    );
+    layers.push(ConvSpec::pointwise("conv_last", size, size, ci, 1280).expect("valid head conv"));
     layers.push(ConvSpec::fully_connected("fc", 1280, 1000).expect("valid fc"));
     Model::new("mobilenet_v2", resolution, layers)
 }

@@ -34,9 +34,7 @@ pub fn vgg16(resolution: u32) -> Model {
     for (block, co, reps) in BLOCKS {
         for i in 1..=reps {
             let name = format!("{block}_{i}");
-            layers.push(
-                ConvSpec::new(name, size, size, ci, 3, 1, 1, co).expect("valid vgg conv"),
-            );
+            layers.push(ConvSpec::new(name, size, size, ci, 3, 1, 1, co).expect("valid vgg conv"));
             ci = co;
         }
         size = pool(size, 2, 2, 0);
@@ -99,10 +97,7 @@ mod tests {
         let m = vgg16(224);
         // With fc6 reorganized as point-wise, fc7 (4096x4096) holds the
         // largest weight tensor.
-        assert_eq!(
-            m.peak_weight_bits(),
-            m.layer("fc7").unwrap().weight_bits()
-        );
+        assert_eq!(m.peak_weight_bits(), m.layer("fc7").unwrap().weight_bits());
     }
 
     #[test]

@@ -38,9 +38,7 @@ pub fn yolo_v2(resolution: u32) -> Model {
     // Passthrough: 1x1 bottleneck on the stride-16 map; its space-to-depth
     // reshape contributes 64*4 = 256 channels to the concat.
     layers.push(ConvSpec::pointwise("passthrough", s16, s16, 512, 64).expect("valid passthrough"));
-    layers.push(
-        ConvSpec::new("head3", s32, s32, 1024 + 256, 3, 1, 1, 1024).expect("valid head3"),
-    );
+    layers.push(ConvSpec::new("head3", s32, s32, 1024 + 256, 3, 1, 1, 1024).expect("valid head3"));
     // 5 anchors x (4 box + 1 obj + 20 classes) = 125 outputs (VOC head).
     layers.push(ConvSpec::pointwise("predict", s32, s32, 1024, 125).expect("valid predict"));
 

@@ -3,6 +3,7 @@
 //! ```text
 //! baton stats   <model> [--res N]                 model statistics table
 //! baton map     <model> [--res N] [--csv FILE]    post-design flow
+//! baton profile <model> [--res N]                 post-design flow + telemetry breakdown
 //! baton compare <model> [--res N]                 NN-Baton vs Simba
 //! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE]
 //!                                                 Figure 14 granularity sweep
@@ -11,17 +12,25 @@
 //! baton recommend <model> [--res N] [--macs M] [--area A]
 //!                                                 pre-design recommendation
 //! baton check   <file.baton>                      validate a model description
+//! baton version                                   print the version
 //! ```
 //!
 //! `<model>` is a zoo name (`alexnet`, `vgg16`, `resnet50`, `darknet19`,
 //! `mobilenet_v2`, `yolo_v2`) or a path to a `.baton` model description.
+//!
+//! Global flags (any position): `-v`/`-vv`/`--verbose` tiered stderr
+//! logging, `--progress` live sweep meters, `--trace-json FILE` a
+//! machine-readable JSON-lines event trace.
 
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use nn_baton::arch::presets::ProportionalBuffers;
 use nn_baton::dse::csv;
 use nn_baton::model::ModelStats;
 use nn_baton::prelude::*;
+use nn_baton::telemetry;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,12 +44,48 @@ fn main() -> ExitCode {
     }
 }
 
+const SUBCOMMANDS: &[&str] = &[
+    "stats",
+    "map",
+    "profile",
+    "compare",
+    "explore",
+    "sweep",
+    "recommend",
+    "check",
+];
+
 /// Parsed common flags.
 struct Flags {
     res: u32,
     macs: u64,
     area: Option<f64>,
     csv: Option<String>,
+}
+
+/// Telemetry flags, extracted before subcommand dispatch.
+fn split_telemetry_flags(
+    args: &[String],
+) -> Result<(Vec<String>, telemetry::TelemetryConfig), String> {
+    let mut cfg = telemetry::TelemetryConfig::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-v" | "--verbose" => cfg.verbosity = cfg.verbosity.max(1),
+            "-vv" => cfg.verbosity = cfg.verbosity.max(2),
+            "--progress" => cfg.progress = true,
+            "--trace-json" => {
+                cfg.trace_path = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("flag --trace-json needs a file path")?,
+                );
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, cfg))
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, String> {
@@ -84,8 +129,8 @@ fn load_model(name: &str, res: u32) -> Result<Model, String> {
         "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
         "yolo_v2" => Ok(zoo::yolo_v2(res)),
         path if path.ends_with(".baton") => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             parse_model(&text).map_err(|e| e.to_string())
         }
         other => Err(format!(
@@ -94,43 +139,87 @@ fn load_model(name: &str, res: u32) -> Result<Model, String> {
     }
 }
 
-fn write_or_print(csv_path: &Option<String>, content: &str) -> Result<(), String> {
-    match csv_path {
-        Some(path) => {
-            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+/// Streams `emit` into `--csv FILE` through a buffered writer, or does
+/// nothing when no path was given.
+fn write_csv<F>(csv_path: &Option<String>, emit: F) -> Result<(), String>
+where
+    F: FnOnce(&mut csv::IoAdapter<BufWriter<std::fs::File>>) -> std::fmt::Result,
+{
+    let Some(path) = csv_path else { return Ok(()) };
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut sink = csv::IoAdapter::new(BufWriter::new(file));
+    let fmt_failed = emit(&mut sink).is_err();
+    match sink.finish() {
+        Ok(_) if !fmt_failed => {
             println!("wrote {path}");
             Ok(())
         }
-        None => Ok(()),
+        Ok(_) => Err(format!("cannot write {path}: formatter error")),
+        Err(e) => Err(format!("cannot write {path}: {e}")),
     }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, tcfg) = split_telemetry_flags(args)?;
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         println!(
             "baton -- NN-Baton workload orchestration and chiplet DSE\n\n\
-             usage:\n  baton stats|map|compare|explore|sweep|recommend <model> [flags]\n  \
-             baton check <file.baton>\n\nflags: --res N  --macs M  --area A|none  --csv FILE"
+             usage:\n  baton stats|map|profile|compare|explore|sweep|recommend <model> [flags]\n  \
+             baton check <file.baton>\n  baton version\n\n\
+             flags: --res N  --macs M  --area A|none  --csv FILE\n\
+             telemetry: -v|-vv  --progress  --trace-json FILE"
         );
+        return Ok(());
+    }
+    if cmd == "version" || cmd == "--version" || cmd == "-V" {
+        println!("baton {}", env!("CARGO_PKG_VERSION"));
         return Ok(());
     }
     if cmd == "check" {
         let path = args.get(1).ok_or("check needs a file path")?;
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let model = parse_model(&text).map_err(|e| e.to_string())?;
         println!("ok: {model}");
         return Ok(());
     }
+    if !SUBCOMMANDS.contains(&cmd.as_str()) {
+        return Err(format!("unknown subcommand `{cmd}`"));
+    }
+
+    // Attach only when something will consume the data: a telemetry flag,
+    // or `profile` (whose output *is* the data). Plain runs keep the layer
+    // disabled — one relaxed atomic load per probe.
+    let wants_session =
+        tcfg.verbosity > 0 || tcfg.progress || tcfg.trace_path.is_some() || cmd == "profile";
+    let session = if wants_session {
+        Some(telemetry::attach(&tcfg).map_err(|e| format!("cannot open trace: {e}"))?)
+    } else {
+        None
+    };
 
     let model_name = args.get(1).ok_or("missing model")?;
     let flags = parse_flags(&args[2..])?;
     let model = load_model(model_name, flags.res)?;
     let tech = Technology::paper_16nm();
     let arch = presets::case_study_accelerator();
+    telemetry::vlog!(
+        1,
+        "{cmd}: model {} ({} layers at {} px)",
+        model.name(),
+        model.layers().len(),
+        flags.res
+    );
+    telemetry::vlog!(
+        2,
+        "machine: {} chiplets x {} cores, --macs {} --area {:?}",
+        arch.chiplets,
+        arch.chiplet.cores,
+        flags.macs,
+        flags.area
+    );
 
     match cmd.as_str() {
         "stats" => {
@@ -144,7 +233,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.edp(&tech),
                 100.0 * report.utilization(&arch)
             );
-            write_or_print(&flags.csv, &csv::model_report_csv(&report))?;
+            write_csv(&flags.csv, |out| csv::write_model_report_csv(out, &report))?;
+        }
+        "profile" => {
+            profile_model(&model, &arch, &tech)?;
         }
         "compare" => {
             let c = compare_model(&model, &arch, &tech);
@@ -155,7 +247,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 c.simba.total_uj(),
                 100.0 * c.saving()
             );
-            write_or_print(&flags.csv, &csv::comparison_csv(&[c]))?;
+            write_csv(&flags.csv, |out| csv::write_comparison_csv(out, &[c]))?;
         }
         "explore" => {
             let results = granularity_sweep(
@@ -182,7 +274,9 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(b) = best {
                 println!("==> best EDP under budget: {:?}", b.geometry);
             }
-            write_or_print(&flags.csv, &csv::granularity_csv(&results, &tech))?;
+            write_csv(&flags.csv, |out| {
+                csv::write_granularity_csv(out, &results, &tech)
+            })?;
         }
         "recommend" => {
             let opts = SweepOptions {
@@ -197,12 +291,11 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "sweep" => {
-            let mut opts = SweepOptions {
+            let opts = SweepOptions {
                 total_macs: flags.macs,
                 area_limit_mm2: flags.area,
                 ..SweepOptions::default()
             };
-            opts.area_limit_mm2 = flags.area;
             let points = full_sweep(&model, &tech, &opts);
             println!("{} valid design points", points.len());
             if let Some(best) = points
@@ -221,9 +314,59 @@ fn run(args: &[String]) -> Result<(), String> {
                     a2 / 1024
                 );
             }
-            write_or_print(&flags.csv, &csv::design_points_csv(&points, &tech))?;
+            write_csv(&flags.csv, |out| {
+                csv::write_design_points_csv(out, &points, &tech)
+            })?;
         }
-        other => return Err(format!("unknown subcommand `{other}`")),
+        // Every other word was rejected before the model loaded.
+        _ => unreachable!("subcommand validated above"),
     }
+    drop(session);
+    Ok(())
+}
+
+/// The `baton profile` subcommand: run the post-design flow with telemetry
+/// forced on and print a per-layer time/counter breakdown plus the session
+/// summary.
+fn profile_model(model: &Model, arch: &PackageConfig, tech: &Technology) -> Result<(), String> {
+    use nn_baton::telemetry::{counters, span, Counter};
+
+    println!(
+        "profile: {} ({} layers) on the case-study accelerator",
+        model.name(),
+        model.layers().len()
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "layer", "time ms", "enumerated", "rej shape", "rej buffer", "dedup", "evaluations"
+    );
+    let mut before = counters::snapshot();
+    let t0 = Instant::now();
+    for layer in model.layers() {
+        let start = Instant::now();
+        search_layer(layer, arch, tech, Objective::Energy).map_err(|e| e.to_string())?;
+        let now = counters::snapshot();
+        let d = now.since(&before);
+        println!(
+            "{:<24} {:>10.1} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            layer.name(),
+            start.elapsed().as_secs_f64() * 1e3,
+            d.get(Counter::CandidatesGenerated),
+            d.get(Counter::CandidatesStructurallyRejected) + d.rejects_plane(),
+            d.rejects_buffer(),
+            d.get(Counter::CandidatesDeduped),
+            d.get(Counter::Evaluations),
+        );
+        before = now;
+    }
+    println!(
+        "total: {:.1} ms across {} layers\n",
+        t0.elapsed().as_secs_f64() * 1e3,
+        model.layers().len()
+    );
+    print!(
+        "{}",
+        nn_baton::telemetry::render_summary(&counters::snapshot(), &span::phase_stats())
+    );
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | [`simba`] | `baton-simba` | the weight-centric Simba baseline of Figures 12-13 |
 //! | [`dse`] | `baton-dse` | pre-design (Figures 14-15) and post-design flows |
 //! | [`func`] | `baton-func` | functional simulator: bit-exact execution of mappings on real tensors |
+//! | [`telemetry`] | `baton-telemetry` | search/eval instrumentation: counters, spans, progress, JSON-lines traces |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use baton_mapping as mapping;
 pub use baton_model as model;
 pub use baton_sim as sim;
 pub use baton_simba as simba;
+pub use baton_telemetry as telemetry;
 
 /// The most common imports, bundled.
 pub mod prelude {
@@ -67,13 +69,13 @@ pub mod prelude {
         evaluate, search_layer, EnergyBreakdown, Evaluation, Objective, TrafficBounds,
     };
     pub use baton_dse::{
-        compare_model, full_sweep, full_sweep_suite, fusion_analysis, granularity_sweep,
-        map_model, pareto_front, recommend, DesignPoint, SweepOptions,
+        compare_model, full_sweep, full_sweep_suite, fusion_analysis, granularity_sweep, map_model,
+        pareto_front, recommend, DesignPoint, SweepOptions,
     };
     pub use baton_func::{reference_conv, run_mapping, Tensor3, Tensor4};
     pub use baton_mapping::{
-        verify_coverage, ChipletPartition, Mapping, PackagePartition, RotationMode,
-        TemporalOrder, Tile,
+        verify_coverage, ChipletPartition, Mapping, PackagePartition, RotationMode, TemporalOrder,
+        Tile,
     };
     pub use baton_model::{parse_model, render_model, zoo, ConvSpec, Model, PlanarGrid};
     pub use baton_sim::{simulate, simulate_traced};

@@ -115,6 +115,7 @@ pub fn simulate_traced(
         d.volumes.mac_ops,
         Some(&mut trace),
     );
+    trace.bridge_telemetry();
     Ok((report, trace))
 }
 
@@ -167,7 +168,14 @@ fn simulate_resolved(
     let mut engine: Engine<Event> = Engine::new();
     // Kick off the first load on every chiplet.
     for c in 0..arch.chiplets {
-        start_load(&mut engine, &mut chiplets[c as usize], c, 0, &per_tile, &mut trace);
+        start_load(
+            &mut engine,
+            &mut chiplets[c as usize],
+            c,
+            0,
+            &per_tile,
+            &mut trace,
+        );
     }
 
     while let Some(s) = engine.pop() {
@@ -184,7 +192,8 @@ fn simulate_resolved(
                     if let Some(tr) = trace.as_deref_mut() {
                         tr.record(now, chiplet, tile, TraceKind::ComputeStart);
                     }
-                    engine.schedule_at(now + per_tile.compute, Event::ComputeDone { chiplet, tile });
+                    engine
+                        .schedule_at(now + per_tile.compute, Event::ComputeDone { chiplet, tile });
                 }
                 // Double buffering: prefetch at most one tile ahead of the
                 // one currently computing.
@@ -237,9 +246,21 @@ fn simulate_resolved(
         total_cycles,
         compute_cycles: compute,
         stall_cycles: total_cycles.saturating_sub(compute),
-        dram_busy: chiplets.iter().map(|c| c.dram.busy_cycles()).max().unwrap_or(0),
-        ring_busy: chiplets.iter().map(|c| c.ring.busy_cycles()).max().unwrap_or(0),
-        bus_busy: chiplets.iter().map(|c| c.bus.busy_cycles()).max().unwrap_or(0),
+        dram_busy: chiplets
+            .iter()
+            .map(|c| c.dram.busy_cycles())
+            .max()
+            .unwrap_or(0),
+        ring_busy: chiplets
+            .iter()
+            .map(|c| c.ring.busy_cycles())
+            .max()
+            .unwrap_or(0),
+        bus_busy: chiplets
+            .iter()
+            .map(|c| c.bus.busy_cycles())
+            .max()
+            .unwrap_or(0),
         tiles_per_chiplet: tiles,
         utilization: mac_ops as f64 / (total_cycles as f64 * units as f64),
     }
@@ -464,8 +485,7 @@ pub fn simulate_model(
     Ok(ModelSimReport {
         layers,
         total_cycles: total_cycles.max(1),
-        utilization: total_macs as f64
-            / (total_cycles.max(1) as f64 * arch.total_macs() as f64),
+        utilization: total_macs as f64 / (total_cycles.max(1) as f64 * arch.total_macs() as f64),
     })
 }
 

@@ -68,7 +68,13 @@ pub fn simulate_rotation(cfg: &RingConfig, slice_bits: u64) -> RotationReport {
     let mut engine: Engine<Arrive> = Engine::new();
     // Step 0 departs at time 0 from every chiplet simultaneously.
     for c in 0..n {
-        engine.schedule_at(xfer + cfg.hop_latency, Arrive { step: 0, chiplet: c });
+        engine.schedule_at(
+            xfer + cfg.hop_latency,
+            Arrive {
+                step: 0,
+                chiplet: c,
+            },
+        );
     }
     let mut total = 0;
     let mut link_busy = 0;
@@ -80,10 +86,13 @@ pub fn simulate_rotation(cfg: &RingConfig, slice_bits: u64) -> RotationReport {
         let next_step = s.event.step + 1;
         if next_step < n - 1 {
             // Forward the just-received slice after a full store-and-forward.
-            engine.schedule_in(xfer + cfg.hop_latency, Arrive {
-                step: next_step,
-                chiplet: s.event.chiplet,
-            });
+            engine.schedule_in(
+                xfer + cfg.hop_latency,
+                Arrive {
+                    step: next_step,
+                    chiplet: s.event.chiplet,
+                },
+            );
         }
     }
     RotationReport {

@@ -96,10 +96,7 @@ impl Trace {
             let key = (e.chiplet, e.tile);
             if let Some(prev) = stage.get(&key) {
                 if rank(e.kind) <= rank(*prev) {
-                    return Err(format!(
-                        "tile {:?}: {} after {}",
-                        key, e.kind, prev
-                    ));
+                    return Err(format!("tile {:?}: {} after {}", key, e.kind, prev));
                 }
             } else if e.kind != TraceKind::LoadStart {
                 return Err(format!("tile {key:?} began with {}", e.kind));
@@ -112,6 +109,27 @@ impl Trace {
             }
         }
         Ok(())
+    }
+
+    /// Mirrors every trace record into the attached telemetry sink as
+    /// `sim_trace` events (no-op when telemetry is disabled), so a
+    /// `--trace-json` run interleaves DES timelines with search events.
+    pub fn bridge_telemetry(&self) {
+        if !baton_telemetry::enabled() {
+            return;
+        }
+        for e in &self.events {
+            baton_telemetry::event("sim_trace")
+                .u64("cycle", e.time)
+                .u64("chiplet", u64::from(e.chiplet))
+                .u64("tile", e.tile)
+                .str("kind", &e.kind.to_string())
+                .emit();
+        }
+        baton_telemetry::count_n(
+            baton_telemetry::Counter::SimEventsBridged,
+            self.events.len() as u64,
+        );
     }
 
     /// Renders a compact textual timeline (one line per event).

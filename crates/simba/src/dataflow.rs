@@ -118,7 +118,11 @@ pub fn evaluate_simba_with(
     g: SimbaGeometry,
 ) -> SimbaEvaluation {
     let core = &arch.chiplet.core;
-    let (ho, wo, co) = (u64::from(layer.ho()), u64::from(layer.wo()), u64::from(layer.co()));
+    let (ho, wo, co) = (
+        u64::from(layer.ho()),
+        u64::from(layer.wo()),
+        u64::from(layer.co()),
+    );
     let ci = u64::from(layer.ci_per_group());
     let kernel_pts = u64::from(layer.kh()) * u64::from(layer.kw());
     let lanes = u64::from(core.lanes);
@@ -148,12 +152,13 @@ pub fn evaluate_simba_with(
     // *inputs* re-stream: when a core's weight slice exceeds its W-L1 the
     // slice splits into blocks and the whole input sweep repeats per block.
     let win = |t: u64, s: u32, k: u32| (t - 1) * u64::from(s) + u64::from(k);
-    let tile_window =
-        win(th, layer.stride_h(), layer.kh()) * win(tw, layer.stride_w(), layer.kw());
+    let tile_window = win(th, layer.stride_h(), layer.kh()) * win(tw, layer.stride_w(), layer.kw());
     let winsum = tile_window * n_tiles;
     let input_pass_bits = winsum * ci * ACT_BITS; // one sweep of the plane
     let core_slice_bits = co_way * ci_way * kernel_pts * WGT_BITS;
-    let weight_blocks = core_slice_bits.div_ceil((core.w_l1_bytes * 8).max(1)).max(1);
+    let weight_blocks = core_slice_bits
+        .div_ceil((core.w_l1_bytes * 8).max(1))
+        .max(1);
     // Even with one weight block, CO temporal revisits re-stream inputs when
     // the A-L2 cannot retain the tile working set.
     let tile_ws_bits = tile_window * ci.div_ceil(ci_ways) * ACT_BITS; // per chiplet row
@@ -205,13 +210,11 @@ pub fn evaluate_simba_with(
     // One P-wide vector read per (pixel, co step, kernel point, ci chunk) in
     // every active core; idle rows (no channels) are clock-gated.
     let active_cores = active_rows * co_ways;
-    let a_l1_read =
-        pixels * s_co * kernel_pts * s_ci * vector * ACT_BITS * active_cores;
+    let a_l1_read = pixels * s_co * kernel_pts * s_ci * vector * ACT_BITS * active_cores;
     let w_l1_fill = dram_weight_bits;
     // Weight registers refill from W-L1 per (tile, co step, ci step, kernel
     // point), broadcast within a core (same accounting as the NN-Baton core).
-    let w_l1_read =
-        n_tiles * s_co * s_ci * kernel_pts * vector * lanes * WGT_BITS * active_cores;
+    let w_l1_read = n_tiles * s_co * s_ci * kernel_pts * vector * lanes * WGT_BITS * active_cores;
     // Local accumulation: every active row performs `s_ci` chunk passes, so
     // the total is macs/P RMWs -- identical per-cycle behaviour to the
     // NN-Baton core -- plus one receive-side accumulate per psum hop.

@@ -32,4 +32,6 @@
 
 pub mod dataflow;
 
-pub use dataflow::{evaluate_simba, evaluate_simba_tuned, evaluate_simba_with, SimbaEvaluation, SimbaGeometry};
+pub use dataflow::{
+    evaluate_simba, evaluate_simba_tuned, evaluate_simba_with, SimbaEvaluation, SimbaGeometry,
+};

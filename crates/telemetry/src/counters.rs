@@ -1,0 +1,206 @@
+//! The fixed counter registry: one atomic `u64` per [`Counter`] variant.
+//!
+//! A fixed enum (rather than a string-keyed map) keeps the hot path to an
+//! array index and a relaxed `fetch_add`, and makes snapshots allocation-
+//! light. New instrumentation points add a variant, a name, and nothing
+//! else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)*) => {
+        /// Every counter the instrumented crates report.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Counter {
+            $($(#[$meta])* $variant,)*
+        }
+
+        /// Number of counters in the registry.
+        pub const COUNTER_COUNT: usize = [$(Counter::$variant),*].len();
+
+        /// All counters, in declaration order.
+        pub const ALL_COUNTERS: [Counter; COUNTER_COUNT] = [$(Counter::$variant),*];
+
+        impl Counter {
+            /// The counter's snake_case wire name (used in JSON events and
+            /// reports).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Counter::$variant => $name,)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Mappings emitted by `baton_mapping::enumerate` (after dedup).
+    CandidatesGenerated => "candidates_generated",
+    /// Tile/partition combinations discarded by the structural filter
+    /// before a `Mapping` was even built.
+    CandidatesStructurallyRejected => "candidates_structurally_rejected",
+    /// Duplicate mappings removed by the enumeration dedup pass.
+    CandidatesDeduped => "candidates_deduped",
+    /// Calls into `baton_mapping::decompose`.
+    DecomposeCalls => "decompose_calls",
+    /// Decompose rejections: planar grid does not match the unit count.
+    RejectGridMismatch => "reject_grid_mismatch",
+    /// Decompose rejections: planar grid finer than the output plane.
+    RejectPlaneTooFine => "reject_plane_too_fine",
+    /// Decompose rejections: more channel ways than output channels.
+    RejectChannelsTooFew => "reject_channels_too_few",
+    /// Decompose rejections: psum tile overflows the O-L1 register file.
+    RejectOL1Overflow => "reject_o_l1_overflow",
+    /// Decompose rejections: chiplet tile outputs overflow the O-L2.
+    RejectOL2Overflow => "reject_o_l2_overflow",
+    /// Decompose rejections: input window overflows the A-L1.
+    RejectAL1Overflow => "reject_a_l1_overflow",
+    /// Decompose rejections: weight chunk overflows the W-L1 pool share.
+    RejectWL1Overflow => "reject_w_l1_overflow",
+    /// Full C³P evaluations (decomposition priced into energy/runtime).
+    Evaluations => "evaluations",
+    /// Times a search's incumbent best score improved.
+    BestImprovements => "best_improvements",
+    /// Per-layer searches that returned a feasible mapping.
+    SearchesCompleted => "searches_completed",
+    /// Per-layer searches where every candidate was infeasible.
+    SearchesFailed => "searches_failed",
+    /// C³P capacity penalties: A-L2 too small, DRAM input reloads priced.
+    PenaltyAL2 => "penalty_a_l2",
+    /// C³P capacity penalties: A-L1 too small, A-L2 re-reads priced.
+    PenaltyAL1 => "penalty_a_l1",
+    /// C³P capacity penalties: W-L1 pool too small, weight reloads priced.
+    PenaltyWL1 => "penalty_w_l1",
+    /// Pre-design sweep: geometries explored.
+    SweepGeometries => "sweep_geometries",
+    /// Pre-design sweep: geometries skipped (invalid or unmappable).
+    SweepGeometriesSkipped => "sweep_geometries_skipped",
+    /// Pre-design sweep: valid design points produced.
+    SweepPoints => "sweep_points",
+    /// Pre-design sweep: memory configurations with no feasible mapping.
+    SweepPointsInfeasible => "sweep_points_infeasible",
+    /// DES trace events bridged into the telemetry sink.
+    SimEventsBridged => "sim_events_bridged",
+}
+
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+
+/// Adds 1 to `counter` when a session is attached.
+#[inline]
+pub fn count(counter: Counter) {
+    count_n(counter, 1);
+}
+
+/// Adds `n` to `counter` when a session is attached. The disabled path is
+/// one relaxed load and a branch.
+#[inline]
+pub fn count_n(counter: Counter, n: u64) {
+    if crate::enabled() {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Zeroes every counter (done by [`crate::attach`]).
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Reads all counters at once.
+pub fn snapshot() -> CounterSnapshot {
+    let mut values = [0u64; COUNTER_COUNT];
+    for (v, c) in values.iter_mut().zip(&COUNTERS) {
+        *v = c.load(Ordering::Relaxed);
+    }
+    CounterSnapshot { values }
+}
+
+/// A point-in-time copy of the counter registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; COUNTER_COUNT],
+}
+
+impl CounterSnapshot {
+    /// The value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Per-counter difference versus an earlier snapshot (saturating, so a
+    /// mid-window reset cannot underflow).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; COUNTER_COUNT];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// `(wire name, value)` for every non-zero counter, declaration order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        ALL_COUNTERS
+            .iter()
+            .filter(|c| self.get(**c) > 0)
+            .map(|c| (c.name(), self.get(*c)))
+            .collect()
+    }
+
+    /// Sum of the decompose rejections caused by spatial-partition shape
+    /// (grid mismatch, plane too fine, channels too few).
+    pub fn rejects_plane(&self) -> u64 {
+        self.get(Counter::RejectGridMismatch)
+            + self.get(Counter::RejectPlaneTooFine)
+            + self.get(Counter::RejectChannelsTooFew)
+    }
+
+    /// Sum of the decompose rejections caused by buffer capacity bounds.
+    pub fn rejects_buffer(&self) -> u64 {
+        self.get(Counter::RejectOL1Overflow)
+            + self.get(Counter::RejectOL2Overflow)
+            + self.get(Counter::RejectAL1Overflow)
+            + self.get(Counter::RejectWL1Overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attach_with_sink, test_lock, TelemetryConfig};
+
+    #[test]
+    fn counting_requires_a_session() {
+        let _guard = test_lock::hold();
+        reset();
+        count(Counter::Evaluations);
+        assert_eq!(snapshot().get(Counter::Evaluations), 0, "no session");
+        let _s = attach_with_sink(&TelemetryConfig::default(), None);
+        count_n(Counter::Evaluations, 5);
+        count(Counter::Evaluations);
+        assert_eq!(snapshot().get(Counter::Evaluations), 6);
+    }
+
+    #[test]
+    fn snapshot_diff_and_groupings() {
+        let _guard = test_lock::hold();
+        let _s = attach_with_sink(&TelemetryConfig::default(), None);
+        let before = snapshot();
+        count_n(Counter::RejectPlaneTooFine, 2);
+        count_n(Counter::RejectOL1Overflow, 3);
+        count_n(Counter::RejectWL1Overflow, 1);
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.rejects_plane(), 2);
+        assert_eq!(delta.rejects_buffer(), 4);
+        let names: Vec<_> = delta.nonzero().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "reject_plane_too_fine",
+                "reject_o_l1_overflow",
+                "reject_w_l1_overflow"
+            ]
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! A minimal JSON encoder and validating parser.
+//!
+//! The workspace is hermetic (no serde_json), and trace events are flat
+//! objects of scalars — a hand-rolled encoder is ~50 lines and the parser
+//! exists so tests can round-trip the sink's output without external
+//! crates.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON scalar (the only value shapes trace events use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// true / false.
+    Bool(bool),
+    /// Any JSON number, kept as f64.
+    Number(f64),
+    /// A string.
+    String(String),
+}
+
+impl Value {
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON rendering of `v` to `out` (`null` for non-finite floats,
+/// which JSON cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses one line as a flat JSON object of scalars.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem, including nesting
+/// (which trace events never use).
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            out.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected , or }} at byte {}, got {other:?}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, got {other:?}",
+                want as char,
+                self.pos.saturating_sub(1)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => {
+                    // Re-assemble UTF-8 continuation bytes verbatim.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..self.pos)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(slice).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'{' | b'[') => Err("nested containers are not valid trace scalars".into()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+                text.parse::<f64>()
+                    .map(Value::Number)
+                    .map_err(|_| format!("bad number `{text}`"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_parse_round_trips() {
+        let mut line = String::from("{");
+        push_str_escaped(&mut line, "event");
+        line.push(':');
+        push_str_escaped(&mut line, "demo \"quoted\"\nline");
+        line.push(',');
+        push_str_escaped(&mut line, "x");
+        line.push(':');
+        push_f64(&mut line, 1.5);
+        line.push('}');
+        let obj = parse_flat_object(&line).unwrap();
+        assert_eq!(obj["event"].as_str(), Some("demo \"quoted\"\nline"));
+        assert_eq!(obj["x"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_object("{").is_err());
+        assert!(parse_flat_object("{\"a\":1} tail").is_err());
+        assert!(parse_flat_object("{\"a\":{}}").is_err());
+        assert!(parse_flat_object("not json").is_err());
+    }
+
+    #[test]
+    fn parses_all_scalar_shapes() {
+        let obj =
+            parse_flat_object("{\"a\": true, \"b\": false, \"c\": null, \"d\": -2.5e3}").unwrap();
+        assert_eq!(obj["a"], Value::Bool(true));
+        assert_eq!(obj["b"], Value::Bool(false));
+        assert_eq!(obj["c"], Value::Null);
+        assert_eq!(obj["d"].as_f64(), Some(-2500.0));
+    }
+}

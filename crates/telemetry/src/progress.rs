@@ -1,0 +1,143 @@
+//! Progress meters for long sweeps: a throttled stderr line plus
+//! machine-readable `progress` events in the trace.
+
+use std::time::{Duration, Instant};
+
+use crate::sink::event;
+
+/// Minimum interval between stderr redraws / progress events.
+const RENDER_EVERY: Duration = Duration::from_millis(200);
+
+/// Tracks `done / total` work items for one named stage.
+///
+/// The meter renders to stderr only when the session enables progress
+/// (`--progress`), but always emits throttled `progress` trace events while
+/// a session is attached, so `--trace-json` runs can reconstruct sweep
+/// pacing without the terminal UI.
+#[derive(Debug)]
+pub struct Progress {
+    stage: &'static str,
+    total: u64,
+    done: u64,
+    active: bool,
+    render: bool,
+    last_render: Instant,
+}
+
+impl Progress {
+    /// Starts a meter over `total` items (0 means unknown).
+    pub fn new(stage: &'static str, total: u64) -> Self {
+        let active = crate::enabled();
+        let render = crate::progress_enabled();
+        if active {
+            event("progress_start")
+                .str("stage", stage)
+                .u64("total", total)
+                .emit();
+        }
+        Self {
+            stage,
+            total,
+            done: 0,
+            active,
+            render,
+            // Backdate so the first tick renders immediately.
+            last_render: Instant::now() - RENDER_EVERY,
+        }
+    }
+
+    /// Marks `n` more items done.
+    pub fn tick(&mut self, n: u64) {
+        if !self.active {
+            return;
+        }
+        self.done += n;
+        if self.last_render.elapsed() < RENDER_EVERY {
+            return;
+        }
+        self.last_render = Instant::now();
+        self.emit_event("progress");
+        self.draw();
+    }
+
+    /// Completes the meter (also done on drop).
+    pub fn finish(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        self.emit_event("progress_end");
+        if self.render {
+            self.draw();
+            eprintln!();
+        }
+    }
+
+    fn emit_event(&self, kind: &str) {
+        event(kind)
+            .str("stage", self.stage)
+            .u64("done", self.done)
+            .u64("total", self.total)
+            .emit();
+    }
+
+    fn draw(&self) {
+        if !self.render {
+            return;
+        }
+        if self.total > 0 {
+            let pct = 100.0 * self.done as f64 / self.total as f64;
+            eprint!(
+                "\r[{:<24}] {}/{} ({pct:5.1}%)  ",
+                self.stage, self.done, self.total
+            );
+        } else {
+            eprint!("\r[{:<24}] {} done  ", self.stage, self.done);
+        }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attach_with_sink, test_lock, MemorySink, TelemetryConfig};
+
+    #[test]
+    fn progress_emits_start_and_end_events() {
+        let _guard = test_lock::hold();
+        let (sink, lines) = MemorySink::new();
+        let _s = attach_with_sink(&TelemetryConfig::default(), Some(Box::new(sink)));
+        {
+            let mut p = Progress::new("unit_test_stage", 3);
+            p.tick(1);
+            p.tick(2);
+        }
+        let lines = lines.lock().unwrap();
+        let starts = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"progress_start\""))
+            .count();
+        let ends = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"progress_end\""))
+            .count();
+        assert_eq!((starts, ends), (1, 1));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"done\":3") && l.contains("\"total\":3")));
+    }
+
+    #[test]
+    fn inert_without_session() {
+        let _guard = test_lock::hold();
+        let mut p = Progress::new("nobody", 10);
+        p.tick(5);
+        p.finish();
+    }
+}

@@ -1,0 +1,96 @@
+//! Human-readable summaries of a session's counters and phase timings.
+
+use std::fmt::Write as _;
+
+use crate::counters::{Counter, CounterSnapshot};
+use crate::histogram::Histogram;
+
+/// Renders the counter totals and phase timing table for one session (or a
+/// snapshot diff) as an aligned plain-text report.
+pub fn render_summary(counters: &CounterSnapshot, phases: &[(&'static str, Histogram)]) -> String {
+    let mut out = String::new();
+    render_counters(&mut out, counters);
+    if !phases.is_empty() {
+        out.push('\n');
+        render_phases(&mut out, phases);
+    }
+    out
+}
+
+fn render_counters(out: &mut String, snap: &CounterSnapshot) {
+    let rows = snap.nonzero();
+    if rows.is_empty() {
+        out.push_str("counters: none recorded\n");
+        return;
+    }
+    out.push_str("counters:\n");
+    for (name, value) in rows {
+        let _ = writeln!(out, "  {name:<36} {value:>14}");
+    }
+    let enumerated = snap.get(Counter::CandidatesGenerated);
+    let plane = snap.rejects_plane();
+    let buffer = snap.rejects_buffer();
+    if enumerated > 0 || plane > 0 || buffer > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>14}",
+            "rejected: partition shape (total)", plane
+        );
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>14}",
+            "rejected: buffer capacity (total)", buffer
+        );
+    }
+}
+
+fn render_phases(out: &mut String, phases: &[(&'static str, Histogram)]) {
+    out.push_str("phase timings:\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>12} {:>12} {:>12}",
+        "phase", "count", "total ms", "mean us", "max us"
+    );
+    for (name, h) in phases {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12.1} {:>12.1} {:>12}",
+            name,
+            h.count(),
+            h.sum() as f64 / 1e3,
+            h.mean(),
+            h.max()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters;
+    use crate::{attach_with_sink, count_n, test_lock, TelemetryConfig};
+
+    #[test]
+    fn summary_lists_nonzero_counters_and_phases() {
+        let _guard = test_lock::hold();
+        let _s = attach_with_sink(&TelemetryConfig::default(), None);
+        count_n(Counter::Evaluations, 7);
+        count_n(Counter::RejectOL1Overflow, 2);
+        let mut h = Histogram::new();
+        h.record(1500);
+        let text = render_summary(&counters::snapshot(), &[("search_layer", h)]);
+        assert!(text.contains("evaluations"));
+        assert!(text.contains('7'));
+        assert!(text.contains("buffer capacity"));
+        assert!(text.contains("search_layer"));
+        assert!(text.contains("phase timings:"));
+    }
+
+    #[test]
+    fn empty_summary_is_graceful() {
+        let _guard = test_lock::hold();
+        let _s = attach_with_sink(&TelemetryConfig::default(), None);
+        let text = render_summary(&counters::snapshot(), &[]);
+        assert!(text.contains("none recorded"));
+    }
+}

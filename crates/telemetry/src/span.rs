@@ -1,0 +1,119 @@
+//! RAII span timers aggregated per phase.
+//!
+//! A span measures the wall time of one scope. On drop it records the
+//! duration into the phase's [`Histogram`] and mirrors a `span` event to
+//! the trace sink. When no session is attached, creating a span reads no
+//! clock and allocates nothing.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::sink::event;
+
+/// Per-phase duration histograms (microseconds), keyed by phase name.
+static PHASES: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
+
+fn phases() -> MutexGuard<'static, BTreeMap<&'static str, Histogram>> {
+    PHASES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Starts timing `phase`. Inert (no clock read) when disabled.
+pub fn span(phase: &'static str) -> SpanGuard {
+    SpanGuard {
+        phase,
+        label: None,
+        start: crate::enabled().then(Instant::now),
+    }
+}
+
+/// Starts timing `phase` with a label (e.g. a layer name). The label
+/// closure only runs when a session is attached.
+pub fn span_labeled(phase: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            phase,
+            label: None,
+            start: None,
+        };
+    }
+    SpanGuard {
+        phase,
+        label: Some(label()),
+        start: Some(Instant::now()),
+    }
+}
+
+/// Live span; records on drop. See [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    phase: &'static str,
+    label: Option<String>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Elapsed time in microseconds, or 0 when the span is inert.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_us = start.elapsed().as_micros() as u64;
+        phases().entry(self.phase).or_default().record(dur_us);
+        let mut ev = event("span").str("phase", self.phase).u64("dur_us", dur_us);
+        if let Some(label) = &self.label {
+            ev = ev.str("label", label);
+        }
+        ev.emit();
+    }
+}
+
+/// Clears all phase histograms (done by [`crate::attach`]).
+pub fn reset() {
+    phases().clear();
+}
+
+/// Snapshot of every phase histogram, sorted by phase name.
+pub fn phase_stats() -> Vec<(&'static str, Histogram)> {
+    phases().iter().map(|(k, v)| (*k, v.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attach_with_sink, test_lock, TelemetryConfig};
+
+    #[test]
+    fn spans_record_into_phase_histograms() {
+        let _guard = test_lock::hold();
+        let _s = attach_with_sink(&TelemetryConfig::default(), None);
+        {
+            let _a = span("phase_a");
+            let _b = span_labeled("phase_b", || "lab".into());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let stats = phase_stats();
+        let names: Vec<_> = stats.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["phase_a", "phase_b"]);
+        for (_, h) in &stats {
+            assert_eq!(h.count(), 1);
+            assert!(h.sum() >= 2_000, "slept 2ms, recorded {}us", h.sum());
+        }
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = test_lock::hold();
+        // No session: the guard must not read clocks or touch the registry.
+        let g = span("inert");
+        assert_eq!(g.elapsed_us(), 0);
+        drop(g);
+    }
+}

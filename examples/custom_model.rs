@@ -24,8 +24,9 @@ fc        name=cls       ci=256 co=100
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
     let model = match parse_model(&text) {

@@ -38,8 +38,8 @@ fn main() {
     );
 
     println!(
-        "{:>16} {:>10} {:>12} {:>12} {:>12}  {}",
-        "(Np,Nc,L,P)", "area mm^2", "energy uJ", "cycles", "EDP J*s", "fits 2mm^2"
+        "{:>16} {:>10} {:>12} {:>12} {:>12}  fits 2mm^2",
+        "(Np,Nc,L,P)", "area mm^2", "energy uJ", "cycles", "EDP J*s"
     );
     for r in &results {
         println!(

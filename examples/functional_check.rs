@@ -30,8 +30,8 @@ fn main() {
         // 2. Semantic check: tiled execution is bit-identical to the
         //    reference convolution (including the ring's CI slicing and the
         //    output-stationary re-quantization).
-        let got = run_mapping(&layer, &arch, &m, &input, &weights, 6)
-            .expect("feasible mapping executes");
+        let got =
+            run_mapping(&layer, &arch, &m, &input, &weights, 6).expect("feasible mapping executes");
         assert_eq!(got, golden, "{m}: wrong numbers");
         checked += 1;
         *by_tag.entry(m.spatial_tag()).or_default() += 1;

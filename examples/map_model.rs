@@ -10,10 +10,7 @@ use nn_baton::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "vgg16".to_string());
-    let res: u32 = args
-        .next()
-        .and_then(|r| r.parse().ok())
-        .unwrap_or(224);
+    let res: u32 = args.next().and_then(|r| r.parse().ok()).unwrap_or(224);
     let model = match name.as_str() {
         "vgg16" => zoo::vgg16(res),
         "resnet50" => zoo::resnet50(res),

@@ -20,10 +20,7 @@ fn main() {
 
     // Pick the paper's "common" case-study layer: ResNet-50 res2a_branch2b.
     let model = zoo::resnet50(224);
-    let layer = model
-        .layer("res2a_branch2b")
-        .expect("zoo layer")
-        .clone();
+    let layer = model.layer("res2a_branch2b").expect("zoo layer").clone();
     println!("layer:   {layer}");
 
     // Post-design search: the exhaustive mapping space, minimizing energy.

@@ -19,7 +19,10 @@ fn main() {
     arch.chiplet.core.w_l1_bytes = 2 * 1024;
     let tech = Technology::paper_16nm();
 
-    println!("machine: {:?}, A-L2 8 KB, W-L1 2 KB (starved)", arch.geometry());
+    println!(
+        "machine: {:?}, A-L2 8 KB, W-L1 2 KB (starved)",
+        arch.geometry()
+    );
     for (bucket, layer) in zoo::representative_layers(224) {
         let Ok(best) = search_layer(&layer, &arch, &tech, Objective::Energy) else {
             println!("{bucket:<22} no feasible mapping");
@@ -28,7 +31,11 @@ fn main() {
         let d = decompose(&layer, &arch, &best.mapping).expect("winner decomposes");
         let profiles = LayerProfiles::build(&d);
         let effects = knob_effects(&d, &profiles, &arch, &tech);
-        println!("\n{bucket} ({}): {:.1} uJ", layer.name(), best.energy.total_uj());
+        println!(
+            "\n{bucket} ({}): {:.1} uJ",
+            layer.name(),
+            best.energy.total_uj()
+        );
         for e in effects {
             match e.next_cc_bytes {
                 Some(next) => println!(

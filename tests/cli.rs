@@ -18,7 +18,15 @@ fn baton(args: &[&str]) -> (bool, String, String) {
 fn help_lists_subcommands() {
     let (ok, stdout, _) = baton(&["help"]);
     assert!(ok);
-    for cmd in ["stats", "map", "compare", "explore", "sweep", "recommend", "check"] {
+    for cmd in [
+        "stats",
+        "map",
+        "compare",
+        "explore",
+        "sweep",
+        "recommend",
+        "check",
+    ] {
         assert!(stdout.contains(cmd), "help lacks `{cmd}`: {stdout}");
     }
 }
@@ -36,12 +44,7 @@ fn map_emits_csv_artifacts() {
     let dir = std::env::temp_dir().join("baton-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let csv = dir.join("alexnet.csv");
-    let (ok, stdout, stderr) = baton(&[
-        "map",
-        "alexnet",
-        "--csv",
-        csv.to_str().unwrap(),
-    ]);
+    let (ok, stdout, stderr) = baton(&["map", "alexnet", "--csv", csv.to_str().unwrap()]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("alexnet"));
     let content = std::fs::read_to_string(&csv).unwrap();
@@ -55,8 +58,11 @@ fn check_validates_and_rejects_model_files() {
     let dir = std::env::temp_dir().join("baton-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let good = dir.join("good.baton");
-    std::fs::write(&good, "model demo @64\nconv name=c in=64x64x3 k=3 s=1 p=1 co=8\n")
-        .unwrap();
+    std::fs::write(
+        &good,
+        "model demo @64\nconv name=c in=64x64x3 k=3 s=1 p=1 co=8\n",
+    )
+    .unwrap();
     let (ok, stdout, _) = baton(&["check", good.to_str().unwrap()]);
     assert!(ok);
     assert!(stdout.contains("ok: demo"));
@@ -70,12 +76,76 @@ fn check_validates_and_rejects_model_files() {
 
 #[test]
 fn unknown_inputs_fail_cleanly() {
+    // The offending word must be named even when no model argument follows.
+    let (ok, _, stderr) = baton(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
     let (ok, _, stderr) = baton(&["frobnicate", "vgg16"]);
     assert!(!ok);
-    assert!(stderr.contains("unknown"));
+    assert!(
+        stderr.contains("unknown subcommand `frobnicate`"),
+        "{stderr}"
+    );
     let (ok, _, stderr) = baton(&["map", "not-a-model"]);
     assert!(!ok);
     assert!(stderr.contains("unknown model"));
+}
+
+#[test]
+fn version_exits_zero_in_all_spellings() {
+    for arg in ["version", "--version", "-V"] {
+        let (ok, stdout, stderr) = baton(&[arg]);
+        assert!(ok, "`baton {arg}` failed: {stderr}");
+        assert!(stdout.starts_with("baton "), "{stdout}");
+    }
+}
+
+#[test]
+fn profile_prints_the_per_layer_breakdown() {
+    let (ok, stdout, stderr) = baton(&["profile", "alexnet"]);
+    assert!(ok, "{stderr}");
+    for token in [
+        "layer",
+        "enumerated",
+        "rej shape",
+        "rej buffer",
+        "evaluations",
+    ] {
+        assert!(stdout.contains(token), "missing `{token}` in: {stdout}");
+    }
+    assert!(stdout.contains("conv1"), "{stdout}");
+    // The session summary follows the table.
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("phase timings:"), "{stdout}");
+    assert!(stdout.contains("search_layer"), "{stdout}");
+}
+
+#[test]
+fn trace_json_emits_parseable_phase_events() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("map.jsonl");
+    let (ok, _, stderr) = baton(&["map", "alexnet", "--trace-json", trace.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    let content = std::fs::read_to_string(&trace).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in content.lines() {
+        let obj = nn_baton::telemetry::json::parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("bad trace line `{line}`: {e}"));
+        assert!(obj.contains_key("ts_us"), "{line}");
+        kinds.insert(obj["event"].as_str().unwrap().to_string());
+    }
+    for kind in [
+        "session_start",
+        "span",
+        "search_layer",
+        "map_layer",
+        "session_end",
+    ] {
+        assert!(kinds.contains(kind), "no `{kind}` event in {kinds:?}");
+    }
+    // Spans carry phases; at least the per-layer search phase must appear.
+    assert!(content.contains("\"phase\":\"search_layer\""), "{content}");
 }
 
 #[test]

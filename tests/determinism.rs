@@ -43,8 +43,20 @@ fn granularity_sweep_is_deterministic() {
         224,
         vec![zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap()],
     );
-    let a = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
-    let b = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
+    let a = granularity_sweep(
+        &model,
+        &tech,
+        2048,
+        &ProportionalBuffers::default(),
+        Some(2.0),
+    );
+    let b = granularity_sweep(
+        &model,
+        &tech,
+        2048,
+        &ProportionalBuffers::default(),
+        Some(2.0),
+    );
     assert_eq!(a, b);
     // Sorted by geometry tuple.
     let mut geos: Vec<_> = a.iter().map(|r| r.geometry).collect();

@@ -40,8 +40,8 @@ fn every_zoo_model_maps_on_the_case_study_machine() {
         zoo::darknet19(224),
         zoo::mobilenet_v2(224),
     ] {
-        let report = map_model(&model, &arch, &tech)
-            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        let report =
+            map_model(&model, &arch, &tech).unwrap_or_else(|e| panic!("{}: {e}", model.name()));
         assert_eq!(report.layers.len(), model.layers().len());
         assert!(report.energy.total_pj() > 0.0);
         // Energy per MAC stays within a sane envelope above the raw MAC
@@ -81,7 +81,13 @@ fn granularity_and_dse_flows_agree_on_the_winner_region() {
             zoo::resnet50(224).layer("res4a_branch2a").cloned().unwrap(),
         ],
     );
-    let gran = granularity_sweep(&model, &tech, 2048, &ProportionalBuffers::default(), Some(2.0));
+    let gran = granularity_sweep(
+        &model,
+        &tech,
+        2048,
+        &ProportionalBuffers::default(),
+        Some(2.0),
+    );
     assert!(gran
         .iter()
         .filter(|r| r.geometry.0 == 1)

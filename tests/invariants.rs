@@ -10,11 +10,11 @@ use proptest::prelude::*;
 /// A bounded random convolution layer.
 fn arb_layer() -> impl Strategy<Value = ConvSpec> {
     (
-        8u32..=64,   // hi == wi
-        1u32..=64,   // ci
+        8u32..=64, // hi == wi
+        1u32..=64, // ci
         prop_oneof![Just(1u32), Just(3), Just(5), Just(7)],
-        1u32..=2,    // stride
-        4u32..=128,  // co
+        1u32..=2,   // stride
+        4u32..=128, // co
     )
         .prop_filter_map("kernel fits", |(hw, ci, k, s, co)| {
             let pad = k / 2;
@@ -32,13 +32,8 @@ fn arb_arch() -> impl Strategy<Value = PackageConfig> {
         1u64..=4,
     )
         .prop_map(|(np, nc, l, p, mem_scale)| {
-            let core = nn_baton::arch::CoreConfig::new(
-                l,
-                p,
-                1536,
-                800 * mem_scale,
-                18 * 1024 * mem_scale,
-            );
+            let core =
+                nn_baton::arch::CoreConfig::new(l, p, 1536, 800 * mem_scale, 18 * 1024 * mem_scale);
             let chiplet =
                 nn_baton::arch::ChipletConfig::new(nc, core, 64 * 1024 * mem_scale, 64 * 1024);
             PackageConfig::new(np, chiplet)

@@ -146,10 +146,7 @@ fn dse_compute_allocation_is_model_independent() {
         nn_baton::model::Model::new(
             format!("{}-slice", m.name()),
             m.input_resolution(),
-            names
-                .iter()
-                .map(|n| m.layer(n).unwrap().clone())
-                .collect(),
+            names.iter().map(|n| m.layer(n).unwrap().clone()).collect(),
         )
     };
     let m1 = slice(&zoo::resnet50(224), &["res2a_branch2b", "res4a_branch2a"]);

@@ -59,10 +59,7 @@ fn agreement_on_compute_bound_layers() {
 #[test]
 fn bandwidth_starvation_tracks() {
     let (arch, mut tech) = setup();
-    let layer = zoo::resnet50(224)
-        .layer("res2a_branch2a")
-        .cloned()
-        .unwrap();
+    let layer = zoo::resnet50(224).layer("res2a_branch2a").cloned().unwrap();
     let best = search_layer(&layer, &arch, &tech, Objective::Energy).unwrap();
     let base_sim = simulate(&layer, &arch, &tech, &best.mapping).unwrap();
 

@@ -1,0 +1,48 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.sample(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(3);
+        let s = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

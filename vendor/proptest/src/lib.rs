@@ -1,0 +1,145 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The hermetic build environment cannot fetch the real proptest, so this
+//! crate reimplements the slice of its API the workspace tests use:
+//! [`Strategy`] with `prop_map` / `prop_filter` / `prop_filter_map`,
+//! strategies for integer ranges, tuples, [`strategy::Just`] and
+//! [`collection::vec`], plus the `proptest!`, `prop_oneof!`, `prop_assert!`
+//! and `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: cases are drawn from a fixed per-test seed (hashed
+//!   from the test name), so runs are reproducible and need no failure
+//!   persistence files.
+//! * **No shrinking**: a failing case is reported as-is with its inputs'
+//!   `Debug` rendering.
+//!
+//! Swapping the real proptest back in is a Cargo.toml change; test sources
+//! need no edits.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr);
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::fnv1a(stringify!($name));
+                let mut ran = 0u32;
+                let mut attempt = 0u64;
+                while ran < config.cases && attempt < 16 * u64::from(config.cases) + 64 {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    attempt += 1;
+                    // Draw every argument; a `None` (filtered-out) draw
+                    // rejects the whole attempt, like proptest's rejections.
+                    $(
+                        let Some($arg) =
+                            $crate::test_runner::sample_with_retries(&($strat), &mut rng)
+                        else { continue };
+                    )+
+                    ran += 1;
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            ran,
+                            config.cases,
+                            e,
+                            [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+]
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Picks one of several same-typed strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}

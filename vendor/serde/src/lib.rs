@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be fetched. Nothing in the
+//! workspace serializes through serde yet — the derives exist so the data
+//! types are *ready* to serialize once the real dependency is available.
+//! This stub keeps the same import surface (`use serde::{Deserialize,
+//! Serialize}` plus `#[derive(Serialize, Deserialize)]`) with no-op derive
+//! macros, so swapping the real crate back in is a one-line Cargo.toml
+//! change.
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; it exists so `use serde::Serialize` keeps resolving.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in: accepting
+//! `#[derive(Serialize, Deserialize)]` and emitting nothing keeps every
+//! annotated type compiling without the real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
