@@ -34,6 +34,7 @@ pub mod evaluate;
 pub mod profile;
 pub mod search;
 pub mod sensitivity;
+pub mod verdict;
 pub mod walk;
 
 pub use bounds::TrafficBounds;
@@ -45,4 +46,5 @@ pub use evaluate::{
 pub use profile::{AccessProfile, Breakpoint};
 pub use search::{search_layer, search_layer_k_best, search_layer_with, Objective, SearchError};
 pub use sensitivity::{knob_effects, Knob, KnobEffect};
+pub use verdict::{buffer_verdicts, BreakpointVerdict, BufferVerdict};
 pub use walk::c3p_breakpoints;

@@ -1,0 +1,177 @@
+//! Per-buffer C³P verdicts: *why* a mapping pays the traffic it pays.
+//!
+//! The analytical engine prices each data path with an [`AccessProfile`]
+//! (base traffic × the penalty multipliers of every capacity breakpoint the
+//! buffer fails to cover). The numbers are what the search optimizes; the
+//! *verdicts* — which critical capacity `Cc_k` each buffer was measured
+//! against and which penalty `P_k` actually fired — are what a person needs
+//! to understand the winner. This module extracts them in a renderer-ready
+//! form for `baton explain`.
+
+use baton_arch::PackageConfig;
+use baton_mapping::Decomposition;
+
+use crate::evaluate::LayerProfiles;
+use crate::profile::AccessProfile;
+
+/// One capacity breakpoint of a profile, judged at a concrete buffer size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakpointVerdict {
+    /// Critical capacity `Cc_k` in bits (Equation (2) of the paper).
+    pub cc_bits: u64,
+    /// Reuse-region penalty multiplier `P_k`.
+    pub multiplier: u64,
+    /// True when the buffer is below `Cc_k`, so `P_k` fired.
+    pub fired: bool,
+}
+
+/// The C³P verdict of one data path against one buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferVerdict {
+    /// The buffer the path was judged against (e.g. `"A-L2"`).
+    pub buffer: &'static str,
+    /// The data path (e.g. `"DRAM input reads"`).
+    pub path: &'static str,
+    /// The configured buffer capacity in bits.
+    pub capacity_bits: u64,
+    /// Intrinsic (penalty-free) traffic `A0` in bits.
+    pub base_bits: u64,
+    /// Traffic after the fired penalties, in bits.
+    pub resolved_bits: u64,
+    /// Product of the fired multipliers (1 = penalty-free).
+    pub fired_multiplier: u64,
+    /// Every breakpoint of the profile, innermost (smallest `Cc`) first.
+    pub breakpoints: Vec<BreakpointVerdict>,
+}
+
+impl BufferVerdict {
+    fn judge(
+        buffer: &'static str,
+        path: &'static str,
+        profile: &AccessProfile,
+        capacity_bits: u64,
+    ) -> Self {
+        let breakpoints = profile
+            .breakpoints()
+            .iter()
+            .map(|b| BreakpointVerdict {
+                cc_bits: b.min_capacity_bits,
+                multiplier: b.multiplier,
+                fired: capacity_bits < b.min_capacity_bits,
+            })
+            .collect();
+        Self {
+            buffer,
+            path,
+            capacity_bits,
+            base_bits: profile.base_bits(),
+            resolved_bits: profile.access_bits(capacity_bits),
+            fired_multiplier: profile.multiplier(capacity_bits),
+            breakpoints,
+        }
+    }
+
+    /// True when no penalty fired (the buffer covers every reuse region).
+    pub fn penalty_free(&self) -> bool {
+        self.fired_multiplier == 1
+    }
+}
+
+/// Judges every capacity-dependent data path of a `(layer, mapping)` pair at
+/// the machine's configured buffer sizes, in the fixed path order the C³P
+/// engine resolves them: DRAM/ring inputs against the A-L2, A-L2 reads
+/// against the A-L1, DRAM/ring weights against the effective W-L1 pool
+/// share.
+pub fn buffer_verdicts(
+    d: &Decomposition,
+    profiles: &LayerProfiles,
+    arch: &PackageConfig,
+) -> Vec<BufferVerdict> {
+    let a_l1_bits = arch.chiplet.core.a_l1_bytes * 8;
+    let a_l2_bits = arch.chiplet.a_l2_bytes * 8;
+    let w_eff_bits = d.effective_w_l1_bits;
+    vec![
+        BufferVerdict::judge("A-L2", "DRAM input reads", &profiles.dram_input, a_l2_bits),
+        BufferVerdict::judge(
+            "A-L2",
+            "ring input rotation",
+            &profiles.d2d_input,
+            a_l2_bits,
+        ),
+        BufferVerdict::judge("A-L1", "A-L2 bus reads", &profiles.a_l2_read, a_l1_bits),
+        BufferVerdict::judge(
+            "W-L1 pool",
+            "DRAM weight reads",
+            &profiles.dram_weight,
+            w_eff_bits,
+        ),
+        BufferVerdict::judge(
+            "W-L1 pool",
+            "ring weight rotation",
+            &profiles.d2d_weight,
+            w_eff_bits,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_arch::{presets, Technology};
+    use baton_mapping::decompose;
+    use baton_model::zoo;
+
+    fn fixture() -> (Decomposition, LayerProfiles, PackageConfig) {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let best = crate::search_layer(&layer, &arch, &tech, crate::Objective::Energy).unwrap();
+        let d = decompose(&layer, &arch, &best.mapping).unwrap();
+        let p = LayerProfiles::build(&d);
+        (d, p, arch)
+    }
+
+    #[test]
+    fn verdicts_cover_the_five_capacity_paths() {
+        let (d, p, arch) = fixture();
+        let v = buffer_verdicts(&d, &p, &arch);
+        assert_eq!(v.len(), 5);
+        let buffers: Vec<_> = v.iter().map(|b| b.buffer).collect();
+        assert_eq!(buffers, ["A-L2", "A-L2", "A-L1", "W-L1 pool", "W-L1 pool"]);
+    }
+
+    #[test]
+    fn verdicts_agree_with_the_resolved_access_counts() {
+        let (d, p, arch) = fixture();
+        let v = buffer_verdicts(&d, &p, &arch);
+        let access = crate::resolve(&d, &p, &arch);
+        assert_eq!(v[0].resolved_bits, access.dram_input_bits);
+        assert_eq!(v[3].resolved_bits, access.dram_weight_bits);
+        for b in &v {
+            assert_eq!(
+                b.fired_multiplier,
+                b.breakpoints
+                    .iter()
+                    .filter(|bp| bp.fired)
+                    .map(|bp| bp.multiplier)
+                    .product::<u64>()
+            );
+            assert_eq!(b.resolved_bits, b.base_bits * b.fired_multiplier);
+            assert_eq!(b.penalty_free(), b.resolved_bits == b.base_bits);
+        }
+    }
+
+    #[test]
+    fn starving_a_buffer_fires_its_breakpoints() {
+        let (d, p, mut arch) = fixture();
+        arch.chiplet.a_l2_bytes = 16; // 128 bits: below any input Cc
+        let v = buffer_verdicts(&d, &p, &arch);
+        let dram_in = &v[0];
+        if dram_in.breakpoints.is_empty() {
+            return; // profile is flat for this winner; nothing can fire
+        }
+        assert!(!dram_in.penalty_free());
+        assert!(dram_in.breakpoints.iter().all(|bp| bp.fired));
+        assert!(dram_in.resolved_bits > dram_in.base_bits);
+    }
+}

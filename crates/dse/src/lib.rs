@@ -38,7 +38,7 @@ pub mod space;
 pub use comparison::{compare_model, ModelComparison};
 pub use fusion::{fusion_analysis, FusedLink, FusionReport};
 pub use pareto::pareto_front;
-pub use postdesign::{map_model, LayerReport, ModelReport};
+pub use postdesign::{map_model, simulate_mapped, LayerReport, LayerSim, ModelReport};
 pub use predesign::{
     full_sweep, full_sweep_suite, granularity_sweep, DesignPoint, GranularityResult, SweepOptions,
 };

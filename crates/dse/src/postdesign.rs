@@ -49,6 +49,11 @@ impl ModelReport {
         self.energy.total_pj() * 1e-12 * tech.cycles_to_seconds(self.cycles)
     }
 
+    /// The report of one layer by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerReport> {
+        self.layers.iter().find(|l| l.layer == name)
+    }
+
     /// Average MAC utilization weighted by layer cycles.
     pub fn utilization(&self, arch: &PackageConfig) -> f64 {
         let macs: u64 = self
@@ -182,6 +187,54 @@ pub fn map_model_opts(
     })
 }
 
+/// One layer's DES cross-check of its post-design winner: the full event
+/// trace plus the analytical prediction it is judged against. This is the
+/// data source of the Perfetto timeline export (`baton map
+/// --trace-perfetto`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSim {
+    /// Layer name.
+    pub layer: String,
+    /// The analytical C³P runtime prediction in cycles.
+    pub analytical_cycles: u64,
+    /// The DES timing report.
+    pub sim: baton_sim::SimReport,
+    /// The DES event trace (tile load/compute/writeback lifecycles).
+    pub trace: baton_sim::Trace,
+}
+
+/// Replays every winning mapping of a post-design [`ModelReport`] through
+/// the discrete-event simulator, layer by layer, collecting the traces and
+/// the analytical-vs-simulated cycle pair per layer.
+///
+/// # Errors
+///
+/// Returns a description of the first layer that is missing from `model` or
+/// whose stored mapping the simulator rejects (both indicate the report was
+/// produced on a different model/machine).
+pub fn simulate_mapped(
+    model: &Model,
+    report: &ModelReport,
+    arch: &PackageConfig,
+    tech: &Technology,
+) -> Result<Vec<LayerSim>, String> {
+    let mut out = Vec::with_capacity(report.layers.len());
+    for l in &report.layers {
+        let layer = model
+            .layer(&l.layer)
+            .ok_or_else(|| format!("layer `{}` not in model `{}`", l.layer, model.name()))?;
+        let (sim, trace) = baton_sim::simulate_traced(layer, arch, tech, &l.evaluation.mapping)
+            .map_err(|e| format!("layer `{}`: {e}", l.layer))?;
+        out.push(LayerSim {
+            layer: l.layer.clone(),
+            analytical_cycles: l.evaluation.cycles,
+            sim,
+            trace,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +292,28 @@ mod tests {
             assert!(runtime >= 1.0, "{name}: runtime gap {runtime}");
             assert!(dram < 20.0 && runtime < 50.0, "{name}: absurd gap");
         }
+    }
+
+    #[test]
+    fn simulate_mapped_replays_every_layer() {
+        let (arch, tech) = setup();
+        let model = zoo::alexnet(224);
+        let r = map_model(&model, &arch, &tech).unwrap();
+        let sims = simulate_mapped(&model, &r, &arch, &tech).unwrap();
+        assert_eq!(sims.len(), r.layers.len());
+        for s in &sims {
+            assert!(s.sim.total_cycles > 0);
+            assert!(s.analytical_cycles > 0);
+            s.trace.check_lifecycles().unwrap();
+            assert_eq!(
+                r.layer(&s.layer).unwrap().evaluation.cycles,
+                s.analytical_cycles
+            );
+        }
+        assert!(r.layer("definitely-not-a-layer").is_none());
+        // A report replayed against the wrong model names the missing layer.
+        let err = simulate_mapped(&zoo::vgg16(224), &r, &arch, &tech).unwrap_err();
+        assert!(err.contains("conv1"), "{err}");
     }
 
     #[test]

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! baton stats   <model> [--res N]                 model statistics table
-//! baton map     <model> [--res N] [--csv FILE]    post-design flow
-//! baton profile <model> [--res N]                 post-design flow + telemetry breakdown
+//! baton map     <model> [--res N] [--csv FILE] [--trace-perfetto FILE]
+//!                                                 post-design flow
+//! baton explain <model> [--layer L] [--top K] [--format text|md|json]
+//!                                                 why did this mapping win?
+//! baton profile <model> [--res N] [--json]        post-design flow + telemetry breakdown
+//! baton bench   <model> --out FILE [--baseline FILE] [--max-regress PCT]
+//!                                                 machine-readable perf snapshot
 //! baton compare <model> [--res N]                 NN-Baton vs Simba
 //! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE]
 //!                                                 Figure 14 granularity sweep
@@ -20,7 +25,9 @@
 //!
 //! Global flags (any position): `-v`/`-vv`/`--verbose` tiered stderr
 //! logging, `--progress` live sweep meters, `--trace-json FILE` a
-//! machine-readable JSON-lines event trace.
+//! machine-readable JSON-lines event trace. `--trace-perfetto` writes the
+//! DES timeline as Chrome trace_event JSON, viewable at
+//! <https://ui.perfetto.dev>.
 
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -30,6 +37,9 @@ use nn_baton::arch::presets::ProportionalBuffers;
 use nn_baton::dse::csv;
 use nn_baton::model::ModelStats;
 use nn_baton::prelude::*;
+use nn_baton::report::{
+    compare_snapshots, describe_regression, BenchSnapshot, Format, PerfettoTrace,
+};
 use nn_baton::telemetry;
 
 fn main() -> ExitCode {
@@ -47,7 +57,9 @@ fn main() -> ExitCode {
 const SUBCOMMANDS: &[&str] = &[
     "stats",
     "map",
+    "explain",
     "profile",
+    "bench",
     "compare",
     "explore",
     "sweep",
@@ -55,12 +67,44 @@ const SUBCOMMANDS: &[&str] = &[
     "check",
 ];
 
+/// The flags each subcommand accepts; anything else is rejected with this
+/// exact list in the error message.
+fn allowed_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "stats" => &["--res"],
+        "map" => &["--res", "--csv", "--trace-perfetto"],
+        "explain" => &["--res", "--layer", "--top", "--format"],
+        "profile" => &["--res", "--json"],
+        "bench" => &["--res", "--out", "--baseline", "--max-regress"],
+        "compare" => &["--res", "--csv"],
+        "explore" | "sweep" => &["--res", "--macs", "--area", "--csv"],
+        "recommend" => &["--res", "--macs", "--area"],
+        _ => &[],
+    }
+}
+
 /// Parsed common flags.
 struct Flags {
     res: u32,
     macs: u64,
     area: Option<f64>,
     csv: Option<String>,
+    /// `explain`: restrict to one layer, by index or name.
+    layer: Option<String>,
+    /// `explain`: how many runner-up mappings to show.
+    top: usize,
+    /// `explain`: output format.
+    format: Format,
+    /// `map`: write the DES timeline as Chrome trace_event JSON.
+    trace_perfetto: Option<String>,
+    /// `profile`: machine-readable output instead of the table.
+    json: bool,
+    /// `bench`: snapshot output path.
+    out: Option<String>,
+    /// `bench`: baseline snapshot to compare against.
+    baseline: Option<String>,
+    /// `bench`: tolerated regression in percent before failing.
+    max_regress: f64,
 }
 
 /// Telemetry flags, extracted before subcommand dispatch.
@@ -88,15 +132,30 @@ fn split_telemetry_flags(
     Ok((rest, cfg))
 }
 
-fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
+    let allowed = allowed_flags(cmd);
     let mut f = Flags {
         res: 224,
         macs: 2048,
         area: Some(2.0),
         csv: None,
+        layer: None,
+        top: 3,
+        format: Format::Text,
+        trace_perfetto: None,
+        json: false,
+        out: None,
+        baseline: None,
+        max_regress: 10.0,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
+        if flag.starts_with('-') && !allowed.contains(&flag.as_str()) {
+            return Err(format!(
+                "unknown flag `{flag}` for `{cmd}` (valid: {}; global: -v -vv --progress --trace-json FILE)",
+                allowed.join(" ")
+            ));
+        }
         let mut value = |name: &str| {
             it.next()
                 .cloned()
@@ -114,10 +173,35 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
                 };
             }
             "--csv" => f.csv = Some(value("--csv")?),
-            other => return Err(format!("unknown flag `{other}`")),
+            "--layer" => f.layer = Some(value("--layer")?),
+            "--top" => f.top = value("--top")?.parse().map_err(|_| "bad --top")?,
+            "--format" => f.format = value("--format")?.parse()?,
+            "--trace-perfetto" => f.trace_perfetto = Some(value("--trace-perfetto")?),
+            "--json" => f.json = true,
+            "--out" => f.out = Some(value("--out")?),
+            "--baseline" => f.baseline = Some(value("--baseline")?),
+            "--max-regress" => {
+                f.max_regress = value("--max-regress")?
+                    .parse()
+                    .map_err(|_| "bad --max-regress")?;
+            }
+            other => return Err(format!("unexpected argument `{other}` for `{cmd}`")),
         }
     }
     Ok(f)
+}
+
+/// Fails fast when an output path cannot be written, *before* any model
+/// work runs. Opens in append mode so probing an existing file (e.g. a
+/// snapshot that doubles as the baseline) never truncates it.
+fn probe_output(path: &Option<String>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(())
 }
 
 fn load_model(name: &str, res: u32) -> Result<Model, String> {
@@ -159,6 +243,15 @@ where
     }
 }
 
+/// `BENCH_smoke.json` -> `smoke`: snapshot name from the output path.
+fn bench_name(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let (args, tcfg) = split_telemetry_flags(args)?;
     let Some(cmd) = args.first() else {
@@ -167,9 +260,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         println!(
             "baton -- NN-Baton workload orchestration and chiplet DSE\n\n\
-             usage:\n  baton stats|map|profile|compare|explore|sweep|recommend <model> [flags]\n  \
+             usage:\n  baton stats|map|explain|profile|bench|compare|explore|sweep|recommend <model> [flags]\n  \
              baton check <file.baton>\n  baton version\n\n\
              flags: --res N  --macs M  --area A|none  --csv FILE\n\
+             explain: --layer L  --top K  --format text|md|json\n\
+             map: --trace-perfetto FILE    profile: --json\n\
+             bench: --out FILE  --baseline FILE  --max-regress PCT\n\
              telemetry: -v|-vv  --progress  --trace-json FILE"
         );
         return Ok(());
@@ -190,10 +286,13 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     // Attach only when something will consume the data: a telemetry flag,
-    // or `profile` (whose output *is* the data). Plain runs keep the layer
-    // disabled — one relaxed atomic load per probe.
-    let wants_session =
-        tcfg.verbosity > 0 || tcfg.progress || tcfg.trace_path.is_some() || cmd == "profile";
+    // or `profile`/`bench` (whose output *is* the data). Plain runs keep the
+    // layer disabled — one relaxed atomic load per probe.
+    let wants_session = tcfg.verbosity > 0
+        || tcfg.progress
+        || tcfg.trace_path.is_some()
+        || cmd == "profile"
+        || cmd == "bench";
     let session = if wants_session {
         Some(telemetry::attach(&tcfg).map_err(|e| format!("cannot open trace: {e}"))?)
     } else {
@@ -201,7 +300,26 @@ fn run(args: &[String]) -> Result<(), String> {
     };
 
     let model_name = args.get(1).ok_or("missing model")?;
-    let flags = parse_flags(&args[2..])?;
+    let flags = parse_flags(cmd, &args[2..])?;
+    if cmd == "bench" && flags.out.is_none() {
+        return Err("bench needs --out FILE".into());
+    }
+    // Read the baseline and probe every output path before any model work,
+    // so a typo'd path fails in milliseconds, not after a full search.
+    let baseline = match &flags.baseline {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some((
+                path.clone(),
+                BenchSnapshot::parse(&text).map_err(|e| format!("bad baseline {path}: {e}"))?,
+            ))
+        }
+        None => None,
+    };
+    probe_output(&flags.csv)?;
+    probe_output(&flags.trace_perfetto)?;
+    probe_output(&flags.out)?;
     let model = load_model(model_name, flags.res)?;
     let tech = Technology::paper_16nm();
     let arch = presets::case_study_accelerator();
@@ -234,9 +352,78 @@ fn run(args: &[String]) -> Result<(), String> {
                 100.0 * report.utilization(&arch)
             );
             write_csv(&flags.csv, |out| csv::write_model_report_csv(out, &report))?;
+            if let Some(path) = &flags.trace_perfetto {
+                let sims = nn_baton::dse::simulate_mapped(&model, &report, &arch, &tech)?;
+                let mut timeline = PerfettoTrace::new();
+                for s in &sims {
+                    timeline.add_layer(
+                        &s.layer,
+                        &s.trace,
+                        s.analytical_cycles,
+                        s.sim.total_cycles,
+                        0.1,
+                    );
+                }
+                std::fs::write(path, timeline.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!(
+                    "wrote {path} ({} layers, {} analytical/sim divergences > 10%)",
+                    sims.len(),
+                    timeline.divergences()
+                );
+            }
+        }
+        "explain" => {
+            let layers: Vec<&ConvSpec> = match &flags.layer {
+                None => model.layers().iter().collect(),
+                Some(sel) => {
+                    let layer = if let Ok(idx) = sel.parse::<usize>() {
+                        model.layers().get(idx).ok_or_else(|| {
+                            format!(
+                                "--layer {idx} out of range ({} has {} layers)",
+                                model.name(),
+                                model.layers().len()
+                            )
+                        })?
+                    } else {
+                        model.layer(sel).ok_or_else(|| {
+                            format!(
+                                "no layer `{sel}` in {} (use a name or an index)",
+                                model.name()
+                            )
+                        })?
+                    };
+                    vec![layer]
+                }
+            };
+            for (i, layer) in layers.iter().enumerate() {
+                if i > 0 && flags.format != Format::Json {
+                    println!();
+                }
+                let explanation = nn_baton::report::explain_layer(
+                    layer,
+                    &arch,
+                    &tech,
+                    Objective::Energy,
+                    flags.top,
+                )
+                .map_err(|e| e.to_string())?;
+                print!("{}", explanation.render(flags.format));
+            }
         }
         "profile" => {
-            profile_model(&model, &arch, &tech)?;
+            profile_model(&model, &arch, &tech, flags.json)?;
+        }
+        "bench" => {
+            let out = flags.out.as_ref().expect("checked above");
+            bench_model(
+                &model,
+                &arch,
+                &tech,
+                out,
+                baseline.as_ref(),
+                flags.max_regress,
+            )?;
         }
         "compare" => {
             let c = compare_model(&model, &arch, &tech);
@@ -327,9 +514,31 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// The `baton profile` subcommand: run the post-design flow with telemetry
 /// forced on and print a per-layer time/counter breakdown plus the session
-/// summary.
-fn profile_model(model: &Model, arch: &PackageConfig, tech: &Technology) -> Result<(), String> {
+/// summary — or, with `--json`, one flat JSON object of the same data.
+fn profile_model(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    json: bool,
+) -> Result<(), String> {
     use nn_baton::telemetry::{counters, span, Counter};
+
+    let initial = counters::snapshot();
+    let t0 = Instant::now();
+    if json {
+        for layer in model.layers() {
+            search_layer(layer, arch, tech, Objective::Energy).map_err(|e| e.to_string())?;
+        }
+        let snapshot = BenchSnapshot::build(
+            "profile",
+            model.name(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            &counters::snapshot().since(&initial),
+            &span::phase_stats(),
+        );
+        print!("{}", snapshot.to_json());
+        return Ok(());
+    }
 
     println!(
         "profile: {} ({} layers) on the case-study accelerator",
@@ -340,8 +549,7 @@ fn profile_model(model: &Model, arch: &PackageConfig, tech: &Technology) -> Resu
         "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "layer", "time ms", "enumerated", "rej shape", "rej buffer", "dedup", "evaluations"
     );
-    let mut before = counters::snapshot();
-    let t0 = Instant::now();
+    let mut before = initial;
     for layer in model.layers() {
         let start = Instant::now();
         search_layer(layer, arch, tech, Objective::Energy).map_err(|e| e.to_string())?;
@@ -368,5 +576,57 @@ fn profile_model(model: &Model, arch: &PackageConfig, tech: &Technology) -> Resu
         "{}",
         nn_baton::telemetry::render_summary(&counters::snapshot(), &span::phase_stats())
     );
+    Ok(())
+}
+
+/// The `baton bench` subcommand: run the post-design flow under the clock,
+/// write a `BENCH_*.json` snapshot, and optionally gate against a baseline.
+fn bench_model(
+    model: &Model,
+    arch: &PackageConfig,
+    tech: &Technology,
+    out: &str,
+    baseline: Option<&(String, BenchSnapshot)>,
+    max_regress: f64,
+) -> Result<(), String> {
+    use nn_baton::telemetry::{counters, span};
+
+    let name = bench_name(out);
+    let before = counters::snapshot();
+    let t0 = Instant::now();
+    let report = map_model(model, arch, tech).map_err(|e| e.to_string())?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot = BenchSnapshot::build(
+        &name,
+        model.name(),
+        wall_ms,
+        &counters::snapshot().since(&before),
+        &span::phase_stats(),
+    );
+    std::fs::write(out, snapshot.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "bench {name}: {} layers in {:.1} ms, {:.0} evaluations/sec -> {out}",
+        report.layers.len(),
+        wall_ms,
+        snapshot
+            .nums
+            .get("throughput.evals_per_sec")
+            .copied()
+            .unwrap_or(0.0)
+    );
+    if let Some((path, base)) = baseline {
+        let regressions = compare_snapshots(&snapshot, base, max_regress);
+        if regressions.is_empty() {
+            println!("baseline {path}: ok (no metric regressed > {max_regress}%)");
+        } else {
+            for r in &regressions {
+                eprintln!("regression: {}", describe_regression(r));
+            }
+            return Err(format!(
+                "{} metric(s) regressed beyond {max_regress}% vs {path}",
+                regressions.len()
+            ));
+        }
+    }
     Ok(())
 }

@@ -20,6 +20,7 @@
 //! | [`dse`] | `baton-dse` | pre-design (Figures 14-15) and post-design flows |
 //! | [`func`] | `baton-func` | functional simulator: bit-exact execution of mappings on real tensors |
 //! | [`telemetry`] | `baton-telemetry` | search/eval instrumentation: counters, spans, progress, JSON-lines traces |
+//! | [`report`] | `baton-report` | user-facing surfaces: mapping explanations, Perfetto timelines, bench snapshots |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use baton_dse as dse;
 pub use baton_func as func;
 pub use baton_mapping as mapping;
 pub use baton_model as model;
+pub use baton_report as report;
 pub use baton_sim as sim;
 pub use baton_simba as simba;
 pub use baton_telemetry as telemetry;

@@ -1,0 +1,271 @@
+//! Machine-readable performance snapshots (`BENCH_*.json`).
+//!
+//! A snapshot is one flat JSON object of dotted scalar keys — pretty-printed
+//! for humans, but parseable with the workspace's own
+//! [`baton_telemetry::json::parse_flat_object`] so CI and scripts need no
+//! JSON library:
+//!
+//! * `name` / `model` / `schema` — identity,
+//! * `wall_ms.total` — end-to-end wall time of the benched run,
+//! * `phase.<p>.count|total_ms|mean_us|max_us|p90_us` — per-phase span
+//!   statistics from the telemetry histograms,
+//! * `counter.<name>` — every non-zero telemetry counter,
+//! * `throughput.evals_per_sec` / `throughput.mappings_per_sec` — derived
+//!   rates.
+//!
+//! [`compare_snapshots`] checks a current snapshot against a committed
+//! baseline: wall/phase times may not grow, throughputs may not shrink, by
+//! more than a percentage. Counters are identity-checked nowhere — they are
+//! workload-dependent context, not a pass/fail surface.
+
+use std::collections::BTreeMap;
+
+use baton_telemetry::counters::{Counter, CounterSnapshot};
+use baton_telemetry::histogram::Histogram;
+use baton_telemetry::json::{parse_flat_object, ObjectWriter, Value};
+
+/// One performance snapshot: string identity fields plus numeric metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Identity/context fields (`name`, `model`, ...), emitted first.
+    pub strs: BTreeMap<String, String>,
+    /// Numeric metrics keyed by dotted path.
+    pub nums: BTreeMap<String, f64>,
+}
+
+/// Snapshot schema version, bumped when key meanings change.
+pub const SCHEMA: u64 = 1;
+
+impl BenchSnapshot {
+    /// Builds a snapshot from a benched run's telemetry.
+    ///
+    /// `counters` should already be the delta for the benched region (see
+    /// [`CounterSnapshot::since`]); `phases` comes straight from
+    /// `baton_telemetry::span::phase_stats()`.
+    pub fn build(
+        name: &str,
+        model: &str,
+        wall_ms: f64,
+        counters: &CounterSnapshot,
+        phases: &[(&'static str, Histogram)],
+    ) -> Self {
+        let mut s = BenchSnapshot::default();
+        s.strs.insert("name".into(), name.to_string());
+        s.strs.insert("model".into(), model.to_string());
+        s.nums.insert("schema".into(), SCHEMA as f64);
+        s.nums.insert("wall_ms.total".into(), wall_ms);
+        for (phase, h) in phases {
+            if h.count() == 0 {
+                continue;
+            }
+            let k = |leaf: &str| format!("phase.{phase}.{leaf}");
+            s.nums.insert(k("count"), h.count() as f64);
+            s.nums.insert(k("total_ms"), h.sum() as f64 / 1e3);
+            s.nums.insert(k("mean_us"), h.mean());
+            s.nums.insert(k("max_us"), h.max() as f64);
+            s.nums.insert(k("p90_us"), h.quantile(0.9) as f64);
+        }
+        for (cname, v) in counters.nonzero() {
+            s.nums.insert(format!("counter.{cname}"), v as f64);
+        }
+        let secs = (wall_ms / 1e3).max(f64::MIN_POSITIVE);
+        s.nums.insert(
+            "throughput.evals_per_sec".into(),
+            counters.get(Counter::Evaluations) as f64 / secs,
+        );
+        s.nums.insert(
+            "throughput.mappings_per_sec".into(),
+            counters.get(Counter::CandidatesGenerated) as f64 / secs,
+        );
+        s
+    }
+
+    /// Renders the snapshot as a pretty-printed flat JSON object whose
+    /// whole text parses with `parse_flat_object`.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::pretty();
+        for (k, v) in &self.strs {
+            w.str(k, v);
+        }
+        for (k, v) in &self.nums {
+            w.f64(k, *v);
+        }
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a snapshot previously written by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flat-object parser's error on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut s = BenchSnapshot::default();
+        for (k, v) in parse_flat_object(text.trim())? {
+            match v {
+                Value::Number(n) => {
+                    s.nums.insert(k, n);
+                }
+                Value::String(st) => {
+                    s.strs.insert(k, st);
+                }
+                Value::Bool(_) | Value::Null => {}
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// One metric that got worse than the baseline allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The dotted metric key.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in percent; positive means "got worse" regardless of
+    /// whether the metric is a time (grew) or a throughput (shrank).
+    pub change_pct: f64,
+}
+
+/// Keys compared, and in which direction "worse" points.
+fn direction(key: &str) -> Option<bool> {
+    // Some(true): higher is worse (times). Some(false): lower is worse
+    // (throughputs). None: informational only (counts, means, counters).
+    if key == "wall_ms.total" || (key.starts_with("phase.") && key.ends_with(".total_ms")) {
+        Some(true)
+    } else if key.starts_with("throughput.") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Compares `current` against `baseline`, returning every gate metric that
+/// regressed by more than `max_regress_pct` percent. Only keys present in
+/// both snapshots are compared, so adding a phase never fails the gate.
+pub fn compare_snapshots(
+    current: &BenchSnapshot,
+    baseline: &BenchSnapshot,
+    max_regress_pct: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (key, &base) in &baseline.nums {
+        let Some(higher_is_worse) = direction(key) else {
+            continue;
+        };
+        let Some(&cur) = current.nums.get(key) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let change_pct = if higher_is_worse {
+            100.0 * (cur - base) / base
+        } else {
+            100.0 * (base - cur) / base
+        };
+        if change_pct > max_regress_pct {
+            out.push(Regression {
+                key: key.clone(),
+                baseline: base,
+                current: cur,
+                change_pct,
+            });
+        }
+    }
+    out
+}
+
+/// Human-readable one-liner for a regression, used by the CLI.
+pub fn describe_regression(r: &Regression) -> String {
+    format!(
+        "{}: baseline {:.3} -> current {:.3} ({:+.1}% worse)",
+        r.key, r.baseline, r.current, r.change_pct
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(wall: f64, search_ms: f64, evals_per_sec: f64) -> BenchSnapshot {
+        let mut s = BenchSnapshot::default();
+        s.strs.insert("name".into(), "smoke".into());
+        s.strs.insert("model".into(), "alexnet".into());
+        s.nums.insert("schema".into(), SCHEMA as f64);
+        s.nums.insert("wall_ms.total".into(), wall);
+        s.nums.insert("phase.search.total_ms".into(), search_ms);
+        s.nums.insert("phase.search.count".into(), 5.0);
+        s.nums
+            .insert("throughput.evals_per_sec".into(), evals_per_sec);
+        s.nums.insert("counter.evaluations".into(), 1000.0);
+        s
+    }
+
+    #[test]
+    fn json_round_trips_through_flat_parser() {
+        let s = synthetic(120.5, 80.25, 8300.0);
+        let text = s.to_json();
+        assert!(text.starts_with("{\n"), "pretty layout expected");
+        let back = BenchSnapshot::parse(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn build_derives_phases_counters_and_throughput() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        h.record(3000);
+        let counters = CounterSnapshot::default();
+        let s = BenchSnapshot::build("smoke", "alexnet", 2000.0, &counters, &[("search", h)]);
+        assert_eq!(s.strs["name"], "smoke");
+        assert_eq!(s.nums["schema"], SCHEMA as f64);
+        assert_eq!(s.nums["phase.search.count"], 2.0);
+        assert!((s.nums["phase.search.total_ms"] - 4.0).abs() < 1e-9);
+        // No evaluations counted -> zero throughput, but the key exists.
+        assert_eq!(s.nums["throughput.evals_per_sec"], 0.0);
+        // Empty phases are skipped.
+        assert!(!s.nums.keys().any(|k| k.starts_with("phase.idle")));
+    }
+
+    #[test]
+    fn slower_times_and_lower_throughput_regress() {
+        let base = synthetic(100.0, 60.0, 10000.0);
+        // 50% slower wall, 100% slower search phase, 40% lower throughput.
+        let cur = synthetic(150.0, 120.0, 6000.0);
+        let regs = compare_snapshots(&cur, &base, 25.0);
+        let keys: Vec<&str> = regs.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "phase.search.total_ms",
+                "throughput.evals_per_sec",
+                "wall_ms.total"
+            ]
+        );
+        assert!(regs.iter().all(|r| r.change_pct > 25.0));
+        assert!(describe_regression(&regs[0]).contains("worse"));
+        // Within tolerance: no regressions.
+        assert!(compare_snapshots(&cur, &base, 120.0).is_empty());
+        // Counters and counts never gate.
+        let mut noisy = base.clone();
+        noisy.nums.insert("counter.evaluations".into(), 9e9);
+        noisy.nums.insert("phase.search.count".into(), 9e9);
+        assert!(compare_snapshots(&noisy, &base, 1.0).is_empty());
+    }
+
+    #[test]
+    fn improvements_and_missing_keys_do_not_gate() {
+        let base = synthetic(100.0, 60.0, 10000.0);
+        let faster = synthetic(50.0, 30.0, 20000.0);
+        assert!(compare_snapshots(&faster, &base, 5.0).is_empty());
+        // Key only in baseline (phase removed): skipped, not failed.
+        let mut cur = faster.clone();
+        cur.nums.remove("phase.search.total_ms");
+        assert!(compare_snapshots(&cur, &base, 5.0).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared rendering plumbing: the output format selector.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Render mode of the report surfaces (`--format` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Aligned plain text for terminals (the default).
+    #[default]
+    Text,
+    /// Markdown with headings and tables, for issues and docs.
+    Markdown,
+    /// JSON lines: one flat object of scalars per record, each line
+    /// parseable with `baton_telemetry::json::parse_flat_object`.
+    Json,
+}
+
+impl FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Format::Text),
+            "md" | "markdown" => Ok(Format::Markdown),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (valid: text, md, json)")),
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Text => "text",
+            Format::Markdown => "md",
+            Format::Json => "json",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_spelling_and_rejects_junk() {
+        assert_eq!("text".parse::<Format>().unwrap(), Format::Text);
+        assert_eq!("md".parse::<Format>().unwrap(), Format::Markdown);
+        assert_eq!("markdown".parse::<Format>().unwrap(), Format::Markdown);
+        assert_eq!("json".parse::<Format>().unwrap(), Format::Json);
+        let err = "yaml".parse::<Format>().unwrap_err();
+        assert!(err.contains("valid: text, md, json"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for f in [Format::Text, Format::Markdown, Format::Json] {
+            assert_eq!(f.to_string().parse::<Format>().unwrap(), f);
+        }
+    }
+}

@@ -118,7 +118,7 @@ pub fn snapshot() -> CounterSnapshot {
 }
 
 /// A point-in-time copy of the counter registry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterSnapshot {
     values: [u64; COUNTER_COUNT],
 }

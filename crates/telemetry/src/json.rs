@@ -68,6 +68,106 @@ pub fn push_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Builds a flat JSON object of scalars incrementally — the encoder dual of
+/// [`parse_flat_object`]. Used wherever the workspace exports machine-
+/// readable state outside the trace sink (the `baton profile --json`
+/// per-layer records, `BENCH_*.json` snapshots): everything it emits parses
+/// back with [`parse_flat_object`].
+///
+/// ```
+/// use baton_telemetry::json::{parse_flat_object, ObjectWriter};
+///
+/// let mut w = ObjectWriter::new();
+/// w.str("record", "layer").u64("evaluations", 42).f64("ms", 1.5);
+/// let obj = parse_flat_object(&w.finish()).unwrap();
+/// assert_eq!(obj["evaluations"].as_f64(), Some(42.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObjectWriter {
+    buf: String,
+    pretty: bool,
+    empty: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectWriter {
+    /// Starts a compact single-line object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            pretty: false,
+            empty: true,
+        }
+    }
+
+    /// Starts a pretty-printed object (one key per line) — still a *flat*
+    /// object, so [`parse_flat_object`] accepts it.
+    pub fn pretty() -> Self {
+        Self {
+            buf: String::from("{"),
+            pretty: true,
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        if self.pretty {
+            self.buf.push_str("\n  ");
+        }
+        push_str_escaped(&mut self.buf, key);
+        self.buf.push(':');
+        if self.pretty {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        push_str_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite, as JSON demands).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        push_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.pretty && !self.empty {
+            self.buf.push('\n');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
 /// Parses one line as a flat JSON object of scalars.
 ///
 /// # Errors
@@ -256,6 +356,30 @@ mod tests {
         assert!(parse_flat_object("{\"a\":1} tail").is_err());
         assert!(parse_flat_object("{\"a\":{}}").is_err());
         assert!(parse_flat_object("not json").is_err());
+    }
+
+    #[test]
+    fn object_writer_round_trips_compact_and_pretty() {
+        let mut w = ObjectWriter::new();
+        w.str("s", "a\"b")
+            .u64("u", 7)
+            .f64("f", -0.5)
+            .bool("b", false);
+        let compact = w.finish();
+        assert!(!compact.contains('\n'));
+        let obj = parse_flat_object(&compact).unwrap();
+        assert_eq!(obj["s"].as_str(), Some("a\"b"));
+        assert_eq!(obj["u"].as_f64(), Some(7.0));
+        assert_eq!(obj["b"], Value::Bool(false));
+
+        let mut w = ObjectWriter::pretty();
+        w.u64("x", 1).f64("nan", f64::NAN);
+        let pretty = w.finish();
+        assert!(pretty.contains('\n'));
+        let obj = parse_flat_object(&pretty).unwrap();
+        assert_eq!(obj["x"].as_f64(), Some(1.0));
+        assert_eq!(obj["nan"], Value::Null);
+        assert_eq!(ObjectWriter::pretty().finish(), "{}");
     }
 
     #[test]
