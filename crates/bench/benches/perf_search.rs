@@ -1,0 +1,78 @@
+//! Criterion benches of the parallel search engine on AlexNet: the
+//! branch-and-bound `search_layer` on single layers, the memoized
+//! `map_model` whole-network flow, and a shrunken `full_sweep` grid.
+//!
+//! Thread count follows `BATON_THREADS` (default: all cores), so the same
+//! bench binary measures both the sequential fast path and the scaled
+//! executor:
+//!
+//! ```text
+//! BATON_THREADS=1 cargo bench -p baton-bench --bench perf_search
+//! BATON_THREADS=4 cargo bench -p baton-bench --bench perf_search
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn_baton::prelude::*;
+use std::hint::black_box;
+
+fn setup() -> (PackageConfig, Technology, Model) {
+    (
+        presets::case_study_accelerator(),
+        Technology::paper_16nm(),
+        zoo::alexnet(224),
+    )
+}
+
+/// Branch-and-bound search over one large-kernel layer (11x11 conv1): wide
+/// candidate set, strong pruning opportunity.
+fn bench_search_conv1(c: &mut Criterion) {
+    let (arch, tech, model) = setup();
+    let layer = model.layer("conv1").cloned().unwrap();
+    c.bench_function("search_alexnet_conv1", |b| {
+        b.iter(|| search_layer(black_box(&layer), &arch, &tech, Objective::Energy).unwrap())
+    });
+}
+
+/// The 3x3 workhorse layer (conv3) under the EDP objective, whose floor
+/// combines both energy and runtime bounds.
+fn bench_search_conv3_edp(c: &mut Criterion) {
+    let (arch, tech, model) = setup();
+    let layer = model.layer("conv3").cloned().unwrap();
+    c.bench_function("search_alexnet_conv3_edp", |b| {
+        b.iter(|| search_layer(black_box(&layer), &arch, &tech, Objective::Edp).unwrap())
+    });
+}
+
+/// Whole-model post-design flow: eight layers through the shape-memoized
+/// per-layer search.
+fn bench_map_model(c: &mut Criterion) {
+    let (arch, tech, model) = setup();
+    c.bench_function("map_model_alexnet", |b| {
+        b.iter(|| map_model(black_box(&model), &arch, &tech).unwrap())
+    });
+}
+
+/// A pre-design sweep on a shrunken Table II grid (one O-L1 rung, short
+/// memory ladders) so one iteration stays in criterion budget while still
+/// fanning `(geometry, o_l1)` units across the executor.
+fn bench_full_sweep(c: &mut Criterion) {
+    let (_, tech, model) = setup();
+    let mut opts = SweepOptions {
+        total_macs: 1024,
+        ..SweepOptions::default()
+    };
+    opts.space.memory.o_l1 = vec![96];
+    opts.space.memory.a_l1 = vec![4 * 1024, 16 * 1024];
+    opts.space.memory.w_l1 = vec![18 * 1024, 72 * 1024];
+    opts.space.memory.a_l2 = vec![64 * 1024];
+    c.bench_function("full_sweep_alexnet_small", |b| {
+        b.iter(|| full_sweep(black_box(&model), &tech, &opts).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search_conv1, bench_search_conv3_edp, bench_map_model, bench_full_sweep
+}
+criterion_main!(benches);

@@ -7,11 +7,13 @@
 //! between a search result and its bound (the *optimality gap*) is how the
 //! tests and reports judge whether the exhaustive search is doing its job.
 
-use baton_arch::PackageConfig;
+use baton_arch::{PackageConfig, Technology};
+use baton_mapping::Decomposition;
 use baton_model::{ConvSpec, ACT_BITS, WGT_BITS};
 use serde::{Deserialize, Serialize};
 
-use crate::evaluate::Evaluation;
+use crate::evaluate::{price, runtime_bound, AccessCounts, Evaluation};
+use crate::search::Objective;
 
 /// Compulsory traffic and compute floors for one layer on one machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,9 +67,69 @@ impl TrafficBounds {
     }
 }
 
+/// Per-candidate score floor for the branch-and-bound mapping search.
+///
+/// For one decomposition, this is the evaluation the candidate would get if
+/// every buffer were adequately sized: each capacity-dependent access
+/// profile resolves at its *base* volume, which is the profile's lower
+/// limit. Access counts, energy and runtime are all monotone in those
+/// volumes, so the floor score never exceeds the candidate's true score —
+/// and *equals* it exactly (same `f64` path) whenever no capacity penalty
+/// triggers. A candidate whose floor is already worse than the search
+/// incumbent can therefore be discarded before the expensive profile build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floors {
+    /// The penalty-free access counts (every profile at its base volume).
+    pub access: AccessCounts,
+    /// Energy floor in pJ.
+    pub energy_pj: f64,
+    /// Runtime floor in cycles.
+    pub cycles: u64,
+}
+
+impl Floors {
+    /// Computes the floor evaluation of one decomposition.
+    pub fn of(d: &Decomposition, arch: &PackageConfig, tech: &Technology) -> Self {
+        let v = &d.volumes;
+        // Mirror `resolve_at_capacities` with every profile at its base:
+        // fills derive from the DRAM/D2D reads they buffer.
+        let a_l2_fill = v.dram_input_base + v.d2d_input_base;
+        let w_l1_fill = v.dram_weight_base + v.d2d_weight_base;
+        let access = AccessCounts {
+            dram_input_bits: v.dram_input_base,
+            dram_weight_bits: v.dram_weight_base,
+            dram_output_bits: v.dram_output,
+            d2d_bits: v.d2d_input_base + v.d2d_weight_base,
+            a_l2_bits: a_l2_fill + v.a_l2_read_base,
+            o_l2_bits: v.o_l2_write + v.o_l2_read,
+            a_l1_bits: v.a_l2_read_base * u64::from(d.weight_streams) + v.a_l1_read,
+            w_l1_bits: w_l1_fill + v.w_l1_read,
+            o_l1_rmw_bits: v.o_l1_rmw,
+            mac_ops: v.mac_ops,
+        };
+        let energy_pj = price(&access, arch, tech).total_pj();
+        let (cycles, _) = runtime_bound(d.compute_cycles, &access, arch, tech);
+        Self {
+            access,
+            energy_pj,
+            cycles,
+        }
+    }
+
+    /// The floor mapped through a search objective (lower is better).
+    pub fn score(&self, objective: Objective, tech: &Technology) -> f64 {
+        match objective {
+            Objective::Energy => self.energy_pj,
+            Objective::Runtime => self.cycles as f64,
+            Objective::Edp => self.energy_pj * 1e-12 * tech.cycles_to_seconds(self.cycles),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluate::evaluate_decomposition;
     use crate::{search_layer, Objective};
     use baton_arch::{presets, Technology};
     use baton_model::zoo;
@@ -128,5 +190,66 @@ mod tests {
         let layer = zoo::vgg16(224).layer("conv3_2").cloned().unwrap();
         let b = TrafficBounds::of(&layer, &arch);
         assert_eq!(b.compute_cycles, layer.macs().div_ceil(2048));
+    }
+
+    #[test]
+    fn candidate_floors_never_exceed_the_true_score() {
+        // The branch-and-bound invariant: for every decomposable candidate
+        // and every objective, `Floors` is a true lower bound — otherwise
+        // pruning could discard the optimum.
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let mut checked = 0u32;
+        for m in baton_mapping::enumerate::candidates(&layer, &arch) {
+            let Ok(d) = baton_mapping::decompose(&layer, &arch, &m) else {
+                continue;
+            };
+            let fl = Floors::of(&d, &arch, &tech);
+            let ev = evaluate_decomposition(&d, &arch, &tech, &m);
+            for obj in [Objective::Energy, Objective::Edp, Objective::Runtime] {
+                let floor = fl.score(obj, &tech);
+                let actual = obj.score(&ev, &tech);
+                assert!(
+                    floor <= actual,
+                    "{obj:?}: floor {floor} > actual {actual} for {m:?}"
+                );
+            }
+            assert!(fl.access.dram_total_bits() <= ev.access.dram_total_bits());
+            assert!(fl.cycles <= ev.cycles);
+            checked += 1;
+        }
+        assert!(checked > 100, "only {checked} candidates decomposed");
+    }
+
+    #[test]
+    fn floors_are_exact_when_no_penalty_triggers() {
+        // With generously oversized buffers every profile resolves at its
+        // base volume, so the floor *is* the evaluation — bit for bit. This
+        // is what makes the strict `floor > incumbent` prune rule safe on
+        // score ties.
+        let mut arch = presets::case_study_accelerator();
+        arch.chiplet.a_l2_bytes *= 64;
+        arch.chiplet.core.a_l1_bytes *= 64;
+        arch.chiplet.core.w_l1_bytes *= 64;
+        let tech = Technology::paper_16nm();
+        let layer = zoo::vgg16(224).layer("conv3_2").cloned().unwrap();
+        let mut exact = 0u32;
+        for m in baton_mapping::enumerate::candidates(&layer, &arch)
+            .into_iter()
+            .take(64)
+        {
+            let Ok(d) = baton_mapping::decompose(&layer, &arch, &m) else {
+                continue;
+            };
+            let fl = Floors::of(&d, &arch, &tech);
+            let ev = evaluate_decomposition(&d, &arch, &tech, &m);
+            if fl.access == ev.access {
+                assert_eq!(fl.energy_pj, ev.energy.total_pj());
+                assert_eq!(fl.cycles, ev.cycles);
+                exact += 1;
+            }
+        }
+        assert!(exact > 0, "oversized buffers should hit the floor exactly");
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bounds;
+pub mod cache;
 pub mod energy;
 pub mod evaluate;
 pub mod profile;
@@ -37,7 +38,8 @@ pub mod sensitivity;
 pub mod verdict;
 pub mod walk;
 
-pub use bounds::TrafficBounds;
+pub use bounds::{Floors, TrafficBounds};
+pub use cache::{search_layer_memo, SearchMemo, ShapeMemo};
 pub use energy::EnergyBreakdown;
 pub use evaluate::{
     evaluate, evaluate_decomposition, price, resolve, resolve_at_capacities, runtime_bound,

@@ -1,4 +1,13 @@
 //! Exhaustive per-layer mapping search (the post-design flow's inner loop).
+//!
+//! The search is a parallel branch-and-bound: candidate mappings are fanned
+//! out over [`baton_parallel::map_chunked`] workers that share one
+//! [`AtomicBest`] incumbent, and a candidate whose [`Floors`] lower bound
+//! already scores worse than the incumbent is discarded before the
+//! expensive profile build. Both mechanisms are exact — the floor never
+//! exceeds the true score and the ordered reduce breaks ties by candidate
+//! index — so the result is bit-identical to the sequential scan for any
+//! thread count.
 
 use std::fmt;
 
@@ -6,9 +15,11 @@ use baton_arch::{PackageConfig, Technology};
 use baton_mapping::enumerate::{candidates_with, EnumOptions};
 use baton_mapping::{decompose, Mapping};
 use baton_model::ConvSpec;
-use baton_telemetry::{count, span_labeled, Counter};
+use baton_parallel::AtomicBest;
+use baton_telemetry::{count, count_n, span_labeled, Counter};
 use serde::{Deserialize, Serialize};
 
+use crate::bounds::Floors;
 use crate::evaluate::{evaluate_decomposition, Evaluation};
 
 /// Optimization objective for the mapping search.
@@ -83,20 +94,58 @@ pub fn search_layer_with(
     let sp = span_labeled("search_layer", || layer.name().to_string());
     let cands = candidates_with(layer, arch, opts);
     let n = cands.len();
-    let mut feasible = 0u64;
-    let mut best: Option<(f64, Evaluation)> = None;
-    for m in cands {
-        let Some(ev) = try_evaluate(layer, arch, tech, &m) else {
-            continue;
+    let workers = baton_parallel::threads();
+    let chunk = baton_parallel::chunk_size(n, workers);
+    let incumbent = AtomicBest::new();
+
+    // Per-candidate verdicts come back in input order. An evaluation is
+    // *kept* only if its score tied or beat the incumbent at observation
+    // time — the eventual argmin always satisfies that (the incumbent is
+    // monotone and never drops below the final minimum), so the ordered
+    // reduce below sees it; everything else kept is a small surplus.
+    let verdicts = baton_parallel::map_chunked(&cands, workers, chunk, |_, m| {
+        let Ok(d) = decompose(layer, arch, m) else {
+            return Verdict::Infeasible;
         };
-        feasible += 1;
+        let floor = Floors::of(&d, arch, tech).score(objective, tech);
+        // Strict `>`: a floor that merely ties the incumbent may still BE
+        // the incumbent-quality candidate (floors are exact when no
+        // capacity penalty triggers).
+        if floor > incumbent.get() {
+            return Verdict::Pruned;
+        }
+        let ev = evaluate_decomposition(&d, arch, tech, m);
         let score = objective.score(&ev, tech);
-        if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+        let prev = incumbent.offer(score);
+        if score < prev {
             count(Counter::BestImprovements);
-            best = Some((score, ev));
+        }
+        if score <= prev {
+            Verdict::Kept(score, Box::new(ev))
+        } else {
+            Verdict::Feasible
+        }
+    });
+
+    let (mut feasible, mut pruned) = (0u64, 0u64);
+    let mut best: Option<(f64, Evaluation)> = None;
+    for v in verdicts {
+        match v {
+            Verdict::Infeasible => {}
+            Verdict::Pruned => pruned += 1,
+            Verdict::Feasible => feasible += 1,
+            Verdict::Kept(score, ev) => {
+                feasible += 1;
+                // Strict `<`: first candidate index wins ties, exactly like
+                // the sequential scan.
+                if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+                    best = Some((score, *ev));
+                }
+            }
         }
     }
     if baton_telemetry::enabled() {
+        count_n(Counter::SearchPruned, pruned);
         count(if best.is_some() {
             Counter::SearchesCompleted
         } else {
@@ -106,6 +155,7 @@ pub fn search_layer_with(
             .str("layer", layer.name())
             .u64("candidates", n as u64)
             .u64("feasible", feasible)
+            .u64("pruned", pruned)
             .u64("dur_us", sp.elapsed_us());
         if let Some((score, _)) = &best {
             ev = ev.f64("best_score", *score);
@@ -116,6 +166,18 @@ pub fn search_layer_with(
         layer: layer.name().to_string(),
         candidates: n,
     })
+}
+
+/// Outcome of one candidate in the branch-and-bound scan.
+enum Verdict {
+    /// `decompose` rejected the mapping.
+    Infeasible,
+    /// Lower bound already worse than the incumbent; never evaluated.
+    Pruned,
+    /// Evaluated, feasible, but strictly worse than the incumbent.
+    Feasible,
+    /// Evaluated and tied-or-beat the incumbent when observed.
+    Kept(f64, Box<Evaluation>),
 }
 
 /// Returns the `k` best evaluations by the objective, best first — useful
@@ -218,6 +280,48 @@ mod tests {
         assert!((top[0].energy.total_pj() - best.energy.total_pj()).abs() < 1e-6);
         for w in top.windows(2) {
             assert!(w[0].energy.total_pj() <= w[1].energy.total_pj() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_result() {
+        // The tentpole invariant: chunked fan-out + shared incumbent +
+        // floor pruning must return the same Evaluation — bit for bit —
+        // whatever the worker count.
+        let (arch, tech) = setup();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        for obj in [Objective::Energy, Objective::Edp, Objective::Runtime] {
+            baton_parallel::configure_threads(Some(1));
+            let seq = search_layer(&layer, &arch, &tech, obj);
+            baton_parallel::configure_threads(Some(4));
+            let par4 = search_layer(&layer, &arch, &tech, obj);
+            baton_parallel::configure_threads(Some(7));
+            let par7 = search_layer(&layer, &arch, &tech, obj);
+            baton_parallel::configure_threads(None);
+            assert_eq!(seq, par4, "{obj:?}");
+            assert_eq!(seq, par7, "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_winner() {
+        // Reference: a plain first-wins scan with no bounds and no
+        // incumbent. The branch-and-bound search must agree exactly.
+        let (arch, tech) = setup();
+        let layer = zoo::vgg16(224).layer("conv4_1").cloned().unwrap();
+        for obj in [Objective::Energy, Objective::Edp, Objective::Runtime] {
+            let mut reference: Option<(f64, Evaluation)> = None;
+            for m in baton_mapping::enumerate::candidates(&layer, &arch) {
+                let Some(ev) = try_evaluate(&layer, &arch, &tech, &m) else {
+                    continue;
+                };
+                let score = obj.score(&ev, &tech);
+                if reference.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+                    reference = Some((score, ev));
+                }
+            }
+            let got = search_layer(&layer, &arch, &tech, obj).unwrap();
+            assert_eq!(reference.unwrap().1, got, "{obj:?}");
         }
     }
 

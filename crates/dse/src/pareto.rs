@@ -86,4 +86,40 @@ mod tests {
         // (1,1) dominates (2,inf); (inf,0.5) survives on the y axis.
         assert_eq!(front, vec![0, 1]);
     }
+
+    /// Textbook O(n²) reference: point `i` is on the front iff no other
+    /// point dominates it and no *earlier* exact duplicate exists (the
+    /// sweep keeps only the first copy of a duplicated point).
+    fn naive_front(pts: &[(f64, f64)]) -> Vec<usize> {
+        (0..pts.len())
+            .filter(|&i| {
+                let (xi, yi) = pts[i];
+                !(0..pts.len()).any(|j| {
+                    if j == i {
+                        return false;
+                    }
+                    let (xj, yj) = pts[j];
+                    let dominates = (xj <= xi && yj < yi) || (xj < xi && yj <= yi);
+                    let earlier_duplicate = xj == xi && yj == yi && j < i;
+                    dominates || earlier_duplicate
+                })
+            })
+            .collect()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sweep_front_agrees_with_the_quadratic_reference(
+            raw in proptest::collection::vec((0u32..24, 0u32..24), 0..80)
+        ) {
+            // Small integer coordinates force heavy ties and duplicates —
+            // exactly the cases where a sort-then-sweep can drift from the
+            // dominance definition.
+            let pts: Vec<(f64, f64)> =
+                raw.iter().map(|&(x, y)| (f64::from(x), f64::from(y))).collect();
+            prop_assert_eq!(pareto_front(&pts, |p| *p), naive_front(&pts));
+        }
+    }
 }

@@ -11,7 +11,8 @@ use std::fmt;
 
 use baton_arch::{PackageConfig, Technology};
 use baton_c3p::{
-    search_layer_with, EnergyBreakdown, Evaluation, Objective, SearchError, TrafficBounds,
+    search_layer_memo, EnergyBreakdown, Evaluation, Objective, SearchError, SearchMemo,
+    TrafficBounds,
 };
 use baton_mapping::decompose;
 use baton_mapping::enumerate::EnumOptions;
@@ -141,6 +142,11 @@ pub fn map_model_with(
 /// Maps every layer with explicit enumeration options. Hardware sweeps use a
 /// coarser candidate ladder here so the per-geometry search stays tractable.
 ///
+/// Repeated layer shapes (ResNet towers, VGG blocks) are searched once per
+/// call through a [`SearchMemo`]; the winning mapping of a shape is shared
+/// by every layer of that shape, which is exact — the search depends on the
+/// shape and machine only, never on the layer's name or position.
+///
 /// # Errors
 ///
 /// Returns [`SearchError`] for the first layer with no feasible mapping.
@@ -151,13 +157,14 @@ pub fn map_model_opts(
     objective: Objective,
     opts: EnumOptions,
 ) -> Result<ModelReport, SearchError> {
-    let mut meter = Progress::new("map_model", model.layers().len() as u64);
+    let meter = Progress::new("map_model", model.layers().len() as u64);
+    let memo = SearchMemo::new();
     let mut layers = Vec::with_capacity(model.layers().len());
     let mut energy = EnergyBreakdown::default();
     let mut cycles = 0u64;
     for layer in model.layers() {
         let layer_span = span_labeled("map_layer", || layer.name().to_string());
-        let ev = search_layer_with(layer, arch, tech, objective, opts)?;
+        let ev = search_layer_memo(&memo, layer, arch, tech, objective, opts)?;
         let nest = decompose(layer, arch, &ev.mapping)
             .map(|d| d.nest.render())
             .unwrap_or_default();

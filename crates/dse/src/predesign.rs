@@ -1,9 +1,11 @@
 //! The pre-design flow: chiplet granularity and hardware resource
 //! exploration under MAC-count and area budgets (Section VI-B).
 
+use std::sync::Arc;
+
 use baton_arch::presets::ProportionalBuffers;
 use baton_arch::{validate, ChipletConfig, CoreConfig, PackageConfig, Technology};
-use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Objective};
+use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Objective, ShapeMemo};
 use baton_mapping::enumerate::{candidates_with, EnumOptions};
 use baton_mapping::{decompose, Decomposition};
 use baton_model::{ConvSpec, Model, ACT_BITS};
@@ -50,7 +52,7 @@ pub fn granularity_sweep(
     let _sweep_span = span("granularity_sweep");
     let space = DesignSpace::default();
     let geometries = space.compute.geometries_for(total_macs);
-    let mut meter = Progress::new("granularity_sweep", geometries.len() as u64);
+    let meter = Progress::new("granularity_sweep", geometries.len() as u64);
     let mut out = Vec::new();
     for (np, nc, l, p) in geometries {
         meter.tick(1);
@@ -166,34 +168,54 @@ struct Candidate {
     o_l2_floor: u64,
 }
 
+/// Memoized per-shape artifacts within one sweep unit.
+#[derive(Debug)]
+struct ShapeCands {
+    /// Corner-pruned candidate set.
+    pruned: Vec<Candidate>,
+    /// Whether enumeration found any decomposable candidate at all (before
+    /// pruning); `false` makes the whole geometry infeasible.
+    feasible: bool,
+}
+
 /// Runs the full Figure 15 sweep: every computation geometry times every
 /// memory allocation of the space, returning the *valid* design points.
+///
+/// The `(geometry, O-L1)` units fan out over [`baton_parallel::map_chunked`]
+/// workers; each worker fills a local point vector and the results are
+/// spliced back in unit order, so the returned points are identical — order
+/// included — for any `--threads` count.
 pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<DesignPoint> {
     let _sweep_span = span("full_sweep");
     let geometries = opts.space.compute.geometries_for(opts.total_macs);
-    let units = geometries.len() as u64 * opts.space.memory.o_l1.len() as u64;
-    let mut meter = Progress::new("full_sweep", units);
-    let mut points = Vec::new();
-    for (np, nc, l, p) in geometries {
-        count(Counter::SweepGeometries);
-        for &o_l1 in &opts.space.memory.o_l1 {
-            let before = points.len();
-            let unit_span = span("sweep_geometry");
-            sweep_geometry(model, tech, opts, (np, nc, l, p), o_l1, &mut points);
-            if baton_telemetry::enabled() {
-                event("sweep_unit")
-                    .u64("n_p", u64::from(np))
-                    .u64("n_c", u64::from(nc))
-                    .u64("lanes", u64::from(l))
-                    .u64("vector", u64::from(p))
-                    .u64("o_l1", o_l1)
-                    .u64("points", (points.len() - before) as u64)
-                    .u64("dur_us", unit_span.elapsed_us())
-                    .emit();
-            }
-            meter.tick(1);
+    count_n(Counter::SweepGeometries, geometries.len() as u64);
+    let units: Vec<((u32, u32, u32, u32), u64)> = geometries
+        .iter()
+        .flat_map(|&g| opts.space.memory.o_l1.iter().map(move |&o_l1| (g, o_l1)))
+        .collect();
+    let meter = Progress::new("full_sweep", units.len() as u64);
+    let workers = baton_parallel::threads();
+    let chunk = baton_parallel::chunk_size(units.len(), workers);
+    let per_unit = baton_parallel::map_chunked(&units, workers, chunk, |_, &(geometry, o_l1)| {
+        let unit_span = span("sweep_geometry");
+        let mut local = Vec::new();
+        sweep_geometry(model, tech, opts, geometry, o_l1, &mut local);
+        if baton_telemetry::enabled() {
+            let (np, nc, l, p) = geometry;
+            event("sweep_unit")
+                .u64("n_p", u64::from(np))
+                .u64("n_c", u64::from(nc))
+                .u64("lanes", u64::from(l))
+                .u64("vector", u64::from(p))
+                .u64("o_l1", o_l1)
+                .u64("points", local.len() as u64)
+                .u64("dur_us", unit_span.elapsed_us())
+                .emit();
         }
-    }
+        meter.tick(1);
+        local
+    });
+    let points: Vec<DesignPoint> = per_unit.into_iter().flatten().collect();
     count_n(Counter::SweepPoints, points.len() as u64);
     points
 }
@@ -230,14 +252,26 @@ fn sweep_geometry(
         return;
     }
 
-    // Per-layer candidate sets, corner-pruned.
-    let mut per_layer: Vec<Vec<Candidate>> = Vec::with_capacity(model.layers().len());
+    // Per-layer candidate sets, corner-pruned. Candidates depend only on a
+    // layer's *shape* (and this unit's reference machine), so repeated
+    // shapes — ResNet towers, VGG blocks — build their set exactly once.
+    let memo: ShapeMemo<ShapeCands> = ShapeMemo::new();
+    let mut per_layer: Vec<Arc<ShapeCands>> = Vec::with_capacity(model.layers().len());
     for layer in model.layers() {
-        let cands = layer_candidates(layer, &reference, opts);
-        if cands.is_empty() {
+        let entry = memo.get_or_insert_with(layer.shape_key(), || {
+            let cands = layer_candidates(layer, &reference, opts);
+            let feasible = !cands.is_empty();
+            let pruned = if feasible {
+                prune_candidates(layer, cands, &reference, tech, opts)
+            } else {
+                Vec::new()
+            };
+            ShapeCands { pruned, feasible }
+        });
+        if !entry.feasible {
             return; // no feasible mapping for this geometry at any memory
         }
-        per_layer.push(prune_candidates(layer, cands, &reference, tech, opts));
+        per_layer.push(entry);
     }
 
     for &a_l1 in &opts.space.memory.a_l1 {
@@ -388,7 +422,7 @@ fn score_candidate(
 /// Scores the whole model at one memory configuration: per-layer best
 /// candidate, summed. `None` if any layer has no feasible candidate.
 fn evaluate_model_at(
-    per_layer: &[Vec<Candidate>],
+    per_layer: &[Arc<ShapeCands>],
     arch: &PackageConfig,
     tech: &Technology,
 ) -> Option<(f64, u64)> {
@@ -402,7 +436,7 @@ fn evaluate_model_at(
     let mut total_c = 0u64;
     for cands in per_layer {
         let mut best: Option<(f64, u64)> = None;
-        for c in cands {
+        for c in &cands.pruned {
             if let Some((e, cyc)) = score_candidate(c, a_l1, w_l1, a_l2, opts_o_l2, arch, tech) {
                 if best.map(|(be, _)| e < be).unwrap_or(true) {
                     best = Some((e, cyc));
@@ -523,6 +557,29 @@ mod tests {
             // The skip rule held.
             assert!(pt.memory.1 < pt.memory.3);
         }
+    }
+
+    #[test]
+    fn full_sweep_is_bit_identical_across_thread_counts() {
+        // The parallel fan-out's ordered splice must reproduce the
+        // sequential sweep exactly: same points, same order, same floats.
+        let tech = Technology::paper_16nm();
+        let mut opts = SweepOptions {
+            total_macs: 2048,
+            ..SweepOptions::default()
+        };
+        opts.space.memory.a_l1 = vec![1024, 32 * 1024];
+        opts.space.memory.w_l1 = vec![18 * 1024];
+        opts.space.memory.a_l2 = vec![64 * 1024, 256 * 1024];
+        opts.space.memory.o_l1 = vec![144];
+        let model = tiny_model();
+        baton_parallel::configure_threads(Some(1));
+        let seq = full_sweep(&model, &tech, &opts);
+        baton_parallel::configure_threads(Some(4));
+        let par = full_sweep(&model, &tech, &opts);
+        baton_parallel::configure_threads(None);
+        assert!(!seq.is_empty());
+        assert_eq!(seq, par);
     }
 
     #[test]

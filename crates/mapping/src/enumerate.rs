@@ -128,6 +128,22 @@ pub fn candidates_with(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions
     out
 }
 
+/// Cheap upper bound on the number of candidates [`candidates_with`] can
+/// emit for `layer` on `arch`, *without* building any of them: the raw
+/// product of the option ladders, before the structural filter and dedup.
+///
+/// Useful for deciding up front whether a layer's search is worth fanning
+/// out (the parallel search itself chunks on the exact post-filter count,
+/// which it has in hand anyway) and for capacity-planning sweep batches.
+pub fn candidate_count_bound(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions) -> usize {
+    let pkg = package_options(layer, arch.chiplets).len();
+    let chip = chiplet_options(arch.chiplet.cores).len();
+    let tiles = opts.plane_fractions.len() * opts.plane_fractions.len() * opts.co_fractions.len();
+    let orders = TemporalOrder::ALL.len() * TemporalOrder::ALL.len();
+    // The thin-layer fallback emits at most orders x rotations mappings.
+    (pkg * chip * tiles * orders * opts.rotations.len()).max(orders * opts.rotations.len())
+}
+
 /// Sort/dedup key: a fixed-width numeric encoding of every mapping field
 /// (cheaper than formatting, exercised millions of times in sweeps).
 fn mapping_key(m: &Mapping) -> [u32; 13] {
@@ -336,6 +352,22 @@ mod tests {
         for m in candidates(&layer, &arch()) {
             assert!(m.chiplet_tile.ho >= 1 && m.chiplet_tile.wo >= 1 && m.chiplet_tile.co >= 1);
             assert!(m.core_plane.0 >= 1 && m.core_plane.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn count_bound_dominates_the_real_candidate_set() {
+        let a = arch();
+        for layer in [
+            zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap(),
+            zoo::vgg16(224).layer("conv1_1").cloned().unwrap(),
+            // Thin FC head exercises the fallback path.
+            ConvSpec::fully_connected("fc", 4096, 10).unwrap(),
+        ] {
+            let bound = candidate_count_bound(&layer, &a, EnumOptions::default());
+            let real = candidates(&layer, &a).len();
+            assert!(real <= bound, "{}: {real} > bound {bound}", layer.name());
+            assert!(bound > 0);
         }
     }
 

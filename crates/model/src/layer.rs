@@ -354,6 +354,46 @@ impl ConvSpec {
         out.name = name.into();
         out
     }
+
+    /// The layer's pure geometry, with the name stripped: two layers with
+    /// equal shape keys map identically on any machine, which is what lets
+    /// the search flows memoize per-shape results (CNNs repeat layer
+    /// geometries heavily — ResNet's residual blocks, VGG's paired convs).
+    pub fn shape_key(&self) -> ShapeKey {
+        ShapeKey {
+            kind: self.kind,
+            hi: self.hi,
+            wi: self.wi,
+            ci: self.ci,
+            kh: self.kh,
+            kw: self.kw,
+            stride_h: self.stride_h,
+            stride_w: self.stride_w,
+            pad_h: self.pad_h,
+            pad_w: self.pad_w,
+            co: self.co,
+            groups: self.groups,
+        }
+    }
+}
+
+/// A [`ConvSpec`]'s geometry without its name: the memoization key of the
+/// search caches (see [`ConvSpec::shape_key`]). Field-for-field it carries
+/// everything that influences mapping, access counts, energy and runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    kind: LayerKind,
+    hi: u32,
+    wi: u32,
+    ci: u32,
+    kh: u32,
+    kw: u32,
+    stride_h: u32,
+    stride_w: u32,
+    pad_h: u32,
+    pad_w: u32,
+    co: u32,
+    groups: u32,
 }
 
 impl fmt::Display for ConvSpec {
@@ -650,5 +690,25 @@ mod tests {
         let s = l.to_string();
         assert!(s.contains("conv1"));
         assert!(s.contains("112"));
+    }
+
+    #[test]
+    fn shape_key_ignores_the_name_and_nothing_else() {
+        let a = ConvSpec::new("first", 56, 56, 64, 3, 1, 1, 64).unwrap();
+        let b = a.renamed("second");
+        assert_eq!(a.shape_key(), b.shape_key());
+        // Every geometric field participates.
+        let variants = [
+            ConvSpec::new("v", 57, 56, 64, 3, 1, 1, 64).unwrap(),
+            ConvSpec::new("v", 56, 56, 32, 3, 1, 1, 64).unwrap(),
+            ConvSpec::new("v", 56, 56, 64, 5, 1, 2, 64).unwrap(),
+            ConvSpec::new("v", 56, 56, 64, 3, 2, 1, 64).unwrap(),
+            ConvSpec::new("v", 56, 56, 64, 3, 1, 0, 64).unwrap(),
+            ConvSpec::new("v", 56, 56, 64, 3, 1, 1, 128).unwrap(),
+            ConvSpec::depthwise("v", 56, 56, 64, 3, 1, 1).unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(a.shape_key(), v.shape_key(), "{v}");
+        }
     }
 }

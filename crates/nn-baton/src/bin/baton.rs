@@ -25,8 +25,10 @@
 //!
 //! Global flags (any position): `-v`/`-vv`/`--verbose` tiered stderr
 //! logging, `--progress` live sweep meters, `--trace-json FILE` a
-//! machine-readable JSON-lines event trace. `--trace-perfetto` writes the
-//! DES timeline as Chrome trace_event JSON, viewable at
+//! machine-readable JSON-lines event trace, `--threads N` worker count for
+//! the parallel search/sweep loops (default: `BATON_THREADS` or all cores;
+//! results are identical for any count). `--trace-perfetto` writes the DES
+//! timeline as Chrome trace_event JSON, viewable at
 //! <https://ui.perfetto.dev>.
 
 use std::io::BufWriter;
@@ -107,11 +109,13 @@ struct Flags {
     max_regress: f64,
 }
 
-/// Telemetry flags, extracted before subcommand dispatch.
-fn split_telemetry_flags(
+/// Global flags (telemetry + worker count), extracted before subcommand
+/// dispatch.
+fn split_global_flags(
     args: &[String],
-) -> Result<(Vec<String>, telemetry::TelemetryConfig), String> {
+) -> Result<(Vec<String>, telemetry::TelemetryConfig, Option<usize>), String> {
     let mut cfg = telemetry::TelemetryConfig::default();
+    let mut threads = None;
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -126,10 +130,17 @@ fn split_telemetry_flags(
                         .ok_or("flag --trace-json needs a file path")?,
                 );
             }
+            "--threads" => {
+                let v = it.next().ok_or("flag --threads needs a worker count")?;
+                threads = Some(
+                    nn_baton::parallel::parse_threads(v)
+                        .ok_or_else(|| format!("bad --threads `{v}` (positive integer)"))?,
+                );
+            }
             _ => rest.push(arg.clone()),
         }
     }
-    Ok((rest, cfg))
+    Ok((rest, cfg, threads))
 }
 
 fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
@@ -152,7 +163,7 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
     while let Some(flag) = it.next() {
         if flag.starts_with('-') && !allowed.contains(&flag.as_str()) {
             return Err(format!(
-                "unknown flag `{flag}` for `{cmd}` (valid: {}; global: -v -vv --progress --trace-json FILE)",
+                "unknown flag `{flag}` for `{cmd}` (valid: {}; global: -v -vv --progress --trace-json FILE --threads N)",
                 allowed.join(" ")
             ));
         }
@@ -253,7 +264,10 @@ fn bench_name(path: &str) -> String {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let (args, tcfg) = split_telemetry_flags(args)?;
+    let (args, tcfg, threads) = split_global_flags(args)?;
+    // An explicit --threads beats BATON_THREADS beats available parallelism.
+    // Thread counts only change wall time, never results (see baton-parallel).
+    nn_baton::parallel::configure_threads(threads);
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
@@ -266,7 +280,8 @@ fn run(args: &[String]) -> Result<(), String> {
              explain: --layer L  --top K  --format text|md|json\n\
              map: --trace-perfetto FILE    profile: --json\n\
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
-             telemetry: -v|-vv  --progress  --trace-json FILE"
+             telemetry: -v|-vv  --progress  --trace-json FILE\n\
+             parallelism: --threads N (or BATON_THREADS)"
         );
         return Ok(());
     }
@@ -523,11 +538,26 @@ fn profile_model(
 ) -> Result<(), String> {
     use nn_baton::telemetry::{counters, span, Counter};
 
+    // Profile the same shape-memoized per-layer search the post-design flow
+    // runs, so the cache_hit/cache_miss/search_pruned counters reflect what
+    // `baton map` actually does.
+    let memo = nn_baton::c3p::SearchMemo::new();
+    let search = |layer: &nn_baton::model::ConvSpec| {
+        nn_baton::c3p::search_layer_memo(
+            &memo,
+            layer,
+            arch,
+            tech,
+            Objective::Energy,
+            Default::default(),
+        )
+    };
+
     let initial = counters::snapshot();
     let t0 = Instant::now();
     if json {
         for layer in model.layers() {
-            search_layer(layer, arch, tech, Objective::Energy).map_err(|e| e.to_string())?;
+            search(layer).map_err(|e| e.to_string())?;
         }
         let snapshot = BenchSnapshot::build(
             "profile",
@@ -546,23 +576,36 @@ fn profile_model(
         model.layers().len()
     );
     println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "layer", "time ms", "enumerated", "rej shape", "rej buffer", "dedup", "evaluations"
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "layer",
+        "time ms",
+        "enumerated",
+        "rej shape",
+        "rej buffer",
+        "dedup",
+        "pruned",
+        "evaluations"
     );
     let mut before = initial;
     for layer in model.layers() {
         let start = Instant::now();
-        search_layer(layer, arch, tech, Objective::Energy).map_err(|e| e.to_string())?;
+        search(layer).map_err(|e| e.to_string())?;
         let now = counters::snapshot();
         let d = now.since(&before);
+        let tag = if d.get(Counter::CacheHit) > 0 {
+            " (memo)"
+        } else {
+            ""
+        };
         println!(
-            "{:<24} {:>10.1} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "{:<24} {:>10.1} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}{tag}",
             layer.name(),
             start.elapsed().as_secs_f64() * 1e3,
             d.get(Counter::CandidatesGenerated),
             d.get(Counter::CandidatesStructurallyRejected) + d.rejects_plane(),
             d.rejects_buffer(),
             d.get(Counter::CandidatesDeduped),
+            d.get(Counter::SearchPruned),
             d.get(Counter::Evaluations),
         );
         before = now;
@@ -596,13 +639,25 @@ fn bench_model(
     let t0 = Instant::now();
     let report = map_model(model, arch, tech).map_err(|e| e.to_string())?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let snapshot = BenchSnapshot::build(
+    let mut snapshot = BenchSnapshot::build(
         &name,
         model.name(),
         wall_ms,
         &counters::snapshot().since(&before),
         &span::phase_stats(),
     );
+    // Record the worker count and the model-level results alongside the
+    // timing metrics. The result keys have no gating direction — they exist
+    // so two runs at different thread counts can be diffed for identity.
+    snapshot
+        .strs
+        .insert("threads".into(), nn_baton::parallel::threads().to_string());
+    snapshot
+        .nums
+        .insert("model.energy_pj".into(), report.energy.total_pj());
+    snapshot
+        .nums
+        .insert("model.cycles".into(), report.cycles as f64);
     std::fs::write(out, snapshot.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "bench {name}: {} layers in {:.1} ms, {:.0} evaluations/sec -> {out}",

@@ -19,6 +19,7 @@
 //! | [`simba`] | `baton-simba` | the weight-centric Simba baseline of Figures 12-13 |
 //! | [`dse`] | `baton-dse` | pre-design (Figures 14-15) and post-design flows |
 //! | [`func`] | `baton-func` | functional simulator: bit-exact execution of mappings on real tensors |
+//! | [`parallel`] | `baton-parallel` | dependency-free deterministic executor: chunked work queue, shared incumbent, thread-count control |
 //! | [`telemetry`] | `baton-telemetry` | search/eval instrumentation: counters, spans, progress, JSON-lines traces |
 //! | [`report`] | `baton-report` | user-facing surfaces: mapping explanations, Perfetto timelines, bench snapshots |
 //!
@@ -59,6 +60,7 @@ pub use baton_dse as dse;
 pub use baton_func as func;
 pub use baton_mapping as mapping;
 pub use baton_model as model;
+pub use baton_parallel as parallel;
 pub use baton_report as report;
 pub use baton_sim as sim;
 pub use baton_simba as simba;

@@ -1,0 +1,334 @@
+//! Dependency-free parallel executor for NN-Baton's exhaustive sweeps.
+//!
+//! The hermetic build has no rayon, so this crate provides the minimal
+//! machinery the DSE hot loops need, on `std::thread::scope` alone:
+//!
+//! * [`map_chunked`] — a chunked work queue with an atomic cursor and an
+//!   *ordered* reduce: results come back in input order, so a parallel sweep
+//!   is bit-identical to the sequential one.
+//! * [`AtomicBest`] — a shared "incumbent best score" encoded into one
+//!   `AtomicU64`, the branch-and-bound state of the parallel mapping search.
+//! * [`threads`] / [`configure_threads`] — worker-count resolution:
+//!   explicit `--threads N` override, then the `BATON_THREADS` environment
+//!   variable, then `std::thread::available_parallelism()`.
+//!
+//! Determinism is the design constraint throughout: worker *scheduling* is
+//! free, but every reduction is ordered by input index, so the thread count
+//! can never change a result — only how fast it arrives.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use baton_telemetry::span_labeled;
+
+/// Explicit thread-count override (0 = unset). Set once by the CLI from
+/// `--threads`; everything downstream reads [`threads`].
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or clears, with `None`) the explicit worker-count override.
+///
+/// Thread counts never change results — only wall time — so this global is
+/// safe to flip at any point; in-flight scopes keep the count they started
+/// with.
+pub fn configure_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Parses a `BATON_THREADS`-style value: a positive integer, or `None` for
+/// anything unusable (empty, zero, garbage).
+pub fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Resolves the worker count: the [`configure_threads`] override if set,
+/// else `BATON_THREADS`, else the machine's available parallelism.
+pub fn threads() -> usize {
+    let explicit = OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("BATON_THREADS") {
+        if let Some(n) = parse_threads(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Picks a work-queue chunk size for `items` units over `threads` workers:
+/// small enough that the queue load-balances (several chunks per worker),
+/// large enough that cursor traffic stays negligible.
+pub fn chunk_size(items: usize, threads: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    (items / (threads.max(1) * 8)).clamp(1, 1024)
+}
+
+/// Applies `f` to every item, in parallel over `threads` workers, returning
+/// the results **in input order**.
+///
+/// Work is handed out in `chunk`-sized runs of consecutive indices through a
+/// shared atomic cursor; each worker writes a chunk's results into that
+/// chunk's own slot, and the final splice walks the slots in order. The
+/// output is therefore identical — bit for bit — to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`, for any
+/// thread count and any scheduling.
+///
+/// `f` runs under a `parallel_worker` telemetry span labeled `w<id>` so
+/// profiles attribute time per worker. With one worker (or one chunk) the
+/// sequential fast path runs on the calling thread, span-free.
+pub fn map_chunked<T, R, F>(items: &[T], threads: usize, chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let workers = threads.max(1).min(n_chunks.max(1));
+    if workers <= 1 || n_chunks <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One slot per chunk. Each Mutex is written exactly once, by whichever
+    // worker claimed that chunk; the lock is never contended.
+    let slots: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, cursor, f) = (&slots, &cursor, &f);
+            s.spawn(move || {
+                let _worker_span = span_labeled("parallel_worker", || format!("w{w}"));
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(start + j, t))
+                        .collect();
+                    *slots[c]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = out;
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect()
+}
+
+/// A shared minimization incumbent: the lowest `f64` score observed so far,
+/// encoded into one `AtomicU64` so branch-and-bound workers can read and
+/// tighten it without a lock.
+///
+/// The encoding maps the float total order onto the unsigned integer order
+/// (sign-magnitude flip), so `fetch_min` on the bits *is* `min` on the
+/// scores — including infinities; NaN scores are ignored by [`observe`].
+///
+/// The incumbent is monotonically non-increasing, which is what makes racy
+/// reads safe for pruning: a stale (higher) value only prunes *less*.
+///
+/// [`observe`]: AtomicBest::observe
+#[derive(Debug)]
+pub struct AtomicBest(AtomicU64);
+
+/// Monotone `f64 -> u64` key: preserves the IEEE-754 total order.
+fn f64_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+/// Inverse of [`f64_key`].
+fn f64_unkey(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+impl AtomicBest {
+    /// Starts with no incumbent (`+inf`): everything beats it.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(f64_key(f64::INFINITY)))
+    }
+
+    /// The current incumbent score (`+inf` until the first observation).
+    pub fn get(&self) -> f64 {
+        f64_unkey(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Offers a score; returns `true` if it strictly improved the
+    /// incumbent. NaN never improves.
+    pub fn observe(&self, score: f64) -> bool {
+        if score.is_nan() {
+            return false;
+        }
+        let key = f64_key(score);
+        self.0.fetch_min(key, Ordering::Relaxed) > key
+    }
+
+    /// Offers a score and returns the incumbent *as it was before this
+    /// offer* — one atomic `fetch_min`, so a caller can distinguish
+    /// "strictly improved" (`score < prev`) from "tied the best so far"
+    /// (`score == prev`) without a race window. NaN is recorded as nothing
+    /// and returns the current incumbent.
+    pub fn offer(&self, score: f64) -> f64 {
+        if score.is_nan() {
+            return self.get();
+        }
+        let key = f64_key(score);
+        f64_unkey(self.0.fetch_min(key, Ordering::Relaxed))
+    }
+}
+
+impl Default for AtomicBest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("lots"), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        configure_threads(Some(3));
+        assert_eq!(threads(), 3);
+        configure_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_size_is_bounded_and_positive() {
+        assert_eq!(chunk_size(0, 8), 1);
+        assert_eq!(chunk_size(7, 8), 1);
+        assert_eq!(chunk_size(64_000, 4), 1024); // capped
+        let c = chunk_size(1000, 4);
+        assert!((1..=1024).contains(&c));
+    }
+
+    #[test]
+    fn map_chunked_preserves_input_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            for chunk in [1, 3, 64, 2000] {
+                let got = map_chunked(&items, threads, chunk, |i, v| v * 3 + i as u64);
+                assert_eq!(got, expect, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunked_handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(map_chunked(&empty, 4, 8, |_, v| *v).is_empty());
+        assert_eq!(map_chunked(&[42u32], 4, 8, |i, v| *v + i as u32), vec![42]);
+    }
+
+    #[test]
+    fn map_chunked_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..256).collect();
+        map_chunked(&items, 4, 1, |_, v| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            *v
+        });
+        // On a single-core machine the scheduler may still serialize onto
+        // one worker, but the scope must at least not run on the caller.
+        assert!(!seen.lock().unwrap().contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn atomic_best_tightens_monotonically() {
+        let best = AtomicBest::new();
+        assert_eq!(best.get(), f64::INFINITY);
+        assert!(best.observe(10.0));
+        assert!(!best.observe(11.0), "worse score must not improve");
+        assert!(best.observe(2.5));
+        assert_eq!(best.get(), 2.5);
+        assert!(!best.observe(2.5), "equal score is not an improvement");
+        assert!(!best.observe(f64::NAN));
+        assert_eq!(best.get(), 2.5);
+    }
+
+    #[test]
+    fn offer_returns_the_previous_incumbent() {
+        let best = AtomicBest::new();
+        assert_eq!(best.offer(5.0), f64::INFINITY);
+        assert_eq!(best.offer(5.0), 5.0, "tie sees itself as incumbent");
+        assert_eq!(best.offer(9.0), 5.0, "worse offer leaves incumbent");
+        assert_eq!(best.offer(1.0), 5.0);
+        assert_eq!(best.offer(f64::NAN), 1.0);
+        assert_eq!(best.get(), 1.0);
+    }
+
+    #[test]
+    fn f64_key_is_order_preserving() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -1.0,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(f64_key(w[0]) <= f64_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(f64_unkey(f64_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn concurrent_observers_agree_on_the_minimum() {
+        let best = AtomicBest::new();
+        let scores: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let items: Vec<usize> = (0..scores.len()).collect();
+        map_chunked(&items, 4, 16, |_, &i| {
+            best.observe(scores[i]);
+        });
+        assert_eq!(best.get(), 0.0);
+    }
+}

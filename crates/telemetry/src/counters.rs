@@ -62,6 +62,13 @@ counters! {
     Evaluations => "evaluations",
     /// Times a search's incumbent best score improved.
     BestImprovements => "best_improvements",
+    /// Candidates skipped by branch-and-bound: their compulsory-traffic
+    /// floor already scored worse than the incumbent best.
+    SearchPruned => "search_pruned",
+    /// Layer-shape memo hits: a search or candidate set served from cache.
+    CacheHit => "cache_hit",
+    /// Layer-shape memo misses: the shape was evaluated and cached.
+    CacheMiss => "cache_miss",
     /// Per-layer searches that returned a feasible mapping.
     SearchesCompleted => "searches_completed",
     /// Per-layer searches where every candidate was infeasible.

@@ -1,12 +1,16 @@
 //! Progress meters for long sweeps: a throttled stderr line plus
 //! machine-readable `progress` events in the trace.
 
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use crate::sink::event;
 
-/// Minimum interval between stderr redraws / progress events.
-const RENDER_EVERY: Duration = Duration::from_millis(200);
+/// Minimum interval between stderr redraws / progress events, microseconds.
+const RENDER_EVERY_US: u64 = 200_000;
+
+/// Sentinel for "never rendered yet": the first tick always renders.
+const NEVER: u64 = u64::MAX;
 
 /// Tracks `done / total` work items for one named stage.
 ///
@@ -14,14 +18,21 @@ const RENDER_EVERY: Duration = Duration::from_millis(200);
 /// (`--progress`), but always emits throttled `progress` trace events while
 /// a session is attached, so `--trace-json` runs can reconstruct sweep
 /// pacing without the terminal UI.
+///
+/// [`tick`](Progress::tick) takes `&self` and is safe to call concurrently:
+/// the parallel sweeps hand one meter to every `std::thread::scope` worker.
+/// The done count is a relaxed atomic and the render throttle is claimed by
+/// compare-exchange, so exactly one worker per interval draws the line.
 #[derive(Debug)]
 pub struct Progress {
     stage: &'static str,
     total: u64,
-    done: u64,
-    active: bool,
+    done: AtomicU64,
+    active: AtomicBool,
     render: bool,
-    last_render: Instant,
+    epoch: Instant,
+    /// Microseconds-since-epoch of the last render, or [`NEVER`].
+    last_render_us: AtomicU64,
 }
 
 impl Progress {
@@ -38,61 +49,70 @@ impl Progress {
         Self {
             stage,
             total,
-            done: 0,
-            active,
+            done: AtomicU64::new(0),
+            active: AtomicBool::new(active),
             render,
-            // Backdate so the first tick renders immediately.
-            last_render: Instant::now() - RENDER_EVERY,
+            epoch: Instant::now(),
+            last_render_us: AtomicU64::new(NEVER),
         }
     }
 
-    /// Marks `n` more items done.
-    pub fn tick(&mut self, n: u64) {
-        if !self.active {
+    /// Marks `n` more items done. Callable from any thread.
+    pub fn tick(&self, n: u64) {
+        if !self.active.load(Ordering::Relaxed) {
             return;
         }
-        self.done += n;
-        if self.last_render.elapsed() < RENDER_EVERY {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        let now_us = self.epoch.elapsed().as_micros() as u64;
+        let last = self.last_render_us.load(Ordering::Relaxed);
+        if last != NEVER && now_us.saturating_sub(last) < RENDER_EVERY_US {
             return;
         }
-        self.last_render = Instant::now();
-        self.emit_event("progress");
-        self.draw();
+        // Claim this render slot; losers skip (their items are counted).
+        if self
+            .last_render_us
+            .compare_exchange(last, now_us, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.emit_event("progress", done);
+        self.draw(done);
     }
 
     /// Completes the meter (also done on drop).
-    pub fn finish(&mut self) {
-        if !self.active {
+    pub fn finish(&self) {
+        if !self.active.swap(false, Ordering::Relaxed) {
             return;
         }
-        self.active = false;
-        self.emit_event("progress_end");
+        let done = self.done.load(Ordering::Relaxed);
+        self.emit_event("progress_end", done);
         if self.render {
-            self.draw();
+            self.draw(done);
             eprintln!();
         }
     }
 
-    fn emit_event(&self, kind: &str) {
+    fn emit_event(&self, kind: &str, done: u64) {
         event(kind)
             .str("stage", self.stage)
-            .u64("done", self.done)
+            .u64("done", done)
             .u64("total", self.total)
             .emit();
     }
 
-    fn draw(&self) {
+    fn draw(&self, done: u64) {
         if !self.render {
             return;
         }
         if self.total > 0 {
-            let pct = 100.0 * self.done as f64 / self.total as f64;
+            let pct = 100.0 * done as f64 / self.total as f64;
             eprint!(
                 "\r[{:<24}] {}/{} ({pct:5.1}%)  ",
-                self.stage, self.done, self.total
+                self.stage, done, self.total
             );
         } else {
-            eprint!("\r[{:<24}] {} done  ", self.stage, self.done);
+            eprint!("\r[{:<24}] {} done  ", self.stage, done);
         }
     }
 }
@@ -114,7 +134,7 @@ mod tests {
         let (sink, lines) = MemorySink::new();
         let _s = attach_with_sink(&TelemetryConfig::default(), Some(Box::new(sink)));
         {
-            let mut p = Progress::new("unit_test_stage", 3);
+            let p = Progress::new("unit_test_stage", 3);
             p.tick(1);
             p.tick(2);
         }
@@ -136,8 +156,58 @@ mod tests {
     #[test]
     fn inert_without_session() {
         let _guard = test_lock::hold();
-        let mut p = Progress::new("nobody", 10);
+        let p = Progress::new("nobody", 10);
         p.tick(5);
         p.finish();
+    }
+
+    #[test]
+    fn concurrent_ticks_from_scoped_workers_lose_nothing() {
+        let _guard = test_lock::hold();
+        let (sink, lines) = MemorySink::new();
+        let _s = attach_with_sink(&TelemetryConfig::default(), Some(Box::new(sink)));
+        {
+            let p = Progress::new("parallel_stage", 4 * 250);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..250 {
+                            p.tick(1);
+                        }
+                    });
+                }
+            });
+        }
+        let lines = lines.lock().unwrap();
+        // The end event carries the exact total: no tick was dropped by the
+        // render throttle, whatever the interleaving.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"event\":\"progress_end\"") && l.contains("\"done\":1000")),
+            "missing exact progress_end: {:?}",
+            lines.last()
+        );
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_stops_ticking() {
+        let _guard = test_lock::hold();
+        let (sink, lines) = MemorySink::new();
+        let _s = attach_with_sink(&TelemetryConfig::default(), Some(Box::new(sink)));
+        {
+            let p = Progress::new("idempotent", 2);
+            p.tick(2);
+            p.finish();
+            p.finish();
+            p.tick(7); // ignored after finish
+        }
+        let lines = lines.lock().unwrap();
+        let ends = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"progress_end\""))
+            .count();
+        assert_eq!(ends, 1);
+        assert!(!lines.iter().any(|l| l.contains("\"done\":9")));
     }
 }
