@@ -42,6 +42,33 @@ impl Objective {
             Objective::Runtime => ev.cycles as f64,
         }
     }
+
+    /// Stable lowercase name, used as the `objective` metric label and in
+    /// report output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::Energy => "energy",
+            Objective::Edp => "edp",
+            Objective::Runtime => "runtime",
+        }
+    }
+}
+
+/// Help text for the per-layer search latency histogram, shared by both
+/// search entry points so the family renders one `# HELP` line.
+const SEARCH_SECONDS_HELP: &str = "Per-layer mapping search latency by objective.";
+
+/// Records one search duration into the labelled metrics registry (no-op
+/// unless `baton serve` enabled the layer).
+fn observe_search(objective: Objective, started: Option<std::time::Instant>) {
+    if let Some(t0) = started {
+        baton_telemetry::metrics::observe_duration(
+            "baton_search_duration_seconds",
+            SEARCH_SECONDS_HELP,
+            &[("objective", objective.label())],
+            t0.elapsed(),
+        );
+    }
 }
 
 /// The search found no feasible mapping for a layer.
@@ -92,6 +119,7 @@ pub fn search_layer_with(
     opts: EnumOptions,
 ) -> Result<Evaluation, SearchError> {
     let sp = span_labeled("search_layer", || layer.name().to_string());
+    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let cands = candidates_with(layer, arch, opts);
     let n = cands.len();
     let workers = baton_parallel::threads();
@@ -162,6 +190,7 @@ pub fn search_layer_with(
         }
         ev.emit();
     }
+    observe_search(objective, m_t0);
     best.map(|(_, ev)| ev).ok_or_else(|| SearchError {
         layer: layer.name().to_string(),
         candidates: n,
@@ -194,6 +223,7 @@ pub fn search_layer_k_best(
     objective: Objective,
     k: usize,
 ) -> Result<Vec<Evaluation>, SearchError> {
+    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let cands = candidates_with(layer, arch, EnumOptions::default());
     let n = cands.len();
     let mut scored: Vec<(f64, Evaluation)> = cands
@@ -211,6 +241,7 @@ pub fn search_layer_k_best(
     }
     scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     scored.truncate(k.max(1));
+    observe_search(objective, m_t0);
     Ok(scored.into_iter().map(|(_, ev)| ev).collect())
 }
 

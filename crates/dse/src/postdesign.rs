@@ -157,6 +157,7 @@ pub fn map_model_opts(
     objective: Objective,
     opts: EnumOptions,
 ) -> Result<ModelReport, SearchError> {
+    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let meter = Progress::new("map_model", model.layers().len() as u64);
     let memo = SearchMemo::new();
     let mut layers = Vec::with_capacity(model.layers().len());
@@ -185,6 +186,23 @@ pub fn map_model_opts(
             nest,
         });
         meter.tick(1);
+    }
+    if let Some(t0) = m_t0 {
+        // Model names come from the fixed zoo (or one user-supplied spec
+        // file per process), so the label stays low-cardinality.
+        let labels = [("model", model.name())];
+        baton_telemetry::metrics::counter_add(
+            "baton_layers_mapped_total",
+            "Layers mapped by the post-design flow, by model.",
+            &labels,
+            layers.len() as u64,
+        );
+        baton_telemetry::metrics::observe_duration(
+            "baton_map_duration_seconds",
+            "Whole-model post-design mapping latency by model.",
+            &labels,
+            t0.elapsed(),
+        );
     }
     Ok(ModelReport {
         model: model.name().to_string(),

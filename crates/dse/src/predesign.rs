@@ -50,6 +50,7 @@ pub fn granularity_sweep(
     area_limit_mm2: Option<f64>,
 ) -> Vec<GranularityResult> {
     let _sweep_span = span("granularity_sweep");
+    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let space = DesignSpace::default();
     let geometries = space.compute.geometries_for(total_macs);
     let meter = Progress::new("granularity_sweep", geometries.len() as u64);
@@ -95,7 +96,25 @@ pub fn granularity_sweep(
             meets_area: area_limit_mm2.map(|lim| area <= lim).unwrap_or(true),
         });
     }
+    observe_sweep("granularity", m_t0);
     out
+}
+
+/// Help text for the sweep latency histogram (one family, two `flow`
+/// labels).
+const SWEEP_SECONDS_HELP: &str = "Pre-design sweep latency by flow.";
+
+/// Records one sweep duration into the labelled metrics registry (no-op
+/// unless `baton serve` enabled the layer).
+fn observe_sweep(flow: &'static str, started: Option<std::time::Instant>) {
+    if let Some(t0) = started {
+        baton_telemetry::metrics::observe_duration(
+            "baton_sweep_duration_seconds",
+            SWEEP_SECONDS_HELP,
+            &[("flow", flow)],
+            t0.elapsed(),
+        );
+    }
 }
 
 /// One valid point of the Figure 15 design-space exploration.
@@ -187,6 +206,7 @@ struct ShapeCands {
 /// included — for any `--threads` count.
 pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<DesignPoint> {
     let _sweep_span = span("full_sweep");
+    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let geometries = opts.space.compute.geometries_for(opts.total_macs);
     count_n(Counter::SweepGeometries, geometries.len() as u64);
     let units: Vec<((u32, u32, u32, u32), u64)> = geometries
@@ -217,6 +237,7 @@ pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<
     });
     let points: Vec<DesignPoint> = per_unit.into_iter().flatten().collect();
     count_n(Counter::SweepPoints, points.len() as u64);
+    observe_sweep("full", m_t0);
     points
 }
 

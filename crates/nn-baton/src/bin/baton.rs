@@ -16,6 +16,7 @@
 //!                                                 Figure 15 full DSE
 //! baton recommend <model> [--res N] [--macs M] [--area A]
 //!                                                 pre-design recommendation
+//! baton serve   [--addr HOST:PORT]                HTTP service: /metrics /healthz /readyz /map /explain
 //! baton check   <file.baton>                      validate a model description
 //! baton version                                   print the version
 //! ```
@@ -66,6 +67,7 @@ const SUBCOMMANDS: &[&str] = &[
     "explore",
     "sweep",
     "recommend",
+    "serve",
     "check",
 ];
 
@@ -81,6 +83,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "compare" => &["--res", "--csv"],
         "explore" | "sweep" => &["--res", "--macs", "--area", "--csv"],
         "recommend" => &["--res", "--macs", "--area"],
+        "serve" => &["--addr"],
         _ => &[],
     }
 }
@@ -215,24 +218,7 @@ fn probe_output(path: &Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_model(name: &str, res: u32) -> Result<Model, String> {
-    match name {
-        "alexnet" => Ok(zoo::alexnet(res)),
-        "vgg16" => Ok(zoo::vgg16(res)),
-        "resnet50" => Ok(zoo::resnet50(res)),
-        "darknet19" => Ok(zoo::darknet19(res)),
-        "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
-        "yolo_v2" => Ok(zoo::yolo_v2(res)),
-        path if path.ends_with(".baton") => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            parse_model(&text).map_err(|e| e.to_string())
-        }
-        other => Err(format!(
-            "unknown model `{other}` (zoo name or a .baton file)"
-        )),
-    }
-}
+use nn_baton::serve::load_model;
 
 /// Streams `emit` into `--csv FILE` through a buffered writer, or does
 /// nothing when no path was given.
@@ -275,11 +261,12 @@ fn run(args: &[String]) -> Result<(), String> {
         println!(
             "baton -- NN-Baton workload orchestration and chiplet DSE\n\n\
              usage:\n  baton stats|map|explain|profile|bench|compare|explore|sweep|recommend <model> [flags]\n  \
-             baton check <file.baton>\n  baton version\n\n\
+             baton serve [--addr HOST:PORT]\n  baton check <file.baton>\n  baton version\n\n\
              flags: --res N  --macs M  --area A|none  --csv FILE\n\
              explain: --layer L  --top K  --format text|md|json\n\
              map: --trace-perfetto FILE    profile: --json\n\
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
+             serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
              telemetry: -v|-vv  --progress  --trace-json FILE\n\
              parallelism: --threads N (or BATON_THREADS)"
         );
@@ -298,6 +285,27 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if !SUBCOMMANDS.contains(&cmd.as_str()) {
         return Err(format!("unknown subcommand `{cmd}`"));
+    }
+    if cmd == "serve" {
+        let mut addr = nn_baton::serve::DEFAULT_ADDR.to_string();
+        let mut it = args[1..].iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--addr" => {
+                    addr = it.next().cloned().ok_or("flag --addr needs host:port")?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` for `serve` (valid: --addr)"
+                    ));
+                }
+            }
+        }
+        // A session for the process lifetime, so the bridged run counters
+        // (evaluations, prunes, cache hits) accumulate across requests and
+        // show up in /metrics.
+        let _session = telemetry::attach(&tcfg).map_err(|e| format!("cannot open trace: {e}"))?;
+        return nn_baton::serve::serve(&addr);
     }
 
     // Attach only when something will consume the data: a telemetry flag,

@@ -22,6 +22,7 @@
 //! | [`parallel`] | `baton-parallel` | dependency-free deterministic executor: chunked work queue, shared incumbent, thread-count control |
 //! | [`telemetry`] | `baton-telemetry` | search/eval instrumentation: counters, spans, progress, JSON-lines traces |
 //! | [`report`] | `baton-report` | user-facing surfaces: mapping explanations, Perfetto timelines, bench snapshots |
+//! | [`serve`] | (this crate) | `baton serve`: dependency-free HTTP service with /metrics, /healthz, /readyz, /map |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,8 @@ pub use baton_report as report;
 pub use baton_sim as sim;
 pub use baton_simba as simba;
 pub use baton_telemetry as telemetry;
+
+pub mod serve;
 
 /// The most common imports, bundled.
 pub mod prelude {

@@ -1,0 +1,537 @@
+//! `baton serve`: the tool as a long-lived, monitored HTTP service.
+//!
+//! A dependency-free HTTP/1.1 server on [`std::net::TcpListener`] that
+//! turns the one-shot CLI flows into endpoints:
+//!
+//! | Route | Method | Response |
+//! |-------|--------|----------|
+//! | `/metrics` | GET | Prometheus text exposition ([`baton_telemetry::expo`]) |
+//! | `/healthz` | GET | liveness: `{"status":"ok"}` as soon as the socket is up |
+//! | `/readyz`  | GET | readiness: 503 until the warmup search finishes, then version/uptime/threads |
+//! | `/map`, `/explain` | POST | the offline `baton explain --format json` report for a JSON request body |
+//!
+//! The request body is `{"model": "resnet50", "config": {...}}` where
+//! `config` may set `res`, `layer` (name or index), `top`, and `objective`
+//! (`energy`/`edp`/`runtime`) — the same knobs as the CLI flags, with the
+//! same defaults, so a `POST /map` response is byte-identical to the
+//! offline `baton explain <model> --format json` output.
+//!
+//! Serving is the mode the metrics layer exists for: [`serve`] calls
+//! [`metrics::enable`] and every request is timed into
+//! `baton_http_request_duration_seconds` and counted in
+//! `baton_http_requests_total{code,path}`, so the service observes itself
+//! through its own `/metrics`.
+//!
+//! Connections are `Connection: close` (one request per connection) and are
+//! accepted by a small pool of worker threads sized from
+//! [`baton_parallel::threads`] — mapping requests are CPU-bound searches,
+//! so more HTTP concurrency than cores would only queue work in flight.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use baton_arch::{presets, Technology};
+use baton_c3p::Objective;
+use baton_model::{parse_model, zoo, ConvSpec, Model};
+use baton_report::perfetto::{parse_json, Json};
+use baton_report::{explain_layer, Format};
+use baton_telemetry::json::ObjectWriter;
+use baton_telemetry::{expo, metrics, vlog};
+
+/// Default listen address (host:port) for `baton serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9184";
+
+/// Largest accepted request body; mapping requests are a few hundred bytes.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+const REQUESTS_TOTAL: &str = "baton_http_requests_total";
+const REQUESTS_HELP: &str = "HTTP requests served, by canonical path and status code.";
+const REQUEST_SECONDS: &str = "baton_http_request_duration_seconds";
+const REQUEST_SECONDS_HELP: &str = "HTTP request handling latency by canonical path.";
+
+/// Resolves `<model>` the same way for the CLI and the HTTP body: a zoo
+/// name or a path to a `.baton` model description.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown model or the unreadable path.
+pub fn load_model(name: &str, res: u32) -> Result<Model, String> {
+    match name {
+        "alexnet" => Ok(zoo::alexnet(res)),
+        "vgg16" => Ok(zoo::vgg16(res)),
+        "resnet50" => Ok(zoo::resnet50(res)),
+        "darknet19" => Ok(zoo::darknet19(res)),
+        "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
+        "yolo_v2" => Ok(zoo::yolo_v2(res)),
+        path if path.ends_with(".baton") => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_model(&text).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown model `{other}` (zoo name or a .baton file)"
+        )),
+    }
+}
+
+/// Shared server state: uptime origin and the readiness latch.
+#[derive(Debug)]
+struct ServerState {
+    started: Instant,
+    warm: AtomicBool,
+}
+
+/// One parsed HTTP response about to be written back.
+#[derive(Debug, PartialEq, Eq)]
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        let mut w = ObjectWriter::new();
+        w.str("error", message);
+        Self::json(status, w.finish() + "\n")
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Collapses a request path onto the closed route set so the `path` metric
+/// label stays bounded no matter what clients send.
+fn canonical_path(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/map" => "/map",
+        "/explain" => "/explain",
+        _ => "other",
+    }
+}
+
+/// Binds `addr`, prints the `listening on http://<bound-addr>` line (with
+/// port 0 resolved), and serves until the process is killed.
+///
+/// # Errors
+///
+/// Returns a message if the address cannot be bound; request-level failures
+/// become HTTP error responses, never a server exit.
+pub fn serve(addr: &str) -> Result<(), String> {
+    metrics::enable();
+    // Request families render their HELP/TYPE from the very first scrape,
+    // before any request has been served.
+    metrics::registry().describe(REQUESTS_TOTAL, REQUESTS_HELP, metrics::MetricKind::Counter);
+    metrics::registry().describe(
+        REQUEST_SECONDS,
+        REQUEST_SECONDS_HELP,
+        metrics::MetricKind::Histogram,
+    );
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let state = Arc::new(ServerState {
+        started: Instant::now(),
+        warm: AtomicBool::new(false),
+    });
+
+    // Warm up off the accept path: one tiny search populates the search
+    // latency histogram and exercises the whole mapping stack before
+    // /readyz reports ready.
+    {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            warmup();
+            state.warm.store(true, Ordering::Release);
+            vlog!(1, "serve: warmup finished, ready");
+        });
+    }
+
+    // The line the e2e test (and any supervisor) parses for the bound port;
+    // flush explicitly because stdout is block-buffered when piped.
+    println!("listening on http://{local}");
+    let _ = std::io::stdout().flush();
+
+    let workers = baton_parallel::threads().clamp(1, 8);
+    vlog!(1, "serve: {workers} worker threads on {local}");
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let listener = listener
+            .try_clone()
+            .map_err(|e| format!("cannot clone listener: {e}"))?;
+        let state = Arc::clone(&state);
+        handles.push(std::thread::spawn(move || accept_loop(&listener, &state)));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Runs one search over a statically-known tiny model, so readiness implies
+/// the whole model→candidates→search→evaluate stack works in this process.
+fn warmup() {
+    let model = parse_model("model warmup @32\nconv name=w in=32x32x8 k=3 s=1 p=1 co=16\n")
+        .expect("static warmup model parses");
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    for layer in model.layers() {
+        let _ = baton_c3p::search_layer(layer, &arch, &tech, Objective::Energy);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = handle_connection(stream, state) {
+                    vlog!(2, "serve: connection error: {e}");
+                }
+            }
+            Err(e) => {
+                vlog!(2, "serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Reads one request off the stream, routes it, writes the response, and
+/// closes. Malformed requests become 400s; only socket I/O errors bubble.
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+
+    let response = if method.is_empty() || path.is_empty() {
+        Response::error(400, "malformed request line")
+    } else if content_length > MAX_BODY_BYTES {
+        Response::error(413, "request body too large")
+    } else {
+        let mut body = vec![0u8; content_length];
+        match reader.read_exact(&mut body) {
+            Ok(()) => {
+                let body = String::from_utf8_lossy(&body);
+                route(&method, &path, &body, state)
+            }
+            Err(_) => Response::error(400, "request body shorter than Content-Length"),
+        }
+    };
+
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+/// Dispatches and times one request; every outcome — including 404s — lands
+/// in the request metrics under a canonical path label.
+fn route(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
+    let t0 = Instant::now();
+    let response = dispatch(method, path, body, state);
+    let canonical = canonical_path(path);
+    let code = response.status.to_string();
+    metrics::counter_add(
+        REQUESTS_TOTAL,
+        REQUESTS_HELP,
+        &[("code", code.as_str()), ("path", canonical)],
+        1,
+    );
+    metrics::observe_duration(
+        REQUEST_SECONDS,
+        REQUEST_SECONDS_HELP,
+        &[("path", canonical)],
+        t0.elapsed(),
+    );
+    response
+}
+
+fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
+    match (method, path) {
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: expo::render(env!("CARGO_PKG_VERSION")),
+        },
+        ("GET", "/healthz") => {
+            let mut w = ObjectWriter::new();
+            w.str("status", "ok");
+            Response::json(200, w.finish() + "\n")
+        }
+        ("GET", "/readyz") => {
+            let warm = state.warm.load(Ordering::Acquire);
+            let mut w = ObjectWriter::new();
+            w.str("status", if warm { "ok" } else { "starting" })
+                .str("version", env!("CARGO_PKG_VERSION"))
+                .f64("uptime_seconds", state.started.elapsed().as_secs_f64())
+                .u64("threads", baton_parallel::threads() as u64);
+            Response::json(if warm { 200 } else { 503 }, w.finish() + "\n")
+        }
+        ("POST", "/map" | "/explain") => match map_request(body) {
+            Ok(json) => Response::json(200, json),
+            Err(message) => Response::error(400, &message),
+        },
+        (_, "/metrics" | "/healthz" | "/readyz") => Response::error(405, "use GET"),
+        (_, "/map" | "/explain") => Response::error(405, "use POST"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Handles a `/map` / `/explain` body: the same model resolution, layer
+/// selection, defaults, and JSON rendering as `baton explain --format
+/// json`, so the two surfaces can be diffed byte for byte.
+fn map_request(body: &str) -> Result<String, String> {
+    let request = parse_json(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    let model_name = request
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"model\"")?;
+    let config = request.get("config");
+    let field = |key: &str| config.and_then(|c| c.get(key));
+
+    let res = match field("res") {
+        Some(v) => v.as_f64().ok_or("config.res must be a number")? as u32,
+        None => 224,
+    };
+    let top = match field("top") {
+        Some(v) => v.as_f64().ok_or("config.top must be a number")? as usize,
+        None => 3,
+    };
+    let objective = match field("objective") {
+        None => Objective::Energy,
+        Some(v) => match v.as_str().ok_or("config.objective must be a string")? {
+            "energy" => Objective::Energy,
+            "edp" => Objective::Edp,
+            "runtime" => Objective::Runtime,
+            other => {
+                return Err(format!(
+                    "unknown objective `{other}` (energy, edp, or runtime)"
+                ))
+            }
+        },
+    };
+
+    let model = load_model(model_name, res)?;
+    let layers = select_layers(&model, field("layer"))?;
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let mut out = String::new();
+    for layer in layers {
+        let explanation =
+            explain_layer(layer, &arch, &tech, objective, top).map_err(|e| e.to_string())?;
+        out.push_str(&explanation.render(Format::Json));
+    }
+    Ok(out)
+}
+
+/// `config.layer` absent: all layers. A number: by index. A string: by
+/// name, or by index if it parses — the CLI `--layer` rules.
+fn select_layers<'m>(
+    model: &'m Model,
+    selector: Option<&Json>,
+) -> Result<Vec<&'m ConvSpec>, String> {
+    let Some(selector) = selector else {
+        return Ok(model.layers().iter().collect());
+    };
+    let by_index = |idx: usize| {
+        model.layers().get(idx).ok_or_else(|| {
+            format!(
+                "config.layer {idx} out of range ({} has {} layers)",
+                model.name(),
+                model.layers().len()
+            )
+        })
+    };
+    let layer = match selector {
+        Json::Num(n) => by_index(*n as usize)?,
+        Json::Str(s) => {
+            if let Ok(idx) = s.parse::<usize>() {
+                by_index(idx)?
+            } else {
+                model.layer(s).ok_or_else(|| {
+                    format!(
+                        "no layer `{s}` in {} (use a name or an index)",
+                        model.name()
+                    )
+                })?
+            }
+        }
+        _ => return Err("config.layer must be a name or an index".into()),
+    };
+    Ok(vec![layer])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(warm: bool) -> ServerState {
+        ServerState {
+            started: Instant::now(),
+            warm: AtomicBool::new(warm),
+        }
+    }
+
+    fn tiny_model_file() -> String {
+        let path = std::env::temp_dir().join("baton_serve_unit_tiny.baton");
+        std::fs::write(
+            &path,
+            "model tiny @32\nconv name=only in=32x32x8 k=3 s=1 p=1 co=16\n",
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn health_and_readiness_track_the_warm_latch() {
+        let cold = test_state(false);
+        let ok = dispatch("GET", "/healthz", "", &cold);
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"status\":\"ok\""));
+
+        let not_ready = dispatch("GET", "/readyz", "", &cold);
+        assert_eq!(not_ready.status, 503);
+        assert!(not_ready.body.contains("\"status\":\"starting\""));
+
+        let ready = dispatch("GET", "/readyz", "", &test_state(true));
+        assert_eq!(ready.status, 200);
+        assert!(ready.body.contains("\"status\":\"ok\""));
+        assert!(ready.body.contains("\"version\":"));
+        assert!(ready.body.contains("\"uptime_seconds\":"));
+        assert!(ready.body.contains("\"threads\":"));
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods_are_refused() {
+        let state = test_state(true);
+        assert_eq!(dispatch("GET", "/nope", "", &state).status, 404);
+        assert_eq!(dispatch("POST", "/metrics", "", &state).status, 405);
+        assert_eq!(dispatch("GET", "/map", "", &state).status, 405);
+        assert_eq!(canonical_path("/metrics"), "/metrics");
+        assert_eq!(canonical_path("/anything/else"), "other");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_exposition() {
+        let state = test_state(true);
+        let resp = dispatch("GET", "/metrics", "", &state);
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        assert!(resp.body.contains("# TYPE baton_evaluations_total counter"));
+        assert!(resp.body.contains("baton_build_info{version="));
+    }
+
+    #[test]
+    fn map_request_matches_the_offline_explain_path() {
+        let path = tiny_model_file();
+        let body = format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32}}}}");
+        let served = map_request(&body).unwrap();
+
+        // The offline path: explain every layer, JSON format, defaults.
+        let model = load_model(&path, 32).unwrap();
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        let mut offline = String::new();
+        for layer in model.layers() {
+            offline.push_str(
+                &explain_layer(layer, &arch, &tech, Objective::Energy, 3)
+                    .unwrap()
+                    .render(Format::Json),
+            );
+        }
+        assert_eq!(served, offline);
+        assert!(served.contains("\"layer\":\"only\""));
+    }
+
+    #[test]
+    fn map_request_rejects_bad_bodies_with_reasons() {
+        let path = tiny_model_file();
+        assert!(map_request("{oops").unwrap_err().contains("bad JSON body"));
+        assert!(map_request("{\"config\": {}}")
+            .unwrap_err()
+            .contains("missing string field \"model\""));
+        assert!(map_request("{\"model\": \"not-a-model\"}")
+            .unwrap_err()
+            .contains("unknown model"));
+        let bad_obj = format!(
+            "{{\"model\": \"{path}\", \"config\": {{\"res\": 32, \"objective\": \"speed\"}}}}"
+        );
+        assert!(map_request(&bad_obj)
+            .unwrap_err()
+            .contains("unknown objective"));
+        let bad_layer =
+            format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32, \"layer\": 9}}}}");
+        assert!(map_request(&bad_layer)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn layer_selection_accepts_names_and_indices() {
+        let model = zoo::alexnet(224);
+        let all = select_layers(&model, None).unwrap();
+        assert_eq!(all.len(), model.layers().len());
+        let by_num = select_layers(&model, Some(&Json::Num(0.0))).unwrap();
+        let by_str_idx = select_layers(&model, Some(&Json::Str("0".into()))).unwrap();
+        assert_eq!(by_num[0].name(), by_str_idx[0].name());
+        let by_name =
+            select_layers(&model, Some(&Json::Str(by_num[0].name().to_string()))).unwrap();
+        assert_eq!(by_name[0].name(), by_num[0].name());
+        assert!(select_layers(&model, Some(&Json::Bool(true))).is_err());
+    }
+}

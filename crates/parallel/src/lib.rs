@@ -22,7 +22,18 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use baton_telemetry::metrics;
 use baton_telemetry::span_labeled;
+
+/// Gauge of workers currently inside a [`map_chunked`] scope, summed over
+/// concurrent fan-outs.
+const WORKERS_GAUGE: &str = "baton_parallel_workers";
+const WORKERS_HELP: &str = "Worker threads currently executing a parallel fan-out.";
+
+/// Gauge of work-queue chunks not yet claimed by any worker (of the most
+/// recently progressed fan-out; gauges are last-write-wins by design).
+const QUEUE_GAUGE: &str = "baton_parallel_queue_depth";
+const QUEUE_HELP: &str = "Unclaimed chunks in the parallel work queue.";
 
 /// Explicit thread-count override (0 = unset). Set once by the CLI from
 /// `--threads`; everything downstream reads [`threads`].
@@ -95,6 +106,15 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    // Serving-mode occupancy gauges. Chunk-grained (never per-item), and
+    // behind the metrics enable flag, so one-shot CLI runs pay one relaxed
+    // load per fan-out.
+    let observe = metrics::enabled();
+    if observe {
+        metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], workers as f64);
+        metrics::gauge_set(QUEUE_GAUGE, QUEUE_HELP, &[], n_chunks as f64);
+    }
+
     // One slot per chunk. Each Mutex is written exactly once, by whichever
     // worker claimed that chunk; the lock is never contended.
     let slots: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
@@ -108,6 +128,14 @@ where
                     let c = cursor.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
                         break;
+                    }
+                    if observe {
+                        metrics::gauge_set(
+                            QUEUE_GAUGE,
+                            QUEUE_HELP,
+                            &[],
+                            n_chunks.saturating_sub(c + 1) as f64,
+                        );
                     }
                     let start = c * chunk;
                     let end = (start + chunk).min(n);
@@ -123,6 +151,10 @@ where
             });
         }
     });
+    if observe {
+        metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], -(workers as f64));
+        metrics::gauge_set(QUEUE_GAUGE, QUEUE_HELP, &[], 0.0);
+    }
     slots
         .into_iter()
         .flat_map(|m| {
@@ -274,6 +306,25 @@ mod tests {
         // On a single-core machine the scheduler may still serialize onto
         // one worker, but the scope must at least not run on the caller.
         assert!(!seen.lock().unwrap().contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn occupancy_gauges_settle_after_the_scope() {
+        use baton_telemetry::metrics::SeriesValue;
+        metrics::enable();
+        let items: Vec<u32> = (0..512).collect();
+        map_chunked(&items, 4, 8, |_, v| *v);
+        let snap = baton_telemetry::metrics::registry().snapshot();
+        let value = |name: &str| {
+            snap.iter()
+                .find(|f| f.name == name)
+                .and_then(|f| f.series.first())
+                .map(|(_, v)| v.clone())
+        };
+        // Workers went up and came back down; the queue drained.
+        assert_eq!(value(WORKERS_GAUGE), Some(SeriesValue::Gauge(0.0)));
+        assert_eq!(value(QUEUE_GAUGE), Some(SeriesValue::Gauge(0.0)));
+        baton_telemetry::metrics::reset();
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * `wall_ms.total` — end-to-end wall time of the benched run,
 //! * `phase.<p>.count|total_ms|mean_us|max_us|p90_us` — per-phase span
 //!   statistics from the telemetry histograms,
-//! * `counter.<name>` — every non-zero telemetry counter,
+//! * `counter.<metric>` — every non-zero telemetry counter, keyed by its
+//!   canonical Prometheus series name ([`Counter::metric_name`], e.g.
+//!   `counter.baton_evaluations_total`) so snapshots and `/metrics` scrapes
+//!   join on the same keys,
 //! * `throughput.evals_per_sec` / `throughput.mappings_per_sec` — derived
 //!   rates.
 //!
@@ -65,8 +68,12 @@ impl BenchSnapshot {
             s.nums.insert(k("max_us"), h.max() as f64);
             s.nums.insert(k("p90_us"), h.quantile(0.9) as f64);
         }
-        for (cname, v) in counters.nonzero() {
-            s.nums.insert(format!("counter.{cname}"), v as f64);
+        for c in baton_telemetry::counters::ALL_COUNTERS {
+            let v = counters.get(c);
+            if v > 0 {
+                s.nums
+                    .insert(format!("counter.{}", c.metric_name()), v as f64);
+            }
         }
         let secs = (wall_ms / 1e3).max(f64::MIN_POSITIVE);
         s.nums.insert(
@@ -202,7 +209,8 @@ mod tests {
         s.nums.insert("phase.search.count".into(), 5.0);
         s.nums
             .insert("throughput.evals_per_sec".into(), evals_per_sec);
-        s.nums.insert("counter.evaluations".into(), 1000.0);
+        s.nums
+            .insert("counter.baton_evaluations_total".into(), 1000.0);
         s
     }
 
@@ -233,6 +241,21 @@ mod tests {
     }
 
     #[test]
+    fn counters_embed_canonical_metric_names() {
+        // Snapshot keys must join against /metrics scrapes: every counter
+        // key is the Prometheus series name, not the short wire name.
+        let _s = baton_telemetry::attach_with_sink(&Default::default(), None);
+        baton_telemetry::count_n(Counter::Evaluations, 7);
+        let snap = baton_telemetry::counters::snapshot();
+        let s = BenchSnapshot::build("x", "m", 1.0, &snap, &[]);
+        assert_eq!(s.nums["counter.baton_evaluations_total"], 7.0);
+        assert!(
+            !s.nums.contains_key("counter.evaluations"),
+            "legacy wire-name keys must be gone"
+        );
+    }
+
+    #[test]
     fn slower_times_and_lower_throughput_regress() {
         let base = synthetic(100.0, 60.0, 10000.0);
         // 50% slower wall, 100% slower search phase, 40% lower throughput.
@@ -253,7 +276,9 @@ mod tests {
         assert!(compare_snapshots(&cur, &base, 120.0).is_empty());
         // Counters and counts never gate.
         let mut noisy = base.clone();
-        noisy.nums.insert("counter.evaluations".into(), 9e9);
+        noisy
+            .nums
+            .insert("counter.baton_evaluations_total".into(), 9e9);
         noisy.nums.insert("phase.search.count".into(), 9e9);
         assert!(compare_snapshots(&noisy, &base, 1.0).is_empty());
     }

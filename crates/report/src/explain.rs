@@ -58,15 +58,6 @@ pub struct LayerExplanation {
     pub cores: u32,
 }
 
-/// Short label of an objective for reports.
-fn objective_label(o: Objective) -> &'static str {
-    match o {
-        Objective::Energy => "energy",
-        Objective::Edp => "edp",
-        Objective::Runtime => "runtime",
-    }
-}
-
 /// Searches `layer` and explains the winner, keeping the `top_k` best
 /// runner-ups (the plain search discards them).
 ///
@@ -176,7 +167,7 @@ impl LayerExplanation {
             out,
             "layer {}  (objective: {})",
             self.layer,
-            objective_label(self.objective)
+            self.objective.label()
         );
         let _ = writeln!(out, "  winner: {}", ev.mapping);
         let _ = writeln!(
@@ -285,7 +276,7 @@ impl LayerExplanation {
         let _ = writeln!(
             out,
             "- **objective**: {}\n- **winner**: `{}`\n- **result**: {:.2} uJ, {} cycles, {:.1}% utilization\n",
-            objective_label(self.objective),
+            self.objective.label(),
             ev.mapping,
             ev.energy.total_uj(),
             ev.cycles,
@@ -370,7 +361,7 @@ impl LayerExplanation {
         let mut w = ObjectWriter::new();
         w.str("record", "layer")
             .str("layer", &self.layer)
-            .str("objective", objective_label(self.objective))
+            .str("objective", self.objective.label())
             .str("mapping", &ev.mapping.to_string())
             .str("spatial_tag", &ev.mapping.spatial_tag())
             .f64("energy_pj", ev.energy.total_pj())

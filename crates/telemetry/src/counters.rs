@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
-    ($($(#[$meta:meta])* $variant:ident => $name:literal,)*) => {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal / $metric:literal,)*) => {
         /// Every counter the instrumented crates report.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         #[repr(usize)]
@@ -30,65 +30,75 @@ macro_rules! counters {
                     $(Counter::$variant => $name,)*
                 }
             }
+
+            /// The counter's canonical Prometheus series name — the one the
+            /// `/metrics` exposition, `baton profile --json` and
+            /// `BENCH_*.json` snapshots all share, so dashboards can join
+            /// scraped series against committed snapshots by key.
+            pub fn metric_name(self) -> &'static str {
+                match self {
+                    $(Counter::$variant => $metric,)*
+                }
+            }
         }
     };
 }
 
 counters! {
     /// Mappings emitted by `baton_mapping::enumerate` (after dedup).
-    CandidatesGenerated => "candidates_generated",
+    CandidatesGenerated => "candidates_generated" / "baton_candidates_generated_total",
     /// Tile/partition combinations discarded by the structural filter
     /// before a `Mapping` was even built.
-    CandidatesStructurallyRejected => "candidates_structurally_rejected",
+    CandidatesStructurallyRejected => "candidates_structurally_rejected" / "baton_candidates_structurally_rejected_total",
     /// Duplicate mappings removed by the enumeration dedup pass.
-    CandidatesDeduped => "candidates_deduped",
+    CandidatesDeduped => "candidates_deduped" / "baton_candidates_deduped_total",
     /// Calls into `baton_mapping::decompose`.
-    DecomposeCalls => "decompose_calls",
+    DecomposeCalls => "decompose_calls" / "baton_decompose_calls_total",
     /// Decompose rejections: planar grid does not match the unit count.
-    RejectGridMismatch => "reject_grid_mismatch",
+    RejectGridMismatch => "reject_grid_mismatch" / "baton_reject_grid_mismatch_total",
     /// Decompose rejections: planar grid finer than the output plane.
-    RejectPlaneTooFine => "reject_plane_too_fine",
+    RejectPlaneTooFine => "reject_plane_too_fine" / "baton_reject_plane_too_fine_total",
     /// Decompose rejections: more channel ways than output channels.
-    RejectChannelsTooFew => "reject_channels_too_few",
+    RejectChannelsTooFew => "reject_channels_too_few" / "baton_reject_channels_too_few_total",
     /// Decompose rejections: psum tile overflows the O-L1 register file.
-    RejectOL1Overflow => "reject_o_l1_overflow",
+    RejectOL1Overflow => "reject_o_l1_overflow" / "baton_reject_o_l1_overflow_total",
     /// Decompose rejections: chiplet tile outputs overflow the O-L2.
-    RejectOL2Overflow => "reject_o_l2_overflow",
+    RejectOL2Overflow => "reject_o_l2_overflow" / "baton_reject_o_l2_overflow_total",
     /// Decompose rejections: input window overflows the A-L1.
-    RejectAL1Overflow => "reject_a_l1_overflow",
+    RejectAL1Overflow => "reject_a_l1_overflow" / "baton_reject_a_l1_overflow_total",
     /// Decompose rejections: weight chunk overflows the W-L1 pool share.
-    RejectWL1Overflow => "reject_w_l1_overflow",
+    RejectWL1Overflow => "reject_w_l1_overflow" / "baton_reject_w_l1_overflow_total",
     /// Full C³P evaluations (decomposition priced into energy/runtime).
-    Evaluations => "evaluations",
+    Evaluations => "evaluations" / "baton_evaluations_total",
     /// Times a search's incumbent best score improved.
-    BestImprovements => "best_improvements",
+    BestImprovements => "best_improvements" / "baton_best_improvements_total",
     /// Candidates skipped by branch-and-bound: their compulsory-traffic
     /// floor already scored worse than the incumbent best.
-    SearchPruned => "search_pruned",
+    SearchPruned => "search_pruned" / "baton_search_pruned_total",
     /// Layer-shape memo hits: a search or candidate set served from cache.
-    CacheHit => "cache_hit",
+    CacheHit => "cache_hit" / "baton_cache_hits_total",
     /// Layer-shape memo misses: the shape was evaluated and cached.
-    CacheMiss => "cache_miss",
+    CacheMiss => "cache_miss" / "baton_cache_misses_total",
     /// Per-layer searches that returned a feasible mapping.
-    SearchesCompleted => "searches_completed",
+    SearchesCompleted => "searches_completed" / "baton_searches_completed_total",
     /// Per-layer searches where every candidate was infeasible.
-    SearchesFailed => "searches_failed",
+    SearchesFailed => "searches_failed" / "baton_searches_failed_total",
     /// C³P capacity penalties: A-L2 too small, DRAM input reloads priced.
-    PenaltyAL2 => "penalty_a_l2",
+    PenaltyAL2 => "penalty_a_l2" / "baton_penalty_a_l2_total",
     /// C³P capacity penalties: A-L1 too small, A-L2 re-reads priced.
-    PenaltyAL1 => "penalty_a_l1",
+    PenaltyAL1 => "penalty_a_l1" / "baton_penalty_a_l1_total",
     /// C³P capacity penalties: W-L1 pool too small, weight reloads priced.
-    PenaltyWL1 => "penalty_w_l1",
+    PenaltyWL1 => "penalty_w_l1" / "baton_penalty_w_l1_total",
     /// Pre-design sweep: geometries explored.
-    SweepGeometries => "sweep_geometries",
+    SweepGeometries => "sweep_geometries" / "baton_sweep_geometries_total",
     /// Pre-design sweep: geometries skipped (invalid or unmappable).
-    SweepGeometriesSkipped => "sweep_geometries_skipped",
+    SweepGeometriesSkipped => "sweep_geometries_skipped" / "baton_sweep_geometries_skipped_total",
     /// Pre-design sweep: valid design points produced.
-    SweepPoints => "sweep_points",
+    SweepPoints => "sweep_points" / "baton_sweep_points_total",
     /// Pre-design sweep: memory configurations with no feasible mapping.
-    SweepPointsInfeasible => "sweep_points_infeasible",
+    SweepPointsInfeasible => "sweep_points_infeasible" / "baton_sweep_points_infeasible_total",
     /// DES trace events bridged into the telemetry sink.
-    SimEventsBridged => "sim_events_bridged",
+    SimEventsBridged => "sim_events_bridged" / "baton_sim_events_bridged_total",
 }
 
 static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
@@ -187,6 +197,28 @@ mod tests {
         count_n(Counter::Evaluations, 5);
         count(Counter::Evaluations);
         assert_eq!(snapshot().get(Counter::Evaluations), 6);
+    }
+
+    #[test]
+    fn metric_names_are_canonical_prometheus_series() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in ALL_COUNTERS {
+            let m = c.metric_name();
+            assert!(m.starts_with("baton_"), "{m} lacks the namespace prefix");
+            assert!(m.ends_with("_total"), "{m} lacks the counter suffix");
+            assert!(
+                m.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_'),
+                "{m} is not a valid metric name"
+            );
+            assert!(seen.insert(m), "duplicate metric name {m}");
+        }
+        // The two series the serving dashboards join on, by exact name.
+        assert_eq!(Counter::CacheHit.metric_name(), "baton_cache_hits_total");
+        assert_eq!(
+            Counter::SearchPruned.metric_name(),
+            "baton_search_pruned_total"
+        );
     }
 
     #[test]

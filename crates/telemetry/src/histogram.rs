@@ -36,7 +36,7 @@ impl Histogram {
         // value 0 has 64 leading zeros -> clamped into bucket 0 with 1..2.
         self.buckets[if value == 0 { 0 } else { bucket }] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -75,20 +75,45 @@ impl Histogram {
     }
 
     /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the bucket
-    /// holding the q-th sample. Zero when empty.
+    /// holding the q-th sample. Zero when empty; `q` outside `[0, 1]` (or
+    /// NaN, which clamps to 0) is clamped rather than indexing a bogus
+    /// bucket.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Self::bucket_bound(i);
             }
         }
         self.max
+    }
+
+    /// Inclusive upper bound of bucket `i`: bucket 0 holds `0..=1`, bucket
+    /// `i` holds `2^i ..= 2^(i+1)-1`, and the last bucket is unbounded
+    /// (`u64::MAX`).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Iterates `(inclusive upper bound, cumulative count)` over all 64
+    /// buckets, lowest bound first. The cumulative counts are monotonically
+    /// non-decreasing and the final pair carries the total sample count —
+    /// exactly the shape a Prometheus `_bucket`/`_count` exposition needs.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().scan(0u64, |acc, (i, &n)| {
+            *acc += n;
+            Some((Self::bucket_bound(i), *acc))
+        })
     }
 
     /// Merges another histogram into this one.
@@ -97,7 +122,7 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -133,6 +158,53 @@ mod tests {
         let med = h.quantile(0.5);
         assert!((3..100).contains(&med), "median bucket bound {med}");
         assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_hardened() {
+        // Empty: every q — in range, out of range, NaN — returns 0, never a
+        // bucket bound.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        // Single sample: every quantile lands in the sample's own bucket.
+        let mut one = Histogram::new();
+        one.record(100); // bucket 6: 64..=127
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), 127, "single-sample at q={q}");
+        }
+
+        // q=0 is the lowest occupied bucket, q=1 the highest; out-of-range
+        // q clamps to those, and NaN behaves like q=0.
+        let mut h = Histogram::new();
+        h.record(2); // bucket 1: 2..=3
+        h.record(1000); // bucket 9: 512..=1023
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(-5.0), h.quantile(0.0));
+        assert_eq!(h.quantile(9.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let pairs: Vec<(u64, u64)> = h.cumulative().collect();
+        assert_eq!(pairs.len(), 64);
+        assert_eq!(pairs[0], (1, 2), "values 0 and 1 share bucket 0");
+        assert_eq!(pairs.last().unwrap(), &(u64::MAX, h.count()));
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds strictly increase");
+            assert!(w[0].1 <= w[1].1, "counts never decrease");
+        }
+        // Cumulative count at bound 3 covers the four samples <= 3.
+        let at3 = pairs.iter().find(|(b, _)| *b == 3).unwrap();
+        assert_eq!(at3.1, 4);
     }
 
     #[test]

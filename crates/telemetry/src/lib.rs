@@ -17,6 +17,11 @@
 //!   [`Histogram`]s, and mirrored to the trace sink as `span` events.
 //! * **Events** ([`sink`]): structured records encoded as JSON lines into an
 //!   attached [`Sink`] (a file via `--trace-json`, or memory in tests).
+//! * **Labelled metrics** ([`metrics`]): a registry of labelled counters,
+//!   gauges, and latency histograms for long-lived serving processes,
+//!   rendered in Prometheus text format by [`expo::render`]. Gated by its
+//!   own enable flag ([`metrics::enable`]) so one-shot CLI runs never pay
+//!   for it.
 //!
 //! All hooks are routed through one process-global session. When no session
 //! is attached — the default — every hook is a single relaxed atomic load
@@ -41,8 +46,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod counters;
+pub mod expo;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod progress;
 pub mod report;
 pub mod sink;

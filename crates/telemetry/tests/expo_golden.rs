@@ -1,0 +1,110 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! One test function (the registry is process-global, so the scenario runs
+//! as a single sequential script): build a registry with every metric kind
+//! and hostile label values, render, and hold the output to the committed
+//! golden file byte for byte. Regenerate after an intentional format change
+//! with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p baton-telemetry --test expo_golden
+//! ```
+
+use std::time::Duration;
+
+use baton_telemetry::{expo, metrics};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.txt");
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    metrics::reset();
+    metrics::enable();
+
+    // A counter family with two series, one carrying every escapable
+    // character in its label value: backslash, double quote, newline.
+    metrics::counter_add(
+        "baton_demo_requests_total",
+        "Demo requests by path.",
+        &[("path", "/map")],
+        3,
+    );
+    metrics::counter_add(
+        "baton_demo_requests_total",
+        "Demo requests by path.",
+        &[("path", "esc \\ \" \n done")],
+        1,
+    );
+    // A gauge, set then adjusted.
+    metrics::gauge_set("baton_demo_workers", "Demo worker occupancy.", &[], 4.0);
+    metrics::gauge_add("baton_demo_workers", "Demo worker occupancy.", &[], -1.5);
+    // A histogram spanning several ladder buckets, including one past the
+    // last finite bound (only +Inf covers ~20 minutes).
+    for us in [1u64, 2, 10, 200, 5_000, 2_000_000, 1_300_000_000] {
+        metrics::observe_duration(
+            "baton_demo_seconds",
+            "Demo latency.",
+            &[("objective", "energy")],
+            Duration::from_micros(us),
+        );
+    }
+
+    let rendered = expo::render("0.0.0-golden");
+
+    // Two renders of an unchanged registry are byte-identical.
+    assert_eq!(rendered, expo::render("0.0.0-golden"));
+
+    // TYPE lines for every kind.
+    assert!(rendered.contains("# TYPE baton_demo_requests_total counter"));
+    assert!(rendered.contains("# TYPE baton_demo_workers gauge"));
+    assert!(rendered.contains("# TYPE baton_demo_seconds histogram"));
+    assert!(rendered.contains("# HELP baton_demo_seconds Demo latency.\n"));
+
+    // Label escaping: \\ then \" then \n, in one label value.
+    assert!(
+        rendered.contains(r#"baton_demo_requests_total{path="esc \\ \" \n done"} 1"#),
+        "escaped label value missing:\n{rendered}"
+    );
+    assert!(rendered.contains("baton_demo_workers 2.5"));
+
+    // Histogram series: cumulative counts never decrease, the ladder ends
+    // at le="+Inf" with the total count, and _sum/_count agree.
+    let bucket_counts: Vec<u64> = rendered
+        .lines()
+        .filter(|l| l.starts_with("baton_demo_seconds_bucket{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(bucket_counts.len(), 16, "15 finite bounds + +Inf");
+    assert!(
+        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+        "cumulative bucket counts decreased: {bucket_counts:?}"
+    );
+    assert_eq!(*bucket_counts.last().unwrap(), 7);
+    assert!(rendered
+        .lines()
+        .any(|l| l == "baton_demo_seconds_bucket{objective=\"energy\",le=\"+Inf\"} 7"));
+    assert!(rendered.contains("baton_demo_seconds_count{objective=\"energy\"} 7"));
+    // 1300s sample exceeds every finite bound: only +Inf reaches 7.
+    assert!(rendered
+        .lines()
+        .any(|l| l == "baton_demo_seconds_bucket{objective=\"energy\",le=\"1073.741823\"} 6"));
+
+    // Bridged run counters render under canonical names even at zero.
+    assert!(rendered.contains("# TYPE baton_cache_hits_total counter"));
+    assert!(rendered.contains("baton_search_pruned_total 0"));
+    assert!(rendered.contains("baton_build_info{version=\"0.0.0-golden\"} 1"));
+
+    // The byte-exact contract with the committed golden file.
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(GOLDEN, &rendered).unwrap();
+    }
+    let golden =
+        std::fs::read_to_string(GOLDEN).expect("golden file missing; regenerate with BLESS=1");
+    assert_eq!(
+        rendered, golden,
+        "exposition format drifted from tests/golden/exposition.txt; \
+         if intentional, regenerate with BLESS=1"
+    );
+
+    metrics::reset();
+}

@@ -25,6 +25,7 @@ fn help_lists_subcommands() {
         "explore",
         "sweep",
         "recommend",
+        "serve",
         "check",
     ] {
         assert!(stdout.contains(cmd), "help lacks `{cmd}`: {stdout}");

@@ -185,7 +185,7 @@ fn bench_writes_a_parseable_snapshot() {
         "wall_ms.total",
         "throughput.evals_per_sec",
         "throughput.mappings_per_sec",
-        "counter.evaluations",
+        "counter.baton_evaluations_total",
         "phase.search_layer.total_ms",
     ] {
         assert!(snap.nums.contains_key(key), "missing `{key}` in {snap:?}");
@@ -254,7 +254,10 @@ fn profile_json_emits_one_flat_object() {
     let obj = parse_flat_object(stdout.trim()).unwrap();
     assert_eq!(obj["name"].as_str(), Some("profile"));
     assert_eq!(obj["model"].as_str(), Some("tiny"));
-    assert!(obj.contains_key("counter.evaluations"), "{obj:?}");
+    assert!(
+        obj.contains_key("counter.baton_evaluations_total"),
+        "{obj:?}"
+    );
     assert!(obj.contains_key("phase.search_layer.total_ms"), "{obj:?}");
 }
 
