@@ -11,13 +11,19 @@
 //! | `/map`, `/explain` | POST | the offline `baton explain --format json` report for a JSON request body |
 //!
 //! The request body is `{"model": "resnet50", "config": {...}}` where
-//! `config` may set `res`, `layer` (name or index), `top`, and `objective`
-//! (`energy`/`edp`/`runtime`) — the same knobs as the CLI flags, with the
-//! same defaults, so a `POST /map` response is byte-identical to the
-//! offline `baton explain <model> --format json` output.
+//! `model` is a zoo name (never a file path — the HTTP surface must not
+//! probe the server's filesystem, unlike the CLI which also accepts
+//! `.baton` paths) and `config` may set `res`, `layer` (name or index),
+//! `top`, and `objective` (`energy`/`edp`/`runtime`) — the same knobs as
+//! the CLI flags, with the same defaults, so a `POST /map` response is
+//! byte-identical to the offline `baton explain <model> --format json`
+//! output. `res` and `top` are range-checked before they reach the model
+//! builders, and a handler panic is caught and answered as a 500 — a
+//! request can never take a worker thread down with it.
 //!
 //! Serving is the mode the metrics layer exists for: [`serve`] calls
-//! [`metrics::enable`] and every request is timed into
+//! [`metrics::enable`] and every request — including malformed request
+//! lines and oversized bodies that never reach routing — is timed into
 //! `baton_http_request_duration_seconds` and counted in
 //! `baton_http_requests_total{code,path}`, so the service observes itself
 //! through its own `/metrics`.
@@ -29,6 +35,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -55,13 +62,22 @@ const REQUESTS_HELP: &str = "HTTP requests served, by canonical path and status 
 const REQUEST_SECONDS: &str = "baton_http_request_duration_seconds";
 const REQUEST_SECONDS_HELP: &str = "HTTP request handling latency by canonical path.";
 
-/// Resolves `<model>` the same way for the CLI and the HTTP body: a zoo
-/// name or a path to a `.baton` model description.
+/// Input resolutions accepted over HTTP. The zoo builders assert their
+/// layer shapes, so a resolution too small for a model's deepest stage
+/// (or absurdly large) must be refused *before* the builder runs.
+const MIN_RES: u32 = 32;
+const MAX_RES: u32 = 4096;
+
+/// Largest runner-up count accepted over HTTP; bounds per-request work.
+const MAX_TOP: usize = 100;
+
+/// Resolves `<model>` as a zoo name — the only resolution the HTTP
+/// surface performs, so remote clients can never probe server-side paths.
 ///
 /// # Errors
 ///
-/// Returns a message naming the unknown model or the unreadable path.
-pub fn load_model(name: &str, res: u32) -> Result<Model, String> {
+/// Returns a message naming the unknown model and the valid zoo names.
+pub fn zoo_model(name: &str, res: u32) -> Result<Model, String> {
     match name {
         "alexnet" => Ok(zoo::alexnet(res)),
         "vgg16" => Ok(zoo::vgg16(res)),
@@ -69,15 +85,24 @@ pub fn load_model(name: &str, res: u32) -> Result<Model, String> {
         "darknet19" => Ok(zoo::darknet19(res)),
         "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
         "yolo_v2" => Ok(zoo::yolo_v2(res)),
-        path if path.ends_with(".baton") => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            parse_model(&text).map_err(|e| e.to_string())
-        }
         other => Err(format!(
-            "unknown model `{other}` (zoo name or a .baton file)"
+            "unknown model `{other}` (alexnet, vgg16, resnet50, darknet19, mobilenet_v2, yolo_v2)"
         )),
     }
+}
+
+/// Resolves `<model>` for the CLI: a zoo name or a path to a `.baton`
+/// model description. Not used by the HTTP handlers — see [`zoo_model`].
+///
+/// # Errors
+///
+/// Returns a message naming the unknown model or the unreadable path.
+pub fn load_model(name: &str, res: u32) -> Result<Model, String> {
+    if name.ends_with(".baton") {
+        let text = std::fs::read_to_string(name).map_err(|e| format!("cannot read {name}: {e}"))?;
+        return parse_model(&text).map_err(|e| e.to_string());
+    }
+    zoo_model(name, res).map_err(|_| format!("unknown model `{name}` (zoo name or a .baton file)"))
 }
 
 /// Shared server state: uptime origin and the readiness latch.
@@ -227,6 +252,7 @@ fn accept_loop(listener: &TcpListener, state: &ServerState) {
 /// Reads one request off the stream, routes it, writes the response, and
 /// closes. Malformed requests become 400s; only socket I/O errors bubble.
 fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let t0 = Instant::now();
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -261,11 +287,15 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
         match reader.read_exact(&mut body) {
             Ok(()) => {
                 let body = String::from_utf8_lossy(&body);
-                route(&method, &path, &body, state)
+                guarded(&method, &path, &body, state)
             }
             Err(_) => Response::error(400, "request body shorter than Content-Length"),
         }
     };
+
+    // Every response — early-exit 400/413s included — lands in the request
+    // metrics under a bounded path label ("" canonicalizes to "other").
+    record_request(canonical_path(&path), response.status, t0.elapsed());
 
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -279,13 +309,8 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
     writer.flush()
 }
 
-/// Dispatches and times one request; every outcome — including 404s — lands
-/// in the request metrics under a canonical path label.
-fn route(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
-    let t0 = Instant::now();
-    let response = dispatch(method, path, body, state);
-    let canonical = canonical_path(path);
-    let code = response.status.to_string();
+fn record_request(canonical: &'static str, status: u16, elapsed: Duration) {
+    let code = status.to_string();
     metrics::counter_add(
         REQUESTS_TOTAL,
         REQUESTS_HELP,
@@ -296,9 +321,24 @@ fn route(method: &str, path: &str, body: &str, state: &ServerState) -> Response 
         REQUEST_SECONDS,
         REQUEST_SECONDS_HELP,
         &[("path", canonical)],
-        t0.elapsed(),
+        elapsed,
     );
-    response
+}
+
+/// Runs [`dispatch`] behind a panic guard: input validation should refuse
+/// anything the model/search stack would assert on, but if a handler does
+/// panic the worker thread must survive and the client must get a 500 —
+/// never a silently dead accept thread.
+fn guarded(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
+    catch_panic(|| dispatch(method, path, body, state)).unwrap_or_else(|| {
+        vlog!(1, "serve: handler panicked on {method} {path}");
+        Response::error(500, "internal error: request handler panicked")
+    })
+}
+
+/// [`catch_unwind`] with the result flattened to an `Option`.
+fn catch_panic<F: FnOnce() -> Response>(f: F) -> Option<Response> {
+    catch_unwind(AssertUnwindSafe(f)).ok()
 }
 
 fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
@@ -332,9 +372,12 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
     }
 }
 
-/// Handles a `/map` / `/explain` body: the same model resolution, layer
-/// selection, defaults, and JSON rendering as `baton explain --format
-/// json`, so the two surfaces can be diffed byte for byte.
+/// Handles a `/map` / `/explain` body: the same layer selection, defaults,
+/// and JSON rendering as `baton explain --format json`, so the two surfaces
+/// can be diffed byte for byte — except model resolution, which is
+/// [`zoo_model`]-only so HTTP clients cannot reach server-side files, and
+/// `res`/`top`, which are range-checked so no client value can trip the
+/// zoo builders' shape assertions.
 fn map_request(body: &str) -> Result<String, String> {
     let request = parse_json(body).map_err(|e| format!("bad JSON body: {e}"))?;
     let model_name = request
@@ -345,11 +388,27 @@ fn map_request(body: &str) -> Result<String, String> {
     let field = |key: &str| config.and_then(|c| c.get(key));
 
     let res = match field("res") {
-        Some(v) => v.as_f64().ok_or("config.res must be a number")? as u32,
+        Some(v) => {
+            let raw = v.as_f64().ok_or("config.res must be a number")?;
+            if raw.fract() != 0.0 || raw < f64::from(MIN_RES) || raw > f64::from(MAX_RES) {
+                return Err(format!(
+                    "config.res must be an integer in [{MIN_RES}, {MAX_RES}], got {raw}"
+                ));
+            }
+            raw as u32
+        }
         None => 224,
     };
     let top = match field("top") {
-        Some(v) => v.as_f64().ok_or("config.top must be a number")? as usize,
+        Some(v) => {
+            let raw = v.as_f64().ok_or("config.top must be a number")?;
+            if raw.fract() != 0.0 || raw < 1.0 || raw > MAX_TOP as f64 {
+                return Err(format!(
+                    "config.top must be an integer in [1, {MAX_TOP}], got {raw}"
+                ));
+            }
+            raw as usize
+        }
         None => 3,
     };
     let objective = match field("objective") {
@@ -366,7 +425,7 @@ fn map_request(body: &str) -> Result<String, String> {
         },
     };
 
-    let model = load_model(model_name, res)?;
+    let model = zoo_model(model_name, res)?;
     let layers = select_layers(&model, field("layer"))?;
     let arch = presets::case_study_accelerator();
     let tech = Technology::paper_16nm();
@@ -478,29 +537,24 @@ mod tests {
 
     #[test]
     fn map_request_matches_the_offline_explain_path() {
-        let path = tiny_model_file();
-        let body = format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32}}}}");
-        let served = map_request(&body).unwrap();
+        // Zoo model at the smallest accepted resolution, one layer, so the
+        // unit test's search stays tiny even in debug builds.
+        let body = "{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"layer\": 0}}";
+        let served = map_request(body).unwrap();
 
-        // The offline path: explain every layer, JSON format, defaults.
-        let model = load_model(&path, 32).unwrap();
+        // The offline path: same model, layer, JSON format, defaults.
+        let model = zoo_model("alexnet", 32).unwrap();
         let arch = presets::case_study_accelerator();
         let tech = Technology::paper_16nm();
-        let mut offline = String::new();
-        for layer in model.layers() {
-            offline.push_str(
-                &explain_layer(layer, &arch, &tech, Objective::Energy, 3)
-                    .unwrap()
-                    .render(Format::Json),
-            );
-        }
+        let offline = explain_layer(&model.layers()[0], &arch, &tech, Objective::Energy, 3)
+            .unwrap()
+            .render(Format::Json);
         assert_eq!(served, offline);
-        assert!(served.contains("\"layer\":\"only\""));
+        assert!(served.contains("\"layer\":\"conv1\""));
     }
 
     #[test]
     fn map_request_rejects_bad_bodies_with_reasons() {
-        let path = tiny_model_file();
         assert!(map_request("{oops").unwrap_err().contains("bad JSON body"));
         assert!(map_request("{\"config\": {}}")
             .unwrap_err()
@@ -508,17 +562,57 @@ mod tests {
         assert!(map_request("{\"model\": \"not-a-model\"}")
             .unwrap_err()
             .contains("unknown model"));
-        let bad_obj = format!(
-            "{{\"model\": \"{path}\", \"config\": {{\"res\": 32, \"objective\": \"speed\"}}}}"
+        assert!(map_request(
+            "{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"objective\": \"speed\"}}"
+        )
+        .unwrap_err()
+        .contains("unknown objective"));
+        assert!(
+            map_request("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"layer\": 99}}")
+                .unwrap_err()
+                .contains("out of range")
         );
-        assert!(map_request(&bad_obj)
-            .unwrap_err()
-            .contains("unknown objective"));
-        let bad_layer =
-            format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32, \"layer\": 9}}}}");
-        assert!(map_request(&bad_layer)
-            .unwrap_err()
-            .contains("out of range"));
+    }
+
+    #[test]
+    fn map_request_refuses_file_paths_over_http() {
+        // The CLI resolves .baton paths; the HTTP surface must not, so
+        // remote clients cannot probe the server's filesystem.
+        let path = tiny_model_file();
+        let body = format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32}}}}");
+        let err = map_request(&body).unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+        assert!(!err.contains("cannot read"), "must not leak fs errors: {err}");
+        // The same path still resolves through the CLI's loader.
+        assert!(load_model(&path, 32).is_ok());
+    }
+
+    #[test]
+    fn map_request_bounds_res_and_top() {
+        let err = |body: &str| map_request(body).unwrap_err();
+        // res=0 used to reach the zoo builders and panic the worker thread.
+        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 0}}").contains("config.res"));
+        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 8}}").contains("config.res"));
+        assert!(
+            err("{\"model\": \"alexnet\", \"config\": {\"res\": 1000000}}").contains("config.res")
+        );
+        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32.5}}").contains("config.res"));
+        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 0}}")
+            .contains("config.top"));
+        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 1e9}}")
+            .contains("config.top"));
+    }
+
+    #[test]
+    fn panicking_handlers_become_500s_not_dead_threads() {
+        let response = catch_panic(|| panic!("handler bug")).unwrap_or_else(|| {
+            Response::error(500, "internal error: request handler panicked")
+        });
+        assert_eq!(response.status, 500);
+        assert!(response.body.contains("internal error"));
+        // Non-panicking handlers pass through untouched.
+        let ok = catch_panic(|| Response::json(200, "{}".into())).unwrap();
+        assert_eq!(ok.status, 200);
     }
 
     #[test]

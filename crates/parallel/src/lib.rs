@@ -243,6 +243,15 @@ impl Default for AtomicBest {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that run [`map_chunked`]: the occupancy test
+    /// enables the process-global metrics registry, so a sibling fan-out
+    /// running concurrently would mutate the same gauges and flake its
+    /// exact-zero assertions (and see metrics flip off mid-run at reset).
+    fn fan_out_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn parse_threads_accepts_positive_integers_only() {
         assert_eq!(parse_threads("4"), Some(4));
@@ -272,6 +281,7 @@ mod tests {
 
     #[test]
     fn map_chunked_preserves_input_order() {
+        let _guard = fan_out_lock();
         let items: Vec<u64> = (0..997).collect();
         let expect: Vec<u64> = items
             .iter()
@@ -288,6 +298,7 @@ mod tests {
 
     #[test]
     fn map_chunked_handles_empty_and_singleton() {
+        let _guard = fan_out_lock();
         let empty: Vec<u32> = vec![];
         assert!(map_chunked(&empty, 4, 8, |_, v| *v).is_empty());
         assert_eq!(map_chunked(&[42u32], 4, 8, |i, v| *v + i as u32), vec![42]);
@@ -296,7 +307,7 @@ mod tests {
     #[test]
     fn map_chunked_actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
-        use std::sync::Mutex;
+        let _guard = fan_out_lock();
         let seen = Mutex::new(HashSet::new());
         let items: Vec<u32> = (0..256).collect();
         map_chunked(&items, 4, 1, |_, v| {
@@ -311,6 +322,7 @@ mod tests {
     #[test]
     fn occupancy_gauges_settle_after_the_scope() {
         use baton_telemetry::metrics::SeriesValue;
+        let _guard = fan_out_lock();
         metrics::enable();
         let items: Vec<u32> = (0..512).collect();
         map_chunked(&items, 4, 8, |_, v| *v);
@@ -374,6 +386,7 @@ mod tests {
 
     #[test]
     fn concurrent_observers_agree_on_the_minimum() {
+        let _guard = fan_out_lock();
         let best = AtomicBest::new();
         let scores: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
         let items: Vec<usize> = (0..scores.len()).collect();

@@ -144,43 +144,30 @@ fn serve_speaks_http_and_observes_itself() {
 
     // Parity: POST /map output is byte-identical to the offline
     // `baton explain --format json` path for the same model/config.
-    let tiny = std::env::temp_dir().join("baton_serve_e2e_tiny.baton");
-    std::fs::write(
-        &tiny,
-        "model tiny @32\nconv name=only in=32x32x8 k=3 s=1 p=1 co=16\n",
-    )
-    .unwrap();
-    let tiny = tiny.to_string_lossy();
-    let (status, _, served) = request(
-        addr,
-        "POST",
-        "/map",
-        &format!("{{\"model\": \"{tiny}\", \"config\": {{\"res\": 32}}}}"),
-    );
-    assert_eq!(status, 200, "{served}");
     let offline = Command::new(env!("CARGO_BIN_EXE_baton"))
-        .args(["explain", tiny.as_ref(), "--res", "32", "--format", "json"])
+        .args(["explain", "alexnet", "--layer", "0", "--format", "json"])
         .output()
         .expect("run baton explain");
     assert!(offline.status.success());
     assert_eq!(
-        served,
+        map_body,
         String::from_utf8_lossy(&offline.stdout),
         "served /map diverged from offline explain"
     );
 
-    // /explain is the same handler.
+    // /explain is the same handler; layer selection by name.
     let (status, _, explained) = request(
         addr,
         "POST",
         "/explain",
-        &format!("{{\"model\": \"{tiny}\", \"config\": {{\"res\": 32, \"layer\": \"only\"}}}}"),
+        "{\"model\": \"alexnet\", \"config\": {\"layer\": \"conv1\"}}",
     );
     assert_eq!(status, 200);
-    assert!(explained.contains("\"layer\":\"only\""));
+    assert!(explained.contains("\"layer\":\"conv1\""));
 
-    // Error paths: unknown route, wrong method, malformed body — all JSON,
-    // all counted under bounded path labels.
+    // Error paths: unknown route, wrong method, malformed body, file-path
+    // model, out-of-range res — all JSON, all counted under bounded path
+    // labels, and none of them may take a worker thread down.
     let (status, _, body) = request(addr, "GET", "/not-a-route", "");
     assert_eq!(status, 404);
     assert!(body.contains("\"error\":"));
@@ -192,11 +179,62 @@ fn serve_speaks_http_and_observes_itself() {
     let (status, _, body) = request(addr, "POST", "/map", "{\"model\": \"nope\"}");
     assert_eq!(status, 400);
     assert!(body.contains("unknown model"), "{body}");
+    // The HTTP surface must not resolve server-side file paths (the CLI
+    // does) — a path-shaped model name is just an unknown model, with no
+    // filesystem detail leaked.
+    let tiny = std::env::temp_dir().join("baton_serve_e2e_tiny.baton");
+    std::fs::write(
+        &tiny,
+        "model tiny @32\nconv name=only in=32x32x8 k=3 s=1 p=1 co=16\n",
+    )
+    .unwrap();
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/map",
+        &format!("{{\"model\": \"{}\"}}", tiny.to_string_lossy()),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown model"), "{body}");
+    assert!(!body.contains("cannot read"), "fs detail leaked: {body}");
+    // res=0 used to panic the zoo builder and kill the worker thread; now
+    // it is refused up front and the server keeps answering.
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/map",
+        "{\"model\": \"alexnet\", \"config\": {\"res\": 0}}",
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("config.res"), "{body}");
+    let (status, _, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "server died after rejected requests");
+
+    // A garbage request line never reaches routing, but still must be
+    // counted (under the bounded `other` label).
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+        assert!(response.contains("malformed request line"), "{response}");
+    }
 
     let (_, _, metrics) = request(addr, "GET", "/metrics", "");
     assert!(
         metrics.contains("baton_http_requests_total{code=\"404\",path=\"other\"} 1"),
         "404s must fold into the bounded `other` label:\n{metrics}"
     );
-    assert!(metrics.contains("baton_http_requests_total{code=\"400\",path=\"/map\"} 2"));
+    assert!(
+        metrics.contains("baton_http_requests_total{code=\"400\",path=\"/map\"} 4"),
+        "rejected /map bodies not counted:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("baton_http_requests_total{code=\"400\",path=\"other\"} 1"),
+        "early-exit 400s must be counted too:\n{metrics}"
+    );
 }
