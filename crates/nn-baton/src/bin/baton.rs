@@ -16,7 +16,8 @@
 //!                                                 Figure 15 full DSE
 //! baton recommend <model> [--res N] [--macs M] [--area A]
 //!                                                 pre-design recommendation
-//! baton serve   [--addr HOST:PORT]                HTTP service: /metrics /healthz /readyz /map /explain
+//! baton serve   [--addr HOST:PORT] [--cache-entries N] [--queue-depth N] [--keep-alive-requests N]
+//!                                                 HTTP service: /metrics /healthz /readyz /map /explain
 //! baton check   <file.baton>                      validate a model description
 //! baton version                                   print the version
 //! ```
@@ -83,7 +84,12 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "compare" => &["--res", "--csv"],
         "explore" | "sweep" => &["--res", "--macs", "--area", "--csv"],
         "recommend" => &["--res", "--macs", "--area"],
-        "serve" => &["--addr"],
+        "serve" => &[
+            "--addr",
+            "--cache-entries",
+            "--queue-depth",
+            "--keep-alive-requests",
+        ],
         _ => &[],
     }
 }
@@ -267,6 +273,8 @@ fn run(args: &[String]) -> Result<(), String> {
              map: --trace-perfetto FILE    profile: --json\n\
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
              serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
+             \x20       --cache-entries N (default 256, 0 disables)  --queue-depth N (default 64)\n\
+             \x20       --keep-alive-requests N (default 100)\n\
              telemetry: -v|-vv  --progress  --trace-json FILE\n\
              parallelism: --threads N (or BATON_THREADS)"
         );
@@ -287,16 +295,38 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!("unknown subcommand `{cmd}`"));
     }
     if cmd == "serve" {
-        let mut addr = nn_baton::serve::DEFAULT_ADDR.to_string();
+        let mut cfg = nn_baton::serve::ServeConfig::default();
         let mut it = args[1..].iter();
+        // Positive-integer flag values; `zero_ok` admits 0 as "disabled".
+        let parse_count = |flag: &str, value: Option<&String>, zero_ok: bool| {
+            let raw = value.ok_or_else(|| format!("flag {flag} needs a count"))?;
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("flag {flag} needs an integer, got `{raw}`"))?;
+            if n == 0 && !zero_ok {
+                return Err(format!("flag {flag} must be at least 1"));
+            }
+            Ok(n)
+        };
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--addr" => {
-                    addr = it.next().cloned().ok_or("flag --addr needs host:port")?;
+                    cfg.addr = it.next().cloned().ok_or("flag --addr needs host:port")?;
+                }
+                "--cache-entries" => {
+                    cfg.cache_entries = parse_count("--cache-entries", it.next(), true)?;
+                }
+                "--queue-depth" => {
+                    cfg.queue_depth = parse_count("--queue-depth", it.next(), false)?;
+                }
+                "--keep-alive-requests" => {
+                    cfg.keep_alive_requests =
+                        parse_count("--keep-alive-requests", it.next(), false)?;
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag `{other}` for `serve` (valid: --addr)"
+                        "unknown flag `{other}` for `serve` (valid: --addr, \
+                         --cache-entries, --queue-depth, --keep-alive-requests)"
                     ));
                 }
             }
@@ -305,7 +335,7 @@ fn run(args: &[String]) -> Result<(), String> {
         // (evaluations, prunes, cache hits) accumulate across requests and
         // show up in /metrics.
         let _session = telemetry::attach(&tcfg).map_err(|e| format!("cannot open trace: {e}"))?;
-        return nn_baton::serve::serve(&addr);
+        return nn_baton::serve::serve(&cfg);
     }
 
     // Attach only when something will consume the data: a telemetry flag,

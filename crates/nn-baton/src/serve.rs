@@ -9,6 +9,7 @@
 //! | `/healthz` | GET | liveness: `{"status":"ok"}` as soon as the socket is up |
 //! | `/readyz`  | GET | readiness: 503 until the warmup search finishes, then version/uptime/threads |
 //! | `/map`, `/explain` | POST | the offline `baton explain --format json` report for a JSON request body |
+//! | `/quitquitquit` | POST | graceful drain: stop accepting, finish in-flight work, exit 0 |
 //!
 //! The request body is `{"model": "resnet50", "config": {...}}` where
 //! `model` is a zoo name (never a file path — the HTTP surface must not
@@ -21,28 +22,51 @@
 //! builders, and a handler panic is caught and answered as a 500 — a
 //! request can never take a worker thread down with it.
 //!
+//! # Production shape
+//!
+//! Mappings are deterministic, so identical requests are served from a
+//! sharded LRU **response cache** ([`ResponseCache`], `--cache-entries`)
+//! keyed by the *canonicalized* request ([`MapRequest::cache_key`]): two
+//! bodies that differ only in JSON field order, whitespace, or explicitly
+//! spelled defaults hit the same entry and get byte-identical bytes back,
+//! without re-running the search. Hits, misses, evictions, and occupancy
+//! are exported as `baton_response_cache_*` series.
+//!
+//! Connections are **HTTP/1.1 keep-alive** by default (`Connection: close`
+//! honored), bounded by `--keep-alive-requests` per connection and by
+//! read/write deadlines, so a stalled client can pin a worker for at most
+//! one timeout. Accepted connections flow through a bounded
+//! [`BoundedQueue`] (`--queue-depth`) to a fixed worker pool sized from
+//! [`baton_parallel::threads`]; when every worker is busy and the queue is
+//! full the acceptor answers **429 + `Retry-After`** immediately instead
+//! of letting accepts pile up — back-pressure is visible in
+//! `baton_parallel_queue_depth{queue="http"}` before the first rejection.
+//!
+//! `POST /quitquitquit` (or [`request_shutdown`] from a signal handler)
+//! starts a **graceful drain**: the acceptor stops accepting (subsequent
+//! connects are refused), queued and in-flight requests complete, workers
+//! exit, and a final metrics snapshot is flushed before [`serve`] returns
+//! `Ok` — a supervisor sees exit code 0.
+//!
 //! Serving is the mode the metrics layer exists for: [`serve`] calls
 //! [`metrics::enable`] and every request — including malformed request
-//! lines and oversized bodies that never reach routing — is timed into
-//! `baton_http_request_duration_seconds` and counted in
-//! `baton_http_requests_total{code,path}`, so the service observes itself
-//! through its own `/metrics`.
-//!
-//! Connections are `Connection: close` (one request per connection) and are
-//! accepted by a small pool of worker threads sized from
-//! [`baton_parallel::threads`] — mapping requests are CPU-bound searches,
-//! so more HTTP concurrency than cores would only queue work in flight.
+//! lines, oversized bodies, and queue-full rejections that never reach
+//! routing — is timed into `baton_http_request_duration_seconds` and
+//! counted in `baton_http_requests_total{code,path}`, so the service
+//! observes itself through its own `/metrics`.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use baton_arch::{presets, Technology};
 use baton_c3p::Objective;
 use baton_model::{parse_model, zoo, ConvSpec, Model};
+use baton_parallel::queue::{BoundedQueue, PushError, QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP};
 use baton_report::perfetto::{parse_json, Json};
 use baton_report::{explain_layer, Format};
 use baton_telemetry::json::ObjectWriter;
@@ -54,13 +78,37 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:9184";
 /// Largest accepted request body; mapping requests are a few hundred bytes.
 const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// Per-connection socket read timeout.
+/// Per-request socket read deadline: a client that stalls mid-request (or
+/// idles on a keep-alive connection) frees its worker after this long.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Socket write deadline: a client that accepts a response slower than
+/// this loses the connection rather than pinning the worker.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `Retry-After` seconds answered with a 429 when the queue is full.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// How often the (non-blocking) acceptor polls between connections — the
+/// latency ceiling on noticing a drain request.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 const REQUESTS_TOTAL: &str = "baton_http_requests_total";
 const REQUESTS_HELP: &str = "HTTP requests served, by canonical path and status code.";
 const REQUEST_SECONDS: &str = "baton_http_request_duration_seconds";
 const REQUEST_SECONDS_HELP: &str = "HTTP request handling latency by canonical path.";
+const WORKERS_BUSY: &str = "baton_http_workers_busy";
+const WORKERS_BUSY_HELP: &str = "HTTP worker threads currently serving a connection.";
+
+const CACHE_HITS: &str = "baton_response_cache_hits_total";
+const CACHE_HITS_HELP: &str = "Mapping requests answered from the response cache.";
+const CACHE_MISSES: &str = "baton_response_cache_misses_total";
+const CACHE_MISSES_HELP: &str =
+    "Mapping requests that missed the response cache and ran the search.";
+const CACHE_EVICTIONS: &str = "baton_response_cache_evictions_total";
+const CACHE_EVICTIONS_HELP: &str = "Response cache entries evicted to make room (LRU per shard).";
+const CACHE_ENTRIES: &str = "baton_response_cache_entries";
+const CACHE_ENTRIES_HELP: &str = "Entries currently held by the response cache.";
 
 /// Input resolutions accepted over HTTP. The zoo builders assert their
 /// layer shapes, so a resolution too small for a model's deepest stage
@@ -71,6 +119,32 @@ const MAX_RES: u32 = 4096;
 /// Largest runner-up count accepted over HTTP; bounds per-request work.
 const MAX_TOP: usize = 100;
 
+/// Knobs for [`serve`], surfaced as `baton serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// `host:port` to bind (port 0 picks a free one).
+    pub addr: String,
+    /// Response-cache capacity in entries; 0 disables the cache.
+    pub cache_entries: usize,
+    /// Accepted connections that may wait for a worker before the acceptor
+    /// starts answering 429.
+    pub queue_depth: usize,
+    /// Requests served on one keep-alive connection before the server
+    /// closes it (bounds per-connection resource tenure).
+    pub keep_alive_requests: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            cache_entries: 256,
+            queue_depth: 64,
+            keep_alive_requests: 100,
+        }
+    }
+}
+
 /// Resolves `<model>` as a zoo name — the only resolution the HTTP
 /// surface performs, so remote clients can never probe server-side paths.
 ///
@@ -78,17 +152,29 @@ const MAX_TOP: usize = 100;
 ///
 /// Returns a message naming the unknown model and the valid zoo names.
 pub fn zoo_model(name: &str, res: u32) -> Result<Model, String> {
-    match name {
-        "alexnet" => Ok(zoo::alexnet(res)),
-        "vgg16" => Ok(zoo::vgg16(res)),
-        "resnet50" => Ok(zoo::resnet50(res)),
-        "darknet19" => Ok(zoo::darknet19(res)),
-        "mobilenet_v2" => Ok(zoo::mobilenet_v2(res)),
-        "yolo_v2" => Ok(zoo::yolo_v2(res)),
-        other => Err(format!(
-            "unknown model `{other}` (alexnet, vgg16, resnet50, darknet19, mobilenet_v2, yolo_v2)"
-        )),
+    if !is_zoo_name(name) {
+        return Err(format!(
+            "unknown model `{name}` (alexnet, vgg16, resnet50, darknet19, mobilenet_v2, yolo_v2)"
+        ));
     }
+    Ok(match name {
+        "alexnet" => zoo::alexnet(res),
+        "vgg16" => zoo::vgg16(res),
+        "resnet50" => zoo::resnet50(res),
+        "darknet19" => zoo::darknet19(res),
+        "mobilenet_v2" => zoo::mobilenet_v2(res),
+        _ => zoo::yolo_v2(res),
+    })
+}
+
+/// True for the closed set of zoo model names the HTTP surface accepts —
+/// checked before any cache or builder work, so unknown names can neither
+/// mint cache keys nor reach the zoo builders.
+pub fn is_zoo_name(name: &str) -> bool {
+    matches!(
+        name,
+        "alexnet" | "vgg16" | "resnet50" | "darknet19" | "mobilenet_v2" | "yolo_v2"
+    )
 }
 
 /// Resolves `<model>` for the CLI: a zoo name or a path to a `.baton`
@@ -105,11 +191,295 @@ pub fn load_model(name: &str, res: u32) -> Result<Model, String> {
     zoo_model(name, res).map_err(|_| format!("unknown model `{name}` (zoo name or a .baton file)"))
 }
 
-/// Shared server state: uptime origin and the readiness latch.
+// ---------------------------------------------------------------------------
+// Response cache
+// ---------------------------------------------------------------------------
+
+/// Shard count: a small power of two; requests hash across shards so
+/// concurrent workers rarely contend on one mutex.
+const CACHE_SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct CacheShard {
+    /// Key -> (LRU stamp, response bytes). The stamp is a shard-local
+    /// logical clock bumped on every touch; eviction removes the minimum.
+    map: HashMap<String, (u64, Arc<String>)>,
+    clock: u64,
+}
+
+/// A sharded LRU cache of rendered 200-responses, keyed by
+/// [`MapRequest::cache_key`]. Entries are immutable `Arc<String>`s, so a
+/// hit clones a pointer, not the body.
+///
+/// Eviction is LRU within a shard (exact, by logical-clock scan — shards
+/// hold at most a few dozen entries, so the scan is cheaper than
+/// maintaining an intrusive list). All traffic is mirrored into the
+/// `baton_response_cache_*` metric series.
+#[derive(Debug)]
+pub struct ResponseCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard: usize,
+    entries: AtomicUsize,
+}
+
+impl ResponseCache {
+    /// A cache holding at most (roughly) `capacity` entries, spread over
+    /// [`CACHE_SHARDS`] shards (each shard holds `ceil(capacity/shards)`,
+    /// minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            per_shard: capacity.div_ceil(CACHE_SHARDS).max(1),
+            entries: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<CacheShard> {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Looks `key` up, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let found = shard.map.get_mut(key).map(|(used, body)| {
+            *used = stamp;
+            Arc::clone(body)
+        });
+        drop(shard);
+        if found.is_some() {
+            metrics::counter_add(CACHE_HITS, CACHE_HITS_HELP, &[], 1);
+        } else {
+            metrics::counter_add(CACHE_MISSES, CACHE_MISSES_HELP, &[], 1);
+        }
+        found
+    }
+
+    /// Stores a rendered response, evicting the shard's least-recently
+    /// used entry if the shard is full.
+    pub fn insert(&self, key: String, body: Arc<String>) {
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let mut evicted = false;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        let added = shard.map.insert(key, (stamp, body)).is_none();
+        drop(shard);
+        if evicted {
+            metrics::counter_add(CACHE_EVICTIONS, CACHE_EVICTIONS_HELP, &[], 1);
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+        }
+        if added {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics::gauge_set(
+            CACHE_ENTRIES,
+            CACHE_ENTRIES_HELP,
+            &[],
+            self.entries.load(Ordering::Relaxed) as f64,
+        );
+    }
+
+    /// Entries currently held (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing and canonicalization
+// ---------------------------------------------------------------------------
+
+/// Which layers a mapping request selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSelector {
+    /// No `config.layer`: every layer of the model.
+    All,
+    /// By position (`config.layer` as a number, or a string that parses).
+    Index(usize),
+    /// By layer name.
+    Name(String),
+}
+
+/// A parsed, validated, *canonical* mapping request: every field carries
+/// its default when the body omitted it, so two JSON bodies that describe
+/// the same work compare — and cache — equal regardless of field order,
+/// whitespace, or explicitly spelled defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRequest {
+    /// Zoo model name (validated against [`is_zoo_name`] by the handler).
+    pub model: String,
+    /// Input resolution (default 224, range-checked).
+    pub res: u32,
+    /// Runner-up count (default 3, range-checked).
+    pub top: usize,
+    /// Search objective (default energy).
+    pub objective: Objective,
+    /// Layer selection (default all layers).
+    pub layer: LayerSelector,
+}
+
+impl MapRequest {
+    /// Parses and range-checks a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message for malformed JSON, a missing or
+    /// non-string `model`, and out-of-range `res`/`top`/`objective`.
+    pub fn parse(body: &str) -> Result<Self, String> {
+        let request = parse_json(body).map_err(|e| format!("bad JSON body: {e}"))?;
+        let model = request
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"model\"")?
+            .to_string();
+        let config = request.get("config");
+        let field = |key: &str| config.and_then(|c| c.get(key));
+
+        let res = match field("res") {
+            Some(v) => {
+                let raw = v.as_f64().ok_or("config.res must be a number")?;
+                if raw.fract() != 0.0 || raw < f64::from(MIN_RES) || raw > f64::from(MAX_RES) {
+                    return Err(format!(
+                        "config.res must be an integer in [{MIN_RES}, {MAX_RES}], got {raw}"
+                    ));
+                }
+                raw as u32
+            }
+            None => 224,
+        };
+        let top = match field("top") {
+            Some(v) => {
+                let raw = v.as_f64().ok_or("config.top must be a number")?;
+                if raw.fract() != 0.0 || raw < 1.0 || raw > MAX_TOP as f64 {
+                    return Err(format!(
+                        "config.top must be an integer in [1, {MAX_TOP}], got {raw}"
+                    ));
+                }
+                raw as usize
+            }
+            None => 3,
+        };
+        let objective = match field("objective") {
+            None => Objective::Energy,
+            Some(v) => match v.as_str().ok_or("config.objective must be a string")? {
+                "energy" => Objective::Energy,
+                "edp" => Objective::Edp,
+                "runtime" => Objective::Runtime,
+                other => {
+                    return Err(format!(
+                        "unknown objective `{other}` (energy, edp, or runtime)"
+                    ))
+                }
+            },
+        };
+        let layer = match field("layer") {
+            None => LayerSelector::All,
+            Some(Json::Num(n)) => {
+                if n.fract() != 0.0 || *n < 0.0 {
+                    return Err("config.layer index must be a non-negative integer".into());
+                }
+                LayerSelector::Index(*n as usize)
+            }
+            Some(Json::Str(s)) => match s.parse::<usize>() {
+                // A numeric string selects by index — the CLI `--layer` rule.
+                Ok(idx) => LayerSelector::Index(idx),
+                Err(_) => LayerSelector::Name(s.clone()),
+            },
+            Some(_) => return Err("config.layer must be a name or an index".into()),
+        };
+        Ok(MapRequest {
+            model,
+            res,
+            top,
+            objective,
+            layer,
+        })
+    }
+
+    /// The canonical cache key for this request on `endpoint`. Defaults are
+    /// materialized by [`parse`](Self::parse), so bodies differing only in
+    /// field order, whitespace, or spelled-out defaults key identically;
+    /// any semantic difference lands in a distinct, unambiguous position.
+    pub fn cache_key(&self, endpoint: &str) -> String {
+        let layer = match &self.layer {
+            LayerSelector::All => "*".to_string(),
+            LayerSelector::Index(i) => format!("#{i}"),
+            LayerSelector::Name(n) => format!("n:{n}"),
+        };
+        format!(
+            "{endpoint}|model={}|res={}|layer={layer}|top={}|objective={}",
+            self.model,
+            self.res,
+            self.top,
+            self.objective.label()
+        )
+    }
+}
+
+/// Parses `body` and returns its canonical cache key for `endpoint` — the
+/// property-test entry point for key canonicalization.
+///
+/// # Errors
+///
+/// Propagates [`MapRequest::parse`] failures.
+pub fn cache_key_for(endpoint: &str, body: &str) -> Result<String, String> {
+    Ok(MapRequest::parse(body)?.cache_key(endpoint))
+}
+
+// ---------------------------------------------------------------------------
+// Server plumbing
+// ---------------------------------------------------------------------------
+
+/// Process-wide drain flag: set by `POST /quitquitquit` or
+/// [`request_shutdown`] (e.g. from a supervisor's signal hook).
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Asks a running [`serve`] loop to drain and return: stop accepting,
+/// finish queued and in-flight requests, flush a final metrics snapshot.
+/// Safe to call from any thread (it only stores an atomic flag, so it is
+/// async-signal-safe enough for a signal-handler shim).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+fn shutting_down() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Shared server state: uptime origin, readiness latch, and the response
+/// cache (None when `--cache-entries 0`).
 #[derive(Debug)]
 struct ServerState {
     started: Instant,
     warm: AtomicBool,
+    cache: Option<ResponseCache>,
+    keep_alive_requests: usize,
 }
 
 /// One parsed HTTP response about to be written back.
@@ -118,6 +488,8 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: String,
+    /// 429s advertise when to come back.
+    retry_after: Option<u32>,
 }
 
 impl Response {
@@ -126,6 +498,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -133,6 +506,12 @@ impl Response {
         let mut w = ObjectWriter::new();
         w.str("error", message);
         Self::json(status, w.finish() + "\n")
+    }
+
+    fn too_many_requests() -> Self {
+        let mut resp = Self::error(429, "server saturated, retry later");
+        resp.retry_after = Some(RETRY_AFTER_SECS);
+        resp
     }
 }
 
@@ -143,10 +522,25 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
+
+/// Every canonical value the `path` metric label can take: the closed
+/// route set, plus `other` (unroutable paths) and `rejected` (connections
+/// answered 429 by the acceptor before any request line was read).
+pub const CANONICAL_PATHS: &[&str] = &[
+    "/metrics",
+    "/healthz",
+    "/readyz",
+    "/map",
+    "/explain",
+    "/quitquitquit",
+    "other",
+    "rejected",
+];
 
 /// Collapses a request path onto the closed route set so the `path` metric
 /// label stays bounded no matter what clients send.
@@ -157,35 +551,66 @@ fn canonical_path(path: &str) -> &'static str {
         "/readyz" => "/readyz",
         "/map" => "/map",
         "/explain" => "/explain",
+        "/quitquitquit" => "/quitquitquit",
         _ => "other",
     }
 }
 
-/// Binds `addr`, prints the `listening on http://<bound-addr>` line (with
-/// port 0 resolved), and serves until the process is killed.
+/// Binds the configured address, prints the `listening on http://<addr>`
+/// line (with port 0 resolved), and serves until a drain is requested via
+/// `POST /quitquitquit` or [`request_shutdown`] — then stops accepting,
+/// finishes in-flight work, flushes a final metrics snapshot, and returns.
 ///
 /// # Errors
 ///
 /// Returns a message if the address cannot be bound; request-level failures
 /// become HTTP error responses, never a server exit.
-pub fn serve(addr: &str) -> Result<(), String> {
+pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
     metrics::enable();
-    // Request families render their HELP/TYPE from the very first scrape,
-    // before any request has been served.
-    metrics::registry().describe(REQUESTS_TOTAL, REQUESTS_HELP, metrics::MetricKind::Counter);
-    metrics::registry().describe(
+    // Request/cache/queue families render their HELP/TYPE from the very
+    // first scrape, before any request has been served.
+    let reg = metrics::registry();
+    reg.describe(REQUESTS_TOTAL, REQUESTS_HELP, metrics::MetricKind::Counter);
+    reg.describe(
         REQUEST_SECONDS,
         REQUEST_SECONDS_HELP,
         metrics::MetricKind::Histogram,
     );
+    reg.describe(CACHE_HITS, CACHE_HITS_HELP, metrics::MetricKind::Counter);
+    reg.describe(
+        CACHE_MISSES,
+        CACHE_MISSES_HELP,
+        metrics::MetricKind::Counter,
+    );
+    reg.describe(
+        CACHE_EVICTIONS,
+        CACHE_EVICTIONS_HELP,
+        metrics::MetricKind::Counter,
+    );
+    metrics::gauge_set(CACHE_ENTRIES, CACHE_ENTRIES_HELP, &[], 0.0);
+    metrics::gauge_set(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], 0.0);
+    metrics::gauge_set(
+        QUEUE_DEPTH_GAUGE,
+        QUEUE_DEPTH_HELP,
+        &[("queue", "http")],
+        0.0,
+    );
 
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // Non-blocking accepts let the acceptor notice a drain request within
+    // ACCEPT_POLL even when no connection ever arrives to wake it.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure listener: {e}"))?;
     let state = Arc::new(ServerState {
         started: Instant::now(),
         warm: AtomicBool::new(false),
+        cache: (cfg.cache_entries > 0).then(|| ResponseCache::new(cfg.cache_entries)),
+        keep_alive_requests: cfg.keep_alive_requests.max(1),
     });
 
     // Warm up off the accept path: one tiny search populates the search
@@ -206,19 +631,186 @@ pub fn serve(addr: &str) -> Result<(), String> {
     let _ = std::io::stdout().flush();
 
     let workers = baton_parallel::threads().clamp(1, 8);
-    vlog!(1, "serve: {workers} worker threads on {local}");
+    vlog!(
+        1,
+        "serve: {workers} worker threads on {local}, cache {} entries, queue depth {}, {} requests/connection",
+        cfg.cache_entries,
+        cfg.queue_depth,
+        state.keep_alive_requests
+    );
+    let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(cfg.queue_depth, "http"));
     let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
-        let listener = listener
-            .try_clone()
-            .map_err(|e| format!("cannot clone listener: {e}"))?;
+        let queue = Arc::clone(&queue);
         let state = Arc::clone(&state);
-        handles.push(std::thread::spawn(move || accept_loop(&listener, &state)));
+        handles.push(std::thread::spawn(move || worker_loop(&queue, &state)));
     }
+
+    accept_loop(&listener, &queue);
+
+    // Drain: refuse new connects immediately, let queued + in-flight
+    // requests finish, then flush the final snapshot.
+    drop(listener);
+    queue.close();
     for h in handles {
         let _ = h.join();
     }
+    final_snapshot(&state);
     Ok(())
+}
+
+/// Accepts connections and hands them to the worker queue until a drain is
+/// requested, answering 429 the moment the queue is full — the acceptor
+/// never reads from a socket, so a slow client cannot stall admission.
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>) {
+    loop {
+        if shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking; the accepted socket must
+                // not be (workers use plain blocking reads + deadlines).
+                let _ = stream.set_nonblocking(false);
+                match queue.push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(stream)) => reject_saturated(stream),
+                    // Raced with drain: the listener is about to close.
+                    Err(PushError::Closed(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                vlog!(2, "serve: accept error: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Answers 429 + `Retry-After` on a connection the queue refused. Counted
+/// under the bounded `rejected` path label (no request line was read — the
+/// acceptor must never block on client input).
+fn reject_saturated(stream: TcpStream) {
+    let t0 = Instant::now();
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut stream = stream;
+    let _ = write_response(&mut stream, &Response::too_many_requests(), false);
+    record_request("rejected", 429, t0.elapsed());
+}
+
+/// One worker: pull connections off the queue until it closes and drains.
+fn worker_loop(queue: &BoundedQueue<TcpStream>, state: &ServerState) {
+    while let Some(stream) = queue.pop() {
+        metrics::gauge_add(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], 1.0);
+        if let Err(e) = handle_connection(stream, state) {
+            vlog!(2, "serve: connection error: {e}");
+        }
+        metrics::gauge_add(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], -1.0);
+    }
+}
+
+/// Serves one connection: up to `keep_alive_requests` requests back to
+/// back, each under the read/write deadlines. Returns on clean EOF, on
+/// `Connection: close`, at the request limit, when a drain begins, or
+/// after any framing error (malformed line, bad body) — those close
+/// because request boundaries can no longer be trusted.
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    for served in 1..=state.keep_alive_requests {
+        let t0 = Instant::now();
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            // Clean EOF between requests: the client is done.
+            return Ok(());
+        }
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+
+        let mut content_length = 0usize;
+        let mut client_close = false;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                break;
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            let lower = header.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = lower.strip_prefix("connection:") {
+                client_close = v.trim() == "close";
+            }
+        }
+
+        let mut framing_ok = true;
+        let response = if method.is_empty() || path.is_empty() {
+            framing_ok = false;
+            Response::error(400, "malformed request line")
+        } else if content_length > MAX_BODY_BYTES {
+            framing_ok = false;
+            Response::error(413, "request body too large")
+        } else {
+            let mut body = vec![0u8; content_length];
+            match reader.read_exact(&mut body) {
+                Ok(()) => {
+                    let body = String::from_utf8_lossy(&body);
+                    guarded(&method, &path, &body, state)
+                }
+                Err(_) => {
+                    framing_ok = false;
+                    Response::error(400, "request body shorter than Content-Length")
+                }
+            }
+        };
+
+        let keep_alive =
+            framing_ok && !client_close && served < state.keep_alive_requests && !shutting_down();
+
+        // Every response — early-exit 400/413s included — lands in the
+        // request metrics under a bounded path label ("" canonicalizes to
+        // "other").
+        record_request(canonical_path(&path), response.status, t0.elapsed());
+        write_response(&mut writer, &response, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Writes status line, headers (including `Retry-After` and the
+/// keep-alive/close decision), and body.
+fn write_response(
+    writer: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let retry = response
+        .retry_after
+        .map(|s| format!("Retry-After: {s}\r\n"))
+        .unwrap_or_default();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
 }
 
 /// Runs one search over a statically-known tiny model, so readiness implies
@@ -231,82 +823,6 @@ fn warmup() {
     for layer in model.layers() {
         let _ = baton_c3p::search_layer(layer, &arch, &tech, Objective::Energy);
     }
-}
-
-fn accept_loop(listener: &TcpListener, state: &ServerState) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if let Err(e) = handle_connection(stream, state) {
-                    vlog!(2, "serve: connection error: {e}");
-                }
-            }
-            Err(e) => {
-                vlog!(2, "serve: accept error: {e}");
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
-}
-
-/// Reads one request off the stream, routes it, writes the response, and
-/// closes. Malformed requests become 400s; only socket I/O errors bubble.
-fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    let t0 = Instant::now();
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            break;
-        }
-        let header = header.trim();
-        if header.is_empty() {
-            break;
-        }
-        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().unwrap_or(0);
-        }
-    }
-
-    let response = if method.is_empty() || path.is_empty() {
-        Response::error(400, "malformed request line")
-    } else if content_length > MAX_BODY_BYTES {
-        Response::error(413, "request body too large")
-    } else {
-        let mut body = vec![0u8; content_length];
-        match reader.read_exact(&mut body) {
-            Ok(()) => {
-                let body = String::from_utf8_lossy(&body);
-                guarded(&method, &path, &body, state)
-            }
-            Err(_) => Response::error(400, "request body shorter than Content-Length"),
-        }
-    };
-
-    // Every response — early-exit 400/413s included — lands in the request
-    // metrics under a bounded path label ("" canonicalizes to "other").
-    record_request(canonical_path(&path), response.status, t0.elapsed());
-
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        status_text(response.status),
-        response.content_type,
-        response.body.len()
-    );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(response.body.as_bytes())?;
-    writer.flush()
 }
 
 fn record_request(canonical: &'static str, status: u16, elapsed: Duration) {
@@ -322,6 +838,46 @@ fn record_request(canonical: &'static str, status: u16, elapsed: Duration) {
         REQUEST_SECONDS_HELP,
         &[("path", canonical)],
         elapsed,
+    );
+}
+
+/// Prints the end-of-drain summary (stdout, one line a supervisor can log)
+/// and, at `-v`, the full exposition to stderr — the final state of every
+/// series before the process exits.
+fn final_snapshot(state: &ServerState) {
+    let snapshot = metrics::registry().snapshot();
+    let total: u64 = snapshot
+        .iter()
+        .filter(|f| f.name == REQUESTS_TOTAL)
+        .flat_map(|f| &f.series)
+        .map(|(_, v)| match v {
+            metrics::SeriesValue::Counter(c) => *c,
+            _ => 0,
+        })
+        .sum();
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .iter()
+            .find(|f| f.name == name)
+            .and_then(|f| f.series.first())
+            .map(|(_, v)| match v {
+                metrics::SeriesValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    };
+    println!(
+        "drained: {total} requests served, cache {} hits / {} misses / {} evictions ({} entries)",
+        counter(CACHE_HITS),
+        counter(CACHE_MISSES),
+        counter(CACHE_EVICTIONS),
+        state.cache.as_ref().map_or(0, ResponseCache::len),
+    );
+    let _ = std::io::stdout().flush();
+    vlog!(
+        1,
+        "final metrics snapshot:\n{}",
+        expo::render(env!("CARGO_PKG_VERSION"))
     );
 }
 
@@ -347,6 +903,7 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: expo::render(env!("CARGO_PKG_VERSION")),
+            retry_after: None,
         },
         ("GET", "/healthz") => {
             let mut w = ObjectWriter::new();
@@ -362,91 +919,92 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
                 .u64("threads", baton_parallel::threads() as u64);
             Response::json(if warm { 200 } else { 503 }, w.finish() + "\n")
         }
-        ("POST", "/map" | "/explain") => match map_request(body) {
-            Ok(json) => Response::json(200, json),
-            Err(message) => Response::error(400, &message),
-        },
+        ("POST", "/map") => handle_map("/map", body, state),
+        ("POST", "/explain") => handle_map("/explain", body, state),
+        ("POST", "/quitquitquit") => {
+            vlog!(1, "serve: drain requested via /quitquitquit");
+            request_shutdown();
+            let mut w = ObjectWriter::new();
+            w.str("status", "draining");
+            Response::json(200, w.finish() + "\n")
+        }
         (_, "/metrics" | "/healthz" | "/readyz") => Response::error(405, "use GET"),
-        (_, "/map" | "/explain") => Response::error(405, "use POST"),
+        (_, "/map" | "/explain" | "/quitquitquit") => Response::error(405, "use POST"),
         _ => Response::error(404, "no such route"),
     }
 }
 
-/// Handles a `/map` / `/explain` body: the same layer selection, defaults,
-/// and JSON rendering as `baton explain --format json`, so the two surfaces
-/// can be diffed byte for byte — except model resolution, which is
-/// [`zoo_model`]-only so HTTP clients cannot reach server-side files, and
-/// `res`/`top`, which are range-checked so no client value can trip the
-/// zoo builders' shape assertions.
-fn map_request(body: &str) -> Result<String, String> {
-    let request = parse_json(body).map_err(|e| format!("bad JSON body: {e}"))?;
-    let model_name = request
-        .get("model")
-        .and_then(Json::as_str)
-        .ok_or("missing string field \"model\"")?;
-    let config = request.get("config");
-    let field = |key: &str| config.and_then(|c| c.get(key));
-
-    let res = match field("res") {
-        Some(v) => {
-            let raw = v.as_f64().ok_or("config.res must be a number")?;
-            if raw.fract() != 0.0 || raw < f64::from(MIN_RES) || raw > f64::from(MAX_RES) {
-                return Err(format!(
-                    "config.res must be an integer in [{MIN_RES}, {MAX_RES}], got {raw}"
-                ));
-            }
-            raw as u32
+/// `/map` and `/explain`: parse + validate, consult the response cache,
+/// and only on a miss run the search and cache the rendered bytes — a hit
+/// returns the stored response verbatim without touching the search stack
+/// (`baton_search_duration_seconds` does not advance on hits).
+fn handle_map(endpoint: &'static str, body: &str, state: &ServerState) -> Response {
+    let request = match MapRequest::parse(body) {
+        Ok(r) => r,
+        Err(message) => return Response::error(400, &message),
+    };
+    // Unknown models are refused before the cache, so hostile names can
+    // neither mint cache keys nor count as misses.
+    if !is_zoo_name(&request.model) {
+        return match zoo_model(&request.model, request.res) {
+            Err(message) => Response::error(400, &message),
+            Ok(_) => unreachable!("non-zoo name cannot build"),
+        };
+    }
+    let key = request.cache_key(endpoint);
+    if let Some(cache) = &state.cache {
+        if let Some(cached) = cache.get(&key) {
+            return Response::json(200, cached.as_ref().clone());
         }
-        None => 224,
-    };
-    let top = match field("top") {
-        Some(v) => {
-            let raw = v.as_f64().ok_or("config.top must be a number")?;
-            if raw.fract() != 0.0 || raw < 1.0 || raw > MAX_TOP as f64 {
-                return Err(format!(
-                    "config.top must be an integer in [1, {MAX_TOP}], got {raw}"
-                ));
+    }
+    match run_map_request(&request) {
+        Ok(json) => {
+            if let Some(cache) = &state.cache {
+                cache.insert(key, Arc::new(json.clone()));
             }
-            raw as usize
+            Response::json(200, json)
         }
-        None => 3,
-    };
-    let objective = match field("objective") {
-        None => Objective::Energy,
-        Some(v) => match v.as_str().ok_or("config.objective must be a string")? {
-            "energy" => Objective::Energy,
-            "edp" => Objective::Edp,
-            "runtime" => Objective::Runtime,
-            other => {
-                return Err(format!(
-                    "unknown objective `{other}` (energy, edp, or runtime)"
-                ))
-            }
-        },
-    };
+        Err(message) => Response::error(400, &message),
+    }
+}
 
-    let model = zoo_model(model_name, res)?;
-    let layers = select_layers(&model, field("layer"))?;
+/// Handles a parsed `/map` / `/explain` request: the same layer selection,
+/// defaults, and JSON rendering as `baton explain --format json`, so the
+/// two surfaces can be diffed byte for byte.
+///
+/// # Errors
+///
+/// Returns a client-facing message for unknown models/layers and search
+/// failures.
+pub fn run_map_request(request: &MapRequest) -> Result<String, String> {
+    let model = zoo_model(&request.model, request.res)?;
+    let layers = select_layers(&model, &request.layer)?;
     let arch = presets::case_study_accelerator();
     let tech = Technology::paper_16nm();
     let mut out = String::new();
     for layer in layers {
-        let explanation =
-            explain_layer(layer, &arch, &tech, objective, top).map_err(|e| e.to_string())?;
+        let explanation = explain_layer(layer, &arch, &tech, request.objective, request.top)
+            .map_err(|e| e.to_string())?;
         out.push_str(&explanation.render(Format::Json));
     }
     Ok(out)
 }
 
-/// `config.layer` absent: all layers. A number: by index. A string: by
-/// name, or by index if it parses — the CLI `--layer` rules.
+/// Parses and runs a request body in one step — the original one-shot
+/// entry point, kept for tests and embedding (no cache involved).
+///
+/// # Errors
+///
+/// Propagates parse and search failures as client-facing messages.
+pub fn map_request(body: &str) -> Result<String, String> {
+    run_map_request(&MapRequest::parse(body)?)
+}
+
+/// Resolves a [`LayerSelector`] against a model — the CLI `--layer` rules.
 fn select_layers<'m>(
     model: &'m Model,
-    selector: Option<&Json>,
+    selector: &LayerSelector,
 ) -> Result<Vec<&'m ConvSpec>, String> {
-    let Some(selector) = selector else {
-        return Ok(model.layers().iter().collect());
-    };
     let by_index = |idx: usize| {
         model.layers().get(idx).ok_or_else(|| {
             format!(
@@ -456,23 +1014,16 @@ fn select_layers<'m>(
             )
         })
     };
-    let layer = match selector {
-        Json::Num(n) => by_index(*n as usize)?,
-        Json::Str(s) => {
-            if let Ok(idx) = s.parse::<usize>() {
-                by_index(idx)?
-            } else {
-                model.layer(s).ok_or_else(|| {
-                    format!(
-                        "no layer `{s}` in {} (use a name or an index)",
-                        model.name()
-                    )
-                })?
-            }
-        }
-        _ => return Err("config.layer must be a name or an index".into()),
-    };
-    Ok(vec![layer])
+    match selector {
+        LayerSelector::All => Ok(model.layers().iter().collect()),
+        LayerSelector::Index(idx) => Ok(vec![by_index(*idx)?]),
+        LayerSelector::Name(name) => Ok(vec![model.layer(name).ok_or_else(|| {
+            format!(
+                "no layer `{name}` in {} (use a name or an index)",
+                model.name()
+            )
+        })?]),
+    }
 }
 
 #[cfg(test)]
@@ -483,6 +1034,8 @@ mod tests {
         ServerState {
             started: Instant::now(),
             warm: AtomicBool::new(warm),
+            cache: Some(ResponseCache::new(16)),
+            keep_alive_requests: 100,
         }
     }
 
@@ -521,8 +1074,43 @@ mod tests {
         assert_eq!(dispatch("GET", "/nope", "", &state).status, 404);
         assert_eq!(dispatch("POST", "/metrics", "", &state).status, 405);
         assert_eq!(dispatch("GET", "/map", "", &state).status, 405);
-        assert_eq!(canonical_path("/metrics"), "/metrics");
-        assert_eq!(canonical_path("/anything/else"), "other");
+        assert_eq!(dispatch("GET", "/quitquitquit", "", &state).status, 405);
+    }
+
+    /// Every route labels itself (never folding into `other`), every
+    /// non-route folds into `other`, and the canonical label set is
+    /// exactly [`CANONICAL_PATHS`] — the request-counter cardinality
+    /// contract.
+    #[test]
+    fn canonical_path_labels_every_route_and_bounds_the_rest() {
+        let routes = [
+            "/metrics",
+            "/healthz",
+            "/readyz",
+            "/map",
+            "/explain",
+            "/quitquitquit",
+        ];
+        for route in routes {
+            assert_eq!(canonical_path(route), route, "route must label itself");
+            assert!(CANONICAL_PATHS.contains(&canonical_path(route)));
+        }
+        for junk in [
+            "",
+            "/",
+            "/map/",
+            "/map?x=1",
+            "/MAP",
+            "/metrics/../etc/passwd",
+            "/anything/else",
+            "/quitquitquit2",
+        ] {
+            assert_eq!(canonical_path(junk), "other", "{junk:?} must fold");
+        }
+        // The label set is closed: routes + other + rejected, nothing else.
+        assert_eq!(CANONICAL_PATHS.len(), routes.len() + 2);
+        assert!(CANONICAL_PATHS.contains(&"other"));
+        assert!(CANONICAL_PATHS.contains(&"rejected"));
     }
 
     #[test]
@@ -533,6 +1121,18 @@ mod tests {
         assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
         assert!(resp.body.contains("# TYPE baton_evaluations_total counter"));
         assert!(resp.body.contains("baton_build_info{version="));
+    }
+
+    #[test]
+    fn quitquitquit_sets_the_drain_flag() {
+        // Restore the flag afterwards: other tests in this process must
+        // not observe a draining server.
+        let state = test_state(true);
+        let resp = dispatch("POST", "/quitquitquit", "", &state);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"status\":\"draining\""));
+        assert!(shutting_down());
+        SHUTDOWN.store(false, Ordering::Release);
     }
 
     #[test]
@@ -582,7 +1182,10 @@ mod tests {
         let body = format!("{{\"model\": \"{path}\", \"config\": {{\"res\": 32}}}}");
         let err = map_request(&body).unwrap_err();
         assert!(err.contains("unknown model"), "{err}");
-        assert!(!err.contains("cannot read"), "must not leak fs errors: {err}");
+        assert!(
+            !err.contains("cannot read"),
+            "must not leak fs errors: {err}"
+        );
         // The same path still resolves through the CLI's loader.
         assert!(load_model(&path, 32).is_ok());
     }
@@ -597,17 +1200,20 @@ mod tests {
             err("{\"model\": \"alexnet\", \"config\": {\"res\": 1000000}}").contains("config.res")
         );
         assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32.5}}").contains("config.res"));
-        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 0}}")
-            .contains("config.top"));
-        assert!(err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 1e9}}")
-            .contains("config.top"));
+        assert!(
+            err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 0}}")
+                .contains("config.top")
+        );
+        assert!(
+            err("{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"top\": 1e9}}")
+                .contains("config.top")
+        );
     }
 
     #[test]
     fn panicking_handlers_become_500s_not_dead_threads() {
-        let response = catch_panic(|| panic!("handler bug")).unwrap_or_else(|| {
-            Response::error(500, "internal error: request handler panicked")
-        });
+        let response = catch_panic(|| panic!("handler bug"))
+            .unwrap_or_else(|| Response::error(500, "internal error: request handler panicked"));
         assert_eq!(response.status, 500);
         assert!(response.body.contains("internal error"));
         // Non-panicking handlers pass through untouched.
@@ -618,14 +1224,133 @@ mod tests {
     #[test]
     fn layer_selection_accepts_names_and_indices() {
         let model = zoo::alexnet(224);
-        let all = select_layers(&model, None).unwrap();
+        let all = select_layers(&model, &LayerSelector::All).unwrap();
         assert_eq!(all.len(), model.layers().len());
-        let by_num = select_layers(&model, Some(&Json::Num(0.0))).unwrap();
-        let by_str_idx = select_layers(&model, Some(&Json::Str("0".into()))).unwrap();
-        assert_eq!(by_num[0].name(), by_str_idx[0].name());
+        let by_num = select_layers(&model, &LayerSelector::Index(0)).unwrap();
         let by_name =
-            select_layers(&model, Some(&Json::Str(by_num[0].name().to_string()))).unwrap();
+            select_layers(&model, &LayerSelector::Name(by_num[0].name().to_string())).unwrap();
         assert_eq!(by_name[0].name(), by_num[0].name());
-        assert!(select_layers(&model, Some(&Json::Bool(true))).is_err());
+        assert!(select_layers(&model, &LayerSelector::Index(999)).is_err());
+        assert!(select_layers(&model, &LayerSelector::Name("nope".into())).is_err());
+    }
+
+    #[test]
+    fn cache_keys_canonicalize_field_order_whitespace_and_defaults() {
+        let spelled = cache_key_for(
+            "/map",
+            "{\"model\": \"alexnet\", \"config\": {\"res\": 224, \"top\": 3, \"objective\": \"energy\"}}",
+        )
+        .unwrap();
+        let defaulted = cache_key_for("/map", "{\"model\":\"alexnet\"}").unwrap();
+        let reordered = cache_key_for(
+            "/map",
+            "{ \"config\" : { \"objective\" : \"energy\" , \"top\" : 3 } , \"model\" : \"alexnet\" }",
+        )
+        .unwrap();
+        assert_eq!(spelled, defaulted);
+        assert_eq!(spelled, reordered);
+
+        // A numeric-string layer is the same selection as the number.
+        assert_eq!(
+            cache_key_for("/map", "{\"model\":\"alexnet\",\"config\":{\"layer\":0}}").unwrap(),
+            cache_key_for(
+                "/map",
+                "{\"model\":\"alexnet\",\"config\":{\"layer\":\"0\"}}"
+            )
+            .unwrap()
+        );
+
+        // Any differing field differs the key.
+        for other in [
+            "{\"model\":\"vgg16\"}",
+            "{\"model\":\"alexnet\",\"config\":{\"res\":225}}",
+            "{\"model\":\"alexnet\",\"config\":{\"top\":4}}",
+            "{\"model\":\"alexnet\",\"config\":{\"objective\":\"edp\"}}",
+            "{\"model\":\"alexnet\",\"config\":{\"layer\":\"conv1\"}}",
+        ] {
+            assert_ne!(spelled, cache_key_for("/map", other).unwrap(), "{other}");
+        }
+        // Endpoints key separately.
+        assert_ne!(
+            spelled,
+            cache_key_for("/explain", "{\"model\":\"alexnet\"}").unwrap()
+        );
+    }
+
+    #[test]
+    fn response_cache_hits_evicts_lru_and_tracks_occupancy() {
+        let cache = ResponseCache::new(CACHE_SHARDS * 2); // two entries per shard
+        assert!(cache.is_empty());
+        cache.insert("a".into(), Arc::new("body-a".into()));
+        assert_eq!(
+            cache.get("a").as_deref().map(String::as_str),
+            Some("body-a")
+        );
+        assert_eq!(cache.get("missing"), None);
+        assert_eq!(cache.len(), 1);
+
+        // Same-shard keys beyond capacity evict the least recently used.
+        let mut same_shard = vec!["a".to_string()];
+        let target = {
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut h = DefaultHasher::new();
+            "a".hash(&mut h);
+            (h.finish() as usize) % CACHE_SHARDS
+        };
+        let mut n = 0;
+        while same_shard.len() < 3 {
+            n += 1;
+            let key = format!("k{n}");
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            if (h.finish() as usize) % CACHE_SHARDS == target {
+                same_shard.push(key);
+            }
+        }
+        // Touch "a" so the second key is the LRU when the third arrives.
+        cache.insert(same_shard[1].clone(), Arc::new("body-1".into()));
+        assert!(cache.get("a").is_some());
+        cache.insert(same_shard[2].clone(), Arc::new("body-2".into()));
+        assert!(cache.get("a").is_some(), "recently used entry survived");
+        assert!(cache.get(&same_shard[1]).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&same_shard[2]).is_some());
+    }
+
+    #[test]
+    fn cache_reinsert_updates_without_growing() {
+        let cache = ResponseCache::new(8);
+        cache.insert("k".into(), Arc::new("v1".into()));
+        cache.insert("k".into(), Arc::new("v2".into()));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("k").as_deref().map(String::as_str), Some("v2"));
+    }
+
+    #[test]
+    fn handle_map_serves_hits_from_the_cache_without_searching() {
+        let state = test_state(true);
+        let body = "{\"model\": \"alexnet\", \"config\": {\"res\": 32, \"layer\": 0}}";
+        let cold = handle_map("/map", body, &state);
+        assert_eq!(cold.status, 200);
+        // Reordered body, same canonical request: byte-identical response
+        // straight from the cache (the entry count proves it was stored).
+        let reordered = "{\"config\": {\"layer\": 0, \"res\": 32}, \"model\": \"alexnet\"}";
+        let warm = handle_map("/map", reordered, &state);
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.body, cold.body, "cached body must be byte-identical");
+        assert_eq!(state.cache.as_ref().unwrap().len(), 1);
+        // Invalid models never reach the cache.
+        let bad = handle_map("/map", "{\"model\": \"nope\"}", &state);
+        assert_eq!(bad.status, 400);
+        assert_eq!(state.cache.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn too_many_requests_carries_retry_after() {
+        let resp = Response::too_many_requests();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(RETRY_AFTER_SECS));
+        assert_eq!(status_text(429), "Too Many Requests");
+        assert!(resp.body.contains("\"error\":"));
     }
 }

@@ -11,6 +11,9 @@
 //! * [`threads`] / [`configure_threads`] — worker-count resolution:
 //!   explicit `--threads N` override, then the `BATON_THREADS` environment
 //!   variable, then `std::thread::available_parallelism()`.
+//! * [`queue::BoundedQueue`] — a bounded, closeable MPMC hand-off for work
+//!   that arrives from *outside* (HTTP requests in `baton serve`), where a
+//!   full queue must shed load instead of buffering unboundedly.
 //!
 //! Determinism is the design constraint throughout: worker *scheduling* is
 //! free, but every reduction is ordered by input index, so the thread count
@@ -19,21 +22,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod queue;
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use baton_telemetry::metrics;
 use baton_telemetry::span_labeled;
 
+use queue::{QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP};
+
 /// Gauge of workers currently inside a [`map_chunked`] scope, summed over
 /// concurrent fan-outs.
 const WORKERS_GAUGE: &str = "baton_parallel_workers";
 const WORKERS_HELP: &str = "Worker threads currently executing a parallel fan-out.";
 
-/// Gauge of work-queue chunks not yet claimed by any worker (of the most
-/// recently progressed fan-out; gauges are last-write-wins by design).
-const QUEUE_GAUGE: &str = "baton_parallel_queue_depth";
-const QUEUE_HELP: &str = "Unclaimed chunks in the parallel work queue.";
+/// The fan-out's series in the shared [`QUEUE_DEPTH_GAUGE`] family: chunks
+/// not yet claimed by any worker (of the most recently progressed fan-out;
+/// gauges are last-write-wins by design).
+const FAN_OUT_QUEUE: &[(&str, &str)] = &[("queue", "fanout")];
 
 /// Explicit thread-count override (0 = unset). Set once by the CLI from
 /// `--threads`; everything downstream reads [`threads`].
@@ -112,7 +119,12 @@ where
     let observe = metrics::enabled();
     if observe {
         metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], workers as f64);
-        metrics::gauge_set(QUEUE_GAUGE, QUEUE_HELP, &[], n_chunks as f64);
+        metrics::gauge_set(
+            QUEUE_DEPTH_GAUGE,
+            QUEUE_DEPTH_HELP,
+            FAN_OUT_QUEUE,
+            n_chunks as f64,
+        );
     }
 
     // One slot per chunk. Each Mutex is written exactly once, by whichever
@@ -131,9 +143,9 @@ where
                     }
                     if observe {
                         metrics::gauge_set(
-                            QUEUE_GAUGE,
-                            QUEUE_HELP,
-                            &[],
+                            QUEUE_DEPTH_GAUGE,
+                            QUEUE_DEPTH_HELP,
+                            FAN_OUT_QUEUE,
                             n_chunks.saturating_sub(c + 1) as f64,
                         );
                     }
@@ -153,7 +165,7 @@ where
     });
     if observe {
         metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], -(workers as f64));
-        metrics::gauge_set(QUEUE_GAUGE, QUEUE_HELP, &[], 0.0);
+        metrics::gauge_set(QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP, FAN_OUT_QUEUE, 0.0);
     }
     slots
         .into_iter()
@@ -240,16 +252,18 @@ impl Default for AtomicBest {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    /// Serializes the tests that run [`map_chunked`]: the occupancy test
-    /// enables the process-global metrics registry, so a sibling fan-out
-    /// running concurrently would mutate the same gauges and flake its
-    /// exact-zero assertions (and see metrics flip off mid-run at reset).
-    fn fan_out_lock() -> std::sync::MutexGuard<'static, ()> {
+    /// Serializes the tests that run [`map_chunked`] (and the queue gauge
+    /// test in `queue.rs`): the occupancy test enables the process-global
+    /// metrics registry, so a sibling fan-out running concurrently would
+    /// mutate the same gauges and flake its exact-zero assertions (and see
+    /// metrics flip off mid-run at reset).
+    pub(crate) fn fan_out_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -333,9 +347,18 @@ mod tests {
                 .and_then(|f| f.series.first())
                 .map(|(_, v)| v.clone())
         };
+        let fanout_depth = snap
+            .iter()
+            .find(|f| f.name == QUEUE_DEPTH_GAUGE)
+            .and_then(|f| {
+                f.series
+                    .iter()
+                    .find(|(k, _)| k.iter().any(|(_, v)| v == "fanout"))
+                    .map(|(_, v)| v.clone())
+            });
         // Workers went up and came back down; the queue drained.
         assert_eq!(value(WORKERS_GAUGE), Some(SeriesValue::Gauge(0.0)));
-        assert_eq!(value(QUEUE_GAUGE), Some(SeriesValue::Gauge(0.0)));
+        assert_eq!(fanout_depth, Some(SeriesValue::Gauge(0.0)));
         baton_telemetry::metrics::reset();
     }
 

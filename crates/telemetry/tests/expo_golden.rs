@@ -49,6 +49,48 @@ fn exposition_matches_the_golden_file() {
         );
     }
 
+    // The serving-layer families exactly as `baton serve` and
+    // `baton-parallel` emit them: response-cache traffic plus the shared
+    // queue-depth gauge (one series per queue name). Pinned here so the
+    // scrape surface for cache hit-rate and back-pressure dashboards is
+    // byte-stable.
+    metrics::counter_add(
+        "baton_response_cache_hits_total",
+        "Mapping requests answered from the response cache.",
+        &[],
+        5,
+    );
+    metrics::counter_add(
+        "baton_response_cache_misses_total",
+        "Mapping requests that missed the response cache and ran the search.",
+        &[],
+        2,
+    );
+    metrics::counter_add(
+        "baton_response_cache_evictions_total",
+        "Response cache entries evicted to make room (LRU per shard).",
+        &[],
+        1,
+    );
+    metrics::gauge_set(
+        "baton_response_cache_entries",
+        "Entries currently held by the response cache.",
+        &[],
+        2.0,
+    );
+    metrics::gauge_set(
+        "baton_parallel_queue_depth",
+        "Unclaimed items in a bounded parallel work queue, by queue name.",
+        &[("queue", "http")],
+        3.0,
+    );
+    metrics::gauge_set(
+        "baton_parallel_queue_depth",
+        "Unclaimed items in a bounded parallel work queue, by queue name.",
+        &[("queue", "fanout")],
+        0.0,
+    );
+
     let rendered = expo::render("0.0.0-golden");
 
     // Two renders of an unchanged registry are byte-identical.
@@ -88,6 +130,18 @@ fn exposition_matches_the_golden_file() {
     assert!(rendered
         .lines()
         .any(|l| l == "baton_demo_seconds_bucket{objective=\"energy\",le=\"1073.741823\"} 6"));
+
+    // The serving families: cache traffic is distinct from the bridged
+    // shape-memo counters (`baton_cache_*`), and both queue series render
+    // under one family sorted by label value.
+    assert!(rendered.contains("# TYPE baton_response_cache_hits_total counter"));
+    assert!(rendered.contains("baton_response_cache_hits_total 5"));
+    assert!(rendered.contains("baton_response_cache_misses_total 2"));
+    assert!(rendered.contains("baton_response_cache_evictions_total 1"));
+    assert!(rendered.contains("baton_response_cache_entries 2"));
+    assert!(rendered.contains("# TYPE baton_parallel_queue_depth gauge"));
+    assert!(rendered.contains("baton_parallel_queue_depth{queue=\"fanout\"} 0"));
+    assert!(rendered.contains("baton_parallel_queue_depth{queue=\"http\"} 3"));
 
     // Bridged run counters render under canonical names even at zero.
     assert!(rendered.contains("# TYPE baton_cache_hits_total counter"));

@@ -247,3 +247,183 @@ fn arb_small_layer() -> impl Strategy<Value = ConvSpec> {
             ConvSpec::new("fprop", hw, hw, ci, k, s, k / 2, co).ok()
         })
 }
+
+// ---------------------------------------------------------------------------
+// Response-cache key canonicalization (`serve::cache_key_for`)
+// ---------------------------------------------------------------------------
+
+/// The `config.layer` field as a client can spell it: a JSON number, a
+/// numeric string (same selection as the number), or a layer name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LayerField {
+    Index(u32),
+    NumStr(u32),
+    Name(&'static str),
+}
+
+/// One semantic mapping request, fields optional exactly where the HTTP
+/// body may omit them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MapFields {
+    model: &'static str,
+    res: Option<u32>,
+    top: Option<usize>,
+    objective: Option<&'static str>,
+    layer: Option<LayerField>,
+}
+
+impl MapFields {
+    /// The request with defaults applied and layer spelling collapsed —
+    /// the independent oracle for "same work": two bodies must share a
+    /// cache key iff their canonical forms compare equal.
+    fn canonical(&self) -> (String, u32, usize, &'static str, String) {
+        let layer = match &self.layer {
+            None => "*".to_string(),
+            Some(LayerField::Index(i) | LayerField::NumStr(i)) => format!("#{i}"),
+            Some(LayerField::Name(n)) => format!("n:{n}"),
+        };
+        (
+            self.model.to_string(),
+            self.res.unwrap_or(224),
+            self.top.unwrap_or(3),
+            self.objective.unwrap_or("energy"),
+            layer,
+        )
+    }
+}
+
+fn arb_map_fields() -> impl Strategy<Value = MapFields> {
+    (0usize..6, 0usize..6, 0usize..5, 0usize..4, 0usize..8).prop_map(
+        |(model, res, top, objective, layer)| MapFields {
+            model: [
+                "alexnet",
+                "vgg16",
+                "resnet50",
+                "darknet19",
+                "mobilenet_v2",
+                "yolo_v2",
+            ][model],
+            res: (res > 0).then(|| [32, 64, 224, 1000, 4096][res - 1]),
+            top: (top > 0).then(|| [1, 3, 7, 100][top - 1]),
+            objective: (objective > 0).then(|| ["energy", "edp", "runtime"][objective - 1]),
+            layer: match layer {
+                0 | 1 => None,
+                2 => Some(LayerField::Index(0)),
+                3 => Some(LayerField::Index(7)),
+                4 => Some(LayerField::NumStr(0)),
+                5 => Some(LayerField::NumStr(7)),
+                6 => Some(LayerField::Name("conv1")),
+                _ => Some(LayerField::Name("fire_x")),
+            },
+        },
+    )
+}
+
+/// Renders `fields` as a JSON body. `perm` rotates the config field
+/// order; `style` bits toggle spelled-out defaults, extra whitespace, and
+/// model-before/after-config — every spelling a well-behaved client might
+/// produce for the same request.
+fn render_body(fields: &MapFields, perm: usize, style: usize) -> String {
+    let spell = style & 1 != 0;
+    let pad = if style & 2 != 0 { " " } else { "" };
+    let model_first = style & 4 == 0;
+
+    let mut cfg: Vec<String> = Vec::new();
+    match fields.res {
+        Some(r) => cfg.push(format!("\"res\":{pad}{r}")),
+        None if spell => cfg.push(format!("\"res\":{pad}224")),
+        None => {}
+    }
+    match fields.top {
+        Some(t) => cfg.push(format!("\"top\":{pad}{t}")),
+        None if spell => cfg.push(format!("\"top\":{pad}3")),
+        None => {}
+    }
+    match fields.objective {
+        Some(o) => cfg.push(format!("\"objective\":{pad}\"{o}\"")),
+        None if spell => cfg.push(format!("\"objective\":{pad}\"energy\"")),
+        None => {}
+    }
+    // `layer` has no spelled default: omission means "all layers".
+    match &fields.layer {
+        Some(LayerField::Index(i)) => cfg.push(format!("\"layer\":{pad}{i}")),
+        Some(LayerField::NumStr(i)) => cfg.push(format!("\"layer\":{pad}\"{i}\"")),
+        Some(LayerField::Name(n)) => cfg.push(format!("\"layer\":{pad}\"{n}\"")),
+        None => {}
+    }
+    if !cfg.is_empty() {
+        let shift = perm % cfg.len();
+        cfg.rotate_left(shift);
+    }
+
+    let model = format!("\"model\":{pad}\"{}\"", fields.model);
+    let mut parts = Vec::new();
+    if model_first {
+        parts.push(model.clone());
+    }
+    // An empty config object and a missing one must mean the same thing;
+    // emit the empty object only sometimes.
+    if !cfg.is_empty() || spell {
+        parts.push(format!(
+            "\"config\":{pad}{{{pad}{}{pad}}}",
+            cfg.join(&format!(",{pad}"))
+        ));
+    }
+    if !model_first {
+        parts.push(model);
+    }
+    format!("{{{pad}{}{pad}}}", parts.join(&format!(",{pad}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Spelling does not split the cache: bodies differing only in field
+    /// order, whitespace, spelled-out defaults, or numeric-string layer
+    /// indices produce the same key.
+    #[test]
+    fn cache_keys_ignore_request_spelling(
+        fields in arb_map_fields(),
+        perm in 0usize..8,
+        style in 0usize..8,
+        style2 in 0usize..8,
+    ) {
+        let plain = render_body(&fields, 0, 0);
+        let styled = render_body(&fields, perm, style);
+        let restyled = render_body(&fields, perm.wrapping_add(3), style2);
+        let key = nn_baton::serve::cache_key_for("/map", &plain)
+            .expect("rendered body parses");
+        prop_assert_eq!(
+            &key,
+            &nn_baton::serve::cache_key_for("/map", &styled).unwrap(),
+            "plain={} styled={}", plain, styled
+        );
+        prop_assert_eq!(
+            &key,
+            &nn_baton::serve::cache_key_for("/map", &restyled).unwrap(),
+            "plain={} restyled={}", plain, restyled
+        );
+    }
+
+    /// Semantics drive the key: two requests share a key iff their
+    /// canonical (defaults-applied) forms are equal — a semantic
+    /// difference in any field always separates them.
+    #[test]
+    fn cache_keys_separate_distinct_requests(
+        a in arb_map_fields(),
+        b in arb_map_fields(),
+        style_a in 0usize..8,
+        style_b in 0usize..8,
+    ) {
+        let key_a = nn_baton::serve::cache_key_for("/map", &render_body(&a, 1, style_a)).unwrap();
+        let key_b = nn_baton::serve::cache_key_for("/map", &render_body(&b, 2, style_b)).unwrap();
+        prop_assert_eq!(
+            key_a == key_b,
+            a.canonical() == b.canonical(),
+            "a={:?} b={:?}", a, b
+        );
+        // The endpoint is part of the key.
+        let other = nn_baton::serve::cache_key_for("/explain", &render_body(&a, 1, style_a)).unwrap();
+        prop_assert_ne!(key_a, other);
+    }
+}
