@@ -213,6 +213,12 @@ enum Verdict {
 /// for robustness studies (how much worse is the runner-up?) and for
 /// handing a compiler several near-optimal schedules to choose from.
 ///
+/// Candidates are evaluated in parallel over the same chunked fan-out the
+/// winner-only search uses (no incumbent pruning: every feasible score is
+/// needed for the ranking). The ordered reduce plus a stable sort on exact
+/// scores keeps the ranking bit-identical to the sequential scan — ties
+/// stay in candidate order — for any thread count.
+///
 /// # Errors
 ///
 /// Returns [`SearchError`] if every candidate is infeasible.
@@ -223,16 +229,17 @@ pub fn search_layer_k_best(
     objective: Objective,
     k: usize,
 ) -> Result<Vec<Evaluation>, SearchError> {
+    let _sp = span_labeled("search_layer", || layer.name().to_string());
     let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
     let cands = candidates_with(layer, arch, EnumOptions::default());
     let n = cands.len();
-    let mut scored: Vec<(f64, Evaluation)> = cands
-        .into_iter()
-        .filter_map(|m| {
-            let ev = try_evaluate(layer, arch, tech, &m)?;
-            Some((objective.score(&ev, tech), ev))
-        })
-        .collect();
+    let workers = baton_parallel::threads();
+    let chunk = baton_parallel::chunk_size(n, workers);
+    let evaluated = baton_parallel::map_chunked(&cands, workers, chunk, |_, m| {
+        let ev = try_evaluate(layer, arch, tech, m)?;
+        Some((objective.score(&ev, tech), ev))
+    });
+    let mut scored: Vec<(f64, Evaluation)> = evaluated.into_iter().flatten().collect();
     if scored.is_empty() {
         return Err(SearchError {
             layer: layer.name().to_string(),

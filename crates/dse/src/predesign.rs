@@ -9,7 +9,7 @@ use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Obje
 use baton_mapping::enumerate::{candidates_with, EnumOptions};
 use baton_mapping::{decompose, Decomposition};
 use baton_model::{ConvSpec, Model, ACT_BITS};
-use baton_telemetry::{count, count_n, event, span, Counter, Progress};
+use baton_telemetry::{count, count_n, event, span, span_labeled, Counter, Progress};
 use serde::{Deserialize, Serialize};
 
 use crate::postdesign::map_model_opts;
@@ -217,7 +217,12 @@ pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<
     let workers = baton_parallel::threads();
     let chunk = baton_parallel::chunk_size(units.len(), workers);
     let per_unit = baton_parallel::map_chunked(&units, workers, chunk, |_, &(geometry, o_l1)| {
-        let unit_span = span("sweep_geometry");
+        // Labelled per unit so a request trace (or `-vv` profile) can tell
+        // which geometry a slow chunk was grinding on.
+        let unit_span = span_labeled("sweep_geometry", || {
+            let (np, nc, l, p) = geometry;
+            format!("{np}x{nc}x{l}x{p}/o_l1={o_l1}")
+        });
         let mut local = Vec::new();
         sweep_geometry(model, tech, opts, geometry, o_l1, &mut local);
         if baton_telemetry::enabled() {

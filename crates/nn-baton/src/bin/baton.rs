@@ -17,7 +17,8 @@
 //! baton recommend <model> [--res N] [--macs M] [--area A]
 //!                                                 pre-design recommendation
 //! baton serve   [--addr HOST:PORT] [--cache-entries N] [--queue-depth N] [--keep-alive-requests N]
-//!                                                 HTTP service: /metrics /healthz /readyz /map /explain
+//!               [--slow-request-ms MS]
+//!                                                 HTTP service: /metrics /healthz /readyz /map /explain /debug/requests
 //! baton check   <file.baton>                      validate a model description
 //! baton version                                   print the version
 //! ```
@@ -89,6 +90,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--cache-entries",
             "--queue-depth",
             "--keep-alive-requests",
+            "--slow-request-ms",
         ],
         _ => &[],
     }
@@ -274,7 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
              serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
              \x20       --cache-entries N (default 256, 0 disables)  --queue-depth N (default 64)\n\
-             \x20       --keep-alive-requests N (default 100)\n\
+             \x20       --keep-alive-requests N (default 100)  --slow-request-ms MS (default 1000, 0 logs all)\n\
              telemetry: -v|-vv  --progress  --trace-json FILE\n\
              parallelism: --threads N (or BATON_THREADS)"
         );
@@ -323,10 +325,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     cfg.keep_alive_requests =
                         parse_count("--keep-alive-requests", it.next(), false)?;
                 }
+                "--slow-request-ms" => {
+                    // 0 means "log every request", useful when tuning.
+                    cfg.slow_request_ms = parse_count("--slow-request-ms", it.next(), true)? as u64;
+                }
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` for `serve` (valid: --addr, \
-                         --cache-entries, --queue-depth, --keep-alive-requests)"
+                         --cache-entries, --queue-depth, --keep-alive-requests, \
+                         --slow-request-ms)"
                     ));
                 }
             }

@@ -9,6 +9,8 @@
 //! | `/healthz` | GET | liveness: `{"status":"ok"}` as soon as the socket is up |
 //! | `/readyz`  | GET | readiness: 503 until the warmup search finishes, then version/uptime/threads |
 //! | `/map`, `/explain` | POST | the offline `baton explain --format json` report for a JSON request body |
+//! | `/debug/requests` | GET | flight recorder: recent requests with timing breakdowns |
+//! | `/debug/requests/<id>` | GET | one request's full span tree (`?format=perfetto` for a trace-viewer file) |
 //! | `/quitquitquit` | POST | graceful drain: stop accepting, finish in-flight work, exit 0 |
 //!
 //! The request body is `{"model": "resnet50", "config": {...}}` where
@@ -44,9 +46,23 @@
 //!
 //! `POST /quitquitquit` (or [`request_shutdown`] from a signal handler)
 //! starts a **graceful drain**: the acceptor stops accepting (subsequent
-//! connects are refused), queued and in-flight requests complete, workers
-//! exit, and a final metrics snapshot is flushed before [`serve`] returns
-//! `Ok` — a supervisor sees exit code 0.
+//! connects are refused), `/readyz` flips to 503 `draining` so load
+//! balancers stop routing here, queued and in-flight requests complete,
+//! workers exit, and a final metrics snapshot is flushed before [`serve`]
+//! returns `Ok` — a supervisor sees exit code 0.
+//!
+//! # Request tracing and the flight recorder
+//!
+//! Every request runs under a [`baton_telemetry::trace`] context with a
+//! deterministic trace ID, echoed back as the `X-Baton-Trace-Id` response
+//! header. The server records root spans for its own phases — `queue_wait`
+//! (enqueue to worker pickup), `parse`, `cache`, `search`, `render` — and
+//! the context is propagated across `baton-parallel` worker boundaries, so
+//! the per-layer `search_layer` spans and their `parallel_worker` children
+//! attach to the originating request. Completed traces land in an
+//! always-on fixed-capacity [`FlightRecorder`] served under `/debug/*`,
+//! and requests slower than `--slow-request-ms` additionally emit one
+//! structured JSON line to stderr with the trace ID and phase breakdown.
 //!
 //! Serving is the mode the metrics layer exists for: [`serve`] calls
 //! [`metrics::enable`] and every request — including malformed request
@@ -66,11 +82,14 @@ use std::time::{Duration, Instant};
 use baton_arch::{presets, Technology};
 use baton_c3p::Objective;
 use baton_model::{parse_model, zoo, ConvSpec, Model};
-use baton_parallel::queue::{BoundedQueue, PushError, QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP};
-use baton_report::perfetto::{parse_json, Json};
+use baton_parallel::queue::{
+    BoundedQueue, Handoff, PushError, QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP,
+};
+use baton_report::perfetto::{parse_json, Json, PerfettoTrace};
 use baton_report::{explain_layer, Format};
 use baton_telemetry::json::ObjectWriter;
-use baton_telemetry::{expo, metrics, vlog};
+use baton_telemetry::trace::{CompletedTrace, FlightRecorder, TraceHandle};
+use baton_telemetry::{expo, metrics, span, trace, vlog};
 
 /// Default listen address (host:port) for `baton serve`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:9184";
@@ -110,6 +129,21 @@ const CACHE_EVICTIONS_HELP: &str = "Response cache entries evicted to make room 
 const CACHE_ENTRIES: &str = "baton_response_cache_entries";
 const CACHE_ENTRIES_HELP: &str = "Entries currently held by the response cache.";
 
+const CONNECTIONS_CLOSED: &str = "baton_http_connections_closed_total";
+const CONNECTIONS_CLOSED_HELP: &str =
+    "Keep-alive connections closed by the server, by cause (limit, deadline, framing, drain).";
+
+/// Completed request traces retained by the flight recorder.
+const FLIGHT_RECORDER_CAPACITY: usize = 128;
+
+/// Default `--slow-request-ms`: requests at or above this total duration
+/// emit one structured JSON line to stderr.
+pub const DEFAULT_SLOW_REQUEST_MS: u64 = 1000;
+
+/// Longest `method path` string stored per flight-recorder entry; bounds
+/// ring memory against pathological request lines.
+const MAX_OP_BYTES: usize = 200;
+
 /// Input resolutions accepted over HTTP. The zoo builders assert their
 /// layer shapes, so a resolution too small for a model's deepest stage
 /// (or absurdly large) must be refused *before* the builder runs.
@@ -132,6 +166,9 @@ pub struct ServeConfig {
     /// Requests served on one keep-alive connection before the server
     /// closes it (bounds per-connection resource tenure).
     pub keep_alive_requests: usize,
+    /// Requests whose total duration reaches this many milliseconds are
+    /// logged as structured JSON lines on stderr; 0 logs every request.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +178,7 @@ impl Default for ServeConfig {
             cache_entries: 256,
             queue_depth: 64,
             keep_alive_requests: 100,
+            slow_request_ms: DEFAULT_SLOW_REQUEST_MS,
         }
     }
 }
@@ -472,14 +510,17 @@ fn shutting_down() -> bool {
     SHUTDOWN.load(Ordering::Acquire)
 }
 
-/// Shared server state: uptime origin, readiness latch, and the response
-/// cache (None when `--cache-entries 0`).
+/// Shared server state: uptime origin, readiness latch, the response
+/// cache (None when `--cache-entries 0`), and the request flight recorder.
 #[derive(Debug)]
 struct ServerState {
     started: Instant,
     warm: AtomicBool,
     cache: Option<ResponseCache>,
     keep_alive_requests: usize,
+    recorder: FlightRecorder,
+    /// Slow-request log threshold in microseconds (0 logs everything).
+    slow_request_us: u64,
 }
 
 /// One parsed HTTP response about to be written back.
@@ -537,13 +578,17 @@ pub const CANONICAL_PATHS: &[&str] = &[
     "/readyz",
     "/map",
     "/explain",
+    "/debug/requests",
+    "/debug/requests/{id}",
     "/quitquitquit",
     "other",
     "rejected",
 ];
 
 /// Collapses a request path onto the closed route set so the `path` metric
-/// label stays bounded no matter what clients send.
+/// label stays bounded no matter what clients send. Per-trace lookups fold
+/// onto `/debug/requests/{id}` — trace IDs are client-controlled strings
+/// and must never mint metric series.
 fn canonical_path(path: &str) -> &'static str {
     match path {
         "/metrics" => "/metrics",
@@ -551,7 +596,9 @@ fn canonical_path(path: &str) -> &'static str {
         "/readyz" => "/readyz",
         "/map" => "/map",
         "/explain" => "/explain",
+        "/debug/requests" => "/debug/requests",
         "/quitquitquit" => "/quitquitquit",
+        p if p.starts_with("/debug/requests/") => "/debug/requests/{id}",
         _ => "other",
     }
 }
@@ -567,10 +614,18 @@ fn canonical_path(path: &str) -> &'static str {
 /// become HTTP error responses, never a server exit.
 pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
     metrics::enable();
+    // Request-scoped tracing is serving-mode-only, like the metrics layer:
+    // one-shot CLI runs never pay for the thread-local context.
+    trace::enable();
     // Request/cache/queue families render their HELP/TYPE from the very
     // first scrape, before any request has been served.
     let reg = metrics::registry();
     reg.describe(REQUESTS_TOTAL, REQUESTS_HELP, metrics::MetricKind::Counter);
+    reg.describe(
+        CONNECTIONS_CLOSED,
+        CONNECTIONS_CLOSED_HELP,
+        metrics::MetricKind::Counter,
+    );
     reg.describe(
         REQUEST_SECONDS,
         REQUEST_SECONDS_HELP,
@@ -611,6 +666,8 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
         warm: AtomicBool::new(false),
         cache: (cfg.cache_entries > 0).then(|| ResponseCache::new(cfg.cache_entries)),
         keep_alive_requests: cfg.keep_alive_requests.max(1),
+        recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+        slow_request_us: cfg.slow_request_ms.saturating_mul(1000),
     });
 
     // Warm up off the accept path: one tiny search populates the search
@@ -638,7 +695,8 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
         cfg.queue_depth,
         state.keep_alive_requests
     );
-    let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(cfg.queue_depth, "http"));
+    let queue: Arc<BoundedQueue<Handoff<TcpStream>>> =
+        Arc::new(BoundedQueue::new(cfg.queue_depth, "http"));
     let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
         let queue = Arc::clone(&queue);
@@ -662,7 +720,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
 /// Accepts connections and hands them to the worker queue until a drain is
 /// requested, answering 429 the moment the queue is full — the acceptor
 /// never reads from a socket, so a slow client cannot stall admission.
-fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>) {
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<Handoff<TcpStream>>) {
     loop {
         if shutting_down() {
             return;
@@ -672,9 +730,11 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>) {
                 // The listener is non-blocking; the accepted socket must
                 // not be (workers use plain blocking reads + deadlines).
                 let _ = stream.set_nonblocking(false);
-                match queue.push(stream) {
+                // The hand-off stamps the enqueue instant, so the worker
+                // can attribute queue wait to the request's trace.
+                match queue.push(Handoff::new(stream)) {
                     Ok(()) => {}
-                    Err(PushError::Full(stream)) => reject_saturated(stream),
+                    Err(PushError::Full(handoff)) => reject_saturated(handoff.into_parts().0),
                     // Raced with drain: the listener is about to close.
                     Err(PushError::Closed(_)) => return,
                 }
@@ -697,19 +757,39 @@ fn reject_saturated(stream: TcpStream) {
     let t0 = Instant::now();
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut stream = stream;
-    let _ = write_response(&mut stream, &Response::too_many_requests(), false);
+    let _ = write_response(&mut stream, &Response::too_many_requests(), false, None);
     record_request("rejected", 429, t0.elapsed());
 }
 
 /// One worker: pull connections off the queue until it closes and drains.
-fn worker_loop(queue: &BoundedQueue<TcpStream>, state: &ServerState) {
-    while let Some(stream) = queue.pop() {
+fn worker_loop(queue: &BoundedQueue<Handoff<TcpStream>>, state: &ServerState) {
+    while let Some(handoff) = queue.pop() {
+        let (stream, _acceptor_trace, enqueued) = handoff.into_parts();
         metrics::gauge_add(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], 1.0);
-        if let Err(e) = handle_connection(stream, state) {
+        if let Err(e) = handle_connection(stream, state, enqueued) {
+            // A deadline (read/write timeout) surfaces as WouldBlock or
+            // TimedOut depending on the platform; both mean the server
+            // closed on a stalled peer.
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                close_cause("deadline");
+            }
             vlog!(2, "serve: connection error: {e}");
         }
         metrics::gauge_add(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], -1.0);
     }
+}
+
+/// Counts one server-initiated keep-alive connection close under its
+/// bounded `cause` label (`limit`, `deadline`, `framing`, `drain`).
+/// Client-requested closes (`Connection: close`) are not counted — the
+/// family exists to explain closes the *server* decided on.
+fn close_cause(cause: &'static str) {
+    metrics::counter_add(
+        CONNECTIONS_CLOSED,
+        CONNECTIONS_CLOSED_HELP,
+        &[("cause", cause)],
+        1,
+    );
 }
 
 /// Serves one connection: up to `keep_alive_requests` requests back to
@@ -717,13 +797,32 @@ fn worker_loop(queue: &BoundedQueue<TcpStream>, state: &ServerState) {
 /// `Connection: close`, at the request limit, when a drain begins, or
 /// after any framing error (malformed line, bad body) — those close
 /// because request boundaries can no longer be trusted.
-fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+///
+/// Every request runs under its own trace context: the first request's
+/// epoch is `enqueued` (so `queue_wait` is inside its window); later
+/// keep-alive requests start when their request line arrives, excluding
+/// client idle time. The sealed trace lands in the flight recorder after
+/// the response is written, so a client can immediately fetch its own
+/// trace via the `X-Baton-Trace-Id` it was handed.
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    enqueued: Instant,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
 
     for served in 1..=state.keep_alive_requests {
+        // The first request was already waiting when the worker popped it:
+        // its trace spans the queue wait. Created before the request-line
+        // read so the wait is measured at pickup, not after the line.
+        let mut pending = (served == 1).then(|| {
+            let t = TraceHandle::start_at(enqueued);
+            t.record_between("queue_wait", enqueued, Instant::now());
+            t
+        });
         let t0 = Instant::now();
         let mut request_line = String::new();
         if reader.read_line(&mut request_line)? == 0 {
@@ -734,6 +833,11 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
         let method = parts.next().unwrap_or("").to_string();
         let path = parts.next().unwrap_or("").to_string();
 
+        let trace = pending.take().unwrap_or_else(TraceHandle::start);
+        let trace_ctx = trace.install();
+
+        // Parse phase: headers and body, under one root span.
+        let parse_span = span("parse");
         let mut content_length = 0usize;
         let mut client_close = false;
         loop {
@@ -754,34 +858,77 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
         }
 
         let mut framing_ok = true;
-        let response = if method.is_empty() || path.is_empty() {
+        let mut body_text = None;
+        let mut early = if method.is_empty() || path.is_empty() {
             framing_ok = false;
-            Response::error(400, "malformed request line")
+            Some(Response::error(400, "malformed request line"))
         } else if content_length > MAX_BODY_BYTES {
             framing_ok = false;
-            Response::error(413, "request body too large")
+            Some(Response::error(413, "request body too large"))
         } else {
             let mut body = vec![0u8; content_length];
             match reader.read_exact(&mut body) {
                 Ok(()) => {
-                    let body = String::from_utf8_lossy(&body);
-                    guarded(&method, &path, &body, state)
+                    body_text = Some(String::from_utf8_lossy(&body).into_owned());
+                    None
                 }
                 Err(_) => {
                     framing_ok = false;
-                    Response::error(400, "request body shorter than Content-Length")
+                    Some(Response::error(
+                        400,
+                        "request body shorter than Content-Length",
+                    ))
                 }
             }
+        };
+        drop(parse_span);
+
+        let response = match early.take() {
+            Some(r) => r,
+            None => guarded(&method, &path, body_text.as_deref().unwrap_or(""), state),
         };
 
         let keep_alive =
             framing_ok && !client_close && served < state.keep_alive_requests && !shutting_down();
+        if !keep_alive {
+            // Server-initiated closes, by precedence; a close the client
+            // itself asked for is not the server's doing and not counted.
+            let cause = if !framing_ok {
+                Some("framing")
+            } else if shutting_down() {
+                Some("drain")
+            } else if served >= state.keep_alive_requests {
+                Some("limit")
+            } else {
+                None
+            };
+            if let Some(cause) = cause {
+                close_cause(cause);
+            }
+        }
 
         // Every response — early-exit 400/413s included — lands in the
         // request metrics under a bounded path label ("" canonicalizes to
         // "other").
-        record_request(canonical_path(&path), response.status, t0.elapsed());
-        write_response(&mut writer, &response, keep_alive)?;
+        let canonical = canonical_path(&path);
+        record_request(canonical, response.status, t0.elapsed());
+        let trace_id = trace.id_string();
+        {
+            let _render_span = span("render");
+            write_response(&mut writer, &response, keep_alive, Some(&trace_id))?;
+        }
+        drop(trace_ctx);
+        let completed = Arc::new(trace.finish(&request_op(&method, &path), response.status));
+        state.recorder.record(Arc::clone(&completed));
+        log_slow_request(state, &completed);
+        vlog!(
+            2,
+            "serve: {} {} -> {} in {}us trace={trace_id}",
+            method,
+            path,
+            response.status,
+            completed.total_us
+        );
         if !keep_alive {
             return Ok(());
         }
@@ -789,19 +936,58 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
     Ok(())
 }
 
-/// Writes status line, headers (including `Retry-After` and the
-/// keep-alive/close decision), and body.
+/// The `method path` string a flight-recorder entry reports, truncated on
+/// a char boundary to [`MAX_OP_BYTES`].
+fn request_op(method: &str, path: &str) -> String {
+    let mut op = format!("{method} {path}");
+    if op.len() > MAX_OP_BYTES {
+        let mut cut = MAX_OP_BYTES;
+        while !op.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        op.truncate(cut);
+    }
+    op
+}
+
+/// Emits the structured slow-request line when `completed` reached the
+/// configured threshold: one flat JSON object on stderr with the trace ID
+/// and the per-phase breakdown, greppable and machine-parseable.
+fn log_slow_request(state: &ServerState, completed: &CompletedTrace) {
+    if completed.total_us < state.slow_request_us {
+        return;
+    }
+    let mut w = ObjectWriter::new();
+    w.str("event", "slow_request")
+        .str("trace_id", &completed.trace_id)
+        .str("op", &completed.op)
+        .u64("status", u64::from(completed.status))
+        .u64("total_us", completed.total_us)
+        .u64("queue_wait_us", completed.phase_us("queue_wait"))
+        .u64("parse_us", completed.phase_us("parse"))
+        .u64("cache_us", completed.phase_us("cache"))
+        .u64("search_us", completed.phase_us("search"))
+        .u64("render_us", completed.phase_us("render"));
+    eprintln!("{}", w.finish());
+}
+
+/// Writes status line, headers (including `Retry-After`, the request's
+/// `X-Baton-Trace-Id`, and the keep-alive/close decision), and body.
 fn write_response(
     writer: &mut TcpStream,
     response: &Response,
     keep_alive: bool,
+    trace_id: Option<&str>,
 ) -> std::io::Result<()> {
     let retry = response
         .retry_after
         .map(|s| format!("Retry-After: {s}\r\n"))
         .unwrap_or_default();
+    let trace = trace_id
+        .map(|id| format!("X-Baton-Trace-Id: {id}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}{trace}Connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
@@ -898,6 +1084,9 @@ fn catch_panic<F: FnOnce() -> Response>(f: F) -> Option<Response> {
 }
 
 fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
+    if path == "/debug/requests" || path.starts_with("/debug/requests/") {
+        return handle_debug_requests(method, path, state);
+    }
     match (method, path) {
         ("GET", "/metrics") => Response {
             status: 200,
@@ -911,13 +1100,23 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
             Response::json(200, w.finish() + "\n")
         }
         ("GET", "/readyz") => {
+            // Readiness gates routing: not ready until warm, and not ready
+            // again once a drain begins — a balancer must stop sending
+            // traffic to a server that is about to stop accepting.
             let warm = state.warm.load(Ordering::Acquire);
+            let (status, label) = if shutting_down() {
+                (503, "draining")
+            } else if warm {
+                (200, "ok")
+            } else {
+                (503, "starting")
+            };
             let mut w = ObjectWriter::new();
-            w.str("status", if warm { "ok" } else { "starting" })
+            w.str("status", label)
                 .str("version", env!("CARGO_PKG_VERSION"))
                 .f64("uptime_seconds", state.started.elapsed().as_secs_f64())
                 .u64("threads", baton_parallel::threads() as u64);
-            Response::json(if warm { 200 } else { 503 }, w.finish() + "\n")
+            Response::json(status, w.finish() + "\n")
         }
         ("POST", "/map") => handle_map("/map", body, state),
         ("POST", "/explain") => handle_map("/explain", body, state),
@@ -932,6 +1131,104 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
         (_, "/map" | "/explain" | "/quitquitquit") => Response::error(405, "use POST"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /debug/requests[/<trace-id>[?format=perfetto]]`: the flight
+/// recorder surface. The list answers recent requests newest-first with
+/// their timing breakdowns; a trace-ID lookup answers the full span tree,
+/// or — with `?format=perfetto` — a `chrome://tracing` / Perfetto file for
+/// that one request.
+fn handle_debug_requests(method: &str, path: &str, state: &ServerState) -> Response {
+    if method != "GET" {
+        return Response::error(405, "use GET");
+    }
+    let Some(rest) = path.strip_prefix("/debug/requests") else {
+        return Response::error(404, "no such route");
+    };
+    if rest.is_empty() {
+        let recent = state.recorder.recent();
+        let mut body = format!(
+            "{{\"capacity\":{},\"count\":{},\"requests\":[",
+            state.recorder.capacity(),
+            recent.len()
+        );
+        for (i, t) in recent.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&trace_summary(t));
+        }
+        body.push_str("]}\n");
+        return Response::json(200, body);
+    }
+    let rest = &rest[1..]; // strip the '/' the route match guaranteed
+    let (id, query) = match rest.split_once('?') {
+        Some((id, query)) => (id, Some(query)),
+        None => (rest, None),
+    };
+    let Some(trace) = state.recorder.find(id) else {
+        return Response::error(
+            404,
+            "no such trace (the flight recorder keeps the most recent requests only)",
+        );
+    };
+    match query {
+        None | Some("") => Response::json(200, render_trace_detail(&trace)),
+        Some("format=perfetto") => {
+            let mut perfetto = PerfettoTrace::new();
+            perfetto.add_request(&trace);
+            Response::json(200, perfetto.to_json())
+        }
+        Some(other) => Response::error(
+            400,
+            &format!("unknown query `{other}` (try ?format=perfetto)"),
+        ),
+    }
+}
+
+/// One flight-recorder list entry: identity, outcome, and the root-phase
+/// timing breakdown — flat JSON, so it round-trips through
+/// [`baton_telemetry::json::parse_flat_object`].
+fn trace_summary(t: &CompletedTrace) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("trace_id", &t.trace_id)
+        .str("op", &t.op)
+        .u64("status", u64::from(t.status))
+        .u64("unix_ms", t.unix_ms)
+        .u64("total_us", t.total_us)
+        .u64("queue_wait_us", t.phase_us("queue_wait"))
+        .u64("parse_us", t.phase_us("parse"))
+        .u64("cache_us", t.phase_us("cache"))
+        .u64("search_us", t.phase_us("search"))
+        .u64("render_us", t.phase_us("render"))
+        .u64("spans", t.spans.len() as u64)
+        .u64("dropped_spans", t.dropped_spans);
+    w.finish()
+}
+
+/// The full span tree of one trace: the summary fields plus a `spans`
+/// array in (start, id) order — parents always precede their children, so
+/// a client can rebuild the tree in one pass.
+fn render_trace_detail(t: &CompletedTrace) -> String {
+    let mut out = trace_summary(t);
+    out.pop(); // reopen the summary object to append the spans array
+    out.push_str(",\"spans\":[");
+    for (i, s) in t.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut w = ObjectWriter::new();
+        w.u64("id", u64::from(s.id))
+            .u64("parent", u64::from(s.parent))
+            .str("name", s.name);
+        if let Some(label) = &s.label {
+            w.str("label", label);
+        }
+        w.u64("start_us", s.start_us).u64("dur_us", s.dur_us);
+        out.push_str(&w.finish());
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// `/map` and `/explain`: parse + validate, consult the response cache,
@@ -953,13 +1250,24 @@ fn handle_map(endpoint: &'static str, body: &str, state: &ServerState) -> Respon
     }
     let key = request.cache_key(endpoint);
     if let Some(cache) = &state.cache {
-        if let Some(cached) = cache.get(&key) {
+        let cached = {
+            let _cache_span = span("cache");
+            cache.get(&key)
+        };
+        if let Some(cached) = cached {
             return Response::json(200, cached.as_ref().clone());
         }
     }
-    match run_map_request(&request) {
+    let result = {
+        // The whole model→candidates→search→render stack; per-layer
+        // `search_layer` spans (and their workers) nest under this one.
+        let _search_span = span("search");
+        run_map_request(&request)
+    };
+    match result {
         Ok(json) => {
             if let Some(cache) = &state.cache {
+                let _cache_span = span("cache");
                 cache.insert(key, Arc::new(json.clone()));
             }
             Response::json(200, json)
@@ -1036,6 +1344,8 @@ mod tests {
             warm: AtomicBool::new(warm),
             cache: Some(ResponseCache::new(16)),
             keep_alive_requests: 100,
+            recorder: FlightRecorder::new(8),
+            slow_request_us: u64::MAX,
         }
     }
 
@@ -1089,11 +1399,21 @@ mod tests {
             "/readyz",
             "/map",
             "/explain",
+            "/debug/requests",
             "/quitquitquit",
         ];
         for route in routes {
             assert_eq!(canonical_path(route), route, "route must label itself");
             assert!(CANONICAL_PATHS.contains(&canonical_path(route)));
+        }
+        // Per-trace lookups collapse onto one label: trace IDs are client
+        // data and must never mint series.
+        for lookup in [
+            "/debug/requests/0011223344556677",
+            "/debug/requests/anything?format=perfetto",
+            "/debug/requests/",
+        ] {
+            assert_eq!(canonical_path(lookup), "/debug/requests/{id}");
         }
         for junk in [
             "",
@@ -1104,11 +1424,15 @@ mod tests {
             "/metrics/../etc/passwd",
             "/anything/else",
             "/quitquitquit2",
+            "/debug/requestsfoo",
+            "/debug",
         ] {
             assert_eq!(canonical_path(junk), "other", "{junk:?} must fold");
         }
-        // The label set is closed: routes + other + rejected, nothing else.
-        assert_eq!(CANONICAL_PATHS.len(), routes.len() + 2);
+        // The label set is closed: routes + the trace-lookup collapse +
+        // other + rejected, nothing else.
+        assert_eq!(CANONICAL_PATHS.len(), routes.len() + 3);
+        assert!(CANONICAL_PATHS.contains(&"/debug/requests/{id}"));
         assert!(CANONICAL_PATHS.contains(&"other"));
         assert!(CANONICAL_PATHS.contains(&"rejected"));
     }
@@ -1124,7 +1448,7 @@ mod tests {
     }
 
     #[test]
-    fn quitquitquit_sets_the_drain_flag() {
+    fn quitquitquit_sets_the_drain_flag_and_unreadies_the_server() {
         // Restore the flag afterwards: other tests in this process must
         // not observe a draining server.
         let state = test_state(true);
@@ -1132,7 +1456,103 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("\"status\":\"draining\""));
         assert!(shutting_down());
+        // A draining server is warm but must not be ready: balancers stop
+        // routing to it before the listener goes away.
+        let ready = dispatch("GET", "/readyz", "", &state);
+        assert_eq!(ready.status, 503);
+        assert!(
+            ready.body.contains("\"status\":\"draining\""),
+            "{}",
+            ready.body
+        );
         SHUTDOWN.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn debug_requests_lists_the_flight_recorder_newest_first() {
+        let state = test_state(true);
+        for (op, status) in [("GET /healthz", 200), ("POST /map", 400)] {
+            let t = TraceHandle::start();
+            {
+                let _ctx = t.install();
+                drop(span("parse"));
+            }
+            state.recorder.record(Arc::new(t.finish(op, status)));
+        }
+        let resp = dispatch("GET", "/debug/requests", "", &state);
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .body
+            .starts_with("{\"capacity\":8,\"count\":2,\"requests\":["));
+        // Newest first: the /map entry precedes the /healthz one.
+        let map_at = resp.body.find("POST /map").unwrap();
+        let health_at = resp.body.find("GET /healthz").unwrap();
+        assert!(map_at < health_at, "{}", resp.body);
+        assert!(resp.body.contains("\"parse_us\":"));
+        assert!(resp.body.contains("\"spans\":1"));
+    }
+
+    #[test]
+    fn debug_request_lookup_answers_the_span_tree_and_perfetto() {
+        baton_telemetry::trace::enable();
+        let state = test_state(true);
+        let t = TraceHandle::start();
+        {
+            let _ctx = t.install();
+            let _outer = span("search");
+            drop(baton_telemetry::span_labeled("search_layer", || {
+                "conv\\1 \"q\"".into()
+            }));
+        }
+        let completed = Arc::new(t.finish("POST /map", 200));
+        let id = completed.trace_id.clone();
+        state.recorder.record(completed);
+
+        let resp = dispatch("GET", &format!("/debug/requests/{id}"), "", &state);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(&format!("\"trace_id\":\"{id}\"")));
+        assert!(resp.body.contains("\"name\":\"search\""));
+        assert!(resp.body.contains("\"name\":\"search_layer\""));
+        // Hostile label bytes stay escaped; the detail line parses as JSON
+        // span objects (flat per span).
+        assert!(resp.body.contains("conv\\\\1 \\\"q\\\""), "{}", resp.body);
+        // The child's parent is the search span's id.
+        let search_layer_obj = resp
+            .body
+            .split('{')
+            .find(|s| s.contains("\"name\":\"search_layer\""))
+            .unwrap();
+        assert!(
+            search_layer_obj.contains("\"parent\":1"),
+            "{search_layer_obj}"
+        );
+
+        let perfetto = dispatch(
+            "GET",
+            &format!("/debug/requests/{id}?format=perfetto"),
+            "",
+            &state,
+        );
+        assert_eq!(perfetto.status, 200);
+        let stats = baton_report::perfetto::validate(&perfetto.body).expect("valid trace file");
+        assert!(stats.events >= 3, "root + 2 spans, got {}", stats.events);
+
+        // Unknown IDs, bad queries, wrong methods.
+        assert_eq!(
+            dispatch("GET", "/debug/requests/ffff", "", &state).status,
+            404
+        );
+        assert_eq!(
+            dispatch(
+                "GET",
+                &format!("/debug/requests/{id}?format=xml"),
+                "",
+                &state
+            )
+            .status,
+            400
+        );
+        assert_eq!(dispatch("POST", "/debug/requests", "", &state).status, 405);
     }
 
     #[test]

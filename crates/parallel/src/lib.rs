@@ -29,6 +29,7 @@ use std::sync::Mutex;
 
 use baton_telemetry::metrics;
 use baton_telemetry::span_labeled;
+use baton_telemetry::trace;
 
 use queue::{QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP};
 
@@ -97,7 +98,10 @@ pub fn chunk_size(items: usize, threads: usize) -> usize {
 /// thread count and any scheduling.
 ///
 /// `f` runs under a `parallel_worker` telemetry span labeled `w<id>` so
-/// profiles attribute time per worker. With one worker (or one chunk) the
+/// profiles attribute time per worker. If the calling thread has a request
+/// trace installed (see `baton_telemetry::trace`), that context is captured
+/// once and re-installed in every worker, so worker-side spans attach to
+/// the originating request's span tree. With one worker (or one chunk) the
 /// sequential fast path runs on the calling thread, span-free.
 pub fn map_chunked<T, R, F>(items: &[T], threads: usize, chunk: usize, f: F) -> Vec<R>
 where
@@ -131,10 +135,17 @@ where
     // worker claimed that chunk; the lock is never contended.
     let slots: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     let cursor = AtomicUsize::new(0);
+    // Captured once on the calling thread; each worker re-installs it so
+    // its spans land in the originating request's trace. Inert (one atomic
+    // load) when tracing is off or no trace is active here.
+    let fan_trace = trace::propagation();
     std::thread::scope(|s| {
         for w in 0..workers {
-            let (slots, cursor, f) = (&slots, &cursor, &f);
+            let (slots, cursor, f, fan_trace) = (&slots, &cursor, &f, &fan_trace);
             s.spawn(move || {
+                // Context first, span second: the guard must outlive (and
+                // therefore drop after) the worker span it parents.
+                let _trace_ctx = fan_trace.install();
                 let _worker_span = span_labeled("parallel_worker", || format!("w{w}"));
                 loop {
                     let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -360,6 +371,35 @@ pub(crate) mod tests {
         assert_eq!(value(WORKERS_GAUGE), Some(SeriesValue::Gauge(0.0)));
         assert_eq!(fanout_depth, Some(SeriesValue::Gauge(0.0)));
         baton_telemetry::metrics::reset();
+    }
+
+    #[test]
+    fn map_chunked_workers_record_into_the_callers_trace() {
+        let _guard = fan_out_lock();
+        trace::enable();
+        let request = trace::TraceHandle::start();
+        let items: Vec<u32> = (0..64).collect();
+        {
+            let _ctx = request.install();
+            let _fan = baton_telemetry::span("fan_out");
+            map_chunked(&items, 4, 4, |_, v| *v * 2);
+        }
+        let done = request.finish("POST /map", 200);
+        let fan = done.spans.iter().find(|s| s.name == "fan_out").unwrap();
+        let workers: Vec<_> = done
+            .spans
+            .iter()
+            .filter(|s| s.name == "parallel_worker")
+            .collect();
+        assert!(
+            !workers.is_empty(),
+            "worker spans must land in the request trace: {:?}",
+            done.spans
+        );
+        for w in workers {
+            assert_eq!(w.parent, fan.id, "worker spans nest under the fan-out");
+            assert!(w.label.as_deref().unwrap_or("").starts_with('w'));
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use baton_telemetry::metrics;
+use baton_telemetry::trace;
 
 /// Gauge family shared with [`map_chunked`](crate::map_chunked)'s fan-out
 /// depth series; each queue instance owns one `queue="<name>"` series.
@@ -21,6 +23,44 @@ pub const QUEUE_DEPTH_GAUGE: &str = "baton_parallel_queue_depth";
 /// Help text for [`QUEUE_DEPTH_GAUGE`].
 pub const QUEUE_DEPTH_HELP: &str =
     "Unclaimed items in a bounded parallel work queue, by queue name.";
+
+/// A queue item bundled with its hand-off context: the producer's trace
+/// propagation (so request-scoped spans recorded by the consumer attach to
+/// the originating request — see `baton_telemetry::trace`) and the enqueue
+/// instant (so the consumer can attribute queue wait).
+///
+/// Producers wrap work in [`Handoff::new`] before
+/// [`BoundedQueue::push`]; consumers unwrap with [`Handoff::into_parts`]
+/// and install the propagation for the item's lifetime. When tracing is
+/// disabled the capture is one relaxed atomic load.
+#[derive(Debug)]
+pub struct Handoff<T> {
+    item: T,
+    trace: trace::Propagation,
+    enqueued: Instant,
+}
+
+impl<T> Handoff<T> {
+    /// Wraps `item`, capturing the calling thread's trace context and the
+    /// current instant as the enqueue time.
+    pub fn new(item: T) -> Self {
+        Handoff {
+            item,
+            trace: trace::propagation(),
+            enqueued: Instant::now(),
+        }
+    }
+
+    /// When the item was wrapped for the queue.
+    pub fn enqueued(&self) -> Instant {
+        self.enqueued
+    }
+
+    /// Unwraps into `(item, producer trace context, enqueue instant)`.
+    pub fn into_parts(self) -> (T, trace::Propagation, Instant) {
+        (self.item, self.trace, self.enqueued)
+    }
+}
 
 /// Why a [`BoundedQueue::push`] was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -257,6 +297,35 @@ mod tests {
             consumed.load(std::sync::atomic::Ordering::Relaxed),
             produced
         );
+    }
+
+    #[test]
+    fn handoff_carries_the_producer_trace_across_the_queue() {
+        trace::enable();
+        let producer_trace = trace::TraceHandle::start();
+        let q = BoundedQueue::new(4, "handoff_test");
+        {
+            // Producer side: trace installed while the work is wrapped.
+            let _ctx = producer_trace.install();
+            q.push(Handoff::new(41u32)).unwrap();
+        }
+        q.close();
+        // Consumer side: another thread, no context of its own.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let handoff = q.pop().expect("one queued item");
+                assert!(handoff.enqueued() <= Instant::now());
+                let (item, prop, _enqueued) = handoff.into_parts();
+                assert_eq!(item, 41);
+                assert!(prop.is_active(), "producer context must ride along");
+                let _ctx = prop.install();
+                drop(baton_telemetry::span("consumer_side"));
+            });
+        });
+        let done = producer_trace.finish("queue", 200);
+        assert_eq!(done.spans.len(), 1);
+        assert_eq!(done.spans[0].name, "consumer_side");
+        assert_eq!(done.spans[0].parent, 0);
     }
 
     #[test]

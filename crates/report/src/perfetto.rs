@@ -23,10 +23,17 @@ use std::fmt::Write as _;
 
 use baton_sim::{Trace, TraceKind};
 use baton_telemetry::json::push_str_escaped;
+use baton_telemetry::trace::CompletedTrace;
 
 /// The synthetic process id of package-level tracks (layer spans, occupancy
 /// counters, divergence markers). Far above any chiplet index.
 pub const PACKAGE_PID: u64 = 1_000_000;
+
+/// Base process id for request traces exported from the serve flight
+/// recorder ([`PerfettoTrace::add_request`]); each added request gets its
+/// own process, counting up from here. Far above [`PACKAGE_PID`] so request
+/// tracks never collide with DES layer tracks in a mixed document.
+pub const REQUEST_PID_BASE: u64 = 2_000_000;
 
 const TID_LOAD: u64 = 0;
 const TID_COMPUTE: u64 = 1;
@@ -65,6 +72,7 @@ pub struct PerfettoTrace {
     package_named: bool,
     offset: u64,
     divergences: usize,
+    requests: u64,
 }
 
 impl PerfettoTrace {
@@ -250,6 +258,75 @@ impl PerfettoTrace {
         }
 
         self.offset = off + sim_cycles.max(1);
+    }
+
+    /// Appends one served request's span tree from the flight recorder.
+    ///
+    /// The request becomes its own process: the root span (`queue wait →
+    /// render`, the whole request) occupies track 0, and child spans are
+    /// packed greedily onto further tracks — each span takes the first
+    /// track whose previous occupant has already ended, so concurrent
+    /// spans (parallel workers, say) fan out visually while sequential
+    /// phases share a lane. That packing is also what keeps the export
+    /// within [`validate`]'s no-overlap-per-track contract.
+    ///
+    /// Timestamps are microseconds since the request epoch, written into
+    /// `ts` verbatim.
+    pub fn add_request(&mut self, trace: &CompletedTrace) {
+        let pid = REQUEST_PID_BASE + self.requests;
+        self.requests += 1;
+        self.meta(pid, None, &format!("request {}", trace.trace_id));
+        self.meta(pid, Some(0), "request");
+        self.events.push(Event {
+            ph: 'X',
+            name: trace.op.clone(),
+            cat: "request",
+            pid,
+            tid: 0,
+            ts: 0,
+            dur: Some(trace.total_us.max(1)),
+            scope: None,
+            args: vec![
+                ("trace_id", Arg::Str(trace.trace_id.clone())),
+                ("status", Arg::U64(u64::from(trace.status))),
+                ("dropped_spans", Arg::U64(trace.dropped_spans)),
+            ],
+        });
+
+        // Greedy lane assignment over spans pre-sorted by (start_us, id):
+        // `lane_end[i]` is when track `i + 1` frees up.
+        let mut lane_end: Vec<u64> = Vec::new();
+        for s in &trace.spans {
+            let lane = lane_end
+                .iter()
+                .position(|&end| end <= s.start_us)
+                .unwrap_or_else(|| {
+                    lane_end.push(0);
+                    lane_end.len() - 1
+                });
+            lane_end[lane] = s.start_us + s.dur_us;
+            let mut args = vec![
+                ("span_id", Arg::U64(u64::from(s.id))),
+                ("parent", Arg::U64(u64::from(s.parent))),
+            ];
+            if let Some(label) = &s.label {
+                args.push(("label", Arg::Str(label.clone())));
+            }
+            self.events.push(Event {
+                ph: 'X',
+                name: s.name.into(),
+                cat: "request_span",
+                pid,
+                tid: lane as u64 + 1,
+                ts: s.start_us,
+                dur: Some(s.dur_us),
+                scope: None,
+                args,
+            });
+        }
+        for lane in 0..lane_end.len() {
+            self.meta(pid, Some(lane as u64 + 1), &format!("spans {}", lane + 1));
+        }
     }
 
     /// Encodes the document as Chrome trace_event JSON, one event per line.
@@ -673,6 +750,89 @@ mod tests {
         assert_eq!(layer_ts, vec![0.0, 62.0]);
         // Validation still passes with two layers on every track.
         validate(&p.to_json()).unwrap();
+    }
+
+    #[test]
+    fn request_export_packs_overlapping_spans_onto_distinct_lanes() {
+        use baton_telemetry::trace::SpanRecord;
+        let span = |id, parent, name, start_us, dur_us, label: Option<&str>| SpanRecord {
+            id,
+            parent,
+            name,
+            label: label.map(String::from),
+            start_us,
+            dur_us,
+        };
+        let trace = CompletedTrace {
+            trace_id: "00c0ffee00c0ffee".into(),
+            op: "POST /map".into(),
+            status: 200,
+            unix_ms: 0,
+            total_us: 100,
+            // Pre-sorted by (start_us, id), as `TraceHandle::finish` emits:
+            // a sequential parse, then a search whose two workers overlap
+            // both it and each other.
+            spans: vec![
+                span(1, 0, "parse", 0, 10, None),
+                span(2, 0, "search", 10, 80, None),
+                span(3, 2, "parallel_worker", 12, 30, Some("w0")),
+                span(4, 2, "parallel_worker", 12, 35, Some("w\"1\\")),
+                span(5, 0, "render", 90, 10, None),
+            ],
+            dropped_spans: 0,
+        };
+        let mut p = PerfettoTrace::new();
+        p.add_request(&trace);
+        let json = p.to_json();
+        let stats = validate(&json).unwrap();
+        assert_eq!(stats.spans, 6, "root + 5 spans");
+
+        let doc = parse_json(&json).unwrap();
+        let Json::Arr(events) = doc.get("traceEvents").unwrap().clone() else {
+            panic!("not an array");
+        };
+        let tid_of = |name: &str, label: Option<&str>| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("name").and_then(Json::as_str) == Some(name)
+                        && e.get("args")
+                            .and_then(|a| a.get("label"))
+                            .and_then(Json::as_str)
+                            == label
+                })
+                .and_then(|e| e.get("tid").and_then(Json::as_f64))
+                .unwrap() as u64
+        };
+        // Root owns track 0; overlapping spans never share a lane; the
+        // sequential render reuses parse's freed lane 1.
+        assert_eq!(tid_of("POST /map", None), 0);
+        assert_eq!(tid_of("parse", None), 1);
+        assert_eq!(tid_of("search", None), 1);
+        assert_eq!(tid_of("parallel_worker", Some("w0")), 2);
+        assert_eq!(tid_of("parallel_worker", Some("w\"1\\")), 3);
+        assert_eq!(tid_of("render", None), 1);
+        // Parentage and identity ride along as args.
+        let worker = events
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("label"))
+                    .and_then(Json::as_str)
+                    == Some("w0")
+            })
+            .unwrap();
+        assert_eq!(
+            worker
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        // A second request lands in its own process.
+        p.add_request(&trace);
+        let stats = validate(&p.to_json()).unwrap();
+        assert_eq!(stats.spans, 12);
     }
 
     #[test]

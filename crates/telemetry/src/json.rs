@@ -382,6 +382,81 @@ mod tests {
         assert_eq!(ObjectWriter::pretty().finish(), "{}");
     }
 
+    /// Re-encodes a parsed flat object in key-sorted (BTreeMap iteration)
+    /// order — the canonical form used by the byte-for-byte tests below.
+    fn encode_sorted(obj: &BTreeMap<String, Value>) -> String {
+        let mut w = ObjectWriter::new();
+        for (k, v) in obj {
+            match v {
+                Value::Null => {
+                    w.f64(k, f64::NAN);
+                }
+                Value::Bool(b) => {
+                    w.bool(k, *b);
+                }
+                Value::Number(n) => {
+                    w.f64(k, *n);
+                }
+                Value::String(s) => {
+                    w.str(k, s);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn trace_event_lines_with_hostile_labels_round_trip_byte_for_byte() {
+        // A span event the trace sink could emit, keys pre-sorted, whose
+        // label value carries every escapable shape: backslashes (single
+        // and doubled), embedded quotes, and a quoted-backslash tail.
+        let label = r#"c:\tmp\\conv "1x1" end\"#;
+        let mut w = ObjectWriter::new();
+        w.u64("dur_us", 42)
+            .str("event", "span")
+            .str("label", label)
+            .str("phase", "search_layer");
+        let line = w.finish();
+        // The wire bytes hold the *escaped* forms.
+        assert!(
+            line.contains(r#""label":"c:\\tmp\\\\conv \"1x1\" end\\""#),
+            "{line}"
+        );
+
+        // parse -> re-encode reproduces the input exactly: the encoder's
+        // output is a fixed point of the parse/encode pair.
+        let obj = parse_flat_object(&line).unwrap();
+        assert_eq!(obj["label"].as_str(), Some(label));
+        assert_eq!(encode_sorted(&obj), line);
+
+        // And again, one more lap for good measure.
+        let again = parse_flat_object(&encode_sorted(&obj)).unwrap();
+        assert_eq!(encode_sorted(&again), line);
+    }
+
+    #[test]
+    fn sink_emitted_event_lines_canonicalize_stably() {
+        let _guard = crate::test_lock::hold();
+        let (sink, lines) = crate::MemorySink::new();
+        let _s = crate::attach_with_sink(&crate::TelemetryConfig::default(), Some(Box::new(sink)));
+        crate::event("span")
+            .str("phase", "sweep_geometry")
+            .str("label", "2x2x4x4/o_l1=\\\"8\\\"")
+            .u64("dur_us", 7)
+            .emit();
+        let lines = lines.lock().unwrap();
+        let raw = &lines[1]; // lines[0] is session_start
+        assert!(raw.contains(r#""label":"2x2x4x4/o_l1=\\\"8\\\"""#), "{raw}");
+        // The emitted line parses, and its canonical form is a fixed point
+        // byte for byte — escapes survive any number of round trips.
+        let obj = parse_flat_object(raw).unwrap();
+        assert_eq!(obj["label"].as_str(), Some("2x2x4x4/o_l1=\\\"8\\\""));
+        let canonical = encode_sorted(&obj);
+        let reparsed = parse_flat_object(&canonical).unwrap();
+        assert_eq!(encode_sorted(&reparsed), canonical);
+        assert_eq!(reparsed, obj);
+    }
+
     #[test]
     fn parses_all_scalar_shapes() {
         let obj =

@@ -22,6 +22,10 @@
 //!   rendered in Prometheus text format by [`expo::render`]. Gated by its
 //!   own enable flag ([`metrics::enable`]) so one-shot CLI runs never pay
 //!   for it.
+//! * **Request traces** ([`trace`]): per-request span trees carried via a
+//!   thread-local and explicitly propagated across worker boundaries,
+//!   plus a fixed-capacity [`trace::FlightRecorder`] of completed
+//!   requests. Gated by [`trace::enable`], same discipline as metrics.
 //!
 //! All hooks are routed through one process-global session. When no session
 //! is attached — the default — every hook is a single relaxed atomic load
@@ -54,6 +58,7 @@ pub mod progress;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};

@@ -2,8 +2,11 @@
 //!
 //! A span measures the wall time of one scope. On drop it records the
 //! duration into the phase's [`Histogram`] and mirrors a `span` event to
-//! the trace sink. When no session is attached, creating a span reads no
-//! clock and allocates nothing.
+//! the trace sink. If the calling thread has a request trace installed
+//! (see [`crate::trace`]), the span is additionally recorded there as a
+//! node in that request's span tree. When no session is attached and no
+//! trace is installed, creating a span reads no clock and allocates
+//! nothing.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -19,29 +22,40 @@ fn phases() -> MutexGuard<'static, BTreeMap<&'static str, Histogram>> {
     PHASES.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Starts timing `phase`. Inert (no clock read) when disabled.
+/// Starts timing `phase`. Inert (no clock read) when neither a session
+/// nor a request trace is active.
 pub fn span(phase: &'static str) -> SpanGuard {
+    let session = crate::enabled();
+    let trace = crate::trace::open();
     SpanGuard {
         phase,
         label: None,
-        start: crate::enabled().then(Instant::now),
+        start: (session || trace.is_some()).then(Instant::now),
+        session,
+        trace,
     }
 }
 
 /// Starts timing `phase` with a label (e.g. a layer name). The label
-/// closure only runs when a session is attached.
+/// closure only runs when a session or a request trace will observe it.
 pub fn span_labeled(phase: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
-    if !crate::enabled() {
+    let session = crate::enabled();
+    let trace = crate::trace::open();
+    if !session && trace.is_none() {
         return SpanGuard {
             phase,
             label: None,
             start: None,
+            session,
+            trace: None,
         };
     }
     SpanGuard {
         phase,
         label: Some(label()),
         start: Some(Instant::now()),
+        session,
+        trace,
     }
 }
 
@@ -51,6 +65,12 @@ pub struct SpanGuard {
     phase: &'static str,
     label: Option<String>,
     start: Option<Instant>,
+    /// Whether a session was attached at creation (phase histograms +
+    /// sink event on drop).
+    session: bool,
+    /// The open node in the calling thread's request trace, if one was
+    /// installed at creation.
+    trace: Option<crate::trace::OpenSpan>,
 }
 
 impl SpanGuard {
@@ -66,6 +86,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let dur_us = start.elapsed().as_micros() as u64;
+        if let Some(open) = self.trace.take() {
+            crate::trace::close(open, self.phase, self.label.as_deref(), dur_us);
+        }
+        if !self.session {
+            return;
+        }
         phases().entry(self.phase).or_default().record(dur_us);
         let mut ev = event("span").str("phase", self.phase).u64("dur_us", dur_us);
         if let Some(label) = &self.label {

@@ -90,6 +90,17 @@ fn exposition_matches_the_golden_file() {
         &[("queue", "fanout")],
         0.0,
     );
+    // Server-side connection closes, labelled by cause — the closed set
+    // `baton serve` emits (client-initiated closes are not counted).
+    for (cause, n) in [("deadline", 2), ("drain", 1), ("framing", 4), ("limit", 3)] {
+        metrics::counter_add(
+            "baton_http_connections_closed_total",
+            "Keep-alive connections closed by the server, by cause \
+             (limit, deadline, framing, drain).",
+            &[("cause", cause)],
+            n,
+        );
+    }
 
     let rendered = expo::render("0.0.0-golden");
 
@@ -142,6 +153,11 @@ fn exposition_matches_the_golden_file() {
     assert!(rendered.contains("# TYPE baton_parallel_queue_depth gauge"));
     assert!(rendered.contains("baton_parallel_queue_depth{queue=\"fanout\"} 0"));
     assert!(rendered.contains("baton_parallel_queue_depth{queue=\"http\"} 3"));
+    assert!(rendered.contains("# TYPE baton_http_connections_closed_total counter"));
+    assert!(rendered.contains("baton_http_connections_closed_total{cause=\"deadline\"} 2"));
+    assert!(rendered.contains("baton_http_connections_closed_total{cause=\"drain\"} 1"));
+    assert!(rendered.contains("baton_http_connections_closed_total{cause=\"framing\"} 4"));
+    assert!(rendered.contains("baton_http_connections_closed_total{cause=\"limit\"} 3"));
 
     // Bridged run counters render under canonical names even at zero.
     assert!(rendered.contains("# TYPE baton_cache_hits_total counter"));

@@ -237,4 +237,72 @@ fn serve_speaks_http_and_observes_itself() {
         metrics.contains("baton_http_requests_total{code=\"400\",path=\"other\"} 1"),
         "early-exit 400s must be counted too:\n{metrics}"
     );
+
+    // --- Request tracing and the flight recorder ------------------------
+
+    // Every response names its trace; a fresh (uncached) mapping request
+    // exercises the full phase ladder.
+    let (status, head, body) = request(
+        addr,
+        "POST",
+        "/map",
+        "{\"model\": \"alexnet\", \"config\": {\"layer\": 1}}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let trace_id = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("x-baton-trace-id")
+                .then(|| v.trim().to_string())
+        })
+        .expect("X-Baton-Trace-Id header missing");
+    assert_eq!(trace_id.len(), 16, "trace id shape: {trace_id}");
+
+    // The trace is immediately retrievable, with the server-side phases as
+    // root spans and the fan-out workers' spans attached underneath.
+    let (status, _, detail) = request(addr, "GET", &format!("/debug/requests/{trace_id}"), "");
+    assert_eq!(status, 200, "{detail}");
+    assert!(detail.contains(&format!("\"trace_id\":\"{trace_id}\"")));
+    assert!(detail.contains("\"op\":\"POST /map\""), "{detail}");
+    for phase in [
+        "queue_wait",
+        "parse",
+        "cache",
+        "search",
+        "search_layer",
+        "render",
+    ] {
+        assert!(
+            detail.contains(&format!("\"name\":\"{phase}\"")),
+            "{phase} span missing from trace:\n{detail}"
+        );
+    }
+    assert!(
+        detail.contains("\"name\":\"parallel_worker\""),
+        "worker-side spans must cross the fan-out boundary:\n{detail}"
+    );
+
+    // The list view summarizes recent requests with timing breakdowns.
+    let (status, _, list) = request(addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200);
+    assert!(list.contains(&trace_id), "{list}");
+    assert!(list.contains("\"queue_wait_us\":"), "{list}");
+    assert!(list.contains("\"search_us\":"), "{list}");
+
+    // The same trace renders as a Perfetto-loadable trace_event file.
+    let (status, _, perfetto) = request(
+        addr,
+        "GET",
+        &format!("/debug/requests/{trace_id}?format=perfetto"),
+        "",
+    );
+    assert_eq!(status, 200);
+    assert!(perfetto.contains("\"traceEvents\""), "{perfetto}");
+    assert!(perfetto.contains("parallel_worker"), "{perfetto}");
+
+    // Unknown trace IDs are a 404, not a crash or an empty 200.
+    let (status, _, body) = request(addr, "GET", "/debug/requests/0000000000000000", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\":"), "{body}");
 }

@@ -448,6 +448,39 @@ fn keep_alive_honors_the_per_connection_request_limit() {
     }
 }
 
+/// Readiness flips with the drain: `/readyz` answers 200 while serving,
+/// then 503 `draining` the moment `/quitquitquit` is accepted — the
+/// balancer-facing signal to stop routing — while connections already
+/// being served still get their answer (and are told to close).
+#[test]
+fn readyz_flips_to_503_once_drain_begins() {
+    // Two workers regardless of the env sweep: one keeps the probe
+    // connection, the other is free to take /quitquitquit.
+    let mut server = start_server("2", &[]);
+    let addr = server.addr.as_str();
+    wait_ready(addr);
+
+    // A keep-alive probe established before the drain; its worker carries
+    // it across the drain boundary.
+    let mut probe = KeepAlive::connect(addr);
+    let (status, _, body, close) = probe.send("GET", "/readyz", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(!close, "a ready server keeps the probe connection open");
+
+    let (status, _, _) = request(addr, "POST", "/quitquitquit", "");
+    assert_eq!(status, 200);
+
+    // The already-connected probe now sees the server refuse readiness.
+    let (status, _, body, close) = probe.send("GET", "/readyz", "").unwrap();
+    assert_eq!(status, 503, "a draining server must fail readiness");
+    assert!(body.contains("\"status\":\"draining\""), "{body}");
+    assert!(close, "drain must close surviving connections");
+
+    let status = server.child.wait().expect("wait for drained server");
+    assert_eq!(status.code(), Some(0), "drain must exit cleanly");
+}
+
 /// Graceful drain: a request already being read when `/quitquitquit`
 /// arrives still completes with a 200, new connects are then refused, and
 /// the process exits 0 after printing its final snapshot line.
