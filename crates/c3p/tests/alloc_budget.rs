@@ -1,0 +1,118 @@
+//! Allocation-budget gate on the search hot path.
+//!
+//! This test binary installs the counting allocator for real — unlike the
+//! library unit tests — and holds the steady-state `search_layer` inner
+//! loop to a committed allocations-per-evaluation budget. The ROADMAP's
+//! batched SoA evaluation rewrite is expected to drive this number toward
+//! zero; this gate is the tripwire that (a) stops regressions sneaking in
+//! before that rewrite lands and (b) will prove the rewrite's claim when
+//! it does.
+//!
+//! Methodology (mirrored by `baton bench`'s `alloc.allocs_per_eval`):
+//! run once to warm every lazy structure, then measure the global ledger
+//! across repeated searches on a single worker thread and divide by the
+//! evaluations counted. Single-threaded, so the measurement covers the
+//! whole search — no churn hides on pool threads.
+
+use baton_arch::{presets, Technology};
+use baton_c3p::{search_layer, Objective};
+use baton_model::ConvSpec;
+use baton_telemetry::alloc::{totals, AllocScope, CountingAlloc};
+use baton_telemetry::{counters, Counter};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// The committed budget: measured at ~891 allocations per evaluation on
+/// the current evaluator — identical in debug and release, because the
+/// count is a function of the candidate set, not of timing. The bulk is
+/// enumeration and per-candidate decomposition over the *whole* candidate
+/// space, amortized only over the kept evaluations (the denominator the
+/// throughput figure uses). Rounded up ~12% so allocator-placement noise
+/// never flakes the gate. Tighten this as the SoA rewrite lands — never
+/// loosen it to paper over a regression.
+const ALLOCS_PER_EVAL_BUDGET: f64 = 1000.0;
+
+fn bench_layer() -> ConvSpec {
+    // AlexNet conv2-shaped: big enough for a few thousand evaluations,
+    // small enough that five repeats stay under a second in debug builds.
+    ConvSpec::new("conv2", 27, 27, 64, 5, 1, 2, 192).expect("valid layer")
+}
+
+#[test]
+fn steady_state_search_stays_within_the_allocation_budget() {
+    // One worker: the sequential fast path runs the whole search on this
+    // thread, so the process-global ledger delta is exactly the search's.
+    baton_parallel::configure_threads(Some(1));
+    // Counters only advance while a session is attached.
+    let _session = baton_telemetry::attach_with_sink(&Default::default(), None);
+
+    let layer = bench_layer();
+    let arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+
+    // Warm-up: first-use lazy init (thread pool, candidate tables) must
+    // not bill the steady state.
+    search_layer(&layer, &arch, &tech, Objective::Energy).expect("feasible layer");
+
+    const REPS: u64 = 5;
+    let counters_before = counters::snapshot();
+    let alloc_before = totals();
+    for _ in 0..REPS {
+        search_layer(&layer, &arch, &tech, Objective::Energy).expect("feasible layer");
+    }
+    let alloc_after = totals();
+    let evals = counters::snapshot()
+        .since(&counters_before)
+        .get(Counter::Evaluations);
+    assert!(evals > 0, "the gate needs a real search to measure");
+
+    let allocs = alloc_after.allocs - alloc_before.allocs;
+    let per_eval = allocs as f64 / evals as f64;
+    println!("allocs/eval: {per_eval:.2} ({allocs} allocs / {evals} evals over {REPS} reps)");
+    assert!(
+        per_eval <= ALLOCS_PER_EVAL_BUDGET,
+        "search_layer allocation budget exceeded: {per_eval:.2} allocs/eval \
+         (budget {ALLOCS_PER_EVAL_BUDGET}). If this is an intentional trade, \
+         re-measure and adjust the committed budget with the reviewers."
+    );
+
+    // Leak balance: repeated searches must not accumulate live heap — the
+    // results were dropped, so net growth is bounded by allocator noise
+    // (memo-free path; 1 MB is orders of magnitude above observed jitter).
+    let net_live = alloc_after.live_bytes - alloc_before.live_bytes;
+    assert!(
+        net_live.abs() < 1_048_576,
+        "search leaked {net_live} live bytes across {REPS} dropped runs"
+    );
+}
+
+#[test]
+fn alloc_scope_attributes_this_threads_churn() {
+    // With the allocator actually installed, a scope must see exactly the
+    // churn this thread performs — the library unit tests can only assert
+    // the inert (uninstalled) behavior.
+    let scope = AllocScope::start();
+    let v: Vec<u64> = (0..4096).collect();
+    let mid = scope.delta();
+    assert!(mid.allocs >= 1, "the Vec allocation was not observed");
+    assert!(
+        mid.bytes_allocated >= 4096 * 8,
+        "observed only {} bytes",
+        mid.bytes_allocated
+    );
+    drop(v);
+    let end = scope.delta();
+    assert!(end.frees > mid.frees, "the drop was not observed");
+    assert!(
+        end.net_bytes() < mid.net_bytes(),
+        "net bytes must fall after the free"
+    );
+
+    // And the global ledger is live: any Rust process allocates plenty.
+    let t = totals();
+    assert!(baton_telemetry::alloc::active());
+    assert!(t.allocs > 0 && t.bytes_allocated > 0);
+    assert!(t.peak_live_bytes >= t.live_bytes);
+    assert!(t.outstanding() >= 0, "more frees than allocs?");
+}

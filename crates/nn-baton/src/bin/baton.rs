@@ -47,6 +47,13 @@ use nn_baton::report::{
 };
 use nn_baton::telemetry;
 
+/// Every heap operation in the CLI is counted: `profile --alloc` and
+/// `bench` read the ledger, `serve` exports it as `baton_alloc_*` on
+/// `/metrics`. A few relaxed fetch_adds per allocation — noise next to the
+/// allocation itself.
+#[global_allocator]
+static ALLOC: telemetry::alloc::CountingAlloc = telemetry::alloc::CountingAlloc::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -80,7 +87,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "stats" => &["--res"],
         "map" => &["--res", "--csv", "--trace-perfetto"],
         "explain" => &["--res", "--layer", "--top", "--format"],
-        "profile" => &["--res", "--json"],
+        "profile" => &["--res", "--json", "--alloc"],
         "bench" => &["--res", "--out", "--baseline", "--max-regress"],
         "compare" => &["--res", "--csv"],
         "explore" | "sweep" => &["--res", "--macs", "--area", "--csv"],
@@ -112,6 +119,9 @@ struct Flags {
     trace_perfetto: Option<String>,
     /// `profile`: machine-readable output instead of the table.
     json: bool,
+    /// `profile`: add per-layer allocation columns from the counting
+    /// allocator.
+    alloc: bool,
     /// `bench`: snapshot output path.
     out: Option<String>,
     /// `bench`: baseline snapshot to compare against.
@@ -166,6 +176,7 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
         format: Format::Text,
         trace_perfetto: None,
         json: false,
+        alloc: false,
         out: None,
         baseline: None,
         max_regress: 10.0,
@@ -200,6 +211,7 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
             "--format" => f.format = value("--format")?.parse()?,
             "--trace-perfetto" => f.trace_perfetto = Some(value("--trace-perfetto")?),
             "--json" => f.json = true,
+            "--alloc" => f.alloc = true,
             "--out" => f.out = Some(value("--out")?),
             "--baseline" => f.baseline = Some(value("--baseline")?),
             "--max-regress" => {
@@ -272,7 +284,7 @@ fn run(args: &[String]) -> Result<(), String> {
              baton serve [--addr HOST:PORT]\n  baton check <file.baton>\n  baton version\n\n\
              flags: --res N  --macs M  --area A|none  --csv FILE\n\
              explain: --layer L  --top K  --format text|md|json\n\
-             map: --trace-perfetto FILE    profile: --json\n\
+             map: --trace-perfetto FILE    profile: --json --alloc\n\
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
              serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
              \x20       --cache-entries N (default 256, 0 disables)  --queue-depth N (default 64)\n\
@@ -472,7 +484,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         "profile" => {
-            profile_model(&model, &arch, &tech, flags.json)?;
+            profile_model(&model, &arch, &tech, flags.json, flags.alloc)?;
         }
         "bench" => {
             let out = flags.out.as_ref().expect("checked above");
@@ -575,13 +587,16 @@ fn run(args: &[String]) -> Result<(), String> {
 /// The `baton profile` subcommand: run the post-design flow with telemetry
 /// forced on and print a per-layer time/counter breakdown plus the session
 /// summary — or, with `--json`, one flat JSON object of the same data.
+/// `--alloc` swaps the counter columns for the allocation ledger: heap
+/// operations, allocs per evaluation, and net heap growth per layer.
 fn profile_model(
     model: &Model,
     arch: &PackageConfig,
     tech: &Technology,
     json: bool,
+    alloc: bool,
 ) -> Result<(), String> {
-    use nn_baton::telemetry::{counters, span, Counter};
+    use nn_baton::telemetry::{alloc as talloc, counters, span, Counter};
 
     // Profile the same shape-memoized per-layer search the post-design flow
     // runs, so the cache_hit/cache_miss/search_pruned counters reflect what
@@ -599,17 +614,25 @@ fn profile_model(
     };
 
     let initial = counters::snapshot();
+    let alloc_initial = talloc::totals();
     let t0 = Instant::now();
     if json {
         for layer in model.layers() {
             search(layer).map_err(|e| e.to_string())?;
         }
-        let snapshot = BenchSnapshot::build(
+        let mut snapshot = BenchSnapshot::build(
             "profile",
             model.name(),
             t0.elapsed().as_secs_f64() * 1e3,
             &counters::snapshot().since(&initial),
             &span::phase_stats(),
+        );
+        insert_alloc_metrics(
+            &mut snapshot,
+            &alloc_initial,
+            counters::snapshot()
+                .since(&initial)
+                .get(Counter::Evaluations),
         );
         print!("{}", snapshot.to_json());
         return Ok(());
@@ -620,18 +643,26 @@ fn profile_model(
         model.name(),
         model.layers().len()
     );
-    println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "layer",
-        "time ms",
-        "enumerated",
-        "rej shape",
-        "rej buffer",
-        "dedup",
-        "pruned",
-        "evaluations"
-    );
+    if alloc {
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "layer", "time ms", "evaluations", "allocs", "allocs/eval", "alloc KB", "net KB"
+        );
+    } else {
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "layer",
+            "time ms",
+            "enumerated",
+            "rej shape",
+            "rej buffer",
+            "dedup",
+            "pruned",
+            "evaluations"
+        );
+    }
     let mut before = initial;
+    let mut alloc_before = alloc_initial;
     for layer in model.layers() {
         let start = Instant::now();
         search(layer).map_err(|e| e.to_string())?;
@@ -642,17 +673,41 @@ fn profile_model(
         } else {
             ""
         };
-        println!(
-            "{:<24} {:>10.1} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}{tag}",
-            layer.name(),
-            start.elapsed().as_secs_f64() * 1e3,
-            d.get(Counter::CandidatesGenerated),
-            d.get(Counter::CandidatesStructurallyRejected) + d.rejects_plane(),
-            d.rejects_buffer(),
-            d.get(Counter::CandidatesDeduped),
-            d.get(Counter::SearchPruned),
-            d.get(Counter::Evaluations),
-        );
+        if alloc {
+            // Process-global ledger deltas: unlike a thread-scoped
+            // AllocScope, these include whatever the parallel workers
+            // allocated on the layer's behalf.
+            let a = talloc::totals();
+            let evals = d.get(Counter::Evaluations);
+            let allocs = a.allocs - alloc_before.allocs;
+            println!(
+                "{:<24} {:>10.1} {:>12} {:>12} {:>12.1} {:>12.1} {:>12.1}{tag}",
+                layer.name(),
+                start.elapsed().as_secs_f64() * 1e3,
+                evals,
+                allocs,
+                if evals > 0 {
+                    allocs as f64 / evals as f64
+                } else {
+                    0.0
+                },
+                (a.bytes_allocated - alloc_before.bytes_allocated) as f64 / 1024.0,
+                (a.live_bytes - alloc_before.live_bytes) as f64 / 1024.0,
+            );
+            alloc_before = a;
+        } else {
+            println!(
+                "{:<24} {:>10.1} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}{tag}",
+                layer.name(),
+                start.elapsed().as_secs_f64() * 1e3,
+                d.get(Counter::CandidatesGenerated),
+                d.get(Counter::CandidatesStructurallyRejected) + d.rejects_plane(),
+                d.rejects_buffer(),
+                d.get(Counter::CandidatesDeduped),
+                d.get(Counter::SearchPruned),
+                d.get(Counter::Evaluations),
+            );
+        }
         before = now;
     }
     println!(
@@ -660,11 +715,77 @@ fn profile_model(
         t0.elapsed().as_secs_f64() * 1e3,
         model.layers().len()
     );
+    if alloc {
+        let a = talloc::totals();
+        println!(
+            "allocator: {} allocs / {} frees, {:.1} MB allocated, peak live {:.1} MB",
+            a.allocs - alloc_initial.allocs,
+            a.deallocs - alloc_initial.deallocs,
+            (a.bytes_allocated - alloc_initial.bytes_allocated) as f64 / (1024.0 * 1024.0),
+            a.peak_live_bytes as f64 / (1024.0 * 1024.0),
+        );
+        // Per-phase attribution from the span layer: which phase the main
+        // thread's churn belongs to (worker-thread churn attributes to the
+        // workers' own spans, visible in request traces).
+        let phase_allocs = span::phase_alloc_stats();
+        let mut printed_header = false;
+        for (phase, pa) in &phase_allocs {
+            if pa.allocs == 0 && pa.frees == 0 {
+                continue;
+            }
+            if !printed_header {
+                println!(
+                    "{:<24} {:>12} {:>12} {:>12}",
+                    "phase", "allocs", "frees", "net KB"
+                );
+                printed_header = true;
+            }
+            println!(
+                "{:<24} {:>12} {:>12} {:>12.1}",
+                phase,
+                pa.allocs,
+                pa.frees,
+                pa.net_bytes() as f64 / 1024.0
+            );
+        }
+        println!();
+    }
     print!(
         "{}",
         nn_baton::telemetry::render_summary(&counters::snapshot(), &span::phase_stats())
     );
     Ok(())
+}
+
+/// Folds the allocation ledger into a bench/profile snapshot:
+/// `alloc.allocs_per_eval` (the budget-gated metric), the raw operation
+/// and byte deltas, and — where procfs answers — `alloc.peak_rss_bytes`.
+fn insert_alloc_metrics(
+    snapshot: &mut BenchSnapshot,
+    before: &telemetry::alloc::AllocTotals,
+    evaluations: u64,
+) {
+    let now = telemetry::alloc::totals();
+    let allocs = now.allocs - before.allocs;
+    snapshot.nums.insert("alloc.allocs".into(), allocs as f64);
+    snapshot.nums.insert(
+        "alloc.bytes".into(),
+        (now.bytes_allocated - before.bytes_allocated) as f64,
+    );
+    snapshot
+        .nums
+        .insert("alloc.peak_live_bytes".into(), now.peak_live_bytes as f64);
+    if evaluations > 0 {
+        snapshot.nums.insert(
+            "alloc.allocs_per_eval".into(),
+            allocs as f64 / evaluations as f64,
+        );
+    }
+    if let Some(peak_rss) = telemetry::procfs::peak_rss_bytes() {
+        snapshot
+            .nums
+            .insert("alloc.peak_rss_bytes".into(), peak_rss as f64);
+    }
 }
 
 /// The `baton bench` subcommand: run the post-design flow under the clock,
@@ -677,19 +798,26 @@ fn bench_model(
     baseline: Option<&(String, BenchSnapshot)>,
     max_regress: f64,
 ) -> Result<(), String> {
-    use nn_baton::telemetry::{counters, span};
+    use nn_baton::telemetry::{counters, span, Counter};
 
     let name = bench_name(out);
     let before = counters::snapshot();
+    let alloc_before = telemetry::alloc::totals();
     let t0 = Instant::now();
     let report = map_model(model, arch, tech).map_err(|e| e.to_string())?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let counter_delta = counters::snapshot().since(&before);
     let mut snapshot = BenchSnapshot::build(
         &name,
         model.name(),
         wall_ms,
-        &counters::snapshot().since(&before),
+        &counter_delta,
         &span::phase_stats(),
+    );
+    insert_alloc_metrics(
+        &mut snapshot,
+        &alloc_before,
+        counter_delta.get(Counter::Evaluations),
     );
     // Record the worker count and the model-level results alongside the
     // timing metrics. The result keys have no gating direction — they exist

@@ -9,7 +9,7 @@
 //! | `/healthz` | GET | liveness: `{"status":"ok"}` as soon as the socket is up |
 //! | `/readyz`  | GET | readiness: 503 until the warmup search finishes, then version/uptime/threads |
 //! | `/map`, `/explain` | POST | the offline `baton explain --format json` report for a JSON request body |
-//! | `/debug/requests` | GET | flight recorder: recent requests with timing breakdowns |
+//! | `/debug/requests` | GET | flight recorder: recent requests with timing breakdowns (`?limit=N` for the newest N) |
 //! | `/debug/requests/<id>` | GET | one request's full span tree (`?format=perfetto` for a trace-viewer file) |
 //! | `/quitquitquit` | POST | graceful drain: stop accepting, finish in-flight work, exit 0 |
 //!
@@ -599,6 +599,9 @@ fn canonical_path(path: &str) -> &'static str {
         "/debug/requests" => "/debug/requests",
         "/quitquitquit" => "/quitquitquit",
         p if p.starts_with("/debug/requests/") => "/debug/requests/{id}",
+        // The list accepts `?limit=N`; query strings are client data and
+        // fold onto the list label.
+        p if p.starts_with("/debug/requests?") => "/debug/requests",
         _ => "other",
     }
 }
@@ -1084,7 +1087,10 @@ fn catch_panic<F: FnOnce() -> Response>(f: F) -> Option<Response> {
 }
 
 fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Response {
-    if path == "/debug/requests" || path.starts_with("/debug/requests/") {
+    if path == "/debug/requests"
+        || path.starts_with("/debug/requests/")
+        || path.starts_with("/debug/requests?")
+    {
         return handle_debug_requests(method, path, state);
     }
     match (method, path) {
@@ -1133,11 +1139,34 @@ fn dispatch(method: &str, path: &str, body: &str, state: &ServerState) -> Respon
     }
 }
 
-/// `GET /debug/requests[/<trace-id>[?format=perfetto]]`: the flight
-/// recorder surface. The list answers recent requests newest-first with
-/// their timing breakdowns; a trace-ID lookup answers the full span tree,
-/// or — with `?format=perfetto` — a `chrome://tracing` / Perfetto file for
-/// that one request.
+/// How many list entries a single `?limit=` may request.
+const DEBUG_REQUESTS_MAX_LIMIT: usize = 128;
+
+/// Parses the flight-recorder list query: empty means "the whole ring",
+/// `limit=N` with N in 1..=128 truncates to the newest N. Anything else —
+/// unknown keys, non-numeric or out-of-range values — is a 400, not a
+/// silent full listing.
+fn parse_debug_requests_limit(query: &str) -> Result<Option<usize>, String> {
+    if query.is_empty() {
+        return Ok(None);
+    }
+    let Some(value) = query.strip_prefix("limit=") else {
+        return Err(format!("unknown query `{query}` (try ?limit=N)"));
+    };
+    match value.parse::<usize>() {
+        Ok(n) if (1..=DEBUG_REQUESTS_MAX_LIMIT).contains(&n) => Ok(Some(n)),
+        _ => Err(format!(
+            "limit must be an integer in 1..={DEBUG_REQUESTS_MAX_LIMIT}, got `{value}`"
+        )),
+    }
+}
+
+/// `GET /debug/requests[?limit=N][/<trace-id>[?format=perfetto]]`: the
+/// flight recorder surface. The list answers recent requests newest-first
+/// with their timing breakdowns (`?limit=N` keeps only the newest N so
+/// dashboards can poll a small tail); a trace-ID lookup answers the full
+/// span tree, or — with `?format=perfetto` — a `chrome://tracing` /
+/// Perfetto file for that one request.
 fn handle_debug_requests(method: &str, path: &str, state: &ServerState) -> Response {
     if method != "GET" {
         return Response::error(405, "use GET");
@@ -1145,8 +1174,16 @@ fn handle_debug_requests(method: &str, path: &str, state: &ServerState) -> Respo
     let Some(rest) = path.strip_prefix("/debug/requests") else {
         return Response::error(404, "no such route");
     };
-    if rest.is_empty() {
-        let recent = state.recorder.recent();
+    if rest.is_empty() || rest.starts_with('?') {
+        let query = rest.strip_prefix('?').unwrap_or("");
+        let limit = match parse_debug_requests_limit(query) {
+            Ok(limit) => limit,
+            Err(message) => return Response::error(400, &message),
+        };
+        let mut recent = state.recorder.recent();
+        if let Some(limit) = limit {
+            recent.truncate(limit);
+        }
         let mut body = format!(
             "{{\"capacity\":{},\"count\":{},\"requests\":[",
             state.recorder.capacity(),
@@ -1224,7 +1261,10 @@ fn render_trace_detail(t: &CompletedTrace) -> String {
         if let Some(label) = &s.label {
             w.str("label", label);
         }
-        w.u64("start_us", s.start_us).u64("dur_us", s.dur_us);
+        w.u64("start_us", s.start_us)
+            .u64("dur_us", s.dur_us)
+            .i64("net_allocs", s.net_allocs)
+            .i64("net_bytes", s.net_bytes);
         out.push_str(&w.finish());
     }
     out.push_str("]}\n");
@@ -1415,6 +1455,11 @@ mod tests {
         ] {
             assert_eq!(canonical_path(lookup), "/debug/requests/{id}");
         }
+        // List queries fold onto the list label — `limit` values are
+        // client data and must not mint series either.
+        for listing in ["/debug/requests?limit=5", "/debug/requests?junk"] {
+            assert_eq!(canonical_path(listing), "/debug/requests");
+        }
         for junk in [
             "",
             "/",
@@ -1444,7 +1489,7 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
         assert!(resp.body.contains("# TYPE baton_evaluations_total counter"));
-        assert!(resp.body.contains("baton_build_info{version="));
+        assert!(resp.body.contains("baton_build_info{profile="));
     }
 
     #[test]
@@ -1493,6 +1538,50 @@ mod tests {
     }
 
     #[test]
+    fn debug_requests_limit_truncates_to_the_newest_entries() {
+        let state = test_state(true);
+        for op in ["GET /a", "GET /b", "GET /c"] {
+            let t = TraceHandle::start();
+            state.recorder.record(Arc::new(t.finish(op, 200)));
+        }
+        let resp = dispatch("GET", "/debug/requests?limit=2", "", &state);
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.body.contains("\"count\":2"),
+            "limit bounds the listing: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("GET /c"), "newest kept");
+        assert!(resp.body.contains("GET /b"));
+        assert!(!resp.body.contains("GET /a"), "oldest truncated");
+        // A limit past the retained count is not an error.
+        let all = dispatch("GET", "/debug/requests?limit=128", "", &state);
+        assert_eq!(all.status, 200);
+        assert!(all.body.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn debug_requests_limit_rejects_malformed_queries() {
+        let state = test_state(true);
+        for bad in [
+            "/debug/requests?limit=0",
+            "/debug/requests?limit=129",
+            "/debug/requests?limit=abc",
+            "/debug/requests?limit=-1",
+            "/debug/requests?limit=",
+            "/debug/requests?size=5",
+        ] {
+            let resp = dispatch("GET", bad, "", &state);
+            assert_eq!(resp.status, 400, "{bad} must answer 400: {}", resp.body);
+        }
+        // A bare `?` is an empty query: same as no query at all.
+        assert_eq!(dispatch("GET", "/debug/requests?", "", &state).status, 200);
+        assert_eq!(parse_debug_requests_limit(""), Ok(None));
+        assert_eq!(parse_debug_requests_limit("limit=1"), Ok(Some(1)));
+        assert_eq!(parse_debug_requests_limit("limit=128"), Ok(Some(128)));
+    }
+
+    #[test]
     fn debug_request_lookup_answers_the_span_tree_and_perfetto() {
         baton_telemetry::trace::enable();
         let state = test_state(true);
@@ -1524,6 +1613,13 @@ mod tests {
             .unwrap();
         assert!(
             search_layer_obj.contains("\"parent\":1"),
+            "{search_layer_obj}"
+        );
+        // Every span carries its allocation delta (zero here: the test
+        // binary does not install the counting allocator).
+        assert!(
+            search_layer_obj.contains("\"net_allocs\":0")
+                && search_layer_obj.contains("\"net_bytes\":0"),
             "{search_layer_obj}"
         );
 

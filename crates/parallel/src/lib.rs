@@ -399,6 +399,12 @@ pub(crate) mod tests {
         for w in workers {
             assert_eq!(w.parent, fan.id, "worker spans nest under the fan-out");
             assert!(w.label.as_deref().unwrap_or("").starts_with('w'));
+            // Worker spans carry allocation attribution captured on the
+            // worker thread itself. This test binary does not install the
+            // counting allocator, so the deltas must be exactly zero — the
+            // inert ledger never invents churn. (The `baton` binary does
+            // install it; tests/serve.rs asserts the live nonzero case.)
+            assert_eq!((w.net_allocs, w.net_bytes), (0, 0));
         }
     }
 

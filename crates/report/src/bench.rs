@@ -140,9 +140,13 @@ pub struct Regression {
 
 /// Keys compared, and in which direction "worse" points.
 fn direction(key: &str) -> Option<bool> {
-    // Some(true): higher is worse (times). Some(false): lower is worse
-    // (throughputs). None: informational only (counts, means, counters).
-    if key == "wall_ms.total" || (key.starts_with("phase.") && key.ends_with(".total_ms")) {
+    // Some(true): higher is worse (times, allocation pressure).
+    // Some(false): lower is worse (throughputs). None: informational only
+    // (counts, means, counters, absolute byte totals — machine-dependent).
+    if key == "wall_ms.total"
+        || key == "alloc.allocs_per_eval"
+        || (key.starts_with("phase.") && key.ends_with(".total_ms"))
+    {
         Some(true)
     } else if key.starts_with("throughput.") {
         Some(false)
@@ -253,6 +257,25 @@ mod tests {
             !s.nums.contains_key("counter.evaluations"),
             "legacy wire-name keys must be gone"
         );
+    }
+
+    #[test]
+    fn allocs_per_eval_regressions_trip_the_gate() {
+        let mut base = synthetic(100.0, 60.0, 10000.0);
+        base.nums.insert("alloc.allocs_per_eval".into(), 10.0);
+        base.nums.insert("alloc.peak_rss_bytes".into(), 1e8);
+        let mut cur = base.clone();
+        cur.nums.insert("alloc.allocs_per_eval".into(), 16.0);
+        // Peak RSS is machine-dependent and informational: never gated.
+        cur.nums.insert("alloc.peak_rss_bytes".into(), 9e9);
+        let regs = compare_snapshots(&cur, &base, 25.0);
+        let keys: Vec<&str> = regs.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["alloc.allocs_per_eval"]);
+        assert!((regs[0].change_pct - 60.0).abs() < 1e-9);
+        // Fewer allocations per eval is an improvement, not a regression.
+        let mut better = base.clone();
+        better.nums.insert("alloc.allocs_per_eval".into(), 1.0);
+        assert!(compare_snapshots(&better, &base, 25.0).is_empty());
     }
 
     #[test]

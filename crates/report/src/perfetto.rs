@@ -762,6 +762,8 @@ mod tests {
             label: label.map(String::from),
             start_us,
             dur_us,
+            net_allocs: 0,
+            net_bytes: 0,
         };
         let trace = CompletedTrace {
             trace_id: "00c0ffee00c0ffee".into(),

@@ -1,0 +1,411 @@
+//! A counting global allocator: memory observability for the search loop.
+//!
+//! Wall-time spans answer *where the time goes*; this module answers *where
+//! the memory churn is*. [`CountingAlloc`] wraps [`std::alloc::System`] and
+//! maintains two ledgers on every heap operation:
+//!
+//! * **process-global** relaxed atomics — allocation/deallocation/
+//!   reallocation counts, bytes allocated and freed, live bytes, and the
+//!   peak live-byte high-water mark ([`totals`]), and
+//! * **per-thread** cells — the same counts scoped to the current thread,
+//!   so an [`AllocScope`] can attribute deltas to one region of one thread
+//!   (a span, a layer search, a request phase).
+//!
+//! The per-thread ledger is exact and updated on every operation; the
+//! global ledger is *batched* — each thread publishes its pending counts
+//! every [`FLUSH_OPS`] operations (immediately for any single operation of
+//! [`FLUSH_BYTES`] or more), so the per-operation cost is plain `Cell`
+//! arithmetic with an occasional burst of relaxed `fetch_add`s. Measured
+//! on the search hot path, per-op global atomics roughly doubled wall
+//! time; batching makes the tax single-digit percent. The price is bounded staleness: [`totals`] can lag each live
+//! thread by up to one flush window, and `peak_live_bytes` only observes
+//! the live level at flush points. The cost is paid only in binaries that
+//! opt in by installing the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: baton_telemetry::alloc::CountingAlloc =
+//!     baton_telemetry::alloc::CountingAlloc::new();
+//! ```
+//!
+//! Binaries that do not install it (library unit tests, downstream users)
+//! see all-zero counters; [`active`] distinguishes "no allocations counted
+//! because nothing is installed" from real data, so reporting layers can
+//! omit the series instead of rendering zeros.
+//!
+//! Nothing in this module allocates on the accounting path: the thread
+//! ledger is a const-initialized `thread_local!` of plain [`Cell`]s (no
+//! destructor, no lazy allocation), and a thread mid-teardown simply skips
+//! the per-thread half via `try_with`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+// Process-global ledger. Relaxed everywhere: the counters are statistics,
+// never synchronization.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static BYTES_FREED: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// Pending heap operations a thread accumulates before publishing them to
+/// the global atomics. 64 ops amortizes the flush burst (~7 relaxed RMWs)
+/// to a fraction of an atomic per operation while keeping [`totals`] at
+/// most one small window stale per live thread.
+pub const FLUSH_OPS: u64 = 64;
+
+/// Operations at or above this size flush immediately, so a big buffer
+/// shows up in the global live-byte gauge without waiting out the op
+/// window. Worst-case unflushed traffic per thread is therefore bounded by
+/// `FLUSH_OPS * FLUSH_BYTES`.
+pub const FLUSH_BYTES: u64 = 32 * 1024;
+
+thread_local! {
+    /// This thread's share of the ledger. Const-initialized `Cell`s: no
+    /// destructor is registered, so reads inside the allocator can never
+    /// themselves allocate or recurse. A thread that exits mid-window
+    /// strands at most one flush window of counts (no destructor means no
+    /// final flush) — bounded, and irrelevant to steady-state deltas.
+    static THREAD: ThreadLedger = const {
+        ThreadLedger {
+            allocs: Cell::new(0),
+            frees: Cell::new(0),
+            reallocs: Cell::new(0),
+            bytes_allocated: Cell::new(0),
+            bytes_freed: Cell::new(0),
+            ops_since_flush: Cell::new(0),
+            flushed_allocs: Cell::new(0),
+            flushed_frees: Cell::new(0),
+            flushed_reallocs: Cell::new(0),
+            flushed_bytes_allocated: Cell::new(0),
+            flushed_bytes_freed: Cell::new(0),
+        }
+    };
+}
+
+struct ThreadLedger {
+    // Cumulative, exact, read by `AllocScope` — updated on every op.
+    allocs: Cell<u64>,
+    frees: Cell<u64>,
+    reallocs: Cell<u64>,
+    bytes_allocated: Cell<u64>,
+    bytes_freed: Cell<u64>,
+    // Flush bookkeeping: ops since the last flush (the hot-path trigger
+    // reads only this one cell) and the cumulative values already
+    // published to the global atomics.
+    ops_since_flush: Cell<u64>,
+    flushed_allocs: Cell<u64>,
+    flushed_frees: Cell<u64>,
+    flushed_reallocs: Cell<u64>,
+    flushed_bytes_allocated: Cell<u64>,
+    flushed_bytes_freed: Cell<u64>,
+}
+
+impl ThreadLedger {
+    /// The hot-path flush trigger: one counter bump and one compare, with
+    /// an immediate flush for conspicuously large operations.
+    #[inline]
+    fn bump_ops(&self, size: u64) {
+        let ops = self.ops_since_flush.get() + 1;
+        if ops >= FLUSH_OPS || size >= FLUSH_BYTES {
+            self.flush();
+        } else {
+            self.ops_since_flush.set(ops);
+        }
+    }
+
+    #[cold]
+    fn flush(&self) {
+        ALLOCS.fetch_add(
+            self.allocs.get() - self.flushed_allocs.get(),
+            Ordering::Relaxed,
+        );
+        DEALLOCS.fetch_add(
+            self.frees.get() - self.flushed_frees.get(),
+            Ordering::Relaxed,
+        );
+        let reallocs = self.reallocs.get() - self.flushed_reallocs.get();
+        if reallocs > 0 {
+            REALLOCS.fetch_add(reallocs, Ordering::Relaxed);
+        }
+        let pending_alloc_bytes = self.bytes_allocated.get() - self.flushed_bytes_allocated.get();
+        let pending_freed_bytes = self.bytes_freed.get() - self.flushed_bytes_freed.get();
+        BYTES_ALLOCATED.fetch_add(pending_alloc_bytes, Ordering::Relaxed);
+        BYTES_FREED.fetch_add(pending_freed_bytes, Ordering::Relaxed);
+        let net = pending_alloc_bytes as i64 - pending_freed_bytes as i64;
+        let live = LIVE_BYTES.fetch_add(net, Ordering::Relaxed) + net;
+        PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+        self.ops_since_flush.set(0);
+        self.flushed_allocs.set(self.allocs.get());
+        self.flushed_frees.set(self.frees.get());
+        self.flushed_reallocs.set(self.reallocs.get());
+        self.flushed_bytes_allocated.set(self.bytes_allocated.get());
+        self.flushed_bytes_freed.set(self.bytes_freed.get());
+    }
+}
+
+#[inline]
+fn record_alloc(size: usize) {
+    let size = size as u64;
+    let counted = THREAD.try_with(|t| {
+        t.allocs.set(t.allocs.get() + 1);
+        t.bytes_allocated.set(t.bytes_allocated.get() + size);
+        t.bump_ops(size);
+    });
+    // A thread whose TLS is mid-teardown cannot batch; count it straight
+    // into the global ledger so nothing is lost.
+    if counted.is_err() {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(size, Ordering::Relaxed);
+        LIVE_BYTES.fetch_add(size as i64, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn record_dealloc(size: usize) {
+    let size = size as u64;
+    let counted = THREAD.try_with(|t| {
+        t.frees.set(t.frees.get() + 1);
+        t.bytes_freed.set(t.bytes_freed.get() + size);
+        t.bump_ops(size);
+    });
+    if counted.is_err() {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_FREED.fetch_add(size, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(size as i64, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn record_realloc() {
+    let counted = THREAD.try_with(|t| {
+        t.reallocs.set(t.reallocs.get() + 1);
+    });
+    if counted.is_err() {
+        REALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts every
+/// operation into the global and per-thread ledgers. Install it with
+/// `#[global_allocator]` in a binary to turn the module's counters on.
+#[derive(Debug, Default)]
+pub struct CountingAlloc {
+    inner: System,
+}
+
+impl CountingAlloc {
+    /// A counting wrapper around the system allocator (const, so it can
+    /// initialize a `#[global_allocator]` static).
+    pub const fn new() -> Self {
+        CountingAlloc { inner: System }
+    }
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the ledger updates on the side are plain atomic
+// and `Cell` arithmetic that neither allocate nor unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc_zeroed(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.inner.dealloc(ptr, layout);
+        record_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = self.inner.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Accounted as free(old) + alloc(new) so byte totals stay
+            // exact, plus a realloc tally so churn from growing Vecs is
+            // distinguishable from fresh allocations.
+            record_realloc();
+            record_dealloc(layout.size());
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// A point-in-time copy of the process-global allocation ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Heap allocations served (including the alloc half of reallocs).
+    pub allocs: u64,
+    /// Heap deallocations served (including the free half of reallocs).
+    pub deallocs: u64,
+    /// Reallocations (also counted once in `allocs` and once in `deallocs`).
+    pub reallocs: u64,
+    /// Total bytes handed out over the process lifetime.
+    pub bytes_allocated: u64,
+    /// Total bytes returned over the process lifetime.
+    pub bytes_freed: u64,
+    /// Bytes currently live (`bytes_allocated - bytes_freed`).
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes`.
+    pub peak_live_bytes: i64,
+}
+
+impl AllocTotals {
+    /// Operations not yet balanced by a free (`allocs - deallocs`).
+    pub fn outstanding(&self) -> i64 {
+        self.allocs as i64 - self.deallocs as i64
+    }
+}
+
+/// Reads the process-global ledger. All-zero when no [`CountingAlloc`] is
+/// installed in this binary (see [`active`]). Each live thread may still
+/// hold up to one unflushed window ([`FLUSH_OPS`] ops / [`FLUSH_BYTES`]
+/// bytes) — noise at the scale these numbers are read at.
+pub fn totals() -> AllocTotals {
+    let live_bytes = LIVE_BYTES.load(Ordering::Relaxed);
+    AllocTotals {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        reallocs: REALLOCS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+        bytes_freed: BYTES_FREED.load(Ordering::Relaxed),
+        live_bytes,
+        // Peak and live are published by independent atomics, so a reader
+        // racing another thread's flush could momentarily see live above
+        // peak; clamp to keep the invariant observable.
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed).max(live_bytes),
+    }
+}
+
+/// True when a [`CountingAlloc`] is installed and counting in this binary.
+/// Any Rust process allocates far more than one flush window before user
+/// code runs, so a zero global allocation count can only mean "not
+/// installed".
+#[inline]
+pub fn active() -> bool {
+    ALLOCS.load(Ordering::Relaxed) > 0
+}
+
+/// What one [`AllocScope`] observed on its thread between start and read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocations performed by this thread inside the scope.
+    pub allocs: u64,
+    /// Deallocations performed by this thread inside the scope.
+    pub frees: u64,
+    /// Bytes this thread allocated inside the scope.
+    pub bytes_allocated: u64,
+    /// Bytes this thread freed inside the scope.
+    pub bytes_freed: u64,
+}
+
+impl AllocDelta {
+    /// Allocations minus frees — negative when the scope net-freed.
+    pub fn net_allocs(&self) -> i64 {
+        self.allocs as i64 - self.frees as i64
+    }
+
+    /// Bytes allocated minus bytes freed — the scope's net heap growth.
+    pub fn net_bytes(&self) -> i64 {
+        self.bytes_allocated as i64 - self.bytes_freed as i64
+    }
+}
+
+/// Captures the calling thread's ledger so a region's allocation delta can
+/// be read later with [`delta`](AllocScope::delta). Not `Send`: the delta
+/// is only meaningful on the thread that started the scope.
+///
+/// Scopes nest freely (each is an independent pair of ledger snapshots)
+/// and cost four `Cell` reads to start — no clock, no lock, no allocation.
+#[derive(Debug, Clone)]
+pub struct AllocScope {
+    start: AllocDelta,
+    _not_send: PhantomData<*const ()>,
+}
+
+fn thread_ledger() -> AllocDelta {
+    THREAD
+        .try_with(|t| AllocDelta {
+            allocs: t.allocs.get(),
+            frees: t.frees.get(),
+            bytes_allocated: t.bytes_allocated.get(),
+            bytes_freed: t.bytes_freed.get(),
+        })
+        .unwrap_or_default()
+}
+
+impl AllocScope {
+    /// Starts a scope at the thread's current ledger position.
+    pub fn start() -> Self {
+        AllocScope {
+            start: thread_ledger(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The thread's allocation activity since [`start`](AllocScope::start).
+    /// All-zero when no counting allocator is installed.
+    pub fn delta(&self) -> AllocDelta {
+        let now = thread_ledger();
+        AllocDelta {
+            allocs: now.allocs.wrapping_sub(self.start.allocs),
+            frees: now.frees.wrapping_sub(self.start.frees),
+            bytes_allocated: now.bytes_allocated.wrapping_sub(self.start.bytes_allocated),
+            bytes_freed: now.bytes_freed.wrapping_sub(self.start.bytes_freed),
+        }
+    }
+}
+
+impl Default for AllocScope {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The telemetry test binary does not install the allocator, so the
+    // ledgers stay at zero here; behavior with a live allocator is covered
+    // by the `alloc_balance` integration harness, whose binary installs
+    // `CountingAlloc` for real.
+
+    #[test]
+    fn uninstalled_ledger_reads_zero_and_scopes_are_inert() {
+        assert!(!active(), "test binary must not install the allocator");
+        let t = totals();
+        assert_eq!(t, AllocTotals::default());
+        assert_eq!(t.outstanding(), 0);
+        let scope = AllocScope::start();
+        let _v: Vec<u64> = (0..4096).collect();
+        assert_eq!(scope.delta(), AllocDelta::default());
+    }
+
+    #[test]
+    fn delta_arithmetic_is_signed() {
+        let d = AllocDelta {
+            allocs: 3,
+            frees: 5,
+            bytes_allocated: 100,
+            bytes_freed: 175,
+        };
+        assert_eq!(d.net_allocs(), -2);
+        assert_eq!(d.net_bytes(), -75);
+    }
+}

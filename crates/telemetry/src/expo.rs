@@ -20,17 +20,47 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use crate::alloc::AllocTotals;
 use crate::counters::{self, ALL_COUNTERS};
 use crate::histogram::Histogram;
 use crate::metrics::{self, FamilySnapshot, SeriesValue};
+use crate::procfs::ProcessSample;
 
 /// Log₂ bucket indices sampled into the `le` ladder: odd indices 1..=29,
 /// i.e. upper bounds 3µs, 15µs, 63µs, …, ~1.07s, …, ~1074s.
 const LADDER: [usize; 15] = [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29];
 
-/// Renders the complete exposition: registry families, bridged run
-/// counters, and `baton_build_info{version}` (pass the binary's version).
+/// The profile this crate was compiled under, used as the
+/// `baton_build_info{profile}` label.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// Renders one live scrape: registry families, bridged run counters,
+/// `baton_build_info{profile,version}`, plus — when available — the
+/// `baton_alloc_*` ledger (omitted unless the binary installed
+/// [`crate::alloc::CountingAlloc`]) and the standard `process_*` series
+/// (omitted where procfs is absent; an absent series is "unknown", a zero
+/// would be a lie).
 pub fn render(version: &str) -> String {
+    let alloc = crate::alloc::active().then(crate::alloc::totals);
+    let process = crate::procfs::sample();
+    render_with(version, build_profile(), alloc, process)
+}
+
+/// Pure renderer behind [`render`]: the runtime samples are passed in, so
+/// tests (notably the exposition golden file) can pin them to fixed values
+/// and assert byte-identical output.
+pub fn render_with(
+    version: &str,
+    profile: &str,
+    alloc: Option<AllocTotals>,
+    process: Option<ProcessSample>,
+) -> String {
     let mut blocks: Vec<(String, String)> = Vec::new();
 
     let snapshot = metrics::registry().snapshot();
@@ -68,13 +98,119 @@ pub fn render(version: &str) -> String {
     let _ = writeln!(info, "# TYPE baton_build_info gauge");
     let _ = writeln!(
         info,
-        "baton_build_info{{version=\"{}\"}} 1",
+        "baton_build_info{{profile=\"{}\",version=\"{}\"}} 1",
+        escape_label_value(profile),
         escape_label_value(version)
     );
     blocks.push(("baton_build_info".to_string(), info));
 
+    if let Some(a) = alloc {
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_allocations_total",
+            "Heap allocations served by the counting allocator.",
+            "counter",
+            a.allocs.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_deallocations_total",
+            "Heap deallocations served by the counting allocator.",
+            "counter",
+            a.deallocs.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_reallocations_total",
+            "Heap reallocations (also counted in allocations and deallocations).",
+            "counter",
+            a.reallocs.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_bytes_total",
+            "Total heap bytes handed out over the process lifetime.",
+            "counter",
+            a.bytes_allocated.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_freed_bytes_total",
+            "Total heap bytes returned over the process lifetime.",
+            "counter",
+            a.bytes_freed.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_live_bytes",
+            "Heap bytes currently live (allocated minus freed).",
+            "gauge",
+            a.live_bytes.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "baton_alloc_peak_live_bytes",
+            "High-water mark of live heap bytes.",
+            "gauge",
+            a.peak_live_bytes.to_string(),
+        );
+    }
+
+    if let Some(p) = process {
+        push_scalar(
+            &mut blocks,
+            "process_cpu_seconds_total",
+            "Total user and system CPU time spent in seconds.",
+            "counter",
+            fmt_f64(p.cpu_seconds),
+        );
+        push_scalar(
+            &mut blocks,
+            "process_resident_memory_bytes",
+            "Resident memory size in bytes.",
+            "gauge",
+            p.resident_bytes.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "process_virtual_memory_bytes",
+            "Virtual memory size in bytes.",
+            "gauge",
+            p.virtual_bytes.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "process_open_fds",
+            "Number of open file descriptors.",
+            "gauge",
+            p.open_fds.to_string(),
+        );
+        push_scalar(
+            &mut blocks,
+            "process_threads",
+            "Number of OS threads in the process.",
+            "gauge",
+            p.threads.to_string(),
+        );
+    }
+
     blocks.sort_by(|a, b| a.0.cmp(&b.0));
     blocks.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Appends a single-series unlabelled family block.
+fn push_scalar(
+    blocks: &mut Vec<(String, String)>,
+    name: &str,
+    help: &str,
+    kind: &str,
+    value: String,
+) {
+    let mut block = String::new();
+    let _ = writeln!(block, "# HELP {name} {help}");
+    let _ = writeln!(block, "# TYPE {name} {kind}");
+    let _ = writeln!(block, "{name} {value}");
+    blocks.push((name.to_string(), block));
 }
 
 fn render_family(family: &FamilySnapshot) -> String {
@@ -213,10 +349,13 @@ mod tests {
             &[("path", "/map")],
             Duration::from_micros(100),
         );
-        let text = render("1.2.3");
+        // The pure renderer with pinned samples must be byte-stable; the
+        // live `render` resamples procfs per scrape so it is only required
+        // to be *shaped* the same.
+        let text = render_with("1.2.3", "debug", None, None);
         assert_eq!(
             text,
-            render("1.2.3"),
+            render_with("1.2.3", "debug", None, None),
             "unchanged registry renders identically"
         );
 
@@ -229,7 +368,7 @@ mod tests {
         assert!(text.contains("baton_mid_seconds_bucket{path=\"/map\",le=\"+Inf\"} 1"));
         assert!(text.contains("baton_mid_seconds_sum{path=\"/map\"} 0.0001\n"));
         assert!(text.contains("baton_mid_seconds_count{path=\"/map\"} 1\n"));
-        assert!(text.contains("baton_build_info{version=\"1.2.3\"} 1"));
+        assert!(text.contains("baton_build_info{profile=\"debug\",version=\"1.2.3\"} 1"));
         // Bridged counters always render, even at zero.
         assert!(text.contains("# TYPE baton_cache_hits_total counter"));
         assert!(text.contains("# TYPE baton_search_pruned_total counter"));
@@ -238,6 +377,78 @@ mod tests {
         let pos = |needle: &str| text.find(needle).unwrap();
         assert!(pos("# TYPE baton_aa ") < pos("# TYPE baton_build_info "));
         assert!(pos("# TYPE baton_mid_seconds ") < pos("# TYPE baton_zz_total "));
+
+        // Runtime samples are absent here, so their series must be too.
+        assert!(!text.contains("baton_alloc_"));
+        assert!(!text.contains("process_"));
+        metrics::reset();
+    }
+
+    #[test]
+    fn runtime_samples_render_when_present_and_vanish_when_absent() {
+        let _guard = test_lock::hold();
+        metrics::reset();
+        metrics::enable();
+        let alloc = crate::alloc::AllocTotals {
+            allocs: 100,
+            deallocs: 90,
+            reallocs: 7,
+            bytes_allocated: 4096,
+            bytes_freed: 1024,
+            live_bytes: 3072,
+            peak_live_bytes: 3584,
+        };
+        let process = crate::procfs::ProcessSample {
+            cpu_seconds: 1.25,
+            resident_bytes: 5_000 * 1024,
+            peak_resident_bytes: 6_000 * 1024,
+            virtual_bytes: 10_000 * 1024,
+            open_fds: 12,
+            threads: 3,
+        };
+        let text = render_with("9.9.9", "release", Some(alloc), Some(process));
+        assert!(text.contains(
+            "# TYPE baton_alloc_allocations_total counter\nbaton_alloc_allocations_total 100\n"
+        ));
+        assert!(text.contains("baton_alloc_deallocations_total 90\n"));
+        assert!(text.contains("baton_alloc_reallocations_total 7\n"));
+        assert!(text.contains("baton_alloc_bytes_total 4096\n"));
+        assert!(text.contains("baton_alloc_freed_bytes_total 1024\n"));
+        assert!(text.contains("# TYPE baton_alloc_live_bytes gauge\nbaton_alloc_live_bytes 3072\n"));
+        assert!(text.contains("baton_alloc_peak_live_bytes 3584\n"));
+        assert!(text.contains(
+            "# TYPE process_cpu_seconds_total counter\nprocess_cpu_seconds_total 1.25\n"
+        ));
+        assert!(text.contains("process_resident_memory_bytes 5120000\n"));
+        assert!(text.contains("process_virtual_memory_bytes 10240000\n"));
+        assert!(text.contains("process_open_fds 12\n"));
+        assert!(text.contains("process_threads 3\n"));
+        assert!(text.contains("baton_build_info{profile=\"release\",version=\"9.9.9\"} 1"));
+        // process_* sorts after every baton_* family.
+        let pos = |needle: &str| text.find(needle).unwrap();
+        assert!(pos("# TYPE baton_build_info ") < pos("# TYPE process_cpu_seconds_total "));
+        metrics::reset();
+    }
+
+    #[test]
+    fn live_render_omits_alloc_series_without_an_installed_allocator() {
+        let _guard = test_lock::hold();
+        metrics::reset();
+        metrics::enable();
+        let text = render("0.1.0");
+        // This test binary does not install CountingAlloc, so the ledger is
+        // inactive and the series must be absent rather than zero.
+        assert!(!text.contains("baton_alloc_"));
+        assert!(text.contains(&format!(
+            "baton_build_info{{profile=\"{}\"",
+            build_profile()
+        )));
+        #[cfg(target_os = "linux")]
+        {
+            assert!(text.contains("# TYPE process_cpu_seconds_total counter"));
+            assert!(text.contains("process_resident_memory_bytes "));
+            assert!(text.contains("process_open_fds "));
+        }
         metrics::reset();
     }
 

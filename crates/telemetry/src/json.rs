@@ -144,6 +144,13 @@ impl ObjectWriter {
         self
     }
 
+    /// Adds a signed integer field.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
     /// Adds a float field (`null` when non-finite, as JSON demands).
     pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
         self.key(key);

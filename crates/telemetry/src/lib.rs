@@ -26,6 +26,13 @@
 //!   thread-local and explicitly propagated across worker boundaries,
 //!   plus a fixed-capacity [`trace::FlightRecorder`] of completed
 //!   requests. Gated by [`trace::enable`], same discipline as metrics.
+//! * **Allocation counters** ([`alloc`]): a counting global allocator
+//!   binaries opt into with `#[global_allocator]`; spans then attribute
+//!   net allocations and bytes per phase and per trace node, and the
+//!   exposition gains `baton_alloc_*` series.
+//! * **Process metrics** ([`procfs`]): a dependency-free `/proc/self`
+//!   sampler behind the standard `process_*` Prometheus series, sampled
+//!   on scrape and omitted (never zeroed) where procfs is unavailable.
 //!
 //! All hooks are routed through one process-global session. When no session
 //! is attached — the default — every hook is a single relaxed atomic load
@@ -49,11 +56,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc;
 pub mod counters;
 pub mod expo;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod procfs;
 pub mod progress;
 pub mod report;
 pub mod sink;

@@ -132,6 +132,16 @@ impl EventBuilder {
         self
     }
 
+    /// Adds a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.push_key(key);
+        if let Some(buf) = self.buf.as_mut() {
+            use std::fmt::Write as _;
+            let _ = write!(buf, "{value}");
+        }
+        self
+    }
+
     /// Adds a float field (`null` when non-finite).
     pub fn f64(mut self, key: &str, value: f64) -> Self {
         self.push_key(key);

@@ -80,6 +80,12 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Duration, microseconds.
     pub dur_us: u64,
+    /// Net allocations (allocs − frees) performed by the span's thread
+    /// inside the span. Zero unless the binary installed
+    /// [`crate::alloc::CountingAlloc`].
+    pub net_allocs: i64,
+    /// Net heap growth in bytes on the span's thread inside the span.
+    pub net_bytes: i64,
 }
 
 /// Span log behind the trace mutex: the records plus an overflow count.
@@ -190,6 +196,10 @@ impl TraceHandle {
             label: None,
             start_us,
             dur_us: end_us.saturating_sub(start_us),
+            // Manual spans bracket wall-clock intervals after the fact;
+            // no thread ledger was scoped over them.
+            net_allocs: 0,
+            net_bytes: 0,
         });
     }
 
@@ -320,8 +330,14 @@ pub(crate) fn open() -> Option<OpenSpan> {
 }
 
 /// Closes `open`, restoring the thread's parent pointer and recording the
-/// span into the trace.
-pub(crate) fn close(open: OpenSpan, name: &'static str, label: Option<&str>, dur_us: u64) {
+/// span into the trace with its measured allocation delta.
+pub(crate) fn close(
+    open: OpenSpan,
+    name: &'static str,
+    label: Option<&str>,
+    dur_us: u64,
+    alloc: &crate::alloc::AllocDelta,
+) {
     CURRENT.with(|c| {
         if let Some(active) = c.borrow_mut().as_mut() {
             // Only rewind if the thread still runs the same trace (it may
@@ -338,6 +354,8 @@ pub(crate) fn close(open: OpenSpan, name: &'static str, label: Option<&str>, dur
         label: label.map(String::from),
         start_us: open.start_us,
         dur_us,
+        net_allocs: alloc.net_allocs(),
+        net_bytes: alloc.net_bytes(),
     });
 }
 

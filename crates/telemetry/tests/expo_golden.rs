@@ -102,10 +102,35 @@ fn exposition_matches_the_golden_file() {
         );
     }
 
-    let rendered = expo::render("0.0.0-golden");
+    // The runtime samples (allocator ledger, procfs) are pinned to fixed
+    // synthetic values: the golden file must be byte-stable across
+    // platforms, build profiles, and whatever the test process's real
+    // memory usage happens to be. `expo::render` wires the live values to
+    // the same renderer.
+    let alloc = baton_telemetry::alloc::AllocTotals {
+        allocs: 1_000,
+        deallocs: 900,
+        reallocs: 40,
+        bytes_allocated: 1_048_576,
+        bytes_freed: 786_432,
+        live_bytes: 262_144,
+        peak_live_bytes: 524_288,
+    };
+    let process = baton_telemetry::procfs::ProcessSample {
+        cpu_seconds: 12.34,
+        resident_bytes: 104_857_600,
+        peak_resident_bytes: 125_829_120,
+        virtual_bytes: 1_073_741_824,
+        open_fds: 32,
+        threads: 9,
+    };
+    let rendered = expo::render_with("0.0.0-golden", "golden", Some(alloc), Some(process));
 
     // Two renders of an unchanged registry are byte-identical.
-    assert_eq!(rendered, expo::render("0.0.0-golden"));
+    assert_eq!(
+        rendered,
+        expo::render_with("0.0.0-golden", "golden", Some(alloc), Some(process))
+    );
 
     // TYPE lines for every kind.
     assert!(rendered.contains("# TYPE baton_demo_requests_total counter"));
@@ -162,7 +187,26 @@ fn exposition_matches_the_golden_file() {
     // Bridged run counters render under canonical names even at zero.
     assert!(rendered.contains("# TYPE baton_cache_hits_total counter"));
     assert!(rendered.contains("baton_search_pruned_total 0"));
-    assert!(rendered.contains("baton_build_info{version=\"0.0.0-golden\"} 1"));
+    assert!(rendered.contains("baton_build_info{profile=\"golden\",version=\"0.0.0-golden\"} 1"));
+
+    // The allocator ledger series, pinned to the synthetic sample.
+    assert!(rendered.contains("# TYPE baton_alloc_allocations_total counter"));
+    assert!(rendered.contains("baton_alloc_allocations_total 1000"));
+    assert!(rendered.contains("baton_alloc_deallocations_total 900"));
+    assert!(rendered.contains("baton_alloc_reallocations_total 40"));
+    assert!(rendered.contains("baton_alloc_bytes_total 1048576"));
+    assert!(rendered.contains("baton_alloc_freed_bytes_total 786432"));
+    assert!(rendered.contains("# TYPE baton_alloc_live_bytes gauge"));
+    assert!(rendered.contains("baton_alloc_live_bytes 262144"));
+    assert!(rendered.contains("baton_alloc_peak_live_bytes 524288"));
+
+    // The standard process panel series.
+    assert!(rendered.contains("# TYPE process_cpu_seconds_total counter"));
+    assert!(rendered.contains("process_cpu_seconds_total 12.34"));
+    assert!(rendered.contains("process_resident_memory_bytes 104857600"));
+    assert!(rendered.contains("process_virtual_memory_bytes 1073741824"));
+    assert!(rendered.contains("process_open_fds 32"));
+    assert!(rendered.contains("process_threads 9"));
 
     // The byte-exact contract with the committed golden file.
     if std::env::var("BLESS").is_ok() {

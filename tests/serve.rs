@@ -113,7 +113,29 @@ fn serve_speaks_http_and_observes_itself() {
     );
     assert!(metrics.contains("# TYPE baton_http_requests_total counter"));
     assert!(metrics.contains("baton_http_requests_total{code=\"200\",path=\"/healthz\"} 1"));
-    assert!(metrics.contains("baton_build_info{version="));
+    assert!(metrics.contains("baton_build_info{profile="));
+    // The binary installs the counting allocator, so the ledger series
+    // must be present and plausible on every scrape.
+    assert!(metrics.contains("# TYPE baton_alloc_allocations_total counter"));
+    assert!(metrics.contains("baton_alloc_bytes_total "));
+    assert!(metrics.contains("baton_alloc_live_bytes "));
+    assert!(metrics.contains("baton_alloc_peak_live_bytes "));
+    let alloc_count: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("baton_alloc_allocations_total "))
+        .expect("allocator series")
+        .parse()
+        .unwrap();
+    assert!(alloc_count > 0, "a warm server has allocated");
+    // The standard process panel, sampled from /proc/self on scrape.
+    #[cfg(target_os = "linux")]
+    {
+        assert!(metrics.contains("# TYPE process_cpu_seconds_total counter"));
+        assert!(metrics.contains("process_resident_memory_bytes "));
+        assert!(metrics.contains("process_virtual_memory_bytes "));
+        assert!(metrics.contains("process_open_fds "));
+        assert!(metrics.contains("process_threads "));
+    }
     // Bridged run counters: the warmup search evaluated candidates.
     let evals: u64 = metrics
         .lines()
@@ -282,6 +304,26 @@ fn serve_speaks_http_and_observes_itself() {
         detail.contains("\"name\":\"parallel_worker\""),
         "worker-side spans must cross the fan-out boundary:\n{detail}"
     );
+    // Every span — fan-out workers included — carries its allocation
+    // delta, and with the binary's counting allocator installed a real
+    // search cannot have churned nothing.
+    assert!(detail.contains("\"net_allocs\":"), "{detail}");
+    assert!(detail.contains("\"net_bytes\":"), "{detail}");
+    let net_bytes: Vec<i64> = detail
+        .split("\"net_bytes\":")
+        .skip(1)
+        .map(|s| {
+            s.split(|c: char| c != '-' && !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        net_bytes.iter().any(|&b| b != 0),
+        "no span recorded heap movement: {detail}"
+    );
 
     // The list view summarizes recent requests with timing breakdowns.
     let (status, _, list) = request(addr, "GET", "/debug/requests", "");
@@ -289,6 +331,15 @@ fn serve_speaks_http_and_observes_itself() {
     assert!(list.contains(&trace_id), "{list}");
     assert!(list.contains("\"queue_wait_us\":"), "{list}");
     assert!(list.contains("\"search_us\":"), "{list}");
+
+    // `?limit=N` polls a bounded tail; malformed limits answer 400.
+    let (status, _, tail) = request(addr, "GET", "/debug/requests?limit=1", "");
+    assert_eq!(status, 200);
+    assert!(tail.contains("\"count\":1"), "{tail}");
+    let (status, _, bad) = request(addr, "GET", "/debug/requests?limit=0", "");
+    assert_eq!(status, 400, "{bad}");
+    let (status, _, bad) = request(addr, "GET", "/debug/requests?limit=snow", "");
+    assert_eq!(status, 400, "{bad}");
 
     // The same trace renders as a Perfetto-loadable trace_event file.
     let (status, _, perfetto) = request(
