@@ -1,0 +1,479 @@
+//! Batched struct-of-arrays evaluation engine for the search inner loop.
+//!
+//! The scalar path re-derives the full mapping geometry, allocates a fresh
+//! loop nest and footprint tables, and materializes `AccessProfile`
+//! breakpoints for every candidate — about 1.2k allocations per evaluated
+//! mapping, most of them for candidates the branch-and-bound prunes anyway.
+//! This module restructures the inner loop around three ideas:
+//!
+//! 1. **Geometry memoization.** The enumerator assigns every candidate a
+//!    dense `geom_id`; the up-to-8 order/rotation siblings of one distinct
+//!    `(package, chiplet, tile, core_plane)` geometry share the id. Phase A
+//!    resolves [`mapping_geometry`] once per id and replays the cached
+//!    result (a `Copy` struct) for the siblings — the dominant cost of the
+//!    scalar path, paid 8x less often.
+//! 2. **Struct-of-arrays floor lanes.** Per chunk, candidate status and
+//!    floor scores live in flat lanes inside a reusable [`BatchScratch`];
+//!    the floor math goes through [`Floors::from_volumes`], the same `f64`
+//!    path the scalar search uses, so prune decisions are bit-identical.
+//! 3. **Zero-allocation evaluation.** Survivors build their nest into a
+//!    reusable [`NestScratch`] and resolve each data path with the
+//!    streaming [`c3p_penalty_multiplier`] walk instead of materializing
+//!    breakpoint vectors. Scratch buffers come from a thread-local pool
+//!    ([`scratch_for`]), so a steady-state search allocates nothing.
+//!
+//! Counter semantics match the scalar path exactly at one thread:
+//! `DecomposeCalls` and the reject counters are bumped per *candidate*
+//! (memo hits replay the cached error through [`MappingError::counter`]),
+//! `Evaluations`/`BestImprovements`/penalty counters fire per evaluated
+//! survivor, and prune checks observe the shared incumbent at the same
+//! point in candidate order as the scalar scan.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use baton_arch::{PackageConfig, Technology};
+use baton_mapping::{
+    mapping_geometry, Dim, LoopLevel, Mapping, MappingError, MappingGeometry, NestScratch, Volumes,
+};
+use baton_model::ConvSpec;
+use baton_parallel::AtomicBest;
+use baton_telemetry::{count, Counter};
+
+use crate::bounds::Floors;
+use crate::evaluate::{price, runtime_bound, AccessCounts, Evaluation};
+use crate::search::Objective;
+use crate::walk::c3p_penalty_multiplier;
+
+/// Reusable struct-of-arrays buffers for one search worker.
+///
+/// Acquire via [`scratch_for`]; every buffer is cleared with capacity kept,
+/// so a worker that processes many chunks (or a calling thread that runs
+/// many searches) reaches a zero-allocation steady state.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Geometry memo, indexed by the enumerator's dense `geom_id`. One
+    /// entry serves all order/rotation siblings of a distinct geometry.
+    geoms: Vec<Option<Result<MappingGeometry, MappingError>>>,
+    /// Per-candidate lane: `1` if the geometry resolved, `0` if rejected.
+    status: Vec<u8>,
+    /// Per-candidate lane: the branch-and-bound floor score (lower bound).
+    floor_score: Vec<f64>,
+    /// Reusable nest/footprint buffers for the evaluation walk.
+    nest: NestScratch,
+}
+
+/// Aggregated result of one chunk of candidates.
+#[derive(Debug, Default)]
+pub struct ChunkOutcome {
+    /// Best `(score, evaluation)` in this chunk, earliest candidate wins
+    /// score ties (the cross-chunk ordered reduce extends that rule).
+    pub best: Option<(f64, Evaluation)>,
+    /// Candidates that were evaluated (decomposable, not pruned).
+    pub feasible: u64,
+    /// Candidates discarded because their floor exceeded the incumbent.
+    pub pruned: u64,
+}
+
+impl BatchScratch {
+    /// Prepares the scratch for a search whose enumeration produced
+    /// `n_geoms` distinct geometries: invalidates the memo (capacity kept).
+    fn reset(&mut self, n_geoms: usize) {
+        self.geoms.clear();
+        self.geoms.resize(n_geoms, None);
+    }
+
+    /// Memo lookup with per-candidate counter replay: bumps
+    /// `DecomposeCalls` always and the specific reject counter on `Err`,
+    /// exactly like one [`baton_mapping::decompose`] call would.
+    fn geometry(
+        &mut self,
+        layer: &ConvSpec,
+        arch: &PackageConfig,
+        mapping: &Mapping,
+        geom_id: u32,
+    ) -> Result<MappingGeometry, MappingError> {
+        count(Counter::DecomposeCalls);
+        let slot = &mut self.geoms[geom_id as usize];
+        let res = *slot.get_or_insert_with(|| mapping_geometry(layer, arch, mapping));
+        if baton_telemetry::enabled() {
+            if let Err(e) = res {
+                count(e.counter());
+            }
+        }
+        res
+    }
+
+    /// Branch-and-bound scan of one candidate chunk.
+    ///
+    /// Phase A fills the status/floor lanes (geometry memo + shared floor
+    /// math); phase B walks the lanes in candidate order, pruning against
+    /// the shared `incumbent` and evaluating survivors with the streaming
+    /// resolver. `geom_ids[i]` must be the enumerator's id for `cands[i]`.
+    #[allow(clippy::too_many_arguments)] // the full search context, passed flat
+    pub fn evaluate_chunk(
+        &mut self,
+        layer: &ConvSpec,
+        arch: &PackageConfig,
+        tech: &Technology,
+        objective: Objective,
+        incumbent: &AtomicBest,
+        cands: &[Mapping],
+        geom_ids: &[u32],
+    ) -> ChunkOutcome {
+        debug_assert_eq!(cands.len(), geom_ids.len());
+        self.status.clear();
+        self.floor_score.clear();
+        for (m, &gid) in cands.iter().zip(geom_ids) {
+            match self.geometry(layer, arch, m, gid) {
+                Err(_) => {
+                    self.status.push(0);
+                    self.floor_score.push(f64::INFINITY);
+                }
+                Ok(geom) => {
+                    let (v, _, _) = geom.volumes_for(m.rotation);
+                    let fl = Floors::from_volumes(
+                        &v,
+                        geom.weight_streams(),
+                        geom.compute_cycles(),
+                        arch,
+                        tech,
+                    );
+                    self.status.push(1);
+                    self.floor_score.push(fl.score(objective, tech));
+                }
+            }
+        }
+
+        let mut out = ChunkOutcome::default();
+        for (i, m) in cands.iter().enumerate() {
+            if self.status[i] == 0 {
+                continue;
+            }
+            // Strict `>`: a floor that merely ties the incumbent may still
+            // BE the incumbent-quality candidate (floors are exact when no
+            // capacity penalty triggers).
+            if self.floor_score[i] > incumbent.get() {
+                out.pruned += 1;
+                continue;
+            }
+            let geom = self.geoms[geom_ids[i] as usize]
+                .expect("phase A resolved this id")
+                .expect("status 1 means the geometry is Ok");
+            let (v, rotate_inputs, rotate_weights) = geom.volumes_for(m.rotation);
+            let ev = evaluate_streaming(
+                &mut self.nest,
+                layer,
+                arch,
+                tech,
+                m,
+                &geom,
+                &v,
+                rotate_inputs,
+                rotate_weights,
+            );
+            let score = objective.score(&ev, tech);
+            let prev = incumbent.offer(score);
+            if score < prev {
+                count(Counter::BestImprovements);
+            }
+            out.feasible += 1;
+            // Strict `<`: first candidate index wins ties, exactly like the
+            // sequential scan.
+            if out.best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+                out.best = Some((score, ev));
+            }
+        }
+        out
+    }
+
+    /// Evaluates every decomposable candidate in the chunk (no pruning —
+    /// the k-best ranking needs all feasible scores), appending
+    /// `(score, evaluation)` pairs to `out` in candidate order.
+    #[allow(clippy::too_many_arguments)] // the full search context, passed flat
+    pub fn evaluate_all(
+        &mut self,
+        layer: &ConvSpec,
+        arch: &PackageConfig,
+        tech: &Technology,
+        objective: Objective,
+        cands: &[Mapping],
+        geom_ids: &[u32],
+        out: &mut Vec<(f64, Evaluation)>,
+    ) {
+        debug_assert_eq!(cands.len(), geom_ids.len());
+        for (m, &gid) in cands.iter().zip(geom_ids) {
+            let Ok(geom) = self.geometry(layer, arch, m, gid) else {
+                continue;
+            };
+            let (v, rotate_inputs, rotate_weights) = geom.volumes_for(m.rotation);
+            let ev = evaluate_streaming(
+                &mut self.nest,
+                layer,
+                arch,
+                tech,
+                m,
+                &geom,
+                &v,
+                rotate_inputs,
+                rotate_weights,
+            );
+            out.push((objective.score(&ev, tech), ev));
+        }
+    }
+}
+
+/// Evaluates one survivor with zero allocation: nest into the scratch,
+/// each capacity-dependent path resolved by the streaming penalty walk.
+/// Bit-identical to `evaluate_decomposition` + `resolve` on the same
+/// mapping (pinned by the equivalence proptest in `tests/`).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_streaming(
+    nest: &mut NestScratch,
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    mapping: &Mapping,
+    geom: &MappingGeometry,
+    v: &Volumes,
+    rotate_inputs: bool,
+    rotate_weights: bool,
+) -> Evaluation {
+    count(Counter::Evaluations);
+    geom.build_nest_into(layer, mapping, rotate_inputs, rotate_weights, nest);
+    let loops = &nest.loops;
+    let n_p = u64::from(geom.n_p()).max(1);
+    let rot_pos = loops.iter().position(|l| l.level == LoopLevel::Rotation);
+    // Home-slice tier: above the rotation loop only `1/N_P` of the shared
+    // working set must stay resident to avoid DRAM reloads (the slicing
+    // rule of `LayerProfiles::build`, applied lazily via the closure).
+    let cut = rot_pos.map(|p| p + 1).unwrap_or(0);
+    let sliced = |fp: &[u64], rotated: bool, i: usize| -> u64 {
+        if rotated && i >= cut {
+            fp[i] / n_p
+        } else {
+            fp[i]
+        }
+    };
+
+    let a_l1_cap = arch.chiplet.core.a_l1_bytes * 8;
+    let a_l2_cap = arch.chiplet.a_l2_bytes * 8;
+    let w_eff_cap = geom.effective_w_l1_bits();
+
+    let dram_input_bits = v.dram_input_base.saturating_mul(c3p_penalty_multiplier(
+        loops,
+        |i| sliced(&nest.chiplet_input, rotate_inputs, i),
+        Dim::input_relevant,
+        a_l2_cap,
+    ));
+    let d2d_input = v.d2d_input_base.saturating_mul(c3p_penalty_multiplier(
+        loops,
+        |i| nest.chiplet_input[i],
+        Dim::input_relevant,
+        a_l2_cap,
+    ));
+    let a_l2_fill = dram_input_bits + d2d_input;
+    let a_l2_read = v.a_l2_read_base.saturating_mul(c3p_penalty_multiplier(
+        loops,
+        |i| nest.core_input[i],
+        Dim::input_relevant,
+        a_l1_cap,
+    ));
+    let a_l1_fill = a_l2_read * u64::from(geom.weight_streams());
+
+    let dram_weight_bits = v.dram_weight_base.saturating_mul(c3p_penalty_multiplier(
+        loops,
+        |i| sliced(&nest.stream_weight, rotate_weights, i),
+        Dim::weight_relevant,
+        w_eff_cap,
+    ));
+    let d2d_weight = v.d2d_weight_base.saturating_mul(c3p_penalty_multiplier(
+        loops,
+        |i| nest.stream_weight[i],
+        Dim::weight_relevant,
+        w_eff_cap,
+    ));
+    let w_l1_fill = dram_weight_bits + d2d_weight;
+
+    if baton_telemetry::enabled() {
+        if dram_input_bits > v.dram_input_base {
+            count(Counter::PenaltyAL2);
+        }
+        if a_l2_read > v.a_l2_read_base {
+            count(Counter::PenaltyAL1);
+        }
+        if dram_weight_bits > v.dram_weight_base {
+            count(Counter::PenaltyWL1);
+        }
+    }
+
+    let access = AccessCounts {
+        dram_input_bits,
+        dram_weight_bits,
+        dram_output_bits: v.dram_output,
+        d2d_bits: d2d_input + d2d_weight,
+        a_l2_bits: a_l2_fill + a_l2_read,
+        o_l2_bits: v.o_l2_write + v.o_l2_read,
+        a_l1_bits: a_l1_fill + v.a_l1_read,
+        w_l1_bits: w_l1_fill + v.w_l1_read,
+        o_l1_rmw_bits: v.o_l1_rmw,
+        mac_ops: v.mac_ops,
+    };
+    let energy = price(&access, arch, tech);
+    let (cycles, utilization) = runtime_bound(geom.compute_cycles(), &access, arch, tech);
+    Evaluation {
+        mapping: *mapping,
+        access,
+        energy,
+        compute_cycles: geom.compute_cycles(),
+        cycles,
+        utilization,
+    }
+}
+
+thread_local! {
+    /// Retired scratches, reused by later searches on the same thread. The
+    /// sequential fan-out fast path runs on the calling thread, so repeated
+    /// searches there (the steady state `baton bench` measures) hit this
+    /// pool and allocate nothing.
+    static SCRATCH_POOL: RefCell<Vec<BatchScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`BatchScratch`] checked out of the thread-local pool; returns itself
+/// on drop.
+#[derive(Debug)]
+pub struct PooledScratch {
+    inner: Option<BatchScratch>,
+}
+
+impl Deref for PooledScratch {
+    type Target = BatchScratch;
+    fn deref(&self) -> &BatchScratch {
+        self.inner.as_ref().expect("present until drop")
+    }
+}
+
+impl DerefMut for PooledScratch {
+    fn deref_mut(&mut self) -> &mut BatchScratch {
+        self.inner.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledScratch {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            // `try_with`: the pool may already be gone during thread
+            // teardown, in which case the scratch is simply freed.
+            let _ = SCRATCH_POOL.try_with(|p| p.borrow_mut().push(s));
+        }
+    }
+}
+
+/// Checks a scratch out of the thread-local pool (allocating a fresh one
+/// only if the pool is empty) and resets its geometry memo for a search
+/// whose enumeration produced `n_geoms` distinct geometries.
+pub fn scratch_for(n_geoms: usize) -> PooledScratch {
+    let mut s = SCRATCH_POOL
+        .try_with(|p| p.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .unwrap_or_default();
+    s.reset(n_geoms);
+    PooledScratch { inner: Some(s) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{evaluate_decomposition, resolve, LayerProfiles};
+    use baton_arch::presets;
+    use baton_mapping::enumerate::{enumerate_into, EnumOptions};
+    use baton_model::zoo;
+
+    #[test]
+    fn streaming_evaluation_matches_the_scalar_path_bit_for_bit() {
+        let arch = presets::case_study_accelerator();
+        let tech = Technology::paper_16nm();
+        for (bucket, layer) in zoo::representative_layers(224) {
+            let (mut cands, mut ids) = (Vec::new(), Vec::new());
+            let stats = enumerate_into(&layer, &arch, EnumOptions::default(), &mut cands, &mut ids);
+            let mut scratch = scratch_for(stats.geoms);
+            let mut checked = 0u32;
+            for (m, &gid) in cands.iter().zip(&ids).take(512) {
+                let Ok(geom) = scratch.geometry(&layer, &arch, m, gid) else {
+                    assert!(
+                        baton_mapping::decompose(&layer, &arch, m).is_err(),
+                        "{bucket}"
+                    );
+                    continue;
+                };
+                let d = baton_mapping::decompose(&layer, &arch, m).unwrap();
+                let (v, ri, rw) = geom.volumes_for(m.rotation);
+                let got = evaluate_streaming(
+                    &mut scratch.nest,
+                    &layer,
+                    &arch,
+                    &tech,
+                    m,
+                    &geom,
+                    &v,
+                    ri,
+                    rw,
+                );
+                let want = evaluate_decomposition(&d, &arch, &tech, m);
+                assert_eq!(got, want, "{bucket}: {m:?}");
+                checked += 1;
+            }
+            assert!(checked > 32, "{bucket}: only {checked} candidates compared");
+        }
+    }
+
+    #[test]
+    fn streaming_resolve_agrees_with_profiles_on_starved_buffers() {
+        // Penalties must trigger identically: a tiny A-L2 forces the
+        // capacity-dependent multipliers above 1 on most candidates.
+        let mut arch = presets::case_study_accelerator();
+        arch.chiplet.a_l2_bytes = 2 * 1024;
+        arch.chiplet.core.a_l1_bytes = 320;
+        let tech = Technology::paper_16nm();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let (mut cands, mut ids) = (Vec::new(), Vec::new());
+        let stats = enumerate_into(&layer, &arch, EnumOptions::default(), &mut cands, &mut ids);
+        let mut scratch = scratch_for(stats.geoms);
+        let mut penalized = 0u32;
+        for (m, &gid) in cands.iter().zip(&ids).take(512) {
+            let Ok(geom) = scratch.geometry(&layer, &arch, m, gid) else {
+                continue;
+            };
+            let d = baton_mapping::decompose(&layer, &arch, m).unwrap();
+            let (v, ri, rw) = geom.volumes_for(m.rotation);
+            let got = evaluate_streaming(
+                &mut scratch.nest,
+                &layer,
+                &arch,
+                &tech,
+                m,
+                &geom,
+                &v,
+                ri,
+                rw,
+            );
+            let want = resolve(&d, &LayerProfiles::build(&d), &arch);
+            assert_eq!(got.access, want, "{m:?}");
+            if want.dram_input_bits > d.volumes.dram_input_base {
+                penalized += 1;
+            }
+        }
+        assert!(penalized > 0, "starved machine should trigger penalties");
+    }
+
+    #[test]
+    fn scratch_pool_round_trips() {
+        let a = scratch_for(16);
+        assert_eq!(a.geoms.len(), 16);
+        drop(a);
+        let b = scratch_for(4);
+        assert_eq!(b.geoms.len(), 4);
+        assert!(b.geoms.capacity() >= 16, "pool must keep capacity");
+    }
+}

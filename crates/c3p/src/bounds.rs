@@ -90,7 +90,21 @@ pub struct Floors {
 impl Floors {
     /// Computes the floor evaluation of one decomposition.
     pub fn of(d: &Decomposition, arch: &PackageConfig, tech: &Technology) -> Self {
-        let v = &d.volumes;
+        Self::from_volumes(&d.volumes, d.weight_streams, d.compute_cycles, arch, tech)
+    }
+
+    /// Computes the floor from base volumes alone — the batched evaluator's
+    /// entry point, which has a [`baton_mapping::MappingGeometry`] rather
+    /// than a full `Decomposition`. [`Floors::of`] delegates here, so both
+    /// search paths share the identical `f64` arithmetic (the prune rule and
+    /// the bit-identity guarantee depend on that).
+    pub fn from_volumes(
+        v: &baton_mapping::Volumes,
+        weight_streams: u32,
+        compute_cycles: u64,
+        arch: &PackageConfig,
+        tech: &Technology,
+    ) -> Self {
         // Mirror `resolve_at_capacities` with every profile at its base:
         // fills derive from the DRAM/D2D reads they buffer.
         let a_l2_fill = v.dram_input_base + v.d2d_input_base;
@@ -102,13 +116,13 @@ impl Floors {
             d2d_bits: v.d2d_input_base + v.d2d_weight_base,
             a_l2_bits: a_l2_fill + v.a_l2_read_base,
             o_l2_bits: v.o_l2_write + v.o_l2_read,
-            a_l1_bits: v.a_l2_read_base * u64::from(d.weight_streams) + v.a_l1_read,
+            a_l1_bits: v.a_l2_read_base * u64::from(weight_streams) + v.a_l1_read,
             w_l1_bits: w_l1_fill + v.w_l1_read,
             o_l1_rmw_bits: v.o_l1_rmw,
             mac_ops: v.mac_ops,
         };
         let energy_pj = price(&access, arch, tech).total_pj();
-        let (cycles, _) = runtime_bound(d.compute_cycles, &access, arch, tech);
+        let (cycles, _) = runtime_bound(compute_cycles, &access, arch, tech);
         Self {
             access,
             energy_pj,

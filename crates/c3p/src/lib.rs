@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bounds;
 pub mod cache;
 pub mod energy;
@@ -38,6 +39,7 @@ pub mod sensitivity;
 pub mod verdict;
 pub mod walk;
 
+pub use batch::{scratch_for, BatchScratch, ChunkOutcome, PooledScratch};
 pub use bounds::{Floors, TrafficBounds};
 pub use cache::{search_layer_memo, SearchMemo, ShapeMemo};
 pub use energy::EnergyBreakdown;
@@ -46,7 +48,10 @@ pub use evaluate::{
     AccessCounts, Evaluation, LayerProfiles,
 };
 pub use profile::{AccessProfile, Breakpoint};
-pub use search::{search_layer, search_layer_k_best, search_layer_with, Objective, SearchError};
+pub use search::{
+    search_layer, search_layer_k_best, search_layer_reference, search_layer_with, Objective,
+    SearchError,
+};
 pub use sensitivity::{knob_effects, Knob, KnobEffect};
 pub use verdict::{buffer_verdicts, BreakpointVerdict, BufferVerdict};
 pub use walk::c3p_breakpoints;

@@ -1,25 +1,29 @@
 //! Exhaustive per-layer mapping search (the post-design flow's inner loop).
 //!
-//! The search is a parallel branch-and-bound: candidate mappings are fanned
-//! out over [`baton_parallel::map_chunked`] workers that share one
-//! [`AtomicBest`] incumbent, and a candidate whose [`Floors`] lower bound
-//! already scores worse than the incumbent is discarded before the
-//! expensive profile build. Both mechanisms are exact — the floor never
-//! exceeds the true score and the ordered reduce breaks ties by candidate
-//! index — so the result is bit-identical to the sequential scan for any
-//! thread count.
+//! The search is a parallel branch-and-bound over the batched
+//! struct-of-arrays engine ([`crate::batch`]): candidates are enumerated
+//! into reusable thread-local buffers, fanned out in chunks over
+//! [`baton_parallel::map_chunks`] workers that share one [`AtomicBest`]
+//! incumbent, and each worker's [`crate::batch::BatchScratch`] memoizes
+//! geometry per `geom_id` and prunes candidates whose
+//! [`Floors`](crate::bounds::Floors) lower bound already scores worse than
+//! the incumbent. All mechanisms are exact — the floor never exceeds the
+//! true score and the ordered reduce breaks ties by candidate index — so
+//! the result is bit-identical to [`search_layer_reference`], the plain
+//! scalar scan, for any thread count.
 
+use std::cell::Cell;
 use std::fmt;
 
 use baton_arch::{PackageConfig, Technology};
-use baton_mapping::enumerate::{candidates_with, EnumOptions};
+use baton_mapping::enumerate::{candidates_with, enumerate_into, EnumOptions};
 use baton_mapping::{decompose, Mapping};
 use baton_model::ConvSpec;
 use baton_parallel::AtomicBest;
 use baton_telemetry::{count, count_n, span_labeled, Counter};
 use serde::{Deserialize, Serialize};
 
-use crate::bounds::Floors;
+use crate::batch;
 use crate::evaluate::{evaluate_decomposition, Evaluation};
 
 /// Optimization objective for the mapping search.
@@ -106,6 +110,26 @@ pub fn search_layer(
     search_layer_with(layer, arch, tech, objective, EnumOptions::default())
 }
 
+thread_local! {
+    /// Reusable enumeration buffers (candidates + geometry ids). Searches
+    /// run back to back on one thread — the steady state `baton bench`
+    /// measures — re-enumerate into the same allocations.
+    static ENUM_BUFFERS: Cell<(Vec<Mapping>, Vec<u32>)> =
+        const { Cell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with the thread-local enumeration buffers checked out (taken,
+/// then restored), so a panic inside `f` merely drops the buffers instead
+/// of poisoning anything.
+fn with_enum_buffers<R>(f: impl FnOnce(&mut Vec<Mapping>, &mut Vec<u32>) -> R) -> R {
+    ENUM_BUFFERS.with(|cell| {
+        let (mut cands, mut ids) = cell.take();
+        let r = f(&mut cands, &mut ids);
+        cell.set((cands, ids));
+        r
+    })
+}
+
 /// Searches with explicit enumeration options.
 ///
 /// # Errors
@@ -120,104 +144,120 @@ pub fn search_layer_with(
 ) -> Result<Evaluation, SearchError> {
     let sp = span_labeled("search_layer", || layer.name().to_string());
     let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
-    let cands = candidates_with(layer, arch, opts);
-    let n = cands.len();
-    let workers = baton_parallel::threads();
-    let chunk = baton_parallel::chunk_size(n, workers);
-    let incumbent = AtomicBest::new();
+    with_enum_buffers(|cands, geom_ids| {
+        let stats = enumerate_into(layer, arch, opts, cands, geom_ids);
+        let n = cands.len();
+        let workers = baton_parallel::threads();
+        let chunk = baton_parallel::chunk_size(n, workers);
+        let incumbent = AtomicBest::new();
 
-    // Per-candidate verdicts come back in input order. An evaluation is
-    // *kept* only if its score tied or beat the incumbent at observation
-    // time — the eventual argmin always satisfies that (the incumbent is
-    // monotone and never drops below the final minimum), so the ordered
-    // reduce below sees it; everything else kept is a small surplus.
-    let verdicts = baton_parallel::map_chunked(&cands, workers, chunk, |_, m| {
-        let Ok(d) = decompose(layer, arch, m) else {
-            return Verdict::Infeasible;
-        };
-        let floor = Floors::of(&d, arch, tech).score(objective, tech);
-        // Strict `>`: a floor that merely ties the incumbent may still BE
-        // the incumbent-quality candidate (floors are exact when no
-        // capacity penalty triggers).
-        if floor > incumbent.get() {
-            return Verdict::Pruned;
-        }
-        let ev = evaluate_decomposition(&d, arch, tech, m);
-        let score = objective.score(&ev, tech);
-        let prev = incumbent.offer(score);
-        if score < prev {
-            count(Counter::BestImprovements);
-        }
-        if score <= prev {
-            Verdict::Kept(score, Box::new(ev))
-        } else {
-            Verdict::Feasible
-        }
-    });
+        // Chunk outcomes come back in input order; each carries its own
+        // first-wins best, so the ordered reduce below recovers the global
+        // earliest-index argmin exactly like a sequential scan.
+        let outcomes = baton_parallel::map_chunks(
+            cands,
+            workers,
+            chunk,
+            || batch::scratch_for(stats.geoms),
+            |scratch, start, slice| {
+                scratch.evaluate_chunk(
+                    layer,
+                    arch,
+                    tech,
+                    objective,
+                    &incumbent,
+                    slice,
+                    &geom_ids[start..start + slice.len()],
+                )
+            },
+        );
 
-    let (mut feasible, mut pruned) = (0u64, 0u64);
-    let mut best: Option<(f64, Evaluation)> = None;
-    for v in verdicts {
-        match v {
-            Verdict::Infeasible => {}
-            Verdict::Pruned => pruned += 1,
-            Verdict::Feasible => feasible += 1,
-            Verdict::Kept(score, ev) => {
-                feasible += 1;
-                // Strict `<`: first candidate index wins ties, exactly like
-                // the sequential scan.
+        let (mut feasible, mut pruned) = (0u64, 0u64);
+        let mut best: Option<(f64, Evaluation)> = None;
+        for o in outcomes {
+            feasible += o.feasible;
+            pruned += o.pruned;
+            if let Some((score, ev)) = o.best {
+                // Strict `<`: the earliest chunk (lowest candidate index)
+                // wins ties, exactly like the sequential scan.
                 if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
-                    best = Some((score, *ev));
+                    best = Some((score, ev));
                 }
             }
         }
-    }
-    if baton_telemetry::enabled() {
-        count_n(Counter::SearchPruned, pruned);
-        count(if best.is_some() {
-            Counter::SearchesCompleted
-        } else {
-            Counter::SearchesFailed
-        });
-        let mut ev = baton_telemetry::event("search_layer")
-            .str("layer", layer.name())
-            .u64("candidates", n as u64)
-            .u64("feasible", feasible)
-            .u64("pruned", pruned)
-            .u64("dur_us", sp.elapsed_us());
-        if let Some((score, _)) = &best {
-            ev = ev.f64("best_score", *score);
+        if baton_telemetry::enabled() {
+            count_n(Counter::SearchPruned, pruned);
+            count(if best.is_some() {
+                Counter::SearchesCompleted
+            } else {
+                Counter::SearchesFailed
+            });
+            let mut ev = baton_telemetry::event("search_layer")
+                .str("layer", layer.name())
+                .u64("candidates", n as u64)
+                .u64("feasible", feasible)
+                .u64("pruned", pruned)
+                .u64("dur_us", sp.elapsed_us());
+            if let Some((score, _)) = &best {
+                ev = ev.f64("best_score", *score);
+            }
+            ev.emit();
         }
-        ev.emit();
+        observe_search(objective, m_t0);
+        best.map(|(_, ev)| ev).ok_or_else(|| SearchError {
+            layer: layer.name().to_string(),
+            candidates: n,
+        })
+    })
+}
+
+/// The scalar reference search: a plain first-wins sequential scan with no
+/// floor pruning, no incumbent, no batching — one `decompose` + full
+/// profile build per candidate.
+///
+/// This is the ground truth the equivalence proptests pin
+/// [`search_layer_with`] against (winner and score must match bit for bit
+/// at any thread count), and the baseline the `perf_eval_batch` benchmark
+/// measures the batched engine's speedup over. Not used on any production
+/// path.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if every candidate is infeasible on this machine.
+pub fn search_layer_reference(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    tech: &Technology,
+    objective: Objective,
+    opts: EnumOptions,
+) -> Result<Evaluation, SearchError> {
+    let cands = candidates_with(layer, arch, opts);
+    let n = cands.len();
+    let mut best: Option<(f64, Evaluation)> = None;
+    for m in &cands {
+        let Some(ev) = try_evaluate(layer, arch, tech, m) else {
+            continue;
+        };
+        let score = objective.score(&ev, tech);
+        if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+            best = Some((score, ev));
+        }
     }
-    observe_search(objective, m_t0);
     best.map(|(_, ev)| ev).ok_or_else(|| SearchError {
         layer: layer.name().to_string(),
         candidates: n,
     })
 }
 
-/// Outcome of one candidate in the branch-and-bound scan.
-enum Verdict {
-    /// `decompose` rejected the mapping.
-    Infeasible,
-    /// Lower bound already worse than the incumbent; never evaluated.
-    Pruned,
-    /// Evaluated, feasible, but strictly worse than the incumbent.
-    Feasible,
-    /// Evaluated and tied-or-beat the incumbent when observed.
-    Kept(f64, Box<Evaluation>),
-}
-
 /// Returns the `k` best evaluations by the objective, best first — useful
 /// for robustness studies (how much worse is the runner-up?) and for
 /// handing a compiler several near-optimal schedules to choose from.
 ///
-/// Candidates are evaluated in parallel over the same chunked fan-out the
-/// winner-only search uses (no incumbent pruning: every feasible score is
-/// needed for the ranking). The ordered reduce plus a stable sort on exact
-/// scores keeps the ranking bit-identical to the sequential scan — ties
-/// stay in candidate order — for any thread count.
+/// Candidates are evaluated in parallel over the same chunked batch-engine
+/// fan-out the winner-only search uses (no incumbent pruning: every
+/// feasible score is needed for the ranking). The ordered reduce plus a
+/// stable sort on exact scores keeps the ranking bit-identical to the
+/// sequential scan — ties stay in candidate order — for any thread count.
 ///
 /// # Errors
 ///
@@ -231,25 +271,42 @@ pub fn search_layer_k_best(
 ) -> Result<Vec<Evaluation>, SearchError> {
     let _sp = span_labeled("search_layer", || layer.name().to_string());
     let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
-    let cands = candidates_with(layer, arch, EnumOptions::default());
-    let n = cands.len();
-    let workers = baton_parallel::threads();
-    let chunk = baton_parallel::chunk_size(n, workers);
-    let evaluated = baton_parallel::map_chunked(&cands, workers, chunk, |_, m| {
-        let ev = try_evaluate(layer, arch, tech, m)?;
-        Some((objective.score(&ev, tech), ev))
-    });
-    let mut scored: Vec<(f64, Evaluation)> = evaluated.into_iter().flatten().collect();
-    if scored.is_empty() {
-        return Err(SearchError {
-            layer: layer.name().to_string(),
-            candidates: n,
-        });
-    }
-    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-    scored.truncate(k.max(1));
-    observe_search(objective, m_t0);
-    Ok(scored.into_iter().map(|(_, ev)| ev).collect())
+    with_enum_buffers(|cands, geom_ids| {
+        let stats = enumerate_into(layer, arch, EnumOptions::default(), cands, geom_ids);
+        let n = cands.len();
+        let workers = baton_parallel::threads();
+        let chunk = baton_parallel::chunk_size(n, workers);
+        let evaluated = baton_parallel::map_chunks(
+            cands,
+            workers,
+            chunk,
+            || batch::scratch_for(stats.geoms),
+            |scratch, start, slice| {
+                let mut out = Vec::new();
+                scratch.evaluate_all(
+                    layer,
+                    arch,
+                    tech,
+                    objective,
+                    slice,
+                    &geom_ids[start..start + slice.len()],
+                    &mut out,
+                );
+                out
+            },
+        );
+        let mut scored: Vec<(f64, Evaluation)> = evaluated.into_iter().flatten().collect();
+        if scored.is_empty() {
+            return Err(SearchError {
+                layer: layer.name().to_string(),
+                candidates: n,
+            });
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.truncate(k.max(1));
+        observe_search(objective, m_t0);
+        Ok(scored.into_iter().map(|(_, ev)| ev).collect())
+    })
 }
 
 fn try_evaluate(
@@ -360,6 +417,20 @@ mod tests {
             }
             let got = search_layer(&layer, &arch, &tech, obj).unwrap();
             assert_eq!(reference.unwrap().1, got, "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn batched_search_agrees_with_the_reference_scan() {
+        // The batched engine's contract: winner and score bit-identical to
+        // the plain scalar scan, for every objective.
+        let (arch, tech) = setup();
+        let layer = zoo::darknet19(224).layer("conv9").cloned().unwrap();
+        for obj in [Objective::Energy, Objective::Edp, Objective::Runtime] {
+            let reference =
+                search_layer_reference(&layer, &arch, &tech, obj, EnumOptions::default()).unwrap();
+            let got = search_layer(&layer, &arch, &tech, obj).unwrap();
+            assert_eq!(reference, got, "{obj:?}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! footprint at the region's entry and `P` the product of the region's trip
 //! counts.
 
-use baton_mapping::{Dim, LoopNest};
+use baton_mapping::{Dim, Loop, LoopNest};
 
 use crate::profile::Breakpoint;
 
@@ -61,6 +61,55 @@ pub fn c3p_breakpoints(
         });
     }
     out
+}
+
+/// Streaming fusion of [`c3p_breakpoints`] and
+/// [`AccessProfile::multiplier`](crate::profile::AccessProfile::multiplier):
+/// the total reload multiplier of a tensor at `capacity_bits`, computed in
+/// one walk with zero allocation.
+///
+/// `loops` is the temporal nest innermost-first (non-unit loops, as in a
+/// `LoopNest` or a `NestScratch`); `footprint(i)` must give the tensor
+/// working set in bits covering everything strictly inside position `i`
+/// (defined for `0..=loops.len()`, like the slice passed to
+/// [`c3p_breakpoints`]). Taking a closure instead of a slice lets the
+/// batched evaluator apply the rotation slicing (`fp[i] / n_p` above the
+/// rotation loop) without materializing a second table.
+///
+/// Equivalence with the materialized path: each reuse region contributes a
+/// breakpoint `(Cc, P)` with `P` saturating within the region, and the
+/// profile multiplies (plain `*`) the `P`s of all breakpoints with
+/// `capacity < Cc`. `AccessProfile::new`'s sorting and equal-`Cc` merging
+/// don't change that product — every merged breakpoint shares the same
+/// filter condition — so filtering regions in walk order here yields the
+/// identical u64 (multiplication is commutative). The unit tests pin this
+/// against the materialized pipeline on the paper's Figure 6 examples.
+pub fn c3p_penalty_multiplier(
+    loops: &[Loop],
+    footprint: impl Fn(usize) -> u64,
+    relevant: impl Fn(Dim) -> bool,
+    capacity_bits: u64,
+) -> u64 {
+    let mut total: u64 = 1;
+    let mut region_mult: u64 = 1;
+    let mut region_cc: u64 = 0;
+    for (i, l) in loops.iter().enumerate() {
+        if relevant(l.dim) {
+            if region_mult > 1 && capacity_bits < region_cc {
+                total *= region_mult;
+            }
+            region_mult = 1;
+        } else {
+            if region_mult == 1 {
+                region_cc = footprint(i);
+            }
+            region_mult = region_mult.saturating_mul(l.count);
+        }
+    }
+    if region_mult > 1 && capacity_bits < region_cc {
+        total *= region_mult;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -182,5 +231,84 @@ mod tests {
     fn misaligned_footprints_panic() {
         let nest = LoopNest::new([l(Dim::Ho, 2)]);
         let _ = c3p_breakpoints(&nest, &[1], Dim::input_relevant);
+    }
+
+    /// The streaming multiplier must equal "materialize breakpoints, build
+    /// an `AccessProfile`, query `multiplier(cap)`" at every capacity that
+    /// could matter (all footprint values, one below, one above, and zero).
+    fn assert_streaming_matches(
+        loops: Vec<Loop>,
+        fp: Vec<u64>,
+        relevant: impl Fn(Dim) -> bool + Copy,
+    ) {
+        let nest = LoopNest::new(loops.clone());
+        // c3p_breakpoints aligns with the *filtered* nest; feed it loops
+        // that are already non-unit so both paths see the same positions.
+        assert_eq!(nest.len(), loops.len(), "test nests must be non-unit");
+        let bps = c3p_breakpoints(&nest, &fp, relevant);
+        let profile = crate::profile::AccessProfile::new(1, bps);
+        let mut caps: Vec<u64> = fp.clone();
+        caps.extend(fp.iter().map(|&c| c.saturating_sub(1)));
+        caps.extend(fp.iter().map(|&c| c + 1));
+        caps.push(0);
+        caps.push(u64::MAX);
+        for cap in caps {
+            assert_eq!(
+                c3p_penalty_multiplier(&loops, |i| fp[i], relevant, cap),
+                profile.multiplier(cap),
+                "cap {cap} fp {fp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_multiplier_matches_profile_on_figure_6_examples() {
+        assert_streaming_matches(
+            vec![l(Dim::Co, 4), l(Dim::Wo, 3), l(Dim::Ho, 5), l(Dim::Co, 2)],
+            vec![100, 400, 400, 400, 800],
+            Dim::weight_relevant,
+        );
+        assert_streaming_matches(
+            vec![l(Dim::Co, 4), l(Dim::Co, 2), l(Dim::Wo, 3), l(Dim::Ho, 5)],
+            vec![100, 400, 800, 800, 800],
+            Dim::weight_relevant,
+        );
+        assert_streaming_matches(
+            vec![l(Dim::Co, 6), l(Dim::Ho, 4), l(Dim::Co, 3)],
+            vec![200, 200, 900, 900],
+            Dim::input_relevant,
+        );
+        assert_streaming_matches(
+            vec![l(Dim::Ho, 4), l(Dim::Wo, 4), l(Dim::Co, 5)],
+            vec![100, 350, 1200, 1200],
+            Dim::input_relevant,
+        );
+    }
+
+    #[test]
+    fn streaming_multiplier_matches_profile_on_generated_nests() {
+        // Deterministic pseudo-random nests: every dim pattern x footprint
+        // growth pattern, up to 6 loops deep.
+        let dims = [Dim::Co, Dim::Ho, Dim::Wo, Dim::Ci, Dim::Kh, Dim::Kw];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let depth = (next() % 6 + 1) as usize;
+            let loops: Vec<Loop> = (0..depth)
+                .map(|_| l(dims[(next() % 6) as usize], next() % 7 + 2))
+                .collect();
+            let mut fp = vec![next() % 1000 + 1];
+            for i in 0..depth {
+                let grow = next() % 4;
+                fp.push(fp[i] + grow * (next() % 500));
+            }
+            assert_streaming_matches(loops.clone(), fp.clone(), Dim::input_relevant);
+            assert_streaming_matches(loops, fp, Dim::weight_relevant);
+        }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use baton_arch::presets::ProportionalBuffers;
 use baton_arch::{validate, ChipletConfig, CoreConfig, PackageConfig, Technology};
 use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Objective, ShapeMemo};
-use baton_mapping::enumerate::{candidates_with, EnumOptions};
+use baton_mapping::enumerate::{visit_candidates, EnumOptions};
 use baton_mapping::{decompose, Decomposition};
 use baton_model::{ConvSpec, Model, ACT_BITS};
 use baton_telemetry::{count, count_n, event, span, span_labeled, Counter, Progress};
@@ -339,9 +339,11 @@ fn layer_candidates(
     opts: &SweepOptions,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
-    for mapping in candidates_with(layer, reference, opts.enum_options) {
+    // Visitor enumeration: no intermediate `Vec<Mapping>` — each candidate
+    // is decomposed (or rejected) as it is emitted.
+    visit_candidates(layer, reference, opts.enum_options, |_geom_id, mapping| {
         let Ok(d) = decompose(layer, reference, &mapping) else {
-            continue;
+            return;
         };
         let profiles = LayerProfiles::build(&d);
         let (ho_c, wo_c) = mapping.core_plane;
@@ -366,7 +368,7 @@ fn layer_candidates(
             a_l1_floor,
             o_l2_floor,
         });
-    }
+    });
     out
 }
 

@@ -26,7 +26,11 @@ use crate::primitives::{ChipletPartition, Dim, PackagePartition, RotationMode};
 use crate::tile::ceil_div;
 
 /// Reasons a mapping is illegal for a given layer/machine pair.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` on purpose: the batched evaluator memoizes
+/// `Result<MappingGeometry, MappingError>` per geometry, and every field is
+/// plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MappingError {
     /// A planar partition grid does not match the unit count of its level.
     GridMismatch {
@@ -120,6 +124,24 @@ impl fmt::Display for MappingError {
 
 impl std::error::Error for MappingError {}
 
+impl MappingError {
+    /// The telemetry rejection counter this error increments, so callers
+    /// that memoize decomposition results can keep per-candidate reject
+    /// accounting identical to calling [`decompose`] each time.
+    pub fn counter(&self) -> baton_telemetry::Counter {
+        use baton_telemetry::Counter;
+        match self {
+            MappingError::GridMismatch { .. } => Counter::RejectGridMismatch,
+            MappingError::ChannelsTooFew { .. } => Counter::RejectChannelsTooFew,
+            MappingError::PlaneTooFine { .. } => Counter::RejectPlaneTooFine,
+            MappingError::OL1Overflow { .. } => Counter::RejectOL1Overflow,
+            MappingError::OL2Overflow { .. } => Counter::RejectOL2Overflow,
+            MappingError::AL1Overflow { .. } => Counter::RejectAL1Overflow,
+            MappingError::WL1Overflow { .. } => Counter::RejectWL1Overflow,
+        }
+    }
+}
+
 /// Package-wide base data volumes in bits (one pass per unique working set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Volumes {
@@ -204,17 +226,48 @@ pub struct Decomposition {
 /// One axis of extents with multiplicities; all tiling arithmetic is
 /// separable per axis, so sums over tile grids become products of per-axis
 /// sums.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Backed by an inline array so axis arithmetic never allocates: the
+/// batched evaluator runs `mapping_geometry` tens of thousands of times per
+/// layer search. The bound is exact — the deepest refinement chain is
+/// `part (<=2) x balanced (<=2) x tiled (<=2) + merging`, so 16 distinct
+/// extents can never be exceeded (a violation panics rather than silently
+/// truncating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Axis {
     /// `(extent, multiplicity)` pairs; extents are distinct and positive.
-    pairs: Vec<(u32, u64)>,
+    pairs: [(u32, u64); Axis::CAP],
+    len: usize,
 }
 
 impl Axis {
-    fn single(extent: u32) -> Self {
+    const CAP: usize = 16;
+
+    fn empty() -> Self {
         Self {
-            pairs: vec![(extent.max(1), 1)],
+            pairs: [(0, 0); Axis::CAP],
+            len: 0,
         }
+    }
+
+    fn push(&mut self, extent: u32, mult: u64) {
+        assert!(
+            self.len < Axis::CAP,
+            "Axis overflow: more than {} distinct extents",
+            Axis::CAP
+        );
+        self.pairs[self.len] = (extent, mult);
+        self.len += 1;
+    }
+
+    fn pairs(&self) -> &[(u32, u64)] {
+        &self.pairs[..self.len]
+    }
+
+    fn single(extent: u32) -> Self {
+        let mut a = Self::empty();
+        a.push(extent.max(1), 1);
+        a
     }
 
     /// Balanced split into `parts` (sizes differ by at most one).
@@ -222,14 +275,14 @@ impl Axis {
         let parts = parts.clamp(1, extent.max(1));
         let base = extent / parts;
         let rem = extent % parts;
-        let mut pairs = Vec::with_capacity(2);
+        let mut a = Self::empty();
         if rem > 0 {
-            pairs.push((base + 1, u64::from(rem)));
+            a.push(base + 1, u64::from(rem));
         }
         if base > 0 && parts > rem {
-            pairs.push((base, u64::from(parts - rem)));
+            a.push(base, u64::from(parts - rem));
         }
-        Self { pairs }
+        a
     }
 
     /// Fixed-size tiling with a remainder tail.
@@ -237,23 +290,23 @@ impl Axis {
         let tile = tile.clamp(1, extent.max(1));
         let full = extent / tile;
         let rem = extent % tile;
-        let mut pairs = Vec::with_capacity(2);
+        let mut a = Self::empty();
         if full > 0 {
-            pairs.push((tile, u64::from(full)));
+            a.push(tile, u64::from(full));
         }
         if rem > 0 {
-            pairs.push((rem, 1));
+            a.push(rem, 1);
         }
-        Self { pairs }
+        a
     }
 
     /// Applies `f` to each extent, weighted by multiplicity, and sums.
     fn sum_by(&self, mut f: impl FnMut(u32) -> u64) -> u64 {
-        self.pairs.iter().map(|&(e, n)| n * f(e)).sum()
+        self.pairs().iter().map(|&(e, n)| n * f(e)).sum()
     }
 
     fn count(&self) -> u64 {
-        self.pairs.iter().map(|&(_, n)| n).sum()
+        self.pairs().iter().map(|&(_, n)| n).sum()
     }
 
     fn sum(&self) -> u64 {
@@ -261,7 +314,7 @@ impl Axis {
     }
 
     fn max(&self) -> u32 {
-        self.pairs.iter().map(|&(e, _)| e).max().unwrap_or(1)
+        self.pairs().iter().map(|&(e, _)| e).max().unwrap_or(1)
     }
 
     /// Sliding-window extent sum: `sum count * ((e-1)*stride + k)`.
@@ -269,19 +322,19 @@ impl Axis {
         self.sum_by(|e| u64::from((e - 1) * stride + k))
     }
 
-    /// Two-level refinement: split every extent with `split`, then apply `f`
-    /// to the refined axis.
+    /// Two-level refinement: split every extent with `split`, then merge
+    /// equal refined extents (encounter order preserved).
     fn refine(&self, split: impl Fn(u32) -> Axis) -> Axis {
-        let mut pairs: Vec<(u32, u64)> = Vec::new();
-        for &(e, n) in &self.pairs {
-            for &(se, sn) in &split(e).pairs {
-                match pairs.iter_mut().find(|(pe, _)| *pe == se) {
+        let mut out = Axis::empty();
+        for &(e, n) in self.pairs() {
+            for &(se, sn) in split(e).pairs() {
+                match out.pairs[..out.len].iter_mut().find(|(pe, _)| *pe == se) {
                     Some((_, pn)) => *pn += n * sn,
-                    None => pairs.push((se, n * sn)),
+                    None => out.push(se, n * sn),
                 }
             }
         }
-        Axis { pairs }
+        out
     }
 }
 
@@ -305,15 +358,7 @@ pub fn decompose(
     let result = decompose_impl(layer, arch, mapping);
     if baton_telemetry::enabled() {
         if let Err(e) = &result {
-            count(match e {
-                MappingError::GridMismatch { .. } => Counter::RejectGridMismatch,
-                MappingError::ChannelsTooFew { .. } => Counter::RejectChannelsTooFew,
-                MappingError::PlaneTooFine { .. } => Counter::RejectPlaneTooFine,
-                MappingError::OL1Overflow { .. } => Counter::RejectOL1Overflow,
-                MappingError::OL2Overflow { .. } => Counter::RejectOL2Overflow,
-                MappingError::AL1Overflow { .. } => Counter::RejectAL1Overflow,
-                MappingError::WL1Overflow { .. } => Counter::RejectWL1Overflow,
-            });
+            count(e.counter());
         }
     }
     result
@@ -324,6 +369,176 @@ fn decompose_impl(
     arch: &PackageConfig,
     mapping: &Mapping,
 ) -> Result<Decomposition, MappingError> {
+    let geom = mapping_geometry(layer, arch, mapping)?;
+    let (volumes, rotate_inputs, rotate_weights) = geom.volumes_for(mapping.rotation);
+    let mut scratch = NestScratch::default();
+    geom.build_nest_into(layer, mapping, rotate_inputs, rotate_weights, &mut scratch);
+    Ok(Decomposition {
+        nest: LoopNest::new(std::mem::take(&mut scratch.loops)),
+        volumes,
+        footprints: Footprints {
+            core_input: scratch.core_input,
+            chiplet_input: scratch.chiplet_input,
+            stream_weight: scratch.stream_weight,
+        },
+        weight_streams: geom.streams,
+        plane_ways: geom.plane_ways,
+        rotate_inputs,
+        rotate_weights,
+        n_p: geom.n_p,
+        n_c: geom.n_c,
+        lanes: geom.lanes,
+        vector: geom.vector,
+        effective_w_l1_bits: geom.effective_w_l1_bits,
+        compute_cycles: geom.compute_cycles,
+        utilization: geom.utilization,
+    })
+}
+
+/// The order- and rotation-independent core of a decomposition.
+///
+/// Every field is a function of `(layer, arch, package, chiplet, tile,
+/// core_plane)` alone: the two temporal orders only permute the loop nest
+/// ([`Self::build_nest_into`]) and the rotation mode only redistributes the
+/// input/weight volumes between DRAM and the ring ([`Self::volumes_for`]) —
+/// both O(1) transforms. The batched evaluator exploits this by memoizing
+/// one `MappingGeometry` per distinct geometry and replaying it across the
+/// up-to-8 order/rotation siblings the enumerator emits for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingGeometry {
+    consumed_input: u64,
+    a_l2_read_base: u64,
+    a_l1_read: u64,
+    wbits: u64,
+    w_l1_read: u64,
+    out_bits: u64,
+    o_l1_rmw: u64,
+    mac_ops: u64,
+    streams: u32,
+    plane_ways: u32,
+    n_p: u32,
+    n_c: u32,
+    lanes: u32,
+    vector: u32,
+    effective_w_l1_bits: u64,
+    compute_cycles: u64,
+    utilization: f64,
+    package_planar: bool,
+    depthwise: bool,
+    t_co: u64,
+    t_h: u64,
+    t_w: u64,
+    c_co: u64,
+    c_h: u64,
+    c_w: u64,
+    grid_rows: u32,
+    grid_cols: u32,
+    ci_needed: u64,
+}
+
+impl MappingGeometry {
+    /// Ideal compute cycles (no memory stalls), critical path over chiplets.
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// MAC utilization = `mac_ops / (compute_cycles * total MACs)`.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Distinct weight streams per chiplet (clamped to the tile depth).
+    pub fn weight_streams(&self) -> u32 {
+        self.streams
+    }
+
+    /// Cores sharing one weight stream.
+    pub fn plane_ways(&self) -> u32 {
+        self.plane_ways
+    }
+
+    /// Effective W-L1 capacity per stream in bits (pool share).
+    pub fn effective_w_l1_bits(&self) -> u64 {
+        self.effective_w_l1_bits
+    }
+
+    /// Chiplet count.
+    pub fn n_p(&self) -> u32 {
+        self.n_p
+    }
+
+    /// Expands the geometry into package-wide base volumes under `rotation`.
+    ///
+    /// Returns `(volumes, rotate_inputs, rotate_weights)`; bit-identical to
+    /// what [`decompose`] produces for the same mapping.
+    pub fn volumes_for(&self, rotation: RotationMode) -> (Volumes, bool, bool) {
+        let n_p = u64::from(self.n_p);
+        let ring = rotation == RotationMode::Ring && self.n_p > 1;
+        // Depthwise layers pair each output channel with exactly one input
+        // channel, so a C-type package split also splits the inputs: nothing
+        // is shared and rotation degenerates.
+        let rotate_inputs = ring && !self.package_planar && !self.depthwise;
+        let rotate_weights = ring && self.package_planar;
+
+        // With rotation each element is DRAM-loaded once by its home chiplet
+        // and then crosses `N_P - 1` ring links; without it every chiplet
+        // loads its full consumption from DRAM directly.
+        let (dram_input_base, d2d_input_base) = if rotate_inputs {
+            (
+                self.consumed_input / n_p,
+                self.consumed_input / n_p * (n_p - 1),
+            )
+        } else {
+            (self.consumed_input, 0)
+        };
+        let (dram_weight_base, d2d_weight_base, w_l1_fill_base) = if rotate_weights {
+            (self.wbits, self.wbits * (n_p - 1), self.wbits * n_p)
+        } else if self.package_planar && self.n_p > 1 {
+            // Weights shared but fetched by every chiplet from DRAM.
+            (self.wbits * n_p, 0, self.wbits * n_p)
+        } else {
+            (self.wbits, 0, self.wbits)
+        };
+        let volumes = Volumes {
+            dram_input_base,
+            d2d_input_base,
+            a_l2_fill_base: self.consumed_input,
+            a_l2_read_base: self.a_l2_read_base,
+            a_l1_fill_base: self.a_l2_read_base * u64::from(self.streams),
+            a_l1_read: self.a_l1_read,
+            dram_weight_base,
+            d2d_weight_base,
+            w_l1_fill_base,
+            w_l1_read: self.w_l1_read,
+            o_l1_rmw: self.o_l1_rmw,
+            o_l2_write: self.out_bits,
+            o_l2_read: self.out_bits,
+            dram_output: self.out_bits,
+            mac_ops: self.mac_ops,
+        };
+        (volumes, rotate_inputs, rotate_weights)
+    }
+}
+
+/// Computes the order/rotation-independent geometry of `mapping` for
+/// `layer` on `arch`: structural validation, buffer-feasibility floors, and
+/// all base quantities that do not depend on temporal order or rotation
+/// mode. [`decompose`] composes this with [`MappingGeometry::volumes_for`]
+/// and [`MappingGeometry::build_nest_into`]; the batched evaluator calls the
+/// pieces directly so it can memoize this (dominant) part per geometry.
+///
+/// # Errors
+///
+/// Returns [`MappingError`] exactly when [`decompose`] would for any mapping
+/// sharing this geometry (the error never depends on order or rotation).
+/// Telemetry note: unlike [`decompose`], this does NOT bump
+/// `DecomposeCalls`/reject counters — memoizing callers replay them via
+/// [`MappingError::counter`].
+pub fn mapping_geometry(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    mapping: &Mapping,
+) -> Result<MappingGeometry, MappingError> {
     let n_p = arch.chiplets;
     let n_c = arch.chiplet.cores;
     let lanes = arch.chiplet.core.lanes;
@@ -428,13 +643,7 @@ fn decompose_impl(
         });
     }
 
-    // --- Rotation roles -----------------------------------------------------
-    let ring = mapping.rotation == RotationMode::Ring && n_p > 1;
-    // Depthwise layers pair each output channel with exactly one input
-    // channel, so a C-type package split also splits the inputs: nothing is
-    // shared and rotation degenerates.
-    let rotate_inputs = ring && matches!(mapping.package, PackagePartition::Channel) && !depthwise;
-    let rotate_weights = ring && matches!(mapping.package, PackagePartition::Planar(_));
+    let package_planar = matches!(mapping.package, PackagePartition::Planar(_));
 
     // --- Package partition: per-chiplet part axes ---------------------------
     // Plane parts (rows/cols with multiplicity across chiplets) and channel
@@ -492,24 +701,11 @@ fn decompose_impl(
         PackagePartition::Planar(_) => 1, // parts already enumerate chiplets
     };
     let consumed_input = tile_winsum * ci_consumed_per_chiplet * act * chiplet_plane_factor;
-    // With rotation each element is DRAM-loaded once by its home chiplet and
-    // then crosses `N_P - 1` ring links; without it every chiplet loads its
-    // full consumption from DRAM directly.
-    let (dram_input_base, d2d_input_base) = if rotate_inputs {
-        (
-            consumed_input / u64::from(n_p),
-            consumed_input / u64::from(n_p) * u64::from(n_p - 1),
-        )
-    } else {
-        (consumed_input, 0)
-    };
-    let a_l2_fill_base = consumed_input;
 
     // A-L2 -> bus reads: once per core-tile plane position per chiplet tile
     // pass, multicast across channel groups.
     let core_winsum = core_tiles_h.window_sum(sh, kh) * core_tiles_w.window_sum(sw, kw);
     let a_l2_read_base = core_winsum * ci_consumed_per_chiplet * act * chiplet_plane_factor;
-    let a_l1_fill_base = a_l2_read_base * u64::from(streams);
 
     // PE-side A-L1 reads: one P-vector per (pixel, kh, kw, ci-chunk) per
     // channel step, broadcast to all lanes. `co_steps_total` already
@@ -520,15 +716,9 @@ fn decompose_impl(
     let a_l1_read = pixels * co_steps_total * kernel_pts * ci_chunks * u64::from(vector) * act;
 
     // --- Weight volumes -----------------------------------------------------
+    // (The DRAM/D2D split is rotation-dependent and lives in
+    // [`MappingGeometry::volumes_for`].)
     let wbits = layer.weight_elems() * WGT_BITS;
-    let (dram_weight_base, d2d_weight_base, w_l1_fill_base) = if rotate_weights {
-        (wbits, wbits * u64::from(n_p - 1), wbits * u64::from(n_p))
-    } else if matches!(mapping.package, PackagePartition::Planar(_)) && n_p > 1 {
-        // Weights shared but fetched by every chiplet from DRAM.
-        (wbits * u64::from(n_p), 0, wbits * u64::from(n_p))
-    } else {
-        (wbits, 0, wbits)
-    };
 
     // W-L1 -> PE reads: one L x P block per (core-tile plane position,
     // channel step, kh, kw, ci chunk), broadcast across a stream's cores.
@@ -563,57 +753,17 @@ fn decompose_impl(
     let total_units = u64::from(n_p) * u64::from(n_c) * u64::from(lanes) * u64::from(vector);
     let utilization = mac_ops as f64 / (compute_cycles as f64 * total_units as f64);
 
-    // --- Loop nest + footprints --------------------------------------------
-    let (nest, footprints) = build_nest(
-        layer,
-        mapping,
-        NestInputs {
-            t_co: tiles_co_steps(&part_co, tile.co),
-            t_h: axis_tile_count(&part_h, tile.ho),
-            t_w: axis_tile_count(&part_w, tile.wo),
-            c_co: u64::from(ceil_div(
-                ceil_div(tile.co.min(part_co.max()), streams),
-                lanes,
-            )),
-            c_h: core_loop_count(part_h.max().min(tile.ho), grid_rows, ho_c),
-            c_w: core_loop_count(part_w.max().min(tile.wo), grid_cols, wo_c),
-            rotate_inputs,
-            rotate_weights,
-            n_p,
-            streams,
-            grid_rows,
-            grid_cols,
-            ci_needed: ci_consumed_per_chiplet,
-            lanes,
-        },
-    );
-
-    let volumes = Volumes {
-        dram_input_base,
-        d2d_input_base,
-        a_l2_fill_base,
+    Ok(MappingGeometry {
+        consumed_input,
         a_l2_read_base,
-        a_l1_fill_base,
         a_l1_read,
-        dram_weight_base,
-        d2d_weight_base,
-        w_l1_fill_base,
+        wbits,
         w_l1_read,
+        out_bits,
         o_l1_rmw,
-        o_l2_write: out_bits,
-        o_l2_read: out_bits,
-        dram_output: out_bits,
         mac_ops,
-    };
-
-    Ok(Decomposition {
-        nest,
-        volumes,
-        footprints,
-        weight_streams: streams,
+        streams,
         plane_ways,
-        rotate_inputs,
-        rotate_weights,
         n_p,
         n_c,
         lanes,
@@ -621,13 +771,27 @@ fn decompose_impl(
         effective_w_l1_bits,
         compute_cycles,
         utilization,
+        package_planar,
+        depthwise,
+        t_co: tiles_co_steps(&part_co, tile.co),
+        t_h: axis_tile_count(&part_h, tile.ho),
+        t_w: axis_tile_count(&part_w, tile.wo),
+        c_co: u64::from(ceil_div(
+            ceil_div(tile.co.min(part_co.max()), streams),
+            lanes,
+        )),
+        c_h: core_loop_count(part_h.max().min(tile.ho), grid_rows, ho_c),
+        c_w: core_loop_count(part_w.max().min(tile.wo), grid_cols, wo_c),
+        grid_rows,
+        grid_cols,
+        ci_needed: ci_consumed_per_chiplet,
     })
 }
 
 /// Number of chiplet-tile steps along the CO axis (max over parts).
 fn tiles_co_steps(part_co: &Axis, tile_co: u32) -> u64 {
     part_co
-        .pairs
+        .pairs()
         .iter()
         .map(|&(e, _)| Axis::tiled(e, tile_co).count())
         .max()
@@ -636,7 +800,7 @@ fn tiles_co_steps(part_co: &Axis, tile_co: u32) -> u64 {
 
 /// Number of chiplet-tile steps along a plane axis (max over parts).
 fn axis_tile_count(part: &Axis, tile: u32) -> u64 {
-    part.pairs
+    part.pairs()
         .iter()
         .map(|&(e, _)| Axis::tiled(e, tile).count())
         .max()
@@ -649,180 +813,184 @@ fn core_loop_count(tile_extent: u32, grid: u32, core_tile: u32) -> u64 {
     Axis::tiled(sub, core_tile).count()
 }
 
-struct NestInputs {
-    t_co: u64,
-    t_h: u64,
-    t_w: u64,
-    c_co: u64,
-    c_h: u64,
-    c_w: u64,
-    rotate_inputs: bool,
-    rotate_weights: bool,
-    n_p: u32,
-    streams: u32,
-    grid_rows: u32,
-    grid_cols: u32,
-    ci_needed: u64,
-    lanes: u32,
+/// Reusable output buffers for [`MappingGeometry::build_nest_into`].
+///
+/// Cleared (capacity kept) on every build, so a steady-state search reuses
+/// one allocation per thread. `loops` holds the non-unit temporal loops
+/// innermost-first — exactly what `LoopNest::new` would retain — and the
+/// three footprint tables are aligned with it (`len() == loops.len() + 1`,
+/// entry 0 = the core compute block).
+#[derive(Debug, Default)]
+pub struct NestScratch {
+    /// Non-unit temporal loops, innermost first.
+    pub loops: Vec<Loop>,
+    /// Input working set of one core (A-L1 granularity), per nest position.
+    pub core_input: Vec<u64>,
+    /// Input working set of one chiplet (A-L2 granularity), per position.
+    pub chiplet_input: Vec<u64>,
+    /// Weight working set of one stream (W-L1 share), per position.
+    pub stream_weight: Vec<u64>,
 }
 
-/// Builds the temporal nest (innermost first) and the aligned footprint
-/// tables.
-fn build_nest(layer: &ConvSpec, mapping: &Mapping, inp: NestInputs) -> (LoopNest, Footprints) {
-    let (kh, kw) = (layer.kh(), layer.kw());
-    let (sh, sw) = (layer.stride_h(), layer.stride_w());
-    let ci_g = u64::from(layer.ci_per_group());
-    let kernel_pts = u64::from(kh) * u64::from(kw);
-    let (ho_c, wo_c) = mapping.core_plane;
-    let tile = mapping.chiplet_tile;
+impl MappingGeometry {
+    /// Builds the temporal nest (innermost first) and the aligned footprint
+    /// tables into `out`. The rotate flags must come from
+    /// [`Self::volumes_for`] on the same geometry; `mapping` contributes
+    /// only its temporal orders, tile, and core plane (all part of the
+    /// geometry key or order data).
+    pub fn build_nest_into(
+        &self,
+        layer: &ConvSpec,
+        mapping: &Mapping,
+        rotate_inputs: bool,
+        rotate_weights: bool,
+        out: &mut NestScratch,
+    ) {
+        out.loops.clear();
+        out.core_input.clear();
+        out.chiplet_input.clear();
+        out.stream_weight.clear();
 
-    // Raw loop list, innermost first. The rotating primitive sits inside
-    // the core-level block (Section III-B): activation rotation slices the
-    // reduction (CI) dimension, weight rotation slices output channels.
-    let mut raw: Vec<Loop> = Vec::new();
-    if inp.rotate_inputs {
-        raw.push(Loop {
-            dim: Dim::Ci,
-            count: u64::from(inp.n_p),
-            level: LoopLevel::Rotation,
-        });
-    } else if inp.rotate_weights {
-        raw.push(Loop {
-            dim: Dim::Co,
-            count: u64::from(inp.n_p),
-            level: LoopLevel::Rotation,
-        });
+        let (kh, kw) = (layer.kh(), layer.kw());
+        let (sh, sw) = (layer.stride_h(), layer.stride_w());
+        let ci_g = u64::from(layer.ci_per_group());
+        let kernel_pts = u64::from(kh) * u64::from(kw);
+        let (ho_c, wo_c) = mapping.core_plane;
+        let tile = mapping.chiplet_tile;
+
+        // Raw loop list, innermost first. The rotating primitive sits inside
+        // the core-level block (Section III-B): activation rotation slices
+        // the reduction (CI) dimension, weight rotation slices output
+        // channels.
+        let rot: Option<Loop> = if rotate_inputs {
+            Some(Loop {
+                dim: Dim::Ci,
+                count: u64::from(self.n_p),
+                level: LoopLevel::Rotation,
+            })
+        } else if rotate_weights {
+            Some(Loop {
+                dim: Dim::Co,
+                count: u64::from(self.n_p),
+                level: LoopLevel::Rotation,
+            })
+        } else {
+            None
+        };
+        let core_loops: [Loop; 3] = {
+            let co = Loop {
+                dim: Dim::Co,
+                count: self.c_co,
+                level: LoopLevel::Core,
+            };
+            let h = Loop {
+                dim: Dim::Ho,
+                count: self.c_h,
+                level: LoopLevel::Core,
+            };
+            let w = Loop {
+                dim: Dim::Wo,
+                count: self.c_w,
+                level: LoopLevel::Core,
+            };
+            match mapping.chiplet_order {
+                TemporalOrder::ChannelPriority => [co, h, w],
+                TemporalOrder::PlanePriority => [h, w, co],
+            }
+        };
+        let chip_loops: [Loop; 3] = {
+            let co = Loop {
+                dim: Dim::Co,
+                count: self.t_co,
+                level: LoopLevel::Chiplet,
+            };
+            let h = Loop {
+                dim: Dim::Ho,
+                count: self.t_h,
+                level: LoopLevel::Chiplet,
+            };
+            let w = Loop {
+                dim: Dim::Wo,
+                count: self.t_w,
+                level: LoopLevel::Chiplet,
+            };
+            match mapping.package_order {
+                TemporalOrder::ChannelPriority => [co, h, w],
+                TemporalOrder::PlanePriority => [h, w, co],
+            }
+        };
+
+        // Coverage state (output extents).
+        let mut core_h = u64::from(ho_c.min(tile.ho));
+        let mut core_w = u64::from(wo_c.min(tile.wo));
+        let mut chip_h = u64::from(tile.ho);
+        let mut chip_w = u64::from(tile.wo);
+        let mut stream_co = u64::from(tile.co)
+            .div_ceil(u64::from(self.streams))
+            .min(u64::from(layer.co()));
+        // Input channels resident below the rotation loop.
+        let mut ci_cov = if rotate_inputs {
+            (self.ci_needed / u64::from(self.n_p)).max(1)
+        } else {
+            self.ci_needed
+        };
+        // At the core compute base, only the lane group's CO slice of
+        // weights is live; it grows to the stream share across c_co.
+        let mut weight_co = u64::from(self.lanes).min(stream_co);
+
+        let win = |h: u64, w: u64| -> u64 {
+            ((h.max(1) - 1) * u64::from(sh) + u64::from(kh))
+                * ((w.max(1) - 1) * u64::from(sw) + u64::from(kw))
+        };
+        let fp_in = |h: u64, w: u64, ci: u64| win(h, w) * ci * ACT_BITS;
+        let fp_weight = |co: u64, ci: u64| co * ci * kernel_pts * WGT_BITS;
+
+        // Position 0: inside the innermost loop (core compute block).
+        out.core_input.push(fp_in(core_h, core_w, ci_cov));
+        out.chiplet_input.push(fp_in(chip_h, chip_w, ci_cov));
+        out.stream_weight
+            .push(fp_weight(weight_co, ci_cov.min(ci_g)));
+
+        for l in rot.into_iter().chain(core_loops).chain(chip_loops) {
+            // Update coverage as this loop completes.
+            match (l.level, l.dim) {
+                (LoopLevel::Rotation, Dim::Ci) => ci_cov = self.ci_needed,
+                (LoopLevel::Rotation, Dim::Co) => {
+                    weight_co = (weight_co * l.count).min(stream_co);
+                }
+                (LoopLevel::Rotation, _) => {}
+                (LoopLevel::Core, Dim::Co) => {
+                    weight_co = (weight_co * l.count).min(stream_co);
+                }
+                (LoopLevel::Core, Dim::Ho) => {
+                    core_h = (core_h * l.count).min(chip_h.div_ceil(u64::from(self.grid_rows)));
+                }
+                (LoopLevel::Core, Dim::Wo) => {
+                    core_w = (core_w * l.count).min(chip_w.div_ceil(u64::from(self.grid_cols)));
+                }
+                (LoopLevel::Chiplet, Dim::Co) => {
+                    stream_co = (stream_co * l.count).min(u64::from(layer.co()));
+                    weight_co = stream_co.min(weight_co * l.count);
+                }
+                (LoopLevel::Chiplet, Dim::Ho) => {
+                    chip_h = (chip_h * l.count).min(u64::from(layer.ho()));
+                    core_h = chip_h.div_ceil(u64::from(self.grid_rows));
+                }
+                (LoopLevel::Chiplet, Dim::Wo) => {
+                    chip_w = (chip_w * l.count).min(u64::from(layer.wo()));
+                    core_w = chip_w.div_ceil(u64::from(self.grid_cols));
+                }
+                _ => {}
+            }
+            if l.count > 1 {
+                out.loops.push(l);
+                out.core_input.push(fp_in(core_h, core_w, ci_cov));
+                out.chiplet_input.push(fp_in(chip_h, chip_w, ci_cov));
+                out.stream_weight
+                    .push(fp_weight(weight_co, ci_cov.min(ci_g)));
+            }
+        }
     }
-    let core_loops: [Loop; 3] = {
-        let co = Loop {
-            dim: Dim::Co,
-            count: inp.c_co,
-            level: LoopLevel::Core,
-        };
-        let h = Loop {
-            dim: Dim::Ho,
-            count: inp.c_h,
-            level: LoopLevel::Core,
-        };
-        let w = Loop {
-            dim: Dim::Wo,
-            count: inp.c_w,
-            level: LoopLevel::Core,
-        };
-        match mapping.chiplet_order {
-            TemporalOrder::ChannelPriority => [co, h, w],
-            TemporalOrder::PlanePriority => [h, w, co],
-        }
-    };
-    raw.extend(core_loops);
-    let chip_loops: [Loop; 3] = {
-        let co = Loop {
-            dim: Dim::Co,
-            count: inp.t_co,
-            level: LoopLevel::Chiplet,
-        };
-        let h = Loop {
-            dim: Dim::Ho,
-            count: inp.t_h,
-            level: LoopLevel::Chiplet,
-        };
-        let w = Loop {
-            dim: Dim::Wo,
-            count: inp.t_w,
-            level: LoopLevel::Chiplet,
-        };
-        match mapping.package_order {
-            TemporalOrder::ChannelPriority => [co, h, w],
-            TemporalOrder::PlanePriority => [h, w, co],
-        }
-    };
-    raw.extend(chip_loops);
-
-    // Walk the raw nest tracking coverage, emitting non-unit loops plus
-    // aligned footprints.
-    let mut loops = Vec::new();
-    let mut core_input = Vec::new();
-    let mut chiplet_input = Vec::new();
-    let mut stream_weight = Vec::new();
-
-    // Coverage state (output extents).
-    let mut core_h = u64::from(ho_c.min(tile.ho));
-    let mut core_w = u64::from(wo_c.min(tile.wo));
-    let mut chip_h = u64::from(tile.ho);
-    let mut chip_w = u64::from(tile.wo);
-    let mut stream_co = u64::from(mapping.chiplet_tile.co)
-        .div_ceil(u64::from(inp.streams))
-        .min(u64::from(layer.co()));
-    // Input channels resident below the rotation loop.
-    let mut ci_cov = if inp.rotate_inputs {
-        (inp.ci_needed / u64::from(inp.n_p)).max(1)
-    } else {
-        inp.ci_needed
-    };
-    // At the core compute base, only the lane group's CO slice of weights is
-    // live; it grows to the stream share across the c_co loop.
-    let mut weight_co = u64::from(inp.lanes).min(stream_co);
-
-    let win = |h: u64, w: u64| -> u64 {
-        ((h.max(1) - 1) * u64::from(sh) + u64::from(kh))
-            * ((w.max(1) - 1) * u64::from(sw) + u64::from(kw))
-    };
-    let fp_core_in = |h: u64, w: u64, ci: u64| win(h, w) * ci * ACT_BITS;
-    let fp_chip_in = |h: u64, w: u64, ci: u64| win(h, w) * ci * ACT_BITS;
-    let fp_weight = |co: u64, ci: u64| co * ci * kernel_pts * WGT_BITS;
-
-    // Position 0: inside the innermost loop (core compute block).
-    core_input.push(fp_core_in(core_h, core_w, ci_cov));
-    chiplet_input.push(fp_chip_in(chip_h, chip_w, ci_cov));
-    stream_weight.push(fp_weight(weight_co, ci_cov.min(ci_g)));
-
-    for l in raw {
-        // Update coverage as this loop completes.
-        match (l.level, l.dim) {
-            (LoopLevel::Rotation, Dim::Ci) => ci_cov = inp.ci_needed,
-            (LoopLevel::Rotation, Dim::Co) => {
-                weight_co = (weight_co * l.count).min(stream_co);
-            }
-            (LoopLevel::Rotation, _) => {}
-            (LoopLevel::Core, Dim::Co) => {
-                weight_co = (weight_co * l.count).min(stream_co);
-            }
-            (LoopLevel::Core, Dim::Ho) => {
-                core_h = (core_h * l.count).min(chip_h.div_ceil(u64::from(inp.grid_rows)));
-            }
-            (LoopLevel::Core, Dim::Wo) => {
-                core_w = (core_w * l.count).min(chip_w.div_ceil(u64::from(inp.grid_cols)));
-            }
-            (LoopLevel::Chiplet, Dim::Co) => {
-                stream_co = (stream_co * l.count).min(u64::from(layer.co()));
-                weight_co = stream_co.min(weight_co * l.count);
-            }
-            (LoopLevel::Chiplet, Dim::Ho) => {
-                chip_h = (chip_h * l.count).min(u64::from(layer.ho()));
-                core_h = chip_h.div_ceil(u64::from(inp.grid_rows));
-            }
-            (LoopLevel::Chiplet, Dim::Wo) => {
-                chip_w = (chip_w * l.count).min(u64::from(layer.wo()));
-                core_w = chip_w.div_ceil(u64::from(inp.grid_cols));
-            }
-            _ => {}
-        }
-        if l.count > 1 {
-            loops.push(l);
-            core_input.push(fp_core_in(core_h, core_w, ci_cov));
-            chiplet_input.push(fp_chip_in(chip_h, chip_w, ci_cov));
-            stream_weight.push(fp_weight(weight_co, ci_cov.min(ci_g)));
-        }
-    }
-
-    (
-        LoopNest::new(loops),
-        Footprints {
-            core_input,
-            chiplet_input,
-            stream_weight,
-        },
-    )
 }
 
 #[cfg(test)]

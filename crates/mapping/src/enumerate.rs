@@ -6,13 +6,22 @@
 //! combinations" (Section V-C). This module generates exactly that candidate
 //! set: every legal spatial pair, both temporal orders per level, a ladder of
 //! chiplet-tile shapes and the partition-pattern grids.
+//!
+//! Candidates are produced by [`visit_candidates`], a visitor that emits the
+//! canonical candidate stream directly — already deduplicated and in the
+//! stable [`mapping_key`] order — so the search hot path never materializes,
+//! sorts, or discards duplicate mappings. Alongside each mapping the visitor
+//! hands out a *geometry id*: a dense index over the distinct
+//! `(package, chiplet, tile)` triples, which the batched evaluator uses to
+//! memoize the order/rotation-independent decomposition arithmetic (every
+//! geometry is shared by the 4 temporal-order combos x rotation variants).
 
 use crate::mapping::Mapping;
 use crate::primitives::{ChipletPartition, PackagePartition, RotationMode, TemporalOrder};
 use crate::tile::{ceil_div, Tile};
 use baton_arch::PackageConfig;
 use baton_model::{ConvSpec, PlanarGrid, PSUM_BITS};
-use baton_telemetry::{count, count_n, Counter};
+use baton_telemetry::{count_n, Counter};
 
 /// Knobs bounding the candidate set size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +48,16 @@ impl Default for EnumOptions {
     }
 }
 
+/// Enumeration totals reported by [`visit_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnumStats {
+    /// Canonical (deduplicated) candidates emitted.
+    pub emitted: usize,
+    /// Distinct `(package, chiplet, tile)` geometries; emitted geometry ids
+    /// are dense in `0..geoms`.
+    pub geoms: usize,
+}
+
 /// Generates the candidate mappings for `layer` on `arch` with default
 /// options. Structurally illegal combinations are filtered; buffer
 /// feasibility is left to [`crate::decompose()`](crate::decompose::decompose), which performs the exact
@@ -49,11 +68,62 @@ pub fn candidates(layer: &ConvSpec, arch: &PackageConfig) -> Vec<Mapping> {
 
 /// Generates candidates with explicit options.
 pub fn candidates_with(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    visit_candidates(layer, arch, opts, |_, m| out.push(m));
+    out
+}
+
+/// Enumerates into caller-owned buffers (cleared first, capacity kept), so a
+/// steady-state search re-uses one allocation per thread. `geom_ids[i]` is
+/// the geometry id of `cands[i]`.
+pub fn enumerate_into(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    opts: EnumOptions,
+    cands: &mut Vec<Mapping>,
+    geom_ids: &mut Vec<u32>,
+) -> EnumStats {
+    cands.clear();
+    geom_ids.clear();
+    visit_candidates(layer, arch, opts, |g, m| {
+        cands.push(m);
+        geom_ids.push(g);
+    })
+}
+
+/// Emits the canonical candidate set through `f(geom_id, mapping)`.
+///
+/// The stream is strictly ascending in [`mapping_key`] order — package,
+/// chiplet partition, temporal-order combo, tile, rotation — with duplicates
+/// suppressed *at the source*: distinct `(fh, fw, fc)` ladder entries that
+/// collapse onto the same tile are skipped before a `Mapping` is ever built,
+/// and [`Counter::CandidatesDeduped`] counts them exactly as the old
+/// build-then-dedup pipeline did. `Counter::CandidatesGenerated` counts the
+/// emitted stream and `Counter::CandidatesStructurallyRejected` the ladder
+/// combos the structural filter removed.
+pub fn visit_candidates(
+    layer: &ConvSpec,
+    arch: &PackageConfig,
+    opts: EnumOptions,
+    mut f: impl FnMut(u32, Mapping),
+) -> EnumStats {
     let n_p = arch.chiplets;
     let n_c = arch.chiplet.cores;
     let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
 
-    let mut out = Vec::new();
+    // Rotations in key order (Ring < DramOnly), independent of the option
+    // slice's order — the canonical stream sorts rotation last.
+    let rot_ring = opts.rotations.contains(&RotationMode::Ring);
+    let rot_dram = opts.rotations.contains(&RotationMode::DramOnly);
+
+    let mut emitted = 0usize;
+    let mut deduped = 0u64;
+    let mut rejected = 0u64;
+    let mut geoms = 0u32;
+    // Reused across (package, chiplet) groups; bounded by the ladder size.
+    let mut tiles: Vec<Tile> = Vec::new();
+    let mut planes: Vec<(u32, u32)> = Vec::new();
+
     for pkg in package_options(layer, n_p) {
         // The plane extents a single chiplet owns under this partition.
         let (part_h, part_w, part_co) = match &pkg {
@@ -61,6 +131,9 @@ pub fn candidates_with(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions
             PackagePartition::Planar(g) => (ceil_div(ho, g.rows()), ceil_div(wo, g.cols()), co),
         };
         for chip in chiplet_options(n_c) {
+            tiles.clear();
+            planes.clear();
+            let mut combos = 0u64;
             for &fh in opts.plane_fractions {
                 for &fw in opts.plane_fractions {
                     for &fc in opts.co_fractions {
@@ -70,62 +143,96 @@ pub fn candidates_with(layer: &ConvSpec, arch: &PackageConfig, opts: EnumOptions
                             ceil_div(part_co, fc).max(1),
                         );
                         if !tile_fits_partition(&chip, tile, n_c) {
-                            count(Counter::CandidatesStructurallyRejected);
+                            rejected += 1;
                             continue;
                         }
-                        let core_plane = core_plane_for(layer, arch, &chip, tile, n_c);
-                        for pkg_order in TemporalOrder::ALL {
-                            for chip_order in TemporalOrder::ALL {
-                                for &rotation in opts.rotations {
-                                    // A 1-chiplet ring is inert: the twin
-                                    // would be an exact duplicate.
-                                    if n_p == 1 && rotation == RotationMode::DramOnly {
-                                        continue;
-                                    }
-                                    out.push(Mapping {
-                                        package: pkg,
-                                        chiplet: chip,
-                                        package_order: pkg_order,
-                                        chiplet_order: chip_order,
-                                        chiplet_tile: tile,
-                                        core_plane,
-                                        rotation,
-                                    });
-                                }
+                        combos += 1;
+                        tiles.push(tile);
+                    }
+                }
+            }
+            tiles.sort_by_key(|t| (t.ho, t.wo, t.co));
+            tiles.dedup();
+            // A 1-chiplet ring is inert: the DramOnly twin would be an exact
+            // duplicate, so it is skipped at the source.
+            let eff_rot = u64::from(rot_ring) + u64::from(rot_dram && n_p > 1);
+            let orders = (TemporalOrder::ALL.len() * TemporalOrder::ALL.len()) as u64;
+            deduped += (combos - tiles.len() as u64) * orders * eff_rot;
+            planes.extend(
+                tiles
+                    .iter()
+                    .map(|&t| core_plane_for(layer, arch, &chip, t, n_c)),
+            );
+            let group_base = geoms;
+            geoms += tiles.len() as u32;
+            for pkg_order in TemporalOrder::ALL {
+                for chip_order in TemporalOrder::ALL {
+                    for (ti, (&tile, &core_plane)) in tiles.iter().zip(planes.iter()).enumerate() {
+                        for rotation in [RotationMode::Ring, RotationMode::DramOnly] {
+                            match rotation {
+                                RotationMode::Ring if !rot_ring => continue,
+                                RotationMode::DramOnly if !(rot_dram && n_p > 1) => continue,
+                                _ => {}
                             }
+                            emitted += 1;
+                            f(
+                                group_base + ti as u32,
+                                Mapping {
+                                    package: pkg,
+                                    chiplet: chip,
+                                    package_order: pkg_order,
+                                    chiplet_order: chip_order,
+                                    chiplet_tile: tile,
+                                    core_plane,
+                                    rotation,
+                                },
+                            );
                         }
                     }
                 }
             }
         }
     }
-    if out.is_empty() {
+    if emitted == 0 {
         // Fallback for thin layers (e.g. a 10-class FC head): accept idle
-        // units rather than failing to map at all.
+        // units rather than failing to map at all. The single geometry gets
+        // id 0; the 1-chiplet DramOnly skip does NOT apply here (the layer
+        // would otherwise be unmappable).
         let tile = Tile::new(ho, wo, co.max(1));
         let core_plane = core_plane_for(layer, arch, &ChipletPartition::Channel, tile, n_c);
+        geoms = 1;
         for pkg_order in TemporalOrder::ALL {
             for chip_order in TemporalOrder::ALL {
-                for &rotation in opts.rotations {
-                    out.push(Mapping {
-                        package: PackagePartition::Channel,
-                        chiplet: ChipletPartition::Channel,
-                        package_order: pkg_order,
-                        chiplet_order: chip_order,
-                        chiplet_tile: tile,
-                        core_plane,
-                        rotation,
-                    });
+                for rotation in [RotationMode::Ring, RotationMode::DramOnly] {
+                    match rotation {
+                        RotationMode::Ring if !rot_ring => continue,
+                        RotationMode::DramOnly if !rot_dram => continue,
+                        _ => {}
+                    }
+                    emitted += 1;
+                    f(
+                        0,
+                        Mapping {
+                            package: PackagePartition::Channel,
+                            chiplet: ChipletPartition::Channel,
+                            package_order: pkg_order,
+                            chiplet_order: chip_order,
+                            chiplet_tile: tile,
+                            core_plane,
+                            rotation,
+                        },
+                    );
                 }
             }
         }
     }
-    let raw = out.len();
-    out.sort_by_key(mapping_key);
-    out.dedup_by_key(|m| mapping_key(m));
-    count_n(Counter::CandidatesGenerated, out.len() as u64);
-    count_n(Counter::CandidatesDeduped, (raw - out.len()) as u64);
-    out
+    count_n(Counter::CandidatesGenerated, emitted as u64);
+    count_n(Counter::CandidatesDeduped, deduped);
+    count_n(Counter::CandidatesStructurallyRejected, rejected);
+    EnumStats {
+        emitted,
+        geoms: geoms as usize,
+    }
 }
 
 /// Cheap upper bound on the number of candidates [`candidates_with`] can
@@ -144,8 +251,11 @@ pub fn candidate_count_bound(layer: &ConvSpec, arch: &PackageConfig, opts: EnumO
     (pkg * chip * tiles * orders * opts.rotations.len()).max(orders * opts.rotations.len())
 }
 
-/// Sort/dedup key: a fixed-width numeric encoding of every mapping field
-/// (cheaper than formatting, exercised millions of times in sweeps).
+/// Sort/dedup key: a fixed-width numeric encoding of every mapping field.
+/// [`visit_candidates`] emits in strictly ascending key order by
+/// construction; the key survives as the canonical-order witness the tests
+/// hold the visitor to.
+#[cfg_attr(not(test), allow(dead_code))]
 fn mapping_key(m: &Mapping) -> [u32; 13] {
     let (pkg_tag, pkg_r, pkg_c) = match m.package {
         PackagePartition::Channel => (0, 0, 0),
@@ -176,7 +286,8 @@ fn mapping_key(m: &Mapping) -> [u32; 13] {
     ]
 }
 
-/// Legal package-level spatial partitions for this layer.
+/// Legal package-level spatial partitions for this layer, in ascending
+/// [`mapping_key`] order (Channel, then planar grids by `(rows, cols)`).
 pub fn package_options(layer: &ConvSpec, n_p: u32) -> Vec<PackagePartition> {
     let mut out = Vec::new();
     if layer.co() >= n_p {
@@ -198,7 +309,9 @@ pub fn package_options(layer: &ConvSpec, n_p: u32) -> Vec<PackagePartition> {
     out
 }
 
-/// Legal chiplet-level spatial partitions for `n_c` cores.
+/// Legal chiplet-level spatial partitions for `n_c` cores, in ascending
+/// [`mapping_key`] order (Channel, planar grids, then hybrids by channel
+/// ways).
 pub fn chiplet_options(n_c: u32) -> Vec<ChipletPartition> {
     let mut out = vec![ChipletPartition::Channel];
     if n_c == 1 {
@@ -380,6 +493,146 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn emission_is_strictly_ascending_in_key_order() {
+        // The canonical stream IS the sorted, deduplicated stream: strictly
+        // ascending keys prove both at once, for main path and fallback.
+        let a = arch();
+        for layer in [
+            zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap(),
+            zoo::mobilenet_v2(224)
+                .layer("block2_dwise")
+                .cloned()
+                .unwrap(),
+            ConvSpec::fully_connected("fc", 4096, 10).unwrap(),
+        ] {
+            let maps = candidates(&layer, &a);
+            for w in maps.windows(2) {
+                assert!(
+                    mapping_key(&w[0]) < mapping_key(&w[1]),
+                    "{}: out of order or duplicate: {:?} then {:?}",
+                    layer.name(),
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_matches_the_build_then_dedup_reference() {
+        // Reference pipeline: generate every raw candidate the pre-visitor
+        // enumerator built (duplicates included), then sort + dedup by key.
+        // The visitor must reproduce it byte for byte, and its dedup counter
+        // must equal the number of raw candidates discarded.
+        let a = arch();
+        let opts = EnumOptions::default();
+        for layer in [
+            zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap(),
+            zoo::vgg16(224).layer("conv1_1").cloned().unwrap(),
+            zoo::mobilenet_v2(224)
+                .layer("block2_dwise")
+                .cloned()
+                .unwrap(),
+        ] {
+            let mut raw = Vec::new();
+            for pkg in package_options(&layer, a.chiplets) {
+                let (ho, wo, co) = (layer.ho(), layer.wo(), layer.co());
+                let (part_h, part_w, part_co) = match &pkg {
+                    PackagePartition::Channel => (ho, wo, ceil_div(co, a.chiplets)),
+                    PackagePartition::Planar(g) => {
+                        (ceil_div(ho, g.rows()), ceil_div(wo, g.cols()), co)
+                    }
+                };
+                for chip in chiplet_options(a.chiplet.cores) {
+                    for &fh in opts.plane_fractions {
+                        for &fw in opts.plane_fractions {
+                            for &fc in opts.co_fractions {
+                                let tile = Tile::new(
+                                    ceil_div(part_h, fh).max(1),
+                                    ceil_div(part_w, fw).max(1),
+                                    ceil_div(part_co, fc).max(1),
+                                );
+                                if !tile_fits_partition(&chip, tile, a.chiplet.cores) {
+                                    continue;
+                                }
+                                let core_plane =
+                                    core_plane_for(&layer, &a, &chip, tile, a.chiplet.cores);
+                                for pkg_order in TemporalOrder::ALL {
+                                    for chip_order in TemporalOrder::ALL {
+                                        for &rotation in opts.rotations {
+                                            if a.chiplets == 1 && rotation == RotationMode::DramOnly
+                                            {
+                                                continue;
+                                            }
+                                            raw.push(Mapping {
+                                                package: pkg,
+                                                chiplet: chip,
+                                                package_order: pkg_order,
+                                                chiplet_order: chip_order,
+                                                chiplet_tile: tile,
+                                                core_plane,
+                                                rotation,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let raw_len = raw.len();
+            raw.sort_by_key(mapping_key);
+            raw.dedup_by_key(|m| mapping_key(m));
+
+            let mut got = Vec::new();
+            let stats = visit_candidates(&layer, &a, opts, |_, m| got.push(m));
+            assert_eq!(got, raw, "{}", layer.name());
+            assert_eq!(stats.emitted, raw.len(), "{}", layer.name());
+            // At least one of the layers must actually exercise dedup for
+            // the comparison to mean anything.
+            if layer.name() == "res2a_branch2b" {
+                assert!(raw_len > raw.len(), "expected duplicates in reference");
+            }
+        }
+    }
+
+    #[test]
+    fn geom_ids_are_dense_and_shared_across_orders_and_rotations() {
+        use std::collections::BTreeMap;
+        let a = arch();
+        let layer = zoo::resnet50(224).layer("res2a_branch2b").cloned().unwrap();
+        let mut cands = Vec::new();
+        let mut ids = Vec::new();
+        let stats = enumerate_into(&layer, &a, EnumOptions::default(), &mut cands, &mut ids);
+        assert_eq!(cands.len(), ids.len());
+        assert_eq!(stats.emitted, cands.len());
+        // Dense: every id below `geoms` appears.
+        let max = ids.iter().copied().max().unwrap() as usize;
+        assert_eq!(max + 1, stats.geoms);
+        // Consistent: one id <=> one (package, chiplet, tile, core_plane).
+        let mut seen: BTreeMap<u32, String> = BTreeMap::new();
+        for (m, &g) in cands.iter().zip(&ids) {
+            let geom_key = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                m.package, m.chiplet, m.chiplet_tile, m.core_plane
+            );
+            match seen.get(&g) {
+                Some(k) => assert_eq!(k, &geom_key, "geom id {g} maps to two geometries"),
+                None => {
+                    seen.insert(g, geom_key);
+                }
+            }
+        }
+        // Every geometry is shared by 4 temporal combos x 2 rotations.
+        let mut uses: BTreeMap<u32, u32> = BTreeMap::new();
+        for &g in &ids {
+            *uses.entry(g).or_default() += 1;
+        }
+        assert!(uses.values().all(|&n| n == 8), "{uses:?}");
     }
 
     use baton_model::ConvSpec;

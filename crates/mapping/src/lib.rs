@@ -41,7 +41,9 @@ pub mod primitives;
 pub mod tile;
 
 pub use coverage::{verify_coverage, Coverage};
-pub use decompose::{decompose, Decomposition, MappingError};
+pub use decompose::{
+    decompose, mapping_geometry, Decomposition, MappingError, MappingGeometry, NestScratch, Volumes,
+};
 pub use mapping::Mapping;
 pub use nest::{Loop, LoopLevel, LoopNest};
 pub use pattern::{preferred_grid, PatternContext};

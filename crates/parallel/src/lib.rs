@@ -187,6 +187,111 @@ where
         .collect()
 }
 
+/// Chunk-at-a-time variant of [`map_chunked`] with **per-worker scratch**:
+/// `init()` runs once per worker (once total on the sequential fast path)
+/// and the resulting state is threaded through every chunk that worker
+/// claims. Returns one `R` per chunk, **in chunk order**.
+///
+/// This is the batched-evaluation primitive: a worker's scratch amortizes
+/// arena buffers across all its chunks, while the ordered chunk results
+/// keep reductions deterministic — for any thread count and scheduling, the
+/// output equals the sequential
+/// `chunks.map(|c| f(&mut scratch, c.start, c.items))` with a single
+/// scratch. `f` receives the chunk's starting index into `items` so callers
+/// can address parallel side tables.
+///
+/// With one worker (or one chunk) the sequential fast path runs on the
+/// calling thread — scratch obtained from a thread-local pool in `init`
+/// then persists across calls on that thread, which is what makes the
+/// steady-state allocation budget hold at `--threads 1`. Gauges, worker
+/// spans, and trace propagation behave exactly as in [`map_chunked`].
+pub fn map_chunks<T, R, S, I, F>(items: &[T], threads: usize, chunk: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &[T]) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 || n_chunks <= 1 {
+        let mut scratch = init();
+        return (0..n_chunks)
+            .map(|c| {
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                f(&mut scratch, start, &items[start..end])
+            })
+            .collect();
+    }
+
+    let observe = metrics::enabled();
+    if observe {
+        metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], workers as f64);
+        metrics::gauge_set(
+            QUEUE_DEPTH_GAUGE,
+            QUEUE_DEPTH_HELP,
+            FAN_OUT_QUEUE,
+            n_chunks as f64,
+        );
+    }
+
+    // One slot per chunk, written exactly once by whichever worker claimed
+    // it; the lock is never contended.
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let fan_trace = trace::propagation();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, cursor, init, f, fan_trace) = (&slots, &cursor, &init, &f, &fan_trace);
+            s.spawn(move || {
+                // Context first, span second: the guard must outlive (and
+                // therefore drop after) the worker span it parents.
+                let _trace_ctx = fan_trace.install();
+                let _worker_span = span_labeled("parallel_worker", || format!("w{w}"));
+                let mut scratch = init();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    if observe {
+                        metrics::gauge_set(
+                            QUEUE_DEPTH_GAUGE,
+                            QUEUE_DEPTH_HELP,
+                            FAN_OUT_QUEUE,
+                            n_chunks.saturating_sub(c + 1) as f64,
+                        );
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out = f(&mut scratch, start, &items[start..end]);
+                    *slots[c]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                }
+            });
+        }
+    });
+    if observe {
+        metrics::gauge_add(WORKERS_GAUGE, WORKERS_HELP, &[], -(workers as f64));
+        metrics::gauge_set(QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_HELP, FAN_OUT_QUEUE, 0.0);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every chunk slot is written exactly once")
+        })
+        .collect()
+}
+
 /// A shared minimization incumbent: the lowest `f64` score observed so far,
 /// encoded into one `AtomicU64` so branch-and-bound workers can read and
 /// tighten it without a lock.
@@ -406,6 +511,84 @@ pub(crate) mod tests {
             // install it; tests/serve.rs asserts the live nonzero case.)
             assert_eq!((w.net_allocs, w.net_bytes), (0, 0));
         }
+    }
+
+    #[test]
+    fn map_chunks_matches_the_sequential_reference() {
+        let _guard = fan_out_lock();
+        let items: Vec<u64> = (0..997).map(|i| i * 7 % 113).collect();
+        // Reference: one scratch, chunks in order. The scratch accumulates
+        // across chunks *on one worker*, so only scratch-independent outputs
+        // are deterministic across thread counts — model that: the result
+        // depends on (start, slice) alone, the scratch only proves reuse.
+        let reference = |chunk: usize| -> Vec<u64> {
+            items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, s)| s.iter().sum::<u64>() + (c * chunk) as u64)
+                .collect()
+        };
+        for threads in [1, 2, 4, 7] {
+            for chunk in [1, 3, 64, 2000] {
+                let got = map_chunks(
+                    &items,
+                    threads,
+                    chunk,
+                    Vec::<u64>::new,
+                    |scratch, start, slice| {
+                        scratch.clear();
+                        scratch.extend_from_slice(slice);
+                        scratch.iter().sum::<u64>() + start as u64
+                    },
+                );
+                assert_eq!(got, reference(chunk.max(1)), "t={threads} c={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_inits_scratch_once_per_worker() {
+        let _guard = fan_out_lock();
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        // Sequential fast path: exactly one scratch.
+        inits.store(0, Ordering::Relaxed);
+        map_chunks(
+            &items,
+            1,
+            8,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, s| s.len(),
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        // Parallel: at most one scratch per worker, far fewer than chunks.
+        inits.store(0, Ordering::Relaxed);
+        let n_results = map_chunks(
+            &items,
+            4,
+            8,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, s| s.len(),
+        )
+        .len();
+        assert_eq!(n_results, 32);
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_input_without_init() {
+        let _guard = fan_out_lock();
+        let inits = AtomicUsize::new(0);
+        let empty: Vec<u32> = vec![];
+        let out = map_chunks(
+            &empty,
+            4,
+            8,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, s| s.len(),
+        );
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 
     #[test]

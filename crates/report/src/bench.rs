@@ -20,6 +20,14 @@
 //! baseline: wall/phase times may not grow, throughputs may not shrink, by
 //! more than a percentage. Counters are identity-checked nowhere — they are
 //! workload-dependent context, not a pass/fail surface.
+//!
+//! A baseline may additionally carry **absolute bounds**: a numeric key
+//! `gate.min.<metric>` fails the gate when the current `<metric>` falls
+//! below the bound, `gate.max.<metric>` when it rises above. Bounds are
+//! exempt from the regression tolerance — they are hard floors/ceilings,
+//! hand-written into the committed baseline (e.g. the batched-engine gate
+//! `gate.min.throughput.evals_per_sec` in `results/BENCH_soa.json`), and
+//! are never emitted by [`BenchSnapshot::build`] itself.
 
 use std::collections::BTreeMap;
 
@@ -156,8 +164,11 @@ fn direction(key: &str) -> Option<bool> {
 }
 
 /// Compares `current` against `baseline`, returning every gate metric that
-/// regressed by more than `max_regress_pct` percent. Only keys present in
-/// both snapshots are compared, so adding a phase never fails the gate.
+/// regressed by more than `max_regress_pct` percent, plus every violated
+/// absolute `gate.min.*`/`gate.max.*` bound the baseline declares (those
+/// ignore the tolerance). Only keys present in both snapshots are compared,
+/// so adding a phase never fails the gate; likewise a bound on a metric the
+/// current snapshot lacks is skipped.
 pub fn compare_snapshots(
     current: &BenchSnapshot,
     baseline: &BenchSnapshot,
@@ -165,6 +176,36 @@ pub fn compare_snapshots(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for (key, &base) in &baseline.nums {
+        // Absolute bounds: hard floors/ceilings, tolerance-exempt. The
+        // reported key is the gate key itself so CI output names the bound
+        // that tripped; non-positive bounds are ignored (a zero floor or
+        // ceiling cannot express anything the percent math can divide by).
+        if let Some(metric) = key.strip_prefix("gate.min.") {
+            if let Some(&cur) = current.nums.get(metric) {
+                if base > 0.0 && cur < base {
+                    out.push(Regression {
+                        key: key.clone(),
+                        baseline: base,
+                        current: cur,
+                        change_pct: 100.0 * (base - cur) / base,
+                    });
+                }
+            }
+            continue;
+        }
+        if let Some(metric) = key.strip_prefix("gate.max.") {
+            if let Some(&cur) = current.nums.get(metric) {
+                if base > 0.0 && cur > base {
+                    out.push(Regression {
+                        key: key.clone(),
+                        baseline: base,
+                        current: cur,
+                        change_pct: 100.0 * (cur - base) / base,
+                    });
+                }
+            }
+            continue;
+        }
         let Some(higher_is_worse) = direction(key) else {
             continue;
         };
@@ -304,6 +345,38 @@ mod tests {
             .insert("counter.baton_evaluations_total".into(), 9e9);
         noisy.nums.insert("phase.search.count".into(), 9e9);
         assert!(compare_snapshots(&noisy, &base, 1.0).is_empty());
+    }
+
+    #[test]
+    fn absolute_bounds_gate_regardless_of_tolerance() {
+        let mut base = synthetic(100.0, 60.0, 10000.0);
+        base.nums
+            .insert("gate.min.throughput.evals_per_sec".into(), 8000.0);
+        base.nums
+            .insert("gate.max.alloc.allocs_per_eval".into(), 50.0);
+        // Above the floor, below the ceiling: clean.
+        let mut cur = synthetic(100.0, 60.0, 9000.0);
+        cur.nums.insert("alloc.allocs_per_eval".into(), 2.0);
+        assert!(compare_snapshots(&cur, &base, 25.0).is_empty());
+        // Below the floor: fails even inside the relative tolerance
+        // (10000 -> 7900 is -21%, under the 25% gate).
+        let mut slow = synthetic(100.0, 60.0, 7900.0);
+        slow.nums.insert("alloc.allocs_per_eval".into(), 2.0);
+        let regs = compare_snapshots(&slow, &base, 25.0);
+        let keys: Vec<&str> = regs.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["gate.min.throughput.evals_per_sec"]);
+        assert!((regs[0].change_pct - 1.25).abs() < 1e-9);
+        assert!(describe_regression(&regs[0]).contains("gate.min"));
+        // Above the ceiling: fails with an enormous tolerance.
+        let mut leaky = synthetic(100.0, 60.0, 9000.0);
+        leaky.nums.insert("alloc.allocs_per_eval".into(), 51.0);
+        let regs = compare_snapshots(&leaky, &base, 1e9);
+        let keys: Vec<&str> = regs.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["gate.max.alloc.allocs_per_eval"]);
+        // A bound on a metric the current run lacks is skipped, and the
+        // gate keys themselves are never treated as ordinary metrics.
+        let bare = synthetic(100.0, 60.0, 9000.0);
+        assert!(compare_snapshots(&bare, &base, 25.0).is_empty());
     }
 
     #[test]
