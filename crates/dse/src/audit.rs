@@ -1,0 +1,495 @@
+//! Structured audit trail for the pre-design sweeps.
+//!
+//! The Figure 14/15 sweeps evaluate 10^4-10^5 design points and historically
+//! emitted one CSV and nothing else. A [`SweepAudit`] makes the exploration
+//! itself inspectable: every evaluated design point, every `(geometry, O-L1)`
+//! sweep unit and every granularity bar produces a compact [`AuditRecord`]
+//! that lands in a bounded in-memory ring and, optionally, an append-only
+//! JSON-lines stream (`baton sweep --audit FILE`).
+//!
+//! Records are emitted *after* the parallel fan-out splices its per-unit
+//! results back in unit order, so the stream is deterministic for any
+//! `--threads` count — identical to the CSV the same sweep writes. The only
+//! non-deterministic fields are the wall-clock durations.
+//!
+//! The JSON encoding reuses [`baton_telemetry::json::ObjectWriter`]: one
+//! flat object per line, each parseable with
+//! [`baton_telemetry::json::parse_flat_object`]. The `record` field selects
+//! the schema (`point`, `unit`, `geometry`, `summary`).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+
+use baton_telemetry::json::ObjectWriter;
+
+/// Default capacity of the in-memory ring (records, not bytes).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One entry of the sweep audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditRecord {
+    /// One *valid* design point of the full sweep — exactly the rows the
+    /// design-point CSV carries, so `point` records, `sweep_points` counter
+    /// increments and CSV data rows reconcile one-to-one.
+    Point {
+        /// `(N_P, N_C, L, P)`.
+        geometry: (u32, u32, u32, u32),
+        /// `(O-L1, A-L1, W-L1, A-L2)` in bytes.
+        memory: (u64, u64, u64, u64),
+        /// Chiplet area in mm^2.
+        chiplet_area_mm2: f64,
+        /// Model energy in pJ.
+        energy_pj: f64,
+        /// Model runtime in cycles.
+        cycles: u64,
+        /// Energy-delay product in joule-seconds.
+        edp_js: f64,
+    },
+    /// One `(geometry, O-L1)` unit of the full sweep's parallel fan-out:
+    /// where the points of that unit came from and what was pruned, memoized
+    /// or skipped on the way.
+    Unit {
+        /// `(N_P, N_C, L, P)`.
+        geometry: (u32, u32, u32, u32),
+        /// O-L1 capacity of this unit in bytes.
+        o_l1: u64,
+        /// Valid design points the unit produced.
+        points: u64,
+        /// Memory configurations with no feasible per-layer candidate.
+        infeasible: u64,
+        /// `A-L1 >= A-L2` pairs dropped by the paper's skip rule.
+        skipped: u64,
+        /// Layer shapes answered from the per-unit shape memo.
+        memo_hits: u64,
+        /// Layer shapes that built a fresh candidate set.
+        memo_misses: u64,
+        /// Mapping candidates enumerated across the fresh shapes.
+        candidates: u64,
+        /// Candidates surviving corner pruning across the fresh shapes.
+        kept: u64,
+        /// Whether every layer had a feasible candidate on this unit.
+        feasible: bool,
+        /// Wall time of the unit in microseconds (not deterministic).
+        wall_us: u64,
+    },
+    /// One geometry bar of the Figure 14 granularity sweep.
+    Geometry {
+        /// `(N_P, N_C, L, P)`.
+        geometry: (u32, u32, u32, u32),
+        /// Chiplet area in mm^2 (0 when the geometry failed validation).
+        chiplet_area_mm2: f64,
+        /// Model energy in pJ (0 when infeasible).
+        energy_pj: f64,
+        /// Model runtime in cycles (0 when infeasible).
+        cycles: u64,
+        /// Whether the bar fits the area constraint (true when none given).
+        meets_area: bool,
+        /// Whether the geometry mapped at all.
+        feasible: bool,
+        /// Wall time of the bar in microseconds (not deterministic).
+        wall_us: u64,
+    },
+    /// End-of-sweep totals, emitted once per audited sweep.
+    Summary {
+        /// `"full"` or `"granularity"`.
+        flow: &'static str,
+        /// Sweep units (full) or geometries (granularity) examined.
+        units: u64,
+        /// Valid design points (full) or feasible bars (granularity).
+        points: u64,
+        /// Infeasible memory configurations (full) or skipped geometries.
+        infeasible: u64,
+        /// Wall time of the whole sweep in microseconds.
+        wall_us: u64,
+    },
+}
+
+impl AuditRecord {
+    /// The record's schema tag (`point`, `unit`, `geometry`, `summary`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditRecord::Point { .. } => "point",
+            AuditRecord::Unit { .. } => "unit",
+            AuditRecord::Geometry { .. } => "geometry",
+            AuditRecord::Summary { .. } => "summary",
+        }
+    }
+
+    /// Renders the record as one compact flat JSON object (no trailing
+    /// newline). Field names mirror the design-point CSV header where the
+    /// two surfaces overlap.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("record", self.kind());
+        match self {
+            AuditRecord::Point {
+                geometry,
+                memory,
+                chiplet_area_mm2,
+                energy_pj,
+                cycles,
+                edp_js,
+            } => {
+                push_geometry(&mut w, *geometry);
+                let (o1, a1, w1, a2) = *memory;
+                w.u64("o_l1_b", o1)
+                    .u64("a_l1_b", a1)
+                    .u64("w_l1_b", w1)
+                    .u64("a_l2_b", a2)
+                    .f64("chiplet_area_mm2", *chiplet_area_mm2)
+                    .f64("energy_pj", *energy_pj)
+                    .u64("cycles", *cycles)
+                    .f64("edp_js", *edp_js);
+            }
+            AuditRecord::Unit {
+                geometry,
+                o_l1,
+                points,
+                infeasible,
+                skipped,
+                memo_hits,
+                memo_misses,
+                candidates,
+                kept,
+                feasible,
+                wall_us,
+            } => {
+                push_geometry(&mut w, *geometry);
+                w.u64("o_l1_b", *o_l1)
+                    .u64("points", *points)
+                    .u64("infeasible", *infeasible)
+                    .u64("skipped", *skipped)
+                    .u64("memo_hits", *memo_hits)
+                    .u64("memo_misses", *memo_misses)
+                    .u64("candidates", *candidates)
+                    .u64("kept", *kept)
+                    .bool("feasible", *feasible)
+                    .u64("wall_us", *wall_us);
+            }
+            AuditRecord::Geometry {
+                geometry,
+                chiplet_area_mm2,
+                energy_pj,
+                cycles,
+                meets_area,
+                feasible,
+                wall_us,
+            } => {
+                push_geometry(&mut w, *geometry);
+                w.f64("chiplet_area_mm2", *chiplet_area_mm2)
+                    .f64("energy_pj", *energy_pj)
+                    .u64("cycles", *cycles)
+                    .bool("meets_area", *meets_area)
+                    .bool("feasible", *feasible)
+                    .u64("wall_us", *wall_us);
+            }
+            AuditRecord::Summary {
+                flow,
+                units,
+                points,
+                infeasible,
+                wall_us,
+            } => {
+                w.str("flow", flow)
+                    .u64("units", *units)
+                    .u64("points", *points)
+                    .u64("infeasible", *infeasible)
+                    .u64("wall_us", *wall_us);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// Writes the four geometry columns with the CSV header's names.
+fn push_geometry(w: &mut ObjectWriter, (np, nc, l, p): (u32, u32, u32, u32)) {
+    w.u64("chiplets", u64::from(np))
+        .u64("cores", u64::from(nc))
+        .u64("lanes", u64::from(l))
+        .u64("vector", u64::from(p));
+}
+
+/// Mutable audit state behind the sink's lock.
+struct AuditState {
+    ring: VecDeque<AuditRecord>,
+    capacity: usize,
+    sink: Option<Box<dyn Write + Send>>,
+    records: u64,
+    point_records: u64,
+    dropped: u64,
+    io_error: Option<String>,
+}
+
+/// Audit-trail sink for one sweep: a bounded in-memory ring of the most
+/// recent records plus an optional JSON-lines writer.
+///
+/// A disabled sink ([`SweepAudit::disabled`]) is a `None` all the way down:
+/// the sweeps probe [`SweepAudit::enabled`] once per emission site, so the
+/// plain `full_sweep`/`granularity_sweep` paths pay one branch and no
+/// formatting, allocation or locking — the committed `BENCH_*` gates hold.
+pub struct SweepAudit {
+    inner: Option<Mutex<AuditState>>,
+}
+
+impl fmt::Debug for SweepAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("SweepAudit(disabled)"),
+            Some(_) => f.write_str("SweepAudit(enabled)"),
+        }
+    }
+}
+
+impl SweepAudit {
+    /// A sink that records nothing and costs one branch per probe.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Ring-only sink with the default capacity.
+    pub fn in_memory() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY, None)
+    }
+
+    /// Full constructor: ring capacity (at least 1 is kept) plus an optional
+    /// JSON-lines byte sink (every record becomes one `\n`-terminated line).
+    pub fn new(capacity: usize, sink: Option<Box<dyn Write + Send>>) -> Self {
+        Self {
+            inner: Some(Mutex::new(AuditState {
+                ring: VecDeque::with_capacity(capacity.clamp(1, 1024)),
+                capacity: capacity.max(1),
+                sink,
+                records: 0,
+                point_records: 0,
+                dropped: 0,
+                io_error: None,
+            })),
+        }
+    }
+
+    /// Whether records will be kept. The sweeps skip record construction
+    /// entirely when this is false.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Appends one record: pushed into the ring (evicting the oldest when
+    /// full) and streamed to the JSON-lines sink when one is attached. I/O
+    /// errors are captured for [`SweepAudit::finish`], not propagated —
+    /// a failing audit stream must never abort a sweep.
+    pub fn record(&self, rec: AuditRecord) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.records += 1;
+        if matches!(rec, AuditRecord::Point { .. }) {
+            st.point_records += 1;
+        }
+        if let Some(sink) = st.sink.as_mut() {
+            let mut line = rec.to_json();
+            line.push('\n');
+            if let Err(e) = sink.write_all(line.as_bytes()) {
+                if st.io_error.is_none() {
+                    st.io_error = Some(e.to_string());
+                }
+            }
+        }
+        if st.ring.len() == st.capacity {
+            st.ring.pop_front();
+            st.dropped += 1;
+        }
+        st.ring.push_back(rec);
+    }
+
+    /// Snapshot of the ring, oldest first.
+    pub fn recent(&self) -> Vec<AuditRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .ring
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Total records accepted (including any the ring has since evicted).
+    pub fn records(&self) -> u64 {
+        self.with_state(|st| st.records)
+    }
+
+    /// Records evicted from the ring to make room.
+    pub fn dropped(&self) -> u64 {
+        self.with_state(|st| st.dropped)
+    }
+
+    /// `point` records accepted — the tally that must reconcile with the
+    /// sweep's `sweep_points` counter and the design-point CSV row count.
+    pub fn point_records(&self) -> u64 {
+        // Tracked on the full stream, not the ring, so early evictions
+        // never understate the tally.
+        self.with_state(|st| st.point_records)
+    }
+
+    /// Flushes the JSON-lines sink and surfaces the first I/O error hit
+    /// while streaming, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the captured write/flush error description.
+    pub fn finish(&self) -> Result<(), String> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut st = inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(sink) = st.sink.as_mut() {
+            if let Err(e) = sink.flush() {
+                if st.io_error.is_none() {
+                    st.io_error = Some(e.to_string());
+                }
+            }
+        }
+        match &st.io_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&AuditState) -> R) -> R
+    where
+        R: Default,
+    {
+        match &self.inner {
+            None => R::default(),
+            Some(inner) => f(&inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_telemetry::json::{parse_flat_object, Value};
+    use std::sync::Arc;
+
+    fn point(i: u64) -> AuditRecord {
+        AuditRecord::Point {
+            geometry: (4, 4, 8, 8),
+            memory: (144, 1024 + i, 18 * 1024, 64 * 1024),
+            chiplet_area_mm2: 1.5,
+            energy_pj: 2.0e6,
+            cycles: 100 + i,
+            edp_js: 3.0e-7,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let a = SweepAudit::disabled();
+        assert!(!a.enabled());
+        a.record(point(0));
+        assert_eq!(a.records(), 0);
+        assert!(a.recent().is_empty());
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_evictions() {
+        let a = SweepAudit::new(3, None);
+        for i in 0..5 {
+            a.record(point(i));
+        }
+        assert_eq!(a.records(), 5);
+        assert_eq!(a.dropped(), 2);
+        let recent = a.recent();
+        assert_eq!(recent.len(), 3);
+        // Oldest first, and the two oldest records were evicted.
+        assert_eq!(recent[0], point(2));
+        assert_eq!(recent[2], point(4));
+    }
+
+    /// A shared growable byte sink for asserting on the JSONL stream.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_with_the_flat_parser() {
+        let buf = SharedBuf::default();
+        let a = SweepAudit::new(16, Some(Box::new(buf.clone())));
+        a.record(point(1));
+        a.record(AuditRecord::Unit {
+            geometry: (4, 4, 8, 8),
+            o_l1: 144,
+            points: 1,
+            infeasible: 2,
+            skipped: 3,
+            memo_hits: 4,
+            memo_misses: 5,
+            candidates: 60,
+            kept: 7,
+            feasible: true,
+            wall_us: 123,
+        });
+        a.record(AuditRecord::Summary {
+            flow: "full",
+            units: 1,
+            points: 1,
+            infeasible: 2,
+            wall_us: 456,
+        });
+        a.finish().unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = parse_flat_object(lines[0]).unwrap();
+        assert_eq!(first["record"], Value::String("point".into()));
+        assert_eq!(first["chiplets"].as_f64(), Some(4.0));
+        assert_eq!(first["cycles"].as_f64(), Some(101.0));
+        let unit = parse_flat_object(lines[1]).unwrap();
+        assert_eq!(unit["record"], Value::String("unit".into()));
+        assert_eq!(unit["candidates"].as_f64(), Some(60.0));
+        assert_eq!(unit["feasible"], Value::Bool(true));
+        let summary = parse_flat_object(lines[2]).unwrap();
+        assert_eq!(summary["flow"], Value::String("full".into()));
+        assert_eq!(summary["points"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn io_errors_are_deferred_to_finish() {
+        /// A sink that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let a = SweepAudit::new(4, Some(Box::new(Broken)));
+        a.record(point(0));
+        // The record still landed in the ring; the error waits for finish.
+        assert_eq!(a.recent().len(), 1);
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("disk on fire"), "{err}");
+    }
+}

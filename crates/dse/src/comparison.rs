@@ -80,6 +80,53 @@ mod tests {
     }
 
     #[test]
+    fn comparison_aggregates_per_layer_simba_energy() {
+        // On a two-layer slice the Simba side must equal the sum of the
+        // per-layer evaluations, and the metadata must mirror the model.
+        let arch = presets::simba_4chiplet();
+        let tech = Technology::paper_16nm();
+        let r = zoo::resnet50(224);
+        let model = Model::new(
+            "resnet-slice",
+            224,
+            vec![
+                r.layer("res2a_branch2b").cloned().unwrap(),
+                r.layer("res4a_branch2a").cloned().unwrap(),
+            ],
+        );
+        let c = compare_model(&model, &arch, &tech);
+        assert_eq!(c.model, "resnet-slice");
+        assert_eq!(c.resolution, 224);
+        let mut expected = EnergyBreakdown::default();
+        for layer in model.layers() {
+            expected += evaluate_simba(layer, &arch, &tech).energy;
+        }
+        assert_eq!(c.simba, expected);
+        assert!(c.baton.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn saving_is_the_fractional_energy_win() {
+        // saving() is sign-correct: baton cheaper => positive, more
+        // expensive => negative, equal => zero.
+        let mk = |baton_pj: f64, simba_pj: f64| ModelComparison {
+            model: "m".into(),
+            resolution: 224,
+            baton: EnergyBreakdown {
+                mac_pj: baton_pj,
+                ..Default::default()
+            },
+            simba: EnergyBreakdown {
+                mac_pj: simba_pj,
+                ..Default::default()
+            },
+        };
+        assert!((mk(75.0, 100.0).saving() - 0.25).abs() < 1e-12);
+        assert!((mk(100.0, 100.0).saving()).abs() < 1e-12);
+        assert!(mk(120.0, 100.0).saving() < 0.0);
+    }
+
+    #[test]
     fn savings_larger_at_512_than_224() {
         // "Simba baseline dataflow is weak in the layers with large feature
         // maps and halo regions, so the results of 512x512 are always

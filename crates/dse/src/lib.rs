@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod comparison;
 pub mod csv;
 pub mod fusion;
@@ -35,12 +36,14 @@ pub mod predesign;
 pub mod recommend;
 pub mod space;
 
+pub use audit::{AuditRecord, SweepAudit};
 pub use comparison::{compare_model, ModelComparison};
 pub use fusion::{fusion_analysis, FusedLink, FusionReport};
-pub use pareto::pareto_front;
+pub use pareto::{pareto_front, pareto_provenance, Elimination, LosingAxis, ParetoProvenance};
 pub use postdesign::{map_model, simulate_mapped, LayerReport, LayerSim, ModelReport};
 pub use predesign::{
-    full_sweep, full_sweep_suite, granularity_sweep, DesignPoint, GranularityResult, SweepOptions,
+    full_sweep, full_sweep_audited, full_sweep_suite, granularity_sweep, granularity_sweep_audited,
+    DesignPoint, GranularityResult, SweepOptions,
 };
 pub use recommend::{recommend, Recommendation};
 pub use space::{ComputeSpace, DesignSpace, MemorySpace};

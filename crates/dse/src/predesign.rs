@@ -12,6 +12,7 @@ use baton_model::{ConvSpec, Model, ACT_BITS};
 use baton_telemetry::{count, count_n, event, span, span_labeled, Counter, Progress};
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{AuditRecord, SweepAudit};
 use crate::postdesign::map_model_opts;
 use crate::space::DesignSpace;
 
@@ -49,18 +50,45 @@ pub fn granularity_sweep(
     buffers: &ProportionalBuffers,
     area_limit_mm2: Option<f64>,
 ) -> Vec<GranularityResult> {
+    granularity_sweep_audited(
+        model,
+        tech,
+        total_macs,
+        buffers,
+        area_limit_mm2,
+        &SweepAudit::disabled(),
+    )
+}
+
+/// [`granularity_sweep`] with an audit trail: one `geometry` record per bar
+/// (feasible or not) plus a closing `summary` record.
+pub fn granularity_sweep_audited(
+    model: &Model,
+    tech: &Technology,
+    total_macs: u64,
+    buffers: &ProportionalBuffers,
+    area_limit_mm2: Option<f64>,
+    audit: &SweepAudit,
+) -> Vec<GranularityResult> {
     let _sweep_span = span("granularity_sweep");
-    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
+    let t0 = std::time::Instant::now();
+    let metered = baton_telemetry::metrics::enabled();
     let space = DesignSpace::default();
     let geometries = space.compute.geometries_for(total_macs);
     let meter = Progress::new("granularity_sweep", geometries.len() as u64);
+    let mut skipped = 0u64;
     let mut out = Vec::new();
-    for (np, nc, l, p) in geometries {
+    for (np, nc, l, p) in geometries.iter().copied() {
         meter.tick(1);
         count(Counter::SweepGeometries);
+        let bar_t0 = std::time::Instant::now();
         let arch = buffers.package(np, nc, l, p);
         if validate(&arch).is_err() {
             count(Counter::SweepGeometriesSkipped);
+            skipped += 1;
+            if audit.enabled() {
+                audit.record(infeasible_geometry((np, nc, l, p), 0.0, &bar_t0));
+            }
             continue;
         }
         let area = tech.area.chiplet_mm2(&arch.chiplet);
@@ -74,6 +102,10 @@ pub fn granularity_sweep(
         let geo_span = span("granularity_geometry");
         let Ok(report) = map_model_opts(model, &arch, tech, Objective::Energy, sweep_opts) else {
             count(Counter::SweepGeometriesSkipped);
+            skipped += 1;
+            if audit.enabled() {
+                audit.record(infeasible_geometry((np, nc, l, p), area, &bar_t0));
+            }
             continue;
         };
         if baton_telemetry::enabled() {
@@ -88,33 +120,114 @@ pub fn granularity_sweep(
                 .u64("dur_us", geo_span.elapsed_us())
                 .emit();
         }
-        out.push(GranularityResult {
+        if metered {
+            observe_unit("granularity", bar_t0.elapsed());
+        }
+        let result = GranularityResult {
             geometry: (np, nc, l, p),
             chiplet_area_mm2: area,
             energy_pj: report.energy.total_pj(),
             cycles: report.cycles,
             meets_area: area_limit_mm2.map(|lim| area <= lim).unwrap_or(true),
+        };
+        if audit.enabled() {
+            audit.record(AuditRecord::Geometry {
+                geometry: result.geometry,
+                chiplet_area_mm2: result.chiplet_area_mm2,
+                energy_pj: result.energy_pj,
+                cycles: result.cycles,
+                meets_area: result.meets_area,
+                feasible: true,
+                wall_us: bar_t0.elapsed().as_micros() as u64,
+            });
+        }
+        out.push(result);
+    }
+    if audit.enabled() {
+        audit.record(AuditRecord::Summary {
+            flow: "granularity",
+            units: geometries.len() as u64,
+            points: out.len() as u64,
+            infeasible: skipped,
+            wall_us: t0.elapsed().as_micros() as u64,
         });
     }
-    observe_sweep("granularity", m_t0);
+    if metered {
+        observe_sweep("granularity", t0);
+        publish_sweep_rates("granularity", out.len() as u64, t0.elapsed());
+    }
     out
 }
 
+/// An audit bar for a geometry that failed validation or mapping.
+fn infeasible_geometry(
+    geometry: (u32, u32, u32, u32),
+    area: f64,
+    bar_t0: &std::time::Instant,
+) -> AuditRecord {
+    AuditRecord::Geometry {
+        geometry,
+        chiplet_area_mm2: area,
+        energy_pj: 0.0,
+        cycles: 0,
+        meets_area: false,
+        feasible: false,
+        wall_us: bar_t0.elapsed().as_micros() as u64,
+    }
+}
+
+/// Metric name of the whole-sweep latency histogram.
+pub const SWEEP_SECONDS: &str = "baton_sweep_duration_seconds";
+
 /// Help text for the sweep latency histogram (one family, two `flow`
 /// labels).
-const SWEEP_SECONDS_HELP: &str = "Pre-design sweep latency by flow.";
+pub const SWEEP_SECONDS_HELP: &str = "Pre-design sweep latency by flow.";
+
+/// Metric name of the per-unit latency histogram.
+pub const SWEEP_UNIT_SECONDS: &str = "baton_sweep_unit_duration_seconds";
+
+/// Help text for the per-unit latency histogram: one observation per
+/// `(geometry, O-L1)` unit of the full sweep, or per geometry bar of the
+/// granularity sweep.
+pub const SWEEP_UNIT_SECONDS_HELP: &str = "Pre-design sweep per-geometry-unit latency by flow.";
+
+/// Metric name of the end-of-sweep throughput gauge.
+pub const SWEEP_POINTS_PER_SECOND: &str = "baton_sweep_points_per_second";
+
+/// Help text for the end-of-sweep throughput gauge.
+pub const SWEEP_POINTS_PER_SECOND_HELP: &str =
+    "Valid design points per second over the last completed sweep, by flow.";
 
 /// Records one sweep duration into the labelled metrics registry (no-op
 /// unless `baton serve` enabled the layer).
-fn observe_sweep(flow: &'static str, started: Option<std::time::Instant>) {
-    if let Some(t0) = started {
-        baton_telemetry::metrics::observe_duration(
-            "baton_sweep_duration_seconds",
-            SWEEP_SECONDS_HELP,
-            &[("flow", flow)],
-            t0.elapsed(),
-        );
-    }
+fn observe_sweep(flow: &'static str, t0: std::time::Instant) {
+    baton_telemetry::metrics::observe_duration(
+        SWEEP_SECONDS,
+        SWEEP_SECONDS_HELP,
+        &[("flow", flow)],
+        t0.elapsed(),
+    );
+}
+
+/// Records one sweep-unit duration into the per-unit histogram.
+fn observe_unit(flow: &'static str, dur: std::time::Duration) {
+    baton_telemetry::metrics::observe_duration(
+        SWEEP_UNIT_SECONDS,
+        SWEEP_UNIT_SECONDS_HELP,
+        &[("flow", flow)],
+        dur,
+    );
+}
+
+/// Publishes the sweep's points/sec throughput gauge.
+fn publish_sweep_rates(flow: &'static str, points: u64, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    baton_telemetry::metrics::gauge_set(
+        SWEEP_POINTS_PER_SECOND,
+        SWEEP_POINTS_PER_SECOND_HELP,
+        &[("flow", flow)],
+        points as f64 / secs,
+    );
 }
 
 /// One valid point of the Figure 15 design-space exploration.
@@ -205,8 +318,26 @@ struct ShapeCands {
 /// spliced back in unit order, so the returned points are identical — order
 /// included — for any `--threads` count.
 pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<DesignPoint> {
+    full_sweep_audited(model, tech, opts, &SweepAudit::disabled())
+}
+
+/// [`full_sweep`] with an audit trail.
+///
+/// When `audit` is enabled, every `(geometry, O-L1)` unit emits one `unit`
+/// record (prune/memo/skip tallies, wall time) followed by one `point`
+/// record per valid design point it produced, and the sweep closes with a
+/// `summary` record. Records are emitted after the ordered splice, on the
+/// calling thread, so the stream is identical for any worker count (wall
+/// times aside) and `point` records match the returned vector one-to-one.
+pub fn full_sweep_audited(
+    model: &Model,
+    tech: &Technology,
+    opts: &SweepOptions,
+    audit: &SweepAudit,
+) -> Vec<DesignPoint> {
     let _sweep_span = span("full_sweep");
-    let m_t0 = baton_telemetry::metrics::enabled().then(std::time::Instant::now);
+    let t0 = std::time::Instant::now();
+    let metered = baton_telemetry::metrics::enabled();
     let geometries = opts.space.compute.geometries_for(opts.total_macs);
     count_n(Counter::SweepGeometries, geometries.len() as u64);
     let units: Vec<((u32, u32, u32, u32), u64)> = geometries
@@ -223,8 +354,10 @@ pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<
             let (np, nc, l, p) = geometry;
             format!("{np}x{nc}x{l}x{p}/o_l1={o_l1}")
         });
+        let unit_t0 = std::time::Instant::now();
         let mut local = Vec::new();
-        sweep_geometry(model, tech, opts, geometry, o_l1, &mut local);
+        let mut stats = sweep_geometry(model, tech, opts, geometry, o_l1, &mut local);
+        stats.wall_us = unit_t0.elapsed().as_micros() as u64;
         if baton_telemetry::enabled() {
             let (np, nc, l, p) = geometry;
             event("sweep_unit")
@@ -237,13 +370,81 @@ pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<
                 .u64("dur_us", unit_span.elapsed_us())
                 .emit();
         }
+        if metered {
+            observe_unit("full", unit_t0.elapsed());
+        }
         meter.tick(1);
-        local
+        (local, stats)
     });
-    let points: Vec<DesignPoint> = per_unit.into_iter().flatten().collect();
+    // The audit stream mirrors the splice: unit order, each unit record
+    // followed by its points, regardless of which worker ran what.
+    if audit.enabled() {
+        for (&(geometry, o_l1), (local, stats)) in units.iter().zip(&per_unit) {
+            audit.record(AuditRecord::Unit {
+                geometry,
+                o_l1,
+                points: local.len() as u64,
+                infeasible: stats.infeasible,
+                skipped: stats.skipped,
+                memo_hits: stats.memo_hits,
+                memo_misses: stats.memo_misses,
+                candidates: stats.candidates,
+                kept: stats.kept,
+                feasible: stats.feasible,
+                wall_us: stats.wall_us,
+            });
+            for pt in local {
+                audit.record(AuditRecord::Point {
+                    geometry: pt.geometry,
+                    memory: pt.memory,
+                    chiplet_area_mm2: pt.chiplet_area_mm2,
+                    energy_pj: pt.energy_pj,
+                    cycles: pt.cycles,
+                    edp_js: pt.edp(tech),
+                });
+            }
+        }
+    }
+    let infeasible: u64 = per_unit.iter().map(|(_, s)| s.infeasible).sum();
+    let points: Vec<DesignPoint> = per_unit.into_iter().flat_map(|(local, _)| local).collect();
     count_n(Counter::SweepPoints, points.len() as u64);
-    observe_sweep("full", m_t0);
+    if audit.enabled() {
+        audit.record(AuditRecord::Summary {
+            flow: "full",
+            units: units.len() as u64,
+            points: points.len() as u64,
+            infeasible,
+            wall_us: t0.elapsed().as_micros() as u64,
+        });
+    }
+    if metered {
+        observe_sweep("full", t0);
+        publish_sweep_rates("full", points.len() as u64, t0.elapsed());
+    }
     points
+}
+
+/// Per-unit exploration tallies, collected by [`sweep_geometry`] for the
+/// audit trail. Cheap plain integers — maintained even when auditing is off
+/// (branching per counter would cost more than the adds).
+#[derive(Debug, Default, Clone, Copy)]
+struct UnitStats {
+    /// Memory configurations where some layer had no feasible candidate.
+    infeasible: u64,
+    /// `A-L1 >= A-L2` pairs dropped by the paper's skip rule.
+    skipped: u64,
+    /// Layer shapes answered from the unit's shape memo.
+    memo_hits: u64,
+    /// Layer shapes that built a fresh candidate set.
+    memo_misses: u64,
+    /// Candidates enumerated across fresh shapes (before pruning).
+    candidates: u64,
+    /// Candidates surviving corner pruning across fresh shapes.
+    kept: u64,
+    /// Whether every layer had a feasible candidate on this unit.
+    feasible: bool,
+    /// Unit wall time in microseconds (filled by the caller).
+    wall_us: u64,
 }
 
 /// Sweeps the (A-L1, W-L1, A-L2) grid for one `(geometry, O-L1)` pair.
@@ -254,7 +455,8 @@ fn sweep_geometry(
     geometry: (u32, u32, u32, u32),
     o_l1: u64,
     points: &mut Vec<DesignPoint>,
-) {
+) -> UnitStats {
+    let mut stats = UnitStats::default();
     let (np, nc, l, p) = geometry;
     // Reference machine with the most generous memory: candidate mappings
     // and their profiles are geometry artifacts, independent of the swept
@@ -275,7 +477,7 @@ fn sweep_geometry(
         ),
     );
     if validate(&reference).is_err() {
-        return;
+        return stats;
     }
 
     // Per-layer candidate sets, corner-pruned. Candidates depend only on a
@@ -284,27 +486,38 @@ fn sweep_geometry(
     let memo: ShapeMemo<ShapeCands> = ShapeMemo::new();
     let mut per_layer: Vec<Arc<ShapeCands>> = Vec::with_capacity(model.layers().len());
     for layer in model.layers() {
+        let mut built = false;
         let entry = memo.get_or_insert_with(layer.shape_key(), || {
+            built = true;
             let cands = layer_candidates(layer, &reference, opts);
+            stats.candidates += cands.len() as u64;
             let feasible = !cands.is_empty();
             let pruned = if feasible {
                 prune_candidates(layer, cands, &reference, tech, opts)
             } else {
                 Vec::new()
             };
+            stats.kept += pruned.len() as u64;
             ShapeCands { pruned, feasible }
         });
+        if built {
+            stats.memo_misses += 1;
+        } else {
+            stats.memo_hits += 1;
+        }
         if !entry.feasible {
-            return; // no feasible mapping for this geometry at any memory
+            return stats; // no feasible mapping for this geometry at any memory
         }
         per_layer.push(entry);
     }
+    stats.feasible = true;
 
     for &a_l1 in &opts.space.memory.a_l1 {
         for &w_l1 in &opts.space.memory.w_l1 {
             for &a_l2 in &opts.space.memory.a_l2 {
                 // The paper's named skip rule: A-L1 below the shared A-L2.
                 if a_l1 >= a_l2 {
+                    stats.skipped += 1;
                     continue;
                 }
                 let arch = PackageConfig::new(
@@ -318,6 +531,7 @@ fn sweep_geometry(
                 );
                 let Some((energy_pj, cycles)) = evaluate_model_at(&per_layer, &arch, tech) else {
                     count(Counter::SweepPointsInfeasible);
+                    stats.infeasible += 1;
                     continue;
                 };
                 points.push(DesignPoint {
@@ -330,6 +544,7 @@ fn sweep_geometry(
             }
         }
     }
+    stats
 }
 
 /// Builds the candidate set for one layer on the reference machine.
@@ -642,6 +857,180 @@ mod tests {
             sweep.energy_pj,
             direct.energy.total_pj()
         );
+    }
+
+    fn small_sweep_opts() -> SweepOptions {
+        let mut opts = SweepOptions {
+            total_macs: 2048,
+            ..SweepOptions::default()
+        };
+        opts.space.memory.a_l1 = vec![1024, 32 * 1024];
+        opts.space.memory.w_l1 = vec![18 * 1024];
+        opts.space.memory.a_l2 = vec![64 * 1024, 256 * 1024];
+        opts.space.memory.o_l1 = vec![144];
+        opts
+    }
+
+    #[test]
+    fn audit_point_records_reconcile_with_points_and_csv_rows() {
+        // The acceptance contract: audit `point` records == points evaluated
+        // == design-point CSV rows, exactly.
+        let tech = Technology::paper_16nm();
+        let opts = small_sweep_opts();
+        let model = tiny_model();
+        let audit = crate::audit::SweepAudit::in_memory();
+        let points = full_sweep_audited(&model, &tech, &opts, &audit);
+        assert!(!points.is_empty());
+        assert_eq!(audit.point_records(), points.len() as u64);
+        let csv = crate::csv::design_points_csv(&points, &tech);
+        let rows = csv.lines().count() - 1; // header
+        assert_eq!(rows as u64, audit.point_records());
+
+        // Every point record mirrors its design point, in order; the unit
+        // records cover every (geometry, o_l1) unit; the summary agrees.
+        let records = audit.recent();
+        let audit_points: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                crate::audit::AuditRecord::Point {
+                    geometry,
+                    memory,
+                    cycles,
+                    ..
+                } => Some((*geometry, *memory, *cycles)),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<_> = points
+            .iter()
+            .map(|p| (p.geometry, p.memory, p.cycles))
+            .collect();
+        assert_eq!(audit_points, expected);
+        let units = records
+            .iter()
+            .filter(|r| matches!(r, crate::audit::AuditRecord::Unit { .. }))
+            .count();
+        let geometries = opts.space.compute.geometries_for(opts.total_macs).len();
+        assert_eq!(units, geometries * opts.space.memory.o_l1.len());
+        let Some(crate::audit::AuditRecord::Summary {
+            flow,
+            units: u,
+            points: p,
+            ..
+        }) = records.last()
+        else {
+            panic!("missing summary record: {:?}", records.last());
+        };
+        assert_eq!((*flow, *u, *p), ("full", units as u64, points.len() as u64));
+    }
+
+    #[test]
+    fn audit_stream_is_deterministic_across_thread_counts() {
+        // Same contract as the CSV: the record stream (wall clocks aside)
+        // must not depend on the worker count.
+        let tech = Technology::paper_16nm();
+        let opts = small_sweep_opts();
+        let model = tiny_model();
+        let strip_walls = |audit: &crate::audit::SweepAudit| -> Vec<String> {
+            audit
+                .recent()
+                .iter()
+                .map(|r| {
+                    let mut line = r.to_json();
+                    if let Some(i) = line.find(",\"wall_us\"") {
+                        line.truncate(i);
+                    }
+                    line
+                })
+                .collect()
+        };
+        baton_parallel::configure_threads(Some(1));
+        let a1 = crate::audit::SweepAudit::in_memory();
+        full_sweep_audited(&model, &tech, &opts, &a1);
+        baton_parallel::configure_threads(Some(4));
+        let a4 = crate::audit::SweepAudit::in_memory();
+        full_sweep_audited(&model, &tech, &opts, &a4);
+        baton_parallel::configure_threads(None);
+        assert_eq!(strip_walls(&a1), strip_walls(&a4));
+    }
+
+    #[test]
+    fn granularity_audit_covers_every_geometry() {
+        let tech = Technology::paper_16nm();
+        let audit = crate::audit::SweepAudit::in_memory();
+        let results = granularity_sweep_audited(
+            &tiny_model(),
+            &tech,
+            2048,
+            &ProportionalBuffers::default(),
+            Some(2.0),
+            &audit,
+        );
+        let records = audit.recent();
+        let bars = records
+            .iter()
+            .filter(|r| matches!(r, crate::audit::AuditRecord::Geometry { .. }))
+            .count();
+        let feasible = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    crate::audit::AuditRecord::Geometry { feasible: true, .. }
+                )
+            })
+            .count();
+        let space = DesignSpace::default();
+        assert_eq!(bars, space.compute.geometries_for(2048).len());
+        assert_eq!(feasible, results.len());
+        assert!(matches!(
+            records.last(),
+            Some(crate::audit::AuditRecord::Summary {
+                flow: "granularity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unit_stats_tally_the_inner_grid() {
+        // One unit: 2x1x2 memory grid on a known-feasible geometry. The
+        // skip rule (a_l1 >= a_l2) and the infeasible/point split must
+        // partition the grid exactly.
+        let tech = Technology::paper_16nm();
+        let mut opts = small_sweep_opts();
+        opts.space.compute.chiplets = vec![4];
+        opts.space.compute.cores = vec![8];
+        opts.space.compute.lanes = vec![8];
+        opts.space.compute.vector = vec![8];
+        // Force exactly one a_l1 >= a_l2 skip cell (32 KB A-L1, 16 KB A-L2)
+        // while the reference machine (largest rungs) stays valid.
+        opts.space.memory.a_l2 = vec![16 * 1024, 256 * 1024];
+        let audit = crate::audit::SweepAudit::in_memory();
+        let points = full_sweep_audited(&tiny_model(), &tech, &opts, &audit);
+        let records = audit.recent();
+        let Some(crate::audit::AuditRecord::Unit {
+            points: up,
+            infeasible,
+            skipped,
+            memo_hits,
+            memo_misses,
+            feasible,
+            ..
+        }) = records
+            .iter()
+            .find(|r| matches!(r, crate::audit::AuditRecord::Unit { .. }))
+        else {
+            panic!("no unit record");
+        };
+        assert!(*feasible);
+        // Grid is 2 (a_l1) x 1 (w_l1) x 2 (a_l2) = 4 cells; 256K >= 64K
+        // skips one cell, the rest are points or infeasible.
+        assert_eq!(*skipped, 1);
+        assert_eq!(*up + *infeasible + *skipped, 4);
+        assert_eq!(*up, points.len() as u64);
+        // The 3-layer tiny model has 3 distinct shapes: all misses.
+        assert_eq!((*memo_hits, *memo_misses), (0, 3));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use baton_arch::{CostModel, Technology};
 use baton_model::Model;
 use serde::{Deserialize, Serialize};
 
-use crate::pareto::pareto_front;
+use crate::pareto::{pareto_front, record_front_size};
 use crate::predesign::{full_sweep, DesignPoint, SweepOptions};
 
 /// The assembled pre-design recommendation.
@@ -59,7 +59,8 @@ pub fn recommend(
         .min_by(|a, b| a.edp(tech).total_cmp(&b.edp(tech)))
         .map(|p| (*p).clone());
     let front_idx = pareto_front(&points, |p| (p.chiplet_area_mm2, p.edp(tech)));
-    let pareto = front_idx.into_iter().map(|i| points[i].clone()).collect();
+    record_front_size("full", front_idx.len());
+    let pareto: Vec<DesignPoint> = front_idx.into_iter().map(|i| points[i].clone()).collect();
     let winner_cost_usd = cost.system_cost_usd(
         winner.chiplet_area_mm2 * f64::from(winner.geometry.0),
         winner.geometry.0,
@@ -185,6 +186,51 @@ mod tests {
         let mut opts = small_opts();
         opts.area_limit_mm2 = Some(0.01);
         assert!(recommend(&tiny_model(), &tech, &opts, &CostModel::n16_default()).is_none());
+    }
+
+    #[test]
+    fn winner_is_the_edp_minimum_among_feasible_points() {
+        let tech = Technology::paper_16nm();
+        let opts = small_opts();
+        let rec = recommend(&tiny_model(), &tech, &opts, &CostModel::n16_default()).unwrap();
+        let points = crate::predesign::full_sweep(&tiny_model(), &tech, &opts);
+        assert_eq!(rec.points_examined, points.len());
+        let best = points
+            .iter()
+            .filter(|p| p.chiplet_area_mm2 <= 2.0)
+            .map(|p| p.edp(&tech))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(rec.winner.edp(&tech), best);
+        if let Some(alt) = &rec.alternative {
+            assert!(alt.edp(&tech) >= rec.winner.edp(&tech));
+        }
+    }
+
+    #[test]
+    fn pareto_members_are_mutually_non_dominated() {
+        let tech = Technology::paper_16nm();
+        let rec = recommend(
+            &tiny_model(),
+            &tech,
+            &small_opts(),
+            &CostModel::n16_default(),
+        )
+        .unwrap();
+        let key: Vec<(f64, f64)> = rec
+            .pareto
+            .iter()
+            .map(|p| (p.chiplet_area_mm2, p.edp(&tech)))
+            .collect();
+        for (i, &(xi, yi)) in key.iter().enumerate() {
+            for (j, &(xj, yj)) in key.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !((xj <= xi && yj < yi) || (xj < xi && yj <= yi)),
+                        "front member {j} dominates front member {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

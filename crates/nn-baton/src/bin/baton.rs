@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! baton stats   <model> [--res N]                 model statistics table
-//! baton map     <model> [--res N] [--csv FILE] [--trace-perfetto FILE]
+//! baton map     <model> [--res N] [--csv FILE] [--trace-perfetto FILE] [--divergence-tol F]
 //!                                                 post-design flow
 //! baton explain <model> [--layer L] [--top K] [--format text|md|json]
 //!                                                 why did this mapping win?
@@ -10,10 +10,14 @@
 //! baton bench   <model> --out FILE [--baseline FILE] [--max-regress PCT]
 //!                                                 machine-readable perf snapshot
 //! baton compare <model> [--res N]                 NN-Baton vs Simba
-//! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE]
+//! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE] [--audit FILE]
 //!                                                 Figure 14 granularity sweep
-//! baton sweep   <model> [--res N] [--macs M] [--area A] [--csv FILE]
+//! baton sweep   <model> [--res N] [--macs M] [--area A] [--csv FILE] [--audit FILE]
+//!               [--explain] [--format text|md|json] [--top K]
 //!                                                 Figure 15 full DSE
+//! baton fidelity <model|zoo> [--res N] [--out FILE] [--baseline FILE]
+//!                [--max-regress PCT] [--divergence-tol F]
+//!                                                 analytical C3P vs DES error distribution
 //! baton recommend <model> [--res N] [--macs M] [--area A]
 //!                                                 pre-design recommendation
 //! baton serve   [--addr HOST:PORT] [--cache-entries N] [--queue-depth N] [--keep-alive-requests N]
@@ -76,6 +80,7 @@ const SUBCOMMANDS: &[&str] = &[
     "explore",
     "sweep",
     "recommend",
+    "fidelity",
     "serve",
     "check",
 ];
@@ -85,13 +90,30 @@ const SUBCOMMANDS: &[&str] = &[
 fn allowed_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
         "stats" => &["--res"],
-        "map" => &["--res", "--csv", "--trace-perfetto"],
+        "map" => &["--res", "--csv", "--trace-perfetto", "--divergence-tol"],
         "explain" => &["--res", "--layer", "--top", "--format"],
         "profile" => &["--res", "--json", "--alloc"],
         "bench" => &["--res", "--out", "--baseline", "--max-regress"],
         "compare" => &["--res", "--csv"],
-        "explore" | "sweep" => &["--res", "--macs", "--area", "--csv"],
+        "explore" => &["--res", "--macs", "--area", "--csv", "--audit"],
+        "sweep" => &[
+            "--res",
+            "--macs",
+            "--area",
+            "--csv",
+            "--audit",
+            "--explain",
+            "--format",
+            "--top",
+        ],
         "recommend" => &["--res", "--macs", "--area"],
+        "fidelity" => &[
+            "--res",
+            "--out",
+            "--baseline",
+            "--max-regress",
+            "--divergence-tol",
+        ],
         "serve" => &[
             "--addr",
             "--cache-entries",
@@ -128,6 +150,12 @@ struct Flags {
     baseline: Option<String>,
     /// `bench`: tolerated regression in percent before failing.
     max_regress: f64,
+    /// `explore`/`sweep`: stream per-point audit records as JSON lines.
+    audit: Option<String>,
+    /// `sweep`: render the Pareto provenance after the sweep.
+    explain: bool,
+    /// `map`/`fidelity`: analytical-vs-sim divergence tolerance (fraction).
+    divergence_tol: f64,
 }
 
 /// Global flags (telemetry + worker count), extracted before subcommand
@@ -180,6 +208,9 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
         out: None,
         baseline: None,
         max_regress: 10.0,
+        audit: None,
+        explain: false,
+        divergence_tol: nn_baton::report::DEFAULT_DIVERGENCE_TOL,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -218,6 +249,17 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
                 f.max_regress = value("--max-regress")?
                     .parse()
                     .map_err(|_| "bad --max-regress")?;
+            }
+            "--audit" => f.audit = Some(value("--audit")?),
+            "--explain" => f.explain = true,
+            "--divergence-tol" => {
+                let v: f64 = value("--divergence-tol")?
+                    .parse()
+                    .map_err(|_| "bad --divergence-tol")?;
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err("bad --divergence-tol (positive fraction, e.g. 0.1)".into());
+                }
+                f.divergence_tol = v;
             }
             other => return Err(format!("unexpected argument `{other}` for `{cmd}`")),
         }
@@ -260,6 +302,29 @@ where
     }
 }
 
+/// Opens the `--audit FILE` JSON-lines stream, or a disabled (zero-cost)
+/// audit when the flag was not given.
+fn open_audit(path: &Option<String>) -> Result<nn_baton::dse::SweepAudit, String> {
+    let Some(path) = path else {
+        return Ok(nn_baton::dse::SweepAudit::disabled());
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    Ok(nn_baton::dse::SweepAudit::new(
+        nn_baton::dse::audit::DEFAULT_RING_CAPACITY,
+        Some(Box::new(BufWriter::new(file))),
+    ))
+}
+
+/// Flushes the audit stream, surfacing any deferred write error, and
+/// reports the record count for `--audit FILE` runs.
+fn finish_audit(audit: &nn_baton::dse::SweepAudit, path: &Option<String>) -> Result<(), String> {
+    audit.finish()?;
+    if let Some(path) = path {
+        println!("wrote {path} ({} audit records)", audit.records());
+    }
+    Ok(())
+}
+
 /// `BENCH_smoke.json` -> `smoke`: snapshot name from the output path.
 fn bench_name(path: &str) -> String {
     let stem = std::path::Path::new(path)
@@ -280,12 +345,14 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         println!(
             "baton -- NN-Baton workload orchestration and chiplet DSE\n\n\
-             usage:\n  baton stats|map|explain|profile|bench|compare|explore|sweep|recommend <model> [flags]\n  \
+             usage:\n  baton stats|map|explain|profile|bench|compare|explore|sweep|recommend|fidelity <model> [flags]\n  \
              baton serve [--addr HOST:PORT]\n  baton check <file.baton>\n  baton version\n\n\
              flags: --res N  --macs M  --area A|none  --csv FILE\n\
              explain: --layer L  --top K  --format text|md|json\n\
-             map: --trace-perfetto FILE    profile: --json --alloc\n\
+             map: --trace-perfetto FILE  --divergence-tol F    profile: --json --alloc\n\
              bench: --out FILE  --baseline FILE  --max-regress PCT\n\
+             explore/sweep: --audit FILE    sweep: --explain  --format text|md|json  --top K\n\
+             fidelity: <model|zoo>  --out FILE  --baseline FILE  --max-regress PCT  --divergence-tol F\n\
              serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
              \x20       --cache-entries N (default 256, 0 disables)  --queue-depth N (default 64)\n\
              \x20       --keep-alive-requests N (default 100)  --slow-request-ms MS (default 1000, 0 logs all)\n\
@@ -392,6 +459,27 @@ fn run(args: &[String]) -> Result<(), String> {
     probe_output(&flags.csv)?;
     probe_output(&flags.trace_perfetto)?;
     probe_output(&flags.out)?;
+    probe_output(&flags.audit)?;
+    if cmd == "fidelity" {
+        // `zoo` measures every Figure 13 benchmark in one snapshot — the
+        // shape CI gates; a single model name narrows the run.
+        let models = if model_name == "zoo" || model_name == "all" {
+            nn_baton::model::zoo::figure13_models(flags.res)
+        } else {
+            vec![load_model(model_name, flags.res)?]
+        };
+        let result = run_fidelity(
+            &models,
+            &presets::case_study_accelerator(),
+            &Technology::paper_16nm(),
+            flags.divergence_tol,
+            flags.out.as_deref(),
+            baseline.as_ref(),
+            flags.max_regress,
+        );
+        drop(session);
+        return result;
+    }
     let model = load_model(model_name, flags.res)?;
     let tech = Technology::paper_16nm();
     let arch = presets::case_study_accelerator();
@@ -433,15 +521,16 @@ fn run(args: &[String]) -> Result<(), String> {
                         &s.trace,
                         s.analytical_cycles,
                         s.sim.total_cycles,
-                        0.1,
+                        flags.divergence_tol,
                     );
                 }
                 std::fs::write(path, timeline.to_json())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!(
-                    "wrote {path} ({} layers, {} analytical/sim divergences > 10%)",
+                    "wrote {path} ({} layers, {} analytical/sim divergences > {:.0}%)",
                     sims.len(),
-                    timeline.divergences()
+                    timeline.divergences(),
+                    100.0 * flags.divergence_tol
                 );
             }
         }
@@ -509,13 +598,16 @@ fn run(args: &[String]) -> Result<(), String> {
             write_csv(&flags.csv, |out| csv::write_comparison_csv(out, &[c]))?;
         }
         "explore" => {
-            let results = granularity_sweep(
+            let audit = open_audit(&flags.audit)?;
+            let results = nn_baton::dse::granularity_sweep_audited(
                 &model,
                 &tech,
                 flags.macs,
                 &ProportionalBuffers::default(),
                 flags.area,
+                &audit,
             );
+            finish_audit(&audit, &flags.audit)?;
             let best = results
                 .iter()
                 .filter(|r| r.meets_area)
@@ -555,7 +647,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 area_limit_mm2: flags.area,
                 ..SweepOptions::default()
             };
-            let points = full_sweep(&model, &tech, &opts);
+            let audit = open_audit(&flags.audit)?;
+            let points = nn_baton::dse::full_sweep_audited(&model, &tech, &opts, &audit);
+            finish_audit(&audit, &flags.audit)?;
             println!("{} valid design points", points.len());
             if let Some(best) = points
                 .iter()
@@ -572,6 +666,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     w1 / 1024,
                     a2 / 1024
                 );
+            }
+            if flags.explain {
+                let prov = nn_baton::dse::pareto_provenance(&points, |p| {
+                    (p.chiplet_area_mm2, p.edp(&tech))
+                });
+                nn_baton::dse::pareto::record_front_size("full", prov.front.len());
+                let explanation = nn_baton::report::explain_sweep(&points, &prov, &tech, flags.top);
+                print!("{}", explanation.render(flags.format));
             }
             write_csv(&flags.csv, |out| {
                 csv::write_design_points_csv(out, &points, &tech)
@@ -786,6 +888,58 @@ fn insert_alloc_metrics(
             .nums
             .insert("alloc.peak_rss_bytes".into(), peak_rss as f64);
     }
+}
+
+/// The `baton fidelity` subcommand: measure the analytical-vs-DES
+/// relative-error distribution per layer for each model, write the
+/// `FIDELITY.json` snapshot, and optionally gate against a committed
+/// baseline (whose `gate.max.*` keys turn the measurement into an absolute
+/// CI bound).
+fn run_fidelity(
+    models: &[Model],
+    arch: &PackageConfig,
+    tech: &Technology,
+    tolerance: f64,
+    out: Option<&str>,
+    baseline: Option<&(String, BenchSnapshot)>,
+    max_regress: f64,
+) -> Result<(), String> {
+    let mut measured = Vec::with_capacity(models.len());
+    for model in models {
+        let f = nn_baton::report::ModelFidelity::measure(model, arch, tech)?;
+        println!(
+            "fidelity {}: {} layers, |rel err| max {:.3} mean {:.3} p90 {:.3}, \
+             {} divergent > {:.0}%",
+            f.model,
+            f.layers.len(),
+            f.max_abs_rel_err(),
+            f.mean_abs_rel_err(),
+            f.p90_abs_rel_err(),
+            f.divergent(tolerance),
+            100.0 * tolerance
+        );
+        measured.push(f);
+    }
+    let snapshot = nn_baton::report::fidelity_snapshot(&measured, tolerance);
+    if let Some(out) = out {
+        std::fs::write(out, snapshot.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some((path, base)) = baseline {
+        let regressions = compare_snapshots(&snapshot, base, max_regress);
+        if regressions.is_empty() {
+            println!("baseline {path}: ok (all fidelity bounds hold)");
+        } else {
+            for r in &regressions {
+                eprintln!("fidelity violation: {}", describe_regression(r));
+            }
+            return Err(format!(
+                "{} fidelity bound(s) violated vs {path}",
+                regressions.len()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The `baton bench` subcommand: run the post-design flow under the clock,

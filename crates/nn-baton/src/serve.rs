@@ -645,6 +645,29 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
         CACHE_EVICTIONS_HELP,
         metrics::MetricKind::Counter,
     );
+    // Sweep observability families (populated by the dse sweeps when one
+    // runs in-process) — described up front so scrapes see HELP/TYPE even
+    // on a server that has never swept.
+    reg.describe(
+        baton_dse::predesign::SWEEP_SECONDS,
+        baton_dse::predesign::SWEEP_SECONDS_HELP,
+        metrics::MetricKind::Histogram,
+    );
+    reg.describe(
+        baton_dse::predesign::SWEEP_UNIT_SECONDS,
+        baton_dse::predesign::SWEEP_UNIT_SECONDS_HELP,
+        metrics::MetricKind::Histogram,
+    );
+    reg.describe(
+        baton_dse::predesign::SWEEP_POINTS_PER_SECOND,
+        baton_dse::predesign::SWEEP_POINTS_PER_SECOND_HELP,
+        metrics::MetricKind::Gauge,
+    );
+    reg.describe(
+        baton_dse::pareto::FRONT_SIZE,
+        baton_dse::pareto::FRONT_SIZE_HELP,
+        metrics::MetricKind::Gauge,
+    );
     metrics::gauge_set(CACHE_ENTRIES, CACHE_ENTRIES_HELP, &[], 0.0);
     metrics::gauge_set(WORKERS_BUSY, WORKERS_BUSY_HELP, &[], 0.0);
     metrics::gauge_set(

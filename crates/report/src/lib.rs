@@ -20,6 +20,13 @@
 //!   per-phase wall times from the telemetry span histograms, throughput
 //!   counters, evaluations/sec — with baseline comparison so CI can fail a
 //!   PR that regresses a hot path.
+//! * [`sweep`]: *why does the Pareto front look like this?* The dominance
+//!   provenance of a pre-design sweep — each front member with its kill
+//!   count, plus the nearest-miss designs and the axis they lost on —
+//!   rendered in the same three formats as [`explain`].
+//! * [`fidelity`]: the analytical-vs-DES relative-error distribution per
+//!   layer, snapshotted to `results/FIDELITY.json` and bounded in CI via
+//!   the [`bench`] gate keys.
 //!
 //! Every renderer is a pure function from already-computed state to a
 //! `String`; nothing here re-runs searches except [`explain::explain_layer`],
@@ -30,10 +37,14 @@
 
 pub mod bench;
 pub mod explain;
+pub mod fidelity;
 pub mod perfetto;
 pub mod render;
+pub mod sweep;
 
 pub use bench::{compare_snapshots, describe_regression, BenchSnapshot, Regression};
 pub use explain::{explain_layer, LayerExplanation, RunnerUp};
-pub use perfetto::PerfettoTrace;
+pub use fidelity::{fidelity_snapshot, LayerFidelity, ModelFidelity};
+pub use perfetto::{PerfettoTrace, DEFAULT_DIVERGENCE_TOL};
 pub use render::Format;
+pub use sweep::{explain_sweep, SweepExplanation};

@@ -35,6 +35,13 @@ pub const PACKAGE_PID: u64 = 1_000_000;
 /// tracks never collide with DES layer tracks in a mixed document.
 pub const REQUEST_PID_BASE: u64 = 2_000_000;
 
+/// Default `analytical_vs_sim` divergence tolerance: a relative error of
+/// 10% between the C³P prediction and the simulated cycle count. Shared by
+/// the Perfetto markers (`baton map`, overridable with `--divergence-tol`)
+/// and the fidelity harness ([`crate::fidelity`]) so the two surfaces flag
+/// the same discrepancies.
+pub const DEFAULT_DIVERGENCE_TOL: f64 = 0.1;
+
 const TID_LOAD: u64 = 0;
 const TID_COMPUTE: u64 = 1;
 const TID_WRITEBACK: u64 = 2;

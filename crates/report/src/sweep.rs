@@ -1,0 +1,363 @@
+//! `baton sweep --explain`: why the (area, EDP) Pareto front looks the way
+//! it does.
+//!
+//! [`explain_sweep`] pairs the swept [`DesignPoint`]s with the dominance
+//! accounting from [`baton_dse::pareto::pareto_provenance`] and renders, in
+//! the same three formats as `baton explain`: the front itself (each member
+//! with the number of points it personally eliminated), and the top-k
+//! *nearest misses* — the eliminated points with the smallest combined
+//! losing margin, i.e. the designs an architect would want to know were
+//! almost optimal.
+
+use std::fmt::Write as _;
+
+use baton_arch::Technology;
+use baton_dse::pareto::{Elimination, LosingAxis, ParetoProvenance};
+use baton_dse::predesign::DesignPoint;
+use baton_telemetry::json::ObjectWriter;
+
+use crate::render::Format;
+
+/// One Pareto-front member, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontRow {
+    /// Index into the swept point list (CSV row order).
+    pub index: usize,
+    /// Compute geometry `(chiplets, cores, lanes, vector)`.
+    pub geometry: (u32, u32, u32, u32),
+    /// Memory allocation `(o_l1, a_l1, w_l1, a_l2)` in bytes.
+    pub memory: (u64, u64, u64, u64),
+    /// Chiplet area in mm².
+    pub area_mm2: f64,
+    /// Energy-delay product in J·s (the y objective).
+    pub edp_js: f64,
+    /// Model energy in pJ.
+    pub energy_pj: f64,
+    /// Model runtime in cycles.
+    pub cycles: u64,
+    /// Points for which this member was the strongest dominator.
+    pub dominated: usize,
+}
+
+/// One eliminated design, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliminatedRow {
+    /// Index into the swept point list.
+    pub index: usize,
+    /// Compute geometry `(chiplets, cores, lanes, vector)`.
+    pub geometry: (u32, u32, u32, u32),
+    /// Chiplet area in mm².
+    pub area_mm2: f64,
+    /// Energy-delay product in J·s.
+    pub edp_js: f64,
+    /// Index of the dominating (or duplicated) front member.
+    pub by: usize,
+    /// Losing margins `(area mm², EDP J·s)`; zero for duplicates.
+    pub margin: (f64, f64),
+    /// The losing objective: `"area"`, `"edp"`, `"both"`, or
+    /// `"duplicate"`.
+    pub axis: &'static str,
+}
+
+/// A rendered-ready sweep explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepExplanation {
+    /// Total valid design points swept.
+    pub total_points: usize,
+    /// Eliminated points in total (front excluded).
+    pub eliminated_total: usize,
+    /// The full Pareto front, ascending by point index.
+    pub front: Vec<FrontRow>,
+    /// The top-k nearest misses, ascending by combined losing margin.
+    pub nearest: Vec<EliminatedRow>,
+}
+
+/// Maps the generic losing axis onto the sweep's objective names.
+fn axis_name(axis: LosingAxis) -> &'static str {
+    match axis {
+        LosingAxis::X => "area",
+        LosingAxis::Y => "edp",
+        LosingAxis::Both => "both",
+    }
+}
+
+/// Builds a [`SweepExplanation`] from swept points and their provenance.
+///
+/// `provenance` must come from `pareto_provenance(points, ...)` over the
+/// same slice with the `(area, EDP)` key; `top` bounds the nearest-miss
+/// list (the front is always shown in full).
+pub fn explain_sweep(
+    points: &[DesignPoint],
+    provenance: &ParetoProvenance,
+    tech: &Technology,
+    top: usize,
+) -> SweepExplanation {
+    let front: Vec<FrontRow> = provenance
+        .front
+        .iter()
+        .map(|m| {
+            let p = &points[m.index];
+            FrontRow {
+                index: m.index,
+                geometry: p.geometry,
+                memory: p.memory,
+                area_mm2: p.chiplet_area_mm2,
+                edp_js: p.edp(tech),
+                energy_pj: p.energy_pj,
+                cycles: p.cycles,
+                dominated: m.dominated.len(),
+            }
+        })
+        .collect();
+    let mut nearest: Vec<EliminatedRow> = provenance
+        .eliminated
+        .iter()
+        .filter_map(|&(index, ref why)| {
+            let p = &points[index];
+            let (by, margin, axis) = match *why {
+                Elimination::Dominated { by, margin, axis } => (by, margin, axis_name(axis)),
+                Elimination::DuplicateOf(of) => (of, (0.0, 0.0), "duplicate"),
+                Elimination::NanObjective => return None,
+            };
+            Some(EliminatedRow {
+                index,
+                geometry: p.geometry,
+                area_mm2: p.chiplet_area_mm2,
+                edp_js: p.edp(tech),
+                by,
+                margin,
+                axis,
+            })
+        })
+        .collect();
+    // Total_cmp is safe: NaN-keyed eliminations were filtered above.
+    nearest.sort_by(|a, b| {
+        (a.margin.0 + a.margin.1)
+            .total_cmp(&(b.margin.0 + b.margin.1))
+            .then(a.index.cmp(&b.index))
+    });
+    let eliminated_total = provenance.eliminated.len();
+    nearest.truncate(top);
+    SweepExplanation {
+        total_points: points.len(),
+        eliminated_total,
+        front,
+        nearest,
+    }
+}
+
+impl SweepExplanation {
+    /// Renders the explanation in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Text => self.render_text(),
+            Format::Markdown => self.render_markdown(),
+            Format::Json => self.render_json(),
+        }
+    }
+
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep: {} valid points, Pareto front {}, eliminated {} (showing {} nearest misses)",
+            self.total_points,
+            self.front.len(),
+            self.eliminated_total,
+            self.nearest.len()
+        );
+        out.push_str("\nPareto front (area mm^2 vs EDP J*s):\n");
+        let _ = writeln!(
+            out,
+            "  {:>5} {:<18} {:<26} {:>10} {:>12} {:>10}",
+            "#", "geometry", "memory o/a1/w1/a2 B", "area", "EDP", "dominated"
+        );
+        for r in &self.front {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:<18} {:<26} {:>10.3} {:>12.3e} {:>10}",
+                r.index,
+                format!("{:?}", r.geometry),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.memory.0, r.memory.1, r.memory.2, r.memory.3
+                ),
+                r.area_mm2,
+                r.edp_js,
+                r.dominated
+            );
+        }
+        if !self.nearest.is_empty() {
+            out.push_str("\nnearest misses (smallest combined losing margin first):\n");
+            let _ = writeln!(
+                out,
+                "  {:>5} {:<18} {:>10} {:>12}  {:<22} {:>6}",
+                "#", "geometry", "area", "EDP", "margin (area, EDP)", "lost on"
+            );
+            for r in &self.nearest {
+                let _ = writeln!(
+                    out,
+                    "  {:>5} {:<18} {:>10.3} {:>12.3e}  vs #{:<4} (+{:.3}, +{:.3e}) {:>6}",
+                    r.index,
+                    format!("{:?}", r.geometry),
+                    r.area_mm2,
+                    r.edp_js,
+                    r.by,
+                    r.margin.0,
+                    r.margin.1,
+                    r.axis
+                );
+            }
+        }
+        out
+    }
+
+    fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## Sweep Pareto front\n\n- **points**: {}\n- **front**: {}\n- **eliminated**: {}\n",
+            self.total_points,
+            self.front.len(),
+            self.eliminated_total
+        );
+        out.push_str("| # | geometry | memory (o/a1/w1/a2 B) | area mm² | EDP J·s | dominated |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for r in &self.front {
+            let _ = writeln!(
+                out,
+                "| {} | `{:?}` | {}/{}/{}/{} | {:.3} | {:.3e} | {} |",
+                r.index,
+                r.geometry,
+                r.memory.0,
+                r.memory.1,
+                r.memory.2,
+                r.memory.3,
+                r.area_mm2,
+                r.edp_js,
+                r.dominated
+            );
+        }
+        if !self.nearest.is_empty() {
+            out.push_str("\n### Nearest misses\n\n");
+            out.push_str("| # | geometry | area mm² | EDP J·s | dominated by | margin (area, EDP) | lost on |\n");
+            out.push_str("|---|---|---|---|---|---|---|\n");
+            for r in &self.nearest {
+                let _ = writeln!(
+                    out,
+                    "| {} | `{:?}` | {:.3} | {:.3e} | {} | +{:.3}, +{:.3e} | {} |",
+                    r.index, r.geometry, r.area_mm2, r.edp_js, r.by, r.margin.0, r.margin.1, r.axis
+                );
+            }
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let mut out = String::new();
+        let mut w = ObjectWriter::new();
+        w.str("record", "sweep")
+            .u64("points", self.total_points as u64)
+            .u64("front", self.front.len() as u64)
+            .u64("eliminated", self.eliminated_total as u64);
+        out.push_str(&w.finish());
+        out.push('\n');
+        for r in &self.front {
+            let mut w = ObjectWriter::new();
+            w.str("record", "front_member")
+                .u64("index", r.index as u64)
+                .u64("chiplets", u64::from(r.geometry.0))
+                .u64("cores", u64::from(r.geometry.1))
+                .u64("lanes", u64::from(r.geometry.2))
+                .u64("vector", u64::from(r.geometry.3))
+                .u64("o_l1_b", r.memory.0)
+                .u64("a_l1_b", r.memory.1)
+                .u64("w_l1_b", r.memory.2)
+                .u64("a_l2_b", r.memory.3)
+                .f64("chiplet_area_mm2", r.area_mm2)
+                .f64("edp_js", r.edp_js)
+                .f64("energy_pj", r.energy_pj)
+                .u64("cycles", r.cycles)
+                .u64("dominated", r.dominated as u64);
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        for r in &self.nearest {
+            let mut w = ObjectWriter::new();
+            w.str("record", "eliminated")
+                .u64("index", r.index as u64)
+                .u64("chiplets", u64::from(r.geometry.0))
+                .u64("cores", u64::from(r.geometry.1))
+                .u64("lanes", u64::from(r.geometry.2))
+                .u64("vector", u64::from(r.geometry.3))
+                .f64("chiplet_area_mm2", r.area_mm2)
+                .f64("edp_js", r.edp_js)
+                .u64("by", r.by as u64)
+                .f64("margin_area_mm2", r.margin.0)
+                .f64("margin_edp_js", r.margin.1)
+                .str("axis", r.axis);
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baton_dse::pareto::pareto_provenance;
+    use baton_dse::predesign::{full_sweep, SweepOptions};
+    use baton_model::zoo;
+    use baton_telemetry::json::parse_flat_object;
+
+    fn swept() -> (Vec<DesignPoint>, Technology) {
+        let tech = Technology::paper_16nm();
+        let mut opts = SweepOptions {
+            total_macs: 2048,
+            ..SweepOptions::default()
+        };
+        opts.space.memory.o_l1 = vec![144];
+        opts.space.memory.a_l1 = vec![1024, 4 * 1024];
+        opts.space.memory.w_l1 = vec![18 * 1024];
+        opts.space.memory.a_l2 = vec![64 * 1024];
+        let model = zoo::alexnet(224);
+        (full_sweep(&model, &tech, &opts), tech)
+    }
+
+    #[test]
+    fn explanation_mirrors_the_provenance() {
+        let (points, tech) = swept();
+        assert!(!points.is_empty());
+        let prov = pareto_provenance(&points, |p| (p.chiplet_area_mm2, p.edp(&tech)));
+        let ex = explain_sweep(&points, &prov, &tech, 5);
+        assert_eq!(ex.total_points, points.len());
+        assert_eq!(
+            ex.front.iter().map(|r| r.index).collect::<Vec<_>>(),
+            prov.front_indices()
+        );
+        assert_eq!(ex.eliminated_total, prov.eliminated.len());
+        assert!(ex.nearest.len() <= 5);
+        // Nearest misses ascend by combined margin.
+        for w in ex.nearest.windows(2) {
+            assert!(w[0].margin.0 + w[0].margin.1 <= w[1].margin.0 + w[1].margin.1);
+        }
+    }
+
+    #[test]
+    fn all_three_formats_render() {
+        let (points, tech) = swept();
+        let prov = pareto_provenance(&points, |p| (p.chiplet_area_mm2, p.edp(&tech)));
+        let ex = explain_sweep(&points, &prov, &tech, 3);
+        let text = ex.render(Format::Text);
+        assert!(text.contains("Pareto front"), "{text}");
+        let md = ex.render(Format::Markdown);
+        assert!(md.contains("## Sweep Pareto front"), "{md}");
+        let json = ex.render(Format::Json);
+        for line in json.lines() {
+            let obj = parse_flat_object(line).expect("valid flat JSON");
+            assert!(obj.contains_key("record"), "{line}");
+        }
+        assert!(json.lines().count() >= 1 + ex.front.len());
+    }
+}

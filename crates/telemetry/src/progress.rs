@@ -2,7 +2,7 @@
 //! machine-readable `progress` events in the trace.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::sink::event;
 
@@ -105,16 +105,39 @@ impl Progress {
         if !self.render {
             return;
         }
-        if self.total > 0 {
-            let pct = 100.0 * done as f64 / self.total as f64;
-            eprint!(
-                "\r[{:<24}] {}/{} ({pct:5.1}%)  ",
-                self.stage, done, self.total
-            );
-        } else {
-            eprint!("\r[{:<24}] {} done  ", self.stage, done);
+        eprint!(
+            "\r{}  ",
+            format_line(self.stage, done, self.total, self.epoch.elapsed())
+        );
+    }
+}
+
+/// Formats one meter line, pure so the rendering is unit-testable.
+///
+/// With a known total: `[stage] done/total (pct%)  rate/s  eta Ns`; rate and
+/// ETA appear once at least one item has landed. With an unknown total the
+/// line degrades to `[stage] N done  rate/s`. A meter that never saw work
+/// (zero-length sweep) renders `0/0 done` rather than a blank line.
+fn format_line(stage: &str, done: u64, total: u64, elapsed: Duration) -> String {
+    if total == 0 && done == 0 {
+        return format!("[{stage:<24}] 0/0 done");
+    }
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let mut line = if total > 0 {
+        let pct = 100.0 * done as f64 / total as f64;
+        format!("[{stage:<24}] {done}/{total} ({pct:5.1}%)")
+    } else {
+        format!("[{stage:<24}] {done} done")
+    };
+    if rate > 0.0 {
+        line.push_str(&format!("  {rate:.1}/s"));
+        if total > done {
+            let eta = (total - done) as f64 / rate;
+            line.push_str(&format!("  eta {eta:.0}s"));
         }
     }
+    line
 }
 
 impl Drop for Progress {
@@ -188,6 +211,33 @@ mod tests {
             "missing exact progress_end: {:?}",
             lines.last()
         );
+    }
+
+    #[test]
+    fn line_formatting_covers_rate_eta_and_the_empty_sweep() {
+        // Zero-length sweep: a real line, not a blank one.
+        assert_eq!(
+            format_line("empty", 0, 0, Duration::from_secs(1)),
+            format!("[{:<24}] 0/0 done", "empty")
+        );
+        // Mid-flight with a known total: percent, rate and ETA.
+        let line = format_line("sweep", 50, 100, Duration::from_secs(2));
+        assert!(line.contains("50/100"), "{line}");
+        assert!(line.contains("( 50.0%)"), "{line}");
+        assert!(line.contains("25.0/s"), "{line}");
+        assert!(line.contains("eta 2s"), "{line}");
+        // Finished: no ETA left to show.
+        let done = format_line("sweep", 100, 100, Duration::from_secs(4));
+        assert!(done.contains("(100.0%)"), "{done}");
+        assert!(!done.contains("eta"), "{done}");
+        // Unknown total in flight: count plus rate, no percent.
+        let open = format_line("open", 30, 0, Duration::from_secs(3));
+        assert!(open.contains("30 done"), "{open}");
+        assert!(open.contains("10.0/s"), "{open}");
+        assert!(!open.contains('%'), "{open}");
+        // Zero elapsed must not divide by zero or print a bogus rate.
+        let instant = format_line("fast", 5, 10, Duration::ZERO);
+        assert!(!instant.contains("/s"), "{instant}");
     }
 
     #[test]

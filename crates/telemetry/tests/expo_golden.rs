@@ -90,6 +90,38 @@ fn exposition_matches_the_golden_file() {
         &[("queue", "fanout")],
         0.0,
     );
+    // The sweep-observability families exactly as `baton-dse` emits them
+    // (names and help pinned by string literal: this crate sits below
+    // baton-dse in the dependency graph, so it cannot import the consts).
+    // One sweep of 3 units, plus the end-of-sweep throughput and front-size
+    // gauges, all labelled by flow.
+    metrics::observe_duration(
+        "baton_sweep_duration_seconds",
+        "Pre-design sweep latency by flow.",
+        &[("flow", "full")],
+        Duration::from_millis(750),
+    );
+    for us in [4_000u64, 9_000, 60_000] {
+        metrics::observe_duration(
+            "baton_sweep_unit_duration_seconds",
+            "Pre-design sweep per-geometry-unit latency by flow.",
+            &[("flow", "full")],
+            Duration::from_micros(us),
+        );
+    }
+    metrics::gauge_set(
+        "baton_sweep_points_per_second",
+        "Valid design points per second over the last completed sweep, by flow.",
+        &[("flow", "full")],
+        35_776.0,
+    );
+    metrics::gauge_set(
+        "baton_sweep_front_size",
+        "Pareto front size of the last completed sweep, by flow.",
+        &[("flow", "full")],
+        20.0,
+    );
+
     // Server-side connection closes, labelled by cause — the closed set
     // `baton serve` emits (client-initiated closes are not counted).
     for (cause, n) in [("deadline", 2), ("drain", 1), ("framing", 4), ("limit", 3)] {
@@ -183,6 +215,17 @@ fn exposition_matches_the_golden_file() {
     assert!(rendered.contains("baton_http_connections_closed_total{cause=\"drain\"} 1"));
     assert!(rendered.contains("baton_http_connections_closed_total{cause=\"framing\"} 4"));
     assert!(rendered.contains("baton_http_connections_closed_total{cause=\"limit\"} 3"));
+
+    // The sweep-observability families: both histograms, the throughput
+    // gauge, and the front-size gauge, all carrying the flow label.
+    assert!(rendered.contains("# TYPE baton_sweep_duration_seconds histogram"));
+    assert!(rendered.contains("baton_sweep_duration_seconds_count{flow=\"full\"} 1"));
+    assert!(rendered.contains("# TYPE baton_sweep_unit_duration_seconds histogram"));
+    assert!(rendered.contains("baton_sweep_unit_duration_seconds_count{flow=\"full\"} 3"));
+    assert!(rendered.contains("# TYPE baton_sweep_points_per_second gauge"));
+    assert!(rendered.contains("baton_sweep_points_per_second{flow=\"full\"} 35776"));
+    assert!(rendered.contains("# TYPE baton_sweep_front_size gauge"));
+    assert!(rendered.contains("baton_sweep_front_size{flow=\"full\"} 20"));
 
     // Bridged run counters render under canonical names even at zero.
     assert!(rendered.contains("# TYPE baton_cache_hits_total counter"));

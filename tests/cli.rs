@@ -149,6 +149,182 @@ fn trace_json_emits_parseable_phase_events() {
     assert!(content.contains("\"phase\":\"search_layer\""), "{content}");
 }
 
+/// Writes the 1-layer model used by the sweep-audit tests and returns its
+/// path; tiny enough that a full (if shrunken-MAC) sweep runs in seconds.
+fn tiny_model_file(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join(name);
+    std::fs::write(
+        &file,
+        "model tiny @32\nconv name=c in=32x32x8 k=3 s=1 p=1 co=16\n",
+    )
+    .unwrap();
+    file
+}
+
+#[test]
+fn sweep_audit_reconciles_with_csv_and_telemetry_counters() {
+    // The acceptance contract: audit `point` records == points evaluated
+    // (the telemetry sweep_points counter) == CSV data rows.
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = tiny_model_file("sweep-audit.baton");
+    let audit = dir.join("sweep-audit.jsonl");
+    let csv = dir.join("sweep-audit.csv");
+    let trace = dir.join("sweep-audit-trace.jsonl");
+    let (ok, stdout, stderr) = baton(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--macs",
+        "512",
+        "--audit",
+        audit.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("audit records"), "{stdout}");
+
+    // Every audit line is valid flat JSON; count the point records and pull
+    // the summary.
+    let mut points = 0u64;
+    let mut summary_points = None;
+    for line in std::fs::read_to_string(&audit).unwrap().lines() {
+        let obj = nn_baton::telemetry::json::parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("bad audit line `{line}`: {e}"));
+        match obj["record"].as_str().unwrap() {
+            "point" => points += 1,
+            "summary" => summary_points = obj["points"].as_f64(),
+            _ => {}
+        }
+    }
+    assert!(points > 0);
+    assert_eq!(summary_points, Some(points as f64));
+
+    // CSV data rows match exactly.
+    let csv_rows = std::fs::read_to_string(&csv).unwrap().lines().count() - 1;
+    assert_eq!(csv_rows as u64, points);
+
+    // And the session's sweep_points counter (carried by the session_end
+    // trace event) agrees: written == evaluated.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let end = trace_text
+        .lines()
+        .find(|l| l.contains("\"event\":\"session_end\""))
+        .expect("session_end event");
+    let obj = nn_baton::telemetry::json::parse_flat_object(end).unwrap();
+    assert_eq!(obj["sweep_points"].as_f64(), Some(points as f64));
+}
+
+#[test]
+fn sweep_explain_renders_the_pareto_provenance() {
+    let model = tiny_model_file("sweep-explain.baton");
+    let (ok, stdout, stderr) = baton(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--macs",
+        "512",
+        "--explain",
+        "--format",
+        "json",
+        "--top",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    let mut kinds = std::collections::BTreeMap::new();
+    for line in stdout.lines().filter(|l| l.starts_with('{')) {
+        let obj = nn_baton::telemetry::json::parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("bad explain line `{line}`: {e}"));
+        *kinds
+            .entry(obj["record"].as_str().unwrap().to_string())
+            .or_insert(0u64) += 1;
+    }
+    assert_eq!(kinds.get("sweep"), Some(&1));
+    assert!(
+        kinds.get("front_member").copied().unwrap_or(0) > 0,
+        "{kinds:?}"
+    );
+    assert!(
+        kinds.get("eliminated").copied().unwrap_or(0) <= 2,
+        "{kinds:?}"
+    );
+
+    // Text format mentions the front and the nearest misses.
+    let (ok, stdout, stderr) = baton(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--macs",
+        "512",
+        "--explain",
+        "--top",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Pareto front"), "{stdout}");
+    assert!(stdout.contains("nearest misses"), "{stdout}");
+}
+
+#[test]
+fn fidelity_snapshots_and_gates() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("fidelity.json");
+    let (ok, stdout, stderr) = baton(&["fidelity", "alexnet", "--out", out.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fidelity alexnet:"), "{stdout}");
+    let text = std::fs::read_to_string(&out).unwrap();
+    let snap = nn_baton::report::BenchSnapshot::parse(&text).expect("snapshot parses");
+    assert_eq!(snap.nums.get("fidelity.models"), Some(&1.0));
+    assert!(snap.nums.contains_key("fidelity.alexnet.conv1.rel_err"));
+    assert!(snap.nums.contains_key("fidelity.max_abs_rel_err"));
+
+    // An impossible bound in the baseline must fail the run; a generous one
+    // must pass.
+    let tight = dir.join("fidelity-tight.json");
+    std::fs::write(
+        &tight,
+        "{\n  \"gate.max.fidelity.max_abs_rel_err\": 0.0001\n}\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = baton(&["fidelity", "alexnet", "--baseline", tight.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("fidelity"), "{stderr}");
+
+    let loose = dir.join("fidelity-loose.json");
+    std::fs::write(
+        &loose,
+        "{\n  \"gate.max.fidelity.max_abs_rel_err\": 2.0\n}\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) =
+        baton(&["fidelity", "alexnet", "--baseline", loose.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("ok"), "{stdout}");
+}
+
+#[test]
+fn map_honors_the_divergence_tolerance_flag() {
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("divergence.json");
+    let (ok, stdout, stderr) = baton(&[
+        "map",
+        "alexnet",
+        "--trace-perfetto",
+        trace.to_str().unwrap(),
+        "--divergence-tol",
+        "0.05",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("divergences > 5%"), "{stdout}");
+    let (ok, _, stderr) = baton(&["map", "alexnet", "--divergence-tol", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("--divergence-tol"), "{stderr}");
+}
+
 #[test]
 fn custom_model_file_maps_end_to_end() {
     let dir = std::env::temp_dir().join("baton-cli-test");
