@@ -68,6 +68,13 @@ fn bench_full_sweep(c: &mut Criterion) {
     c.bench_function("full_sweep_alexnet_small", |b| {
         b.iter(|| full_sweep(black_box(&model), &tech, &opts).len())
     });
+    // The retained materialized path on the same grid: the streaming /
+    // reference ratio here is the sweep-repricer speedup the committed
+    // `results/BENCH_sweep.json` gate floors (bit-identical results — see
+    // the sweep-equivalence harness).
+    c.bench_function("full_sweep_reference_alexnet_small", |b| {
+        b.iter(|| nn_baton::dse::full_sweep_reference(black_box(&model), &tech, &opts).len())
+    });
 }
 
 criterion_group! {

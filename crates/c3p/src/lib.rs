@@ -36,6 +36,7 @@ pub mod evaluate;
 pub mod profile;
 pub mod search;
 pub mod sensitivity;
+pub mod sweep;
 pub mod verdict;
 pub mod walk;
 
@@ -53,5 +54,6 @@ pub use search::{
     SearchError,
 };
 pub use sensitivity::{knob_effects, Knob, KnobEffect};
+pub use sweep::{sweep_lanes_for, PooledLanes, SweepLanes};
 pub use verdict::{buffer_verdicts, BreakpointVerdict, BufferVerdict};
-pub use walk::c3p_breakpoints;
+pub use walk::{c3p_breakpoints, c3p_penalty_multiplier};

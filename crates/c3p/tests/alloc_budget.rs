@@ -15,7 +15,8 @@
 //! whole search — no churn hides on pool threads.
 
 use baton_arch::{presets, Technology};
-use baton_c3p::{search_layer, Objective};
+use baton_c3p::{search_layer, sweep_lanes_for, Objective};
+use baton_mapping::enumerate::{enumerate_into, EnumOptions};
 use baton_model::ConvSpec;
 use baton_telemetry::alloc::{totals, AllocScope, CountingAlloc};
 use baton_telemetry::{counters, Counter};
@@ -33,6 +34,17 @@ static ALLOC: CountingAlloc = CountingAlloc::new();
 /// allocation trips it immediately. Never loosen it to paper over a
 /// regression.
 const ALLOCS_PER_EVAL_BUDGET: f64 = 50.0;
+
+/// The sweep-loop counterpart (mirrored by `baton bench --sweep`'s
+/// `alloc.allocs_per_point`): a steady-state sweep unit checks its lanes
+/// out of the thread-local pool, resolves every candidate at every ladder
+/// rung into retained-capacity vectors, and reprices the full grid with
+/// lane lookups — nothing on that path allocates once the pool is warm.
+/// The measured steady state is ~0.0 allocs/point; the budget leaves room
+/// for allocator/telemetry jitter while still catching any return of
+/// per-point or per-candidate materialization (the pre-streaming path
+/// paid ~15 allocations per candidate just building profiles).
+const SWEEP_ALLOCS_PER_POINT_BUDGET: f64 = 5.0;
 
 fn bench_layer() -> ConvSpec {
     // AlexNet conv2-shaped: big enough for a few thousand evaluations,
@@ -85,6 +97,90 @@ fn steady_state_search_stays_within_the_allocation_budget() {
     assert!(
         net_live.abs() < 1_048_576,
         "search leaked {net_live} live bytes across {REPS} dropped runs"
+    );
+}
+
+#[test]
+fn steady_state_sweep_repricing_stays_within_the_allocation_budget() {
+    // Single worker, session attached: same methodology as the search
+    // gate, but driving the sweep's streaming repricer directly — one
+    // `(geometry, O-L1)` unit's worth of work per rep: check lanes out of
+    // the pool, push every enumerated candidate, score the full memory
+    // grid. A "point" is one `(A-L1, W-L1, A-L2)` cell, the unit of the
+    // pre-design sweep's `sweep_points` counter.
+    baton_parallel::configure_threads(Some(1));
+    let _session = baton_telemetry::attach_with_sink(&Default::default(), None);
+
+    let layer = bench_layer();
+    let mut arch = presets::case_study_accelerator();
+    let tech = Technology::paper_16nm();
+    let min_w = u64::from(arch.chiplet.core.lanes) * u64::from(arch.chiplet.core.vector) * 8;
+    const A_L1: [u64; 4] = [1024, 4 * 1024, 32 * 1024, 128 * 1024];
+    const W_L1: [u64; 3] = [4 * 1024, 18 * 1024, 144 * 1024];
+    const A_L2: [u64; 2] = [64 * 1024, 256 * 1024];
+
+    // Candidate enumeration is per-unit work the real sweep amortizes via
+    // its shape memo; enumerate once so the measurement isolates the
+    // repricing loop.
+    let (mut cands, mut ids) = (Vec::new(), Vec::new());
+    enumerate_into(&layer, &arch, EnumOptions::default(), &mut cands, &mut ids);
+    assert!(!cands.is_empty());
+
+    let run_unit = |arch: &mut baton_arch::PackageConfig| -> u64 {
+        let mut lanes = sweep_lanes_for(&A_L1, &W_L1, &A_L2, min_w);
+        for (m, &gid) in cands.iter().zip(&ids) {
+            lanes.push_candidate(&layer, arch, m, gid, 0, 0);
+        }
+        assert!(!lanes.is_empty());
+        let mut points = 0u64;
+        for (a1, &a_l1) in A_L1.iter().enumerate() {
+            for (w1, &w_l1) in W_L1.iter().enumerate() {
+                for (a2, &a_l2) in A_L2.iter().enumerate() {
+                    arch.chiplet.core.a_l1_bytes = a_l1;
+                    arch.chiplet.core.w_l1_bytes = w_l1;
+                    arch.chiplet.a_l2_bytes = a_l2;
+                    let mut best = f64::INFINITY;
+                    for i in 0..lanes.len() {
+                        if let Some((e, _)) = lanes.score(i, (a1, w1, a2), arch, &tech) {
+                            if e < best {
+                                best = e;
+                            }
+                        }
+                    }
+                    assert!(best.is_finite(), "cell ({a1},{w1},{a2}) scored nothing");
+                    points += 1;
+                }
+            }
+        }
+        points
+    };
+
+    // Warm-up: the first unit pays the pool's lane/memo growth.
+    run_unit(&mut arch);
+
+    const REPS: u64 = 5;
+    let alloc_before = totals();
+    let mut points = 0u64;
+    for _ in 0..REPS {
+        points += run_unit(&mut arch);
+    }
+    let alloc_after = totals();
+    assert!(points > 0);
+
+    let allocs = alloc_after.allocs - alloc_before.allocs;
+    let per_point = allocs as f64 / points as f64;
+    println!("allocs/point: {per_point:.3} ({allocs} allocs / {points} points over {REPS} reps)");
+    assert!(
+        per_point <= SWEEP_ALLOCS_PER_POINT_BUDGET,
+        "sweep repricing allocation budget exceeded: {per_point:.3} allocs/point \
+         (budget {SWEEP_ALLOCS_PER_POINT_BUDGET}). If this is an intentional \
+         trade, re-measure and adjust the committed budget with the reviewers."
+    );
+
+    let net_live = alloc_after.live_bytes - alloc_before.live_bytes;
+    assert!(
+        net_live.abs() < 1_048_576,
+        "sweep repricing leaked {net_live} live bytes across {REPS} dropped units"
     );
 }
 

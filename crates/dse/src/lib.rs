@@ -42,8 +42,9 @@ pub use fusion::{fusion_analysis, FusedLink, FusionReport};
 pub use pareto::{pareto_front, pareto_provenance, Elimination, LosingAxis, ParetoProvenance};
 pub use postdesign::{map_model, simulate_mapped, LayerReport, LayerSim, ModelReport};
 pub use predesign::{
-    full_sweep, full_sweep_audited, full_sweep_suite, granularity_sweep, granularity_sweep_audited,
-    DesignPoint, GranularityResult, SweepOptions,
+    full_sweep, full_sweep_audited, full_sweep_reference, full_sweep_reference_audited,
+    full_sweep_suite, granularity_sweep, granularity_sweep_audited, DesignPoint, GranularityResult,
+    SweepOptions,
 };
 pub use recommend::{recommend, Recommendation};
 pub use space::{ComputeSpace, DesignSpace, MemorySpace};

@@ -5,16 +5,19 @@ use std::sync::Arc;
 
 use baton_arch::presets::ProportionalBuffers;
 use baton_arch::{validate, ChipletConfig, CoreConfig, PackageConfig, Technology};
-use baton_c3p::{price, resolve_at_capacities, runtime_bound, LayerProfiles, Objective, ShapeMemo};
+use baton_c3p::{
+    price, resolve_at_capacities, runtime_bound, sweep_lanes_for, LayerProfiles, Objective,
+    PooledLanes, ShapeMemo,
+};
 use baton_mapping::enumerate::{visit_candidates, EnumOptions};
-use baton_mapping::{decompose, Decomposition};
+use baton_mapping::{decompose, Decomposition, Mapping};
 use baton_model::{ConvSpec, Model, ACT_BITS};
 use baton_telemetry::{count, count_n, event, span, span_labeled, Counter, Progress};
 use serde::{Deserialize, Serialize};
 
 use crate::audit::{AuditRecord, SweepAudit};
 use crate::postdesign::map_model_opts;
-use crate::space::DesignSpace;
+use crate::space::{DesignSpace, MemorySpace};
 
 /// One bar of the Figure 14 chiplet-granularity plot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +44,11 @@ impl GranularityResult {
 /// Sweeps every Table II computation geometry with `total_macs` MAC units,
 /// assembling buffers proportional to the computation resources (the
 /// Figure 14 methodology), and maps `model` on each.
+///
+/// Each geometry prices through [`map_model_opts`], i.e. the batched
+/// streaming search engine (DESIGN §6h) — the granularity family rides the
+/// same zero-allocation resolve path the full sweep uses via
+/// [`baton_c3p::SweepLanes`].
 ///
 /// Geometries with no feasible mapping for some layer are skipped.
 pub fn granularity_sweep(
@@ -300,18 +308,293 @@ struct Candidate {
     o_l2_floor: u64,
 }
 
-/// Memoized per-shape artifacts within one sweep unit.
+/// A memory-grid cell addressed by ladder-rung indices.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// Index into `memory.a_l1`.
+    a1: usize,
+    /// Index into `memory.w_l1`.
+    w1: usize,
+    /// Index into `memory.a_l2`.
+    a2: usize,
+}
+
+/// Memoized per-shape artifacts within one sweep unit, built by one engine.
 #[derive(Debug)]
-struct ShapeCands {
-    /// Corner-pruned candidate set.
-    pruned: Vec<Candidate>,
+struct BuiltCands<C> {
+    /// Corner-pruned candidate set in the engine's representation.
+    cands: C,
+    /// Decomposable candidates enumerated (before pruning).
+    candidates: u64,
+    /// Candidates surviving corner pruning.
+    kept: u64,
     /// Whether enumeration found any decomposable candidate at all (before
     /// pruning); `false` makes the whole geometry infeasible.
     feasible: bool,
 }
 
+/// Strategy object for the sweep's repricing engine.
+///
+/// The whole sweep skeleton — unit fan-out, shape memoization, corner
+/// pruning, the grid walk with its skip rule, stats and audit emission — is
+/// generic over this trait, so the streaming production engine and the
+/// materialized reference exercise one code path and can only differ in how
+/// a candidate is priced. The differential harness in
+/// `tests/sweep_equivalence.rs` pins that difference to zero.
+trait SweepEngine: Sync {
+    /// Per-shape candidate artifacts.
+    type Cands;
+
+    /// Enumerates, decomposes, and corner-prunes the candidate set for one
+    /// layer on the unit's reference machine.
+    fn build(
+        &self,
+        layer: &ConvSpec,
+        reference: &PackageConfig,
+        tech: &Technology,
+        opts: &SweepOptions,
+    ) -> BuiltCands<Self::Cands>;
+
+    /// Scores one layer at a grid cell: best candidate by energy, strict
+    /// `<` so the earliest candidate wins ties. `arch` carries the cell's
+    /// buffer capacities; `cell` addresses the same capacities by rung
+    /// index. `None` if no candidate is feasible at this cell.
+    fn best_layer_at(
+        &self,
+        cands: &Self::Cands,
+        cell: Cell,
+        arch: &PackageConfig,
+        tech: &Technology,
+    ) -> Option<(f64, u64)>;
+}
+
+/// Feasibility floors of one enumerated candidate: minimum A-L1 bytes for
+/// the core input window and minimum O-L2 bytes for the chiplet tile.
+fn candidate_floors(layer: &ConvSpec, reference: &PackageConfig, mapping: &Mapping) -> (u64, u64) {
+    let (ho_c, wo_c) = mapping.core_plane;
+    let win = |t: u32, s: u32, k: u32| u64::from((t - 1) * s + k);
+    let chunk = u64::from(
+        reference
+            .chiplet
+            .core
+            .vector
+            .min(layer.ci_per_group().max(1)),
+    );
+    let a_l1_floor = win(ho_c, layer.stride_h(), layer.kh())
+        * win(wo_c, layer.stride_w(), layer.kw())
+        * chunk
+        * ACT_BITS
+        / 8;
+    let o_l2_floor = mapping.chiplet_tile.elems() * ACT_BITS / 8;
+    (a_l1_floor, o_l2_floor)
+}
+
+/// The eight pruning corners of the memory grid, as rung-index cells, in
+/// the fixed `A-L1 x W-L1 x A-L2` first/last nesting order. Single-rung
+/// ladders repeat their only rung (and so repeat corners), preserving the
+/// historical score-call sequence exactly.
+fn corner_cells(m: &MemorySpace) -> [Cell; 8] {
+    let a1 = [0, m.a_l1.len() - 1];
+    let w = [0, m.w_l1.len() - 1];
+    let a2 = [0, m.a_l2.len() - 1];
+    let mut out = [Cell {
+        a1: 0,
+        w1: 0,
+        a2: 0,
+    }; 8];
+    let mut n = 0;
+    for &i1 in &a1 {
+        for &iw in &w {
+            for &i2 in &a2 {
+                out[n] = Cell {
+                    a1: i1,
+                    w1: iw,
+                    a2: i2,
+                };
+                n += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Corner pruning, shared by both engines: keeps the union of the best
+/// `keep_per_corner` candidates (by energy, stable under score ties) at
+/// each of the eight memory corners.
+fn corner_keep(
+    n: usize,
+    opts: &SweepOptions,
+    mut score_at: impl FnMut(usize, Cell) -> Option<f64>,
+) -> Vec<bool> {
+    let mut keep: Vec<bool> = vec![false; n];
+    for cell in corner_cells(&opts.space.memory) {
+        let mut scored: Vec<(f64, usize)> = (0..n)
+            .filter_map(|i| score_at(i, cell).map(|e| (e, i)))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for &(_, i) in scored.iter().take(opts.keep_per_corner) {
+            keep[i] = true;
+        }
+    }
+    keep
+}
+
+/// A copy of the unit's reference machine with one grid cell's capacities
+/// installed — field-identical to the arch the grid walk constructs.
+fn cell_arch(reference: &PackageConfig, m: &MemorySpace, cell: Cell, o_l2: u64) -> PackageConfig {
+    let mut arch = *reference;
+    arch.chiplet.core.a_l1_bytes = m.a_l1[cell.a1];
+    arch.chiplet.core.w_l1_bytes = m.w_l1[cell.w1];
+    arch.chiplet.a_l2_bytes = m.a_l2[cell.a2];
+    arch.chiplet.o_l2_bytes = o_l2;
+    arch
+}
+
+/// The production engine: streaming per-rung resolution into pooled
+/// struct-of-arrays lanes ([`baton_c3p::SweepLanes`]). Zero steady-state
+/// allocation per design point; bit-identical to [`ReferenceEngine`].
+#[derive(Debug)]
+struct StreamingEngine;
+
+impl SweepEngine for StreamingEngine {
+    type Cands = PooledLanes;
+
+    fn build(
+        &self,
+        layer: &ConvSpec,
+        reference: &PackageConfig,
+        tech: &Technology,
+        opts: &SweepOptions,
+    ) -> BuiltCands<PooledLanes> {
+        let m = &opts.space.memory;
+        let core = &reference.chiplet.core;
+        let min_w_bits = u64::from(core.lanes) * u64::from(core.vector) * 8;
+        let mut lanes = sweep_lanes_for(&m.a_l1, &m.w_l1, &m.a_l2, min_w_bits);
+        visit_candidates(layer, reference, opts.enum_options, |geom_id, mapping| {
+            let (a_l1_floor, o_l2_floor) = candidate_floors(layer, reference, &mapping);
+            lanes.push_candidate(layer, reference, &mapping, geom_id, a_l1_floor, o_l2_floor);
+        });
+        let candidates = lanes.len() as u64;
+        let feasible = !lanes.is_empty();
+        if feasible {
+            let keep = corner_keep(lanes.len(), opts, |i, cell| {
+                let arch = cell_arch(reference, m, cell, opts.o_l2_bytes);
+                lanes
+                    .score(i, (cell.a1, cell.w1, cell.a2), &arch, tech)
+                    .map(|(e, _)| e)
+            });
+            lanes.retain(&keep);
+        }
+        BuiltCands {
+            kept: lanes.len() as u64,
+            cands: lanes,
+            candidates,
+            feasible,
+        }
+    }
+
+    fn best_layer_at(
+        &self,
+        lanes: &PooledLanes,
+        cell: Cell,
+        arch: &PackageConfig,
+        tech: &Technology,
+    ) -> Option<(f64, u64)> {
+        let mut best: Option<(f64, u64)> = None;
+        for i in 0..lanes.len() {
+            if let Some((e, cyc)) = lanes.score(i, (cell.a1, cell.w1, cell.a2), arch, tech) {
+                if best.map(|(be, _)| e < be).unwrap_or(true) {
+                    best = Some((e, cyc));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The retained materialized path: per-candidate [`LayerProfiles`] resolved
+/// through [`resolve_at_capacities`] at every score. Ground truth for the
+/// differential sweep-equivalence harness.
+#[derive(Debug)]
+struct ReferenceEngine;
+
+impl SweepEngine for ReferenceEngine {
+    type Cands = Vec<Candidate>;
+
+    fn build(
+        &self,
+        layer: &ConvSpec,
+        reference: &PackageConfig,
+        tech: &Technology,
+        opts: &SweepOptions,
+    ) -> BuiltCands<Vec<Candidate>> {
+        let cands = layer_candidates(layer, reference, opts);
+        let candidates = cands.len() as u64;
+        let feasible = !cands.is_empty();
+        let pruned = if feasible {
+            let m = &opts.space.memory;
+            let keep = corner_keep(cands.len(), opts, |i, cell| {
+                score_candidate(
+                    &cands[i],
+                    m.a_l1[cell.a1],
+                    m.w_l1[cell.w1],
+                    m.a_l2[cell.a2],
+                    opts.o_l2_bytes,
+                    reference,
+                    tech,
+                )
+                .map(|(e, _)| e)
+            });
+            cands
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(c, k)| k.then_some(c))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        BuiltCands {
+            kept: pruned.len() as u64,
+            cands: pruned,
+            candidates,
+            feasible,
+        }
+    }
+
+    fn best_layer_at(
+        &self,
+        cands: &Vec<Candidate>,
+        _cell: Cell,
+        arch: &PackageConfig,
+        tech: &Technology,
+    ) -> Option<(f64, u64)> {
+        let (a_l1, w_l1, a_l2) = (
+            arch.chiplet.core.a_l1_bytes,
+            arch.chiplet.core.w_l1_bytes,
+            arch.chiplet.a_l2_bytes,
+        );
+        let o_l2 = arch.chiplet.o_l2_bytes;
+        let mut best: Option<(f64, u64)> = None;
+        for c in cands {
+            if let Some((e, cyc)) = score_candidate(c, a_l1, w_l1, a_l2, o_l2, arch, tech) {
+                if best.map(|(be, _)| e < be).unwrap_or(true) {
+                    best = Some((e, cyc));
+                }
+            }
+        }
+        best
+    }
+}
+
 /// Runs the full Figure 15 sweep: every computation geometry times every
 /// memory allocation of the space, returning the *valid* design points.
+///
+/// Repricing goes through the streaming struct-of-arrays engine
+/// ([`baton_c3p::SweepLanes`]): each `(geometry, O-L1)` unit resolves its
+/// candidates once per capacity rung into pooled thread-local lanes and
+/// pays zero steady-state allocation per design point. The retained
+/// materialized path is [`full_sweep_reference`]; the two are bit-identical
+/// (pinned by `tests/sweep_equivalence.rs`).
 ///
 /// The `(geometry, O-L1)` units fan out over [`baton_parallel::map_chunked`]
 /// workers; each worker fills a local point vector and the results are
@@ -330,6 +613,41 @@ pub fn full_sweep(model: &Model, tech: &Technology, opts: &SweepOptions) -> Vec<
 /// calling thread, so the stream is identical for any worker count (wall
 /// times aside) and `point` records match the returned vector one-to-one.
 pub fn full_sweep_audited(
+    model: &Model,
+    tech: &Technology,
+    opts: &SweepOptions,
+    audit: &SweepAudit,
+) -> Vec<DesignPoint> {
+    full_sweep_with(&StreamingEngine, model, tech, opts, audit)
+}
+
+/// [`full_sweep`] on the materialized reference path: per-candidate
+/// [`LayerProfiles`] re-resolved at every grid cell. Slower but maximally
+/// direct — the ground truth the differential sweep-equivalence harness
+/// holds the streaming engine to. Points, CSV bytes, audit records, and
+/// telemetry counters are bit-identical to [`full_sweep`].
+pub fn full_sweep_reference(
+    model: &Model,
+    tech: &Technology,
+    opts: &SweepOptions,
+) -> Vec<DesignPoint> {
+    full_sweep_reference_audited(model, tech, opts, &SweepAudit::disabled())
+}
+
+/// [`full_sweep_reference`] with an audit trail (see [`full_sweep_audited`]
+/// for the record contract).
+pub fn full_sweep_reference_audited(
+    model: &Model,
+    tech: &Technology,
+    opts: &SweepOptions,
+    audit: &SweepAudit,
+) -> Vec<DesignPoint> {
+    full_sweep_with(&ReferenceEngine, model, tech, opts, audit)
+}
+
+/// The engine-generic sweep body shared by every `full_sweep*` entry point.
+fn full_sweep_with<E: SweepEngine>(
+    engine: &E,
     model: &Model,
     tech: &Technology,
     opts: &SweepOptions,
@@ -356,7 +674,7 @@ pub fn full_sweep_audited(
         });
         let unit_t0 = std::time::Instant::now();
         let mut local = Vec::new();
-        let mut stats = sweep_geometry(model, tech, opts, geometry, o_l1, &mut local);
+        let mut stats = sweep_geometry(engine, model, tech, opts, geometry, o_l1, &mut local);
         stats.wall_us = unit_t0.elapsed().as_micros() as u64;
         if baton_telemetry::enabled() {
             let (np, nc, l, p) = geometry;
@@ -448,7 +766,8 @@ struct UnitStats {
 }
 
 /// Sweeps the (A-L1, W-L1, A-L2) grid for one `(geometry, O-L1)` pair.
-fn sweep_geometry(
+fn sweep_geometry<E: SweepEngine>(
+    engine: &E,
     model: &Model,
     tech: &Technology,
     opts: &SweepOptions,
@@ -483,22 +802,16 @@ fn sweep_geometry(
     // Per-layer candidate sets, corner-pruned. Candidates depend only on a
     // layer's *shape* (and this unit's reference machine), so repeated
     // shapes — ResNet towers, VGG blocks — build their set exactly once.
-    let memo: ShapeMemo<ShapeCands> = ShapeMemo::new();
-    let mut per_layer: Vec<Arc<ShapeCands>> = Vec::with_capacity(model.layers().len());
+    let memo: ShapeMemo<BuiltCands<E::Cands>> = ShapeMemo::new();
+    let mut per_layer: Vec<Arc<BuiltCands<E::Cands>>> = Vec::with_capacity(model.layers().len());
     for layer in model.layers() {
         let mut built = false;
         let entry = memo.get_or_insert_with(layer.shape_key(), || {
             built = true;
-            let cands = layer_candidates(layer, &reference, opts);
-            stats.candidates += cands.len() as u64;
-            let feasible = !cands.is_empty();
-            let pruned = if feasible {
-                prune_candidates(layer, cands, &reference, tech, opts)
-            } else {
-                Vec::new()
-            };
-            stats.kept += pruned.len() as u64;
-            ShapeCands { pruned, feasible }
+            let b = engine.build(layer, &reference, tech, opts);
+            stats.candidates += b.candidates;
+            stats.kept += b.kept;
+            b
         });
         if built {
             stats.memo_misses += 1;
@@ -512,9 +825,9 @@ fn sweep_geometry(
     }
     stats.feasible = true;
 
-    for &a_l1 in &opts.space.memory.a_l1 {
-        for &w_l1 in &opts.space.memory.w_l1 {
-            for &a_l2 in &opts.space.memory.a_l2 {
+    for (a1, &a_l1) in opts.space.memory.a_l1.iter().enumerate() {
+        for (w1, &w_l1) in opts.space.memory.w_l1.iter().enumerate() {
+            for (a2, &a_l2) in opts.space.memory.a_l2.iter().enumerate() {
                 // The paper's named skip rule: A-L1 below the shared A-L2.
                 if a_l1 >= a_l2 {
                     stats.skipped += 1;
@@ -529,7 +842,10 @@ fn sweep_geometry(
                         opts.o_l2_bytes,
                     ),
                 );
-                let Some((energy_pj, cycles)) = evaluate_model_at(&per_layer, &arch, tech) else {
+                let cell = Cell { a1, w1, a2 };
+                let Some((energy_pj, cycles)) =
+                    evaluate_model_at(engine, &per_layer, cell, &arch, tech)
+                else {
                     count(Counter::SweepPointsInfeasible);
                     stats.infeasible += 1;
                     continue;
@@ -561,21 +877,7 @@ fn layer_candidates(
             return;
         };
         let profiles = LayerProfiles::build(&d);
-        let (ho_c, wo_c) = mapping.core_plane;
-        let win = |t: u32, s: u32, k: u32| u64::from((t - 1) * s + k);
-        let chunk = u64::from(
-            reference
-                .chiplet
-                .core
-                .vector
-                .min(layer.ci_per_group().max(1)),
-        );
-        let a_l1_floor = win(ho_c, layer.stride_h(), layer.kh())
-            * win(wo_c, layer.stride_w(), layer.kw())
-            * chunk
-            * ACT_BITS
-            / 8;
-        let o_l2_floor = mapping.chiplet_tile.elems() * ACT_BITS / 8;
+        let (a_l1_floor, o_l2_floor) = candidate_floors(layer, reference, &mapping);
         let _ = mapping; // identity is carried inside the decomposition
         out.push(Candidate {
             decomposition: d,
@@ -585,52 +887,6 @@ fn layer_candidates(
         });
     });
     out
-}
-
-/// Keeps the union of the best `keep_per_corner` candidates at each memory
-/// corner, so the inner sweep only scores a handful of mappings.
-fn prune_candidates(
-    _layer: &ConvSpec,
-    cands: Vec<Candidate>,
-    reference: &PackageConfig,
-    tech: &Technology,
-    opts: &SweepOptions,
-) -> Vec<Candidate> {
-    let m = &opts.space.memory;
-    let corners: Vec<(u64, u64, u64)> = {
-        let a1 = [*m.a_l1.first().unwrap(), *m.a_l1.last().unwrap()];
-        let w = [*m.w_l1.first().unwrap(), *m.w_l1.last().unwrap()];
-        let a2 = [*m.a_l2.first().unwrap(), *m.a_l2.last().unwrap()];
-        let mut out = Vec::with_capacity(8);
-        for &a in &a1 {
-            for &ww in &w {
-                for &b in &a2 {
-                    out.push((a, ww, b));
-                }
-            }
-        }
-        out
-    };
-    let mut keep: Vec<bool> = vec![false; cands.len()];
-    for (a_l1, w_l1, a_l2) in corners {
-        let mut scored: Vec<(f64, usize)> = cands
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                score_candidate(c, a_l1, w_l1, a_l2, opts.o_l2_bytes, reference, tech)
-                    .map(|(e, _)| (e, i))
-            })
-            .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        for &(_, i) in scored.iter().take(opts.keep_per_corner) {
-            keep[i] = true;
-        }
-    }
-    cands
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(c, k)| k.then_some(c))
-        .collect()
 }
 
 /// Scores one candidate at explicit buffer capacities; `None` if infeasible.
@@ -664,29 +920,17 @@ fn score_candidate(
 
 /// Scores the whole model at one memory configuration: per-layer best
 /// candidate, summed. `None` if any layer has no feasible candidate.
-fn evaluate_model_at(
-    per_layer: &[Arc<ShapeCands>],
+fn evaluate_model_at<E: SweepEngine>(
+    engine: &E,
+    per_layer: &[Arc<BuiltCands<E::Cands>>],
+    cell: Cell,
     arch: &PackageConfig,
     tech: &Technology,
 ) -> Option<(f64, u64)> {
-    let opts_o_l2 = arch.chiplet.o_l2_bytes;
-    let (a_l1, w_l1, a_l2) = (
-        arch.chiplet.core.a_l1_bytes,
-        arch.chiplet.core.w_l1_bytes,
-        arch.chiplet.a_l2_bytes,
-    );
     let mut total_e = 0.0;
     let mut total_c = 0u64;
-    for cands in per_layer {
-        let mut best: Option<(f64, u64)> = None;
-        for c in &cands.pruned {
-            if let Some((e, cyc)) = score_candidate(c, a_l1, w_l1, a_l2, opts_o_l2, arch, tech) {
-                if best.map(|(be, _)| e < be).unwrap_or(true) {
-                    best = Some((e, cyc));
-                }
-            }
-        }
-        let (e, cyc) = best?;
+    for built in per_layer {
+        let (e, cyc) = engine.best_layer_at(&built.cands, cell, arch, tech)?;
         total_e += e;
         total_c += cyc;
     }
@@ -800,6 +1044,20 @@ mod tests {
             // The skip rule held.
             assert!(pt.memory.1 < pt.memory.3);
         }
+    }
+
+    #[test]
+    fn streaming_engine_matches_the_reference_engine() {
+        // The in-crate smoke version of tests/sweep_equivalence.rs: the
+        // default (streaming) sweep and the retained materialized path must
+        // produce identical points — floats included.
+        let tech = Technology::paper_16nm();
+        let opts = small_sweep_opts();
+        let model = tiny_model();
+        let fast = full_sweep(&model, &tech, &opts);
+        let slow = full_sweep_reference(&model, &tech, &opts);
+        assert!(!fast.is_empty());
+        assert_eq!(fast, slow);
     }
 
     #[test]

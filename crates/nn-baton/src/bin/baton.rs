@@ -7,8 +7,8 @@
 //! baton explain <model> [--layer L] [--top K] [--format text|md|json]
 //!                                                 why did this mapping win?
 //! baton profile <model> [--res N] [--json]        post-design flow + telemetry breakdown
-//! baton bench   <model> --out FILE [--baseline FILE] [--max-regress PCT]
-//!                                                 machine-readable perf snapshot
+//! baton bench   <model> --out FILE [--sweep] [--macs M] [--area A] [--baseline FILE]
+//!               [--max-regress PCT]               machine-readable perf snapshot
 //! baton compare <model> [--res N]                 NN-Baton vs Simba
 //! baton explore <model> [--res N] [--macs M] [--area A] [--csv FILE] [--audit FILE]
 //!                                                 Figure 14 granularity sweep
@@ -93,7 +93,15 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "map" => &["--res", "--csv", "--trace-perfetto", "--divergence-tol"],
         "explain" => &["--res", "--layer", "--top", "--format"],
         "profile" => &["--res", "--json", "--alloc"],
-        "bench" => &["--res", "--out", "--baseline", "--max-regress"],
+        "bench" => &[
+            "--res",
+            "--out",
+            "--baseline",
+            "--max-regress",
+            "--sweep",
+            "--macs",
+            "--area",
+        ],
         "compare" => &["--res", "--csv"],
         "explore" => &["--res", "--macs", "--area", "--csv", "--audit"],
         "sweep" => &[
@@ -150,6 +158,9 @@ struct Flags {
     baseline: Option<String>,
     /// `bench`: tolerated regression in percent before failing.
     max_regress: f64,
+    /// `bench`: measure the pre-design sweep (points/sec) instead of the
+    /// post-design mapping flow (evals/sec).
+    sweep: bool,
     /// `explore`/`sweep`: stream per-point audit records as JSON lines.
     audit: Option<String>,
     /// `sweep`: render the Pareto provenance after the sweep.
@@ -208,6 +219,7 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
         out: None,
         baseline: None,
         max_regress: 10.0,
+        sweep: false,
         audit: None,
         explain: false,
         divergence_tol: nn_baton::report::DEFAULT_DIVERGENCE_TOL,
@@ -250,6 +262,7 @@ fn parse_flags(cmd: &str, rest: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "bad --max-regress")?;
             }
+            "--sweep" => f.sweep = true,
             "--audit" => f.audit = Some(value("--audit")?),
             "--explain" => f.explain = true,
             "--divergence-tol" => {
@@ -350,7 +363,7 @@ fn run(args: &[String]) -> Result<(), String> {
              flags: --res N  --macs M  --area A|none  --csv FILE\n\
              explain: --layer L  --top K  --format text|md|json\n\
              map: --trace-perfetto FILE  --divergence-tol F    profile: --json --alloc\n\
-             bench: --out FILE  --baseline FILE  --max-regress PCT\n\
+             bench: --out FILE  --baseline FILE  --max-regress PCT  --sweep (pre-design sweep perf)\n\
              explore/sweep: --audit FILE    sweep: --explain  --format text|md|json  --top K\n\
              fidelity: <model|zoo>  --out FILE  --baseline FILE  --max-regress PCT  --divergence-tol F\n\
              serve: --addr HOST:PORT (default 127.0.0.1:9184)\n\
@@ -577,14 +590,26 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "bench" => {
             let out = flags.out.as_ref().expect("checked above");
-            bench_model(
-                &model,
-                &arch,
-                &tech,
-                out,
-                baseline.as_ref(),
-                flags.max_regress,
-            )?;
+            if flags.sweep {
+                bench_sweep(
+                    &model,
+                    &tech,
+                    flags.macs,
+                    flags.area,
+                    out,
+                    baseline.as_ref(),
+                    flags.max_regress,
+                )?;
+            } else {
+                bench_model(
+                    &model,
+                    &arch,
+                    &tech,
+                    out,
+                    baseline.as_ref(),
+                    flags.max_regress,
+                )?;
+            }
         }
         "compare" => {
             let c = compare_model(&model, &arch, &tech);
@@ -993,6 +1018,91 @@ fn bench_model(
         snapshot
             .nums
             .get("throughput.evals_per_sec")
+            .copied()
+            .unwrap_or(0.0)
+    );
+    if let Some((path, base)) = baseline {
+        let regressions = compare_snapshots(&snapshot, base, max_regress);
+        if regressions.is_empty() {
+            println!("baseline {path}: ok (no metric regressed > {max_regress}%)");
+        } else {
+            for r in &regressions {
+                eprintln!("regression: {}", describe_regression(r));
+            }
+            return Err(format!(
+                "{} metric(s) regressed beyond {max_regress}% vs {path}",
+                regressions.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `baton bench --sweep` variant: run the pre-design full sweep under
+/// the clock and snapshot `throughput.points_per_sec` plus
+/// `alloc.allocs_per_point` — the two metrics the committed
+/// `results/BENCH_sweep.json` bounds with absolute `gate.min`/`gate.max`
+/// keys (the streaming-repricer gate).
+fn bench_sweep(
+    model: &Model,
+    tech: &Technology,
+    macs: u64,
+    area: Option<f64>,
+    out: &str,
+    baseline: Option<&(String, BenchSnapshot)>,
+    max_regress: f64,
+) -> Result<(), String> {
+    use nn_baton::telemetry::{counters, span};
+
+    let opts = SweepOptions {
+        total_macs: macs,
+        area_limit_mm2: area,
+        ..SweepOptions::default()
+    };
+    let name = bench_name(out);
+    let before = counters::snapshot();
+    let alloc_before = telemetry::alloc::totals();
+    let t0 = Instant::now();
+    let points = nn_baton::dse::full_sweep(model, tech, &opts);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let counter_delta = counters::snapshot().since(&before);
+    let mut snapshot = BenchSnapshot::build(
+        &name,
+        model.name(),
+        wall_ms,
+        &counter_delta,
+        &span::phase_stats(),
+    );
+    // No per-eval rate here: the streaming sweep prices points, not
+    // materialized evaluations.
+    insert_alloc_metrics(&mut snapshot, &alloc_before, 0);
+    let secs = (wall_ms / 1e3).max(f64::MIN_POSITIVE);
+    snapshot
+        .nums
+        .insert("model.points".into(), points.len() as f64);
+    snapshot.nums.insert(
+        "throughput.points_per_sec".into(),
+        points.len() as f64 / secs,
+    );
+    if !points.is_empty() {
+        if let Some(&allocs) = snapshot.nums.get("alloc.allocs") {
+            snapshot.nums.insert(
+                "alloc.allocs_per_point".into(),
+                allocs / points.len() as f64,
+            );
+        }
+    }
+    snapshot
+        .strs
+        .insert("threads".into(), nn_baton::parallel::threads().to_string());
+    std::fs::write(out, snapshot.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "bench {name}: {} design points in {:.1} ms, {:.0} points/sec -> {out}",
+        points.len(),
+        wall_ms,
+        snapshot
+            .nums
+            .get("throughput.points_per_sec")
             .copied()
             .unwrap_or(0.0)
     );

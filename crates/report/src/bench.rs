@@ -153,6 +153,7 @@ fn direction(key: &str) -> Option<bool> {
     // (counts, means, counters, absolute byte totals — machine-dependent).
     if key == "wall_ms.total"
         || key == "alloc.allocs_per_eval"
+        || key == "alloc.allocs_per_point"
         || (key.starts_with("phase.") && key.ends_with(".total_ms"))
     {
         Some(true)
@@ -317,6 +318,14 @@ mod tests {
         let mut better = base.clone();
         better.nums.insert("alloc.allocs_per_eval".into(), 1.0);
         assert!(compare_snapshots(&better, &base, 25.0).is_empty());
+        // The sweep's per-point cousin gates in the same direction.
+        let mut swept = base.clone();
+        swept.nums.insert("alloc.allocs_per_point".into(), 10.0);
+        let mut churny = swept.clone();
+        churny.nums.insert("alloc.allocs_per_point".into(), 16.0);
+        let regs = compare_snapshots(&churny, &swept, 25.0);
+        let keys: Vec<&str> = regs.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["alloc.allocs_per_point"]);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Golden-file tests for the `baton sweep --explain` renderers.
+//!
+//! The JSON lines are already pinned by the flat-object parser round-trip
+//! in the unit tests; the text table and the markdown tables are what an
+//! architect actually reads, so their layout is held to committed golden
+//! files byte for byte. The fixture is the same deterministic mini-sweep
+//! the unit tests use — single-threaded results are bit-identical at any
+//! worker count (see the sweep-equivalence harness), so the rendered
+//! numbers are stable across machines. Regenerate after an intentional
+//! format change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p baton-report --test sweep_golden
+//! ```
+
+use baton_arch::Technology;
+use baton_dse::pareto::pareto_provenance;
+use baton_dse::predesign::{full_sweep, SweepOptions};
+use baton_model::zoo;
+use baton_report::{explain_sweep, Format, SweepExplanation};
+
+const GOLDEN_TEXT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/sweep_explain.txt"
+);
+const GOLDEN_MD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sweep_explain.md");
+
+/// The deterministic fixture: AlexNet over a 2-point memory grid per
+/// geometry, small enough to sweep in milliseconds but large enough that
+/// the front, the dominated tallies, and the nearest-miss margins are all
+/// non-trivial.
+fn explanation() -> (SweepExplanation, usize) {
+    let tech = Technology::paper_16nm();
+    let mut opts = SweepOptions {
+        total_macs: 2048,
+        ..SweepOptions::default()
+    };
+    opts.space.memory.o_l1 = vec![144];
+    opts.space.memory.a_l1 = vec![1024, 4 * 1024];
+    opts.space.memory.w_l1 = vec![18 * 1024];
+    opts.space.memory.a_l2 = vec![64 * 1024];
+    let points = full_sweep(&zoo::alexnet(224), &tech, &opts);
+    assert!(!points.is_empty(), "fixture must sweep real points");
+    let prov = pareto_provenance(&points, |p| (p.chiplet_area_mm2, p.edp(&tech)));
+    (explain_sweep(&points, &prov, &tech, 3), points.len())
+}
+
+fn check_golden(rendered: &str, path: &str, what: &str) {
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(path, rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{what} golden missing ({e}); regenerate with BLESS=1"));
+    assert_eq!(
+        rendered, golden,
+        "{what} renderer drifted from {path}; if intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn text_rendering_matches_the_golden_file() {
+    let (ex, total) = explanation();
+    let text = ex.render(Format::Text);
+    // Structural sanity before the byte comparison, so a broken fixture
+    // fails with a readable message instead of a wall of diff.
+    assert!(text.starts_with(&format!("sweep: {total} valid points")));
+    assert!(text.contains("Pareto front (area mm^2 vs EDP J*s):"));
+    assert!(text.contains("nearest misses (smallest combined losing margin first):"));
+    // One table row per front member and per nearest miss.
+    let rows = text.lines().filter(|l| l.starts_with("  ")).count();
+    assert_eq!(rows, 2 + ex.front.len() + ex.nearest.len(), "{text}");
+    check_golden(&text, GOLDEN_TEXT, "text");
+}
+
+#[test]
+fn markdown_rendering_matches_the_golden_file() {
+    let (ex, _) = explanation();
+    let md = ex.render(Format::Markdown);
+    assert!(md.starts_with("## Sweep Pareto front"));
+    assert!(md.contains("### Nearest misses"));
+    // Well-formed tables: every pipe row has the same column count as its
+    // header, for both tables.
+    let cols = |line: &str| line.matches('|').count();
+    let mut rows = md.lines().filter(|l| l.starts_with('|'));
+    let front_header = rows.next().expect("front table header");
+    assert_eq!(cols(front_header), 7, "{front_header}");
+    for line in md.lines().filter(|l| l.starts_with('|')) {
+        let c = cols(line);
+        assert!(c == 7 || c == 8, "ragged table row: {line}");
+    }
+    check_golden(&md, GOLDEN_MD, "markdown");
+}

@@ -268,6 +268,54 @@ fn sweep_explain_renders_the_pareto_provenance() {
 }
 
 #[test]
+fn sweep_explain_and_audit_combine_in_one_invocation() {
+    // `--explain` renders from the returned points while `--audit` streams
+    // per-point records as the sweep runs — one invocation must serve both
+    // consumers consistently: the provenance's point total is the audit's
+    // point-record count.
+    let dir = std::env::temp_dir().join("baton-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = tiny_model_file("sweep-explain-audit.baton");
+    let audit = dir.join("sweep-explain-audit.jsonl");
+    let (ok, stdout, stderr) = baton(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--macs",
+        "512",
+        "--explain",
+        "--top",
+        "2",
+        "--audit",
+        audit.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("audit records"), "{stdout}");
+    assert!(stdout.contains("Pareto front"), "{stdout}");
+
+    let mut audit_points = 0u64;
+    for line in std::fs::read_to_string(&audit).unwrap().lines() {
+        let obj = nn_baton::telemetry::json::parse_flat_object(line)
+            .unwrap_or_else(|e| panic!("bad audit line `{line}`: {e}"));
+        if obj["record"].as_str() == Some("point") {
+            audit_points += 1;
+        }
+    }
+    assert!(audit_points > 0);
+    // "sweep: N valid points, ..." from the explain header agrees with the
+    // audit stream.
+    let header = stdout
+        .lines()
+        .find(|l| l.starts_with("sweep: "))
+        .expect("explain header");
+    let n: u64 = header
+        .strip_prefix("sweep: ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable header `{header}`"));
+    assert_eq!(n, audit_points, "{stdout}");
+}
+
+#[test]
 fn fidelity_snapshots_and_gates() {
     let dir = std::env::temp_dir().join("baton-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
